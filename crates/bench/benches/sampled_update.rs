@@ -1,0 +1,50 @@
+//! The speed-up mechanism itself: processing a stream through a full
+//! sketch vs through a Bernoulli shedder at various p. The per-*stream-
+//! tuple* cost of the shedded pipeline must fall roughly as p falls, which
+//! is exactly the paper's claimed speed-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_core::sketch::JoinSchema;
+use sss_core::LoadSheddingSketcher;
+use std::hint::black_box;
+
+const TUPLES: u64 = 16_384;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("sampled_update");
+    group.throughput(Throughput::Elements(TUPLES));
+
+    // The expensive-update backend, where shedding pays off most.
+    let agms = JoinSchema::agms(64, &mut rng);
+    // The cheap-update backend of the paper's experiments.
+    let fagms = JoinSchema::fagms(1, 5000, &mut rng);
+
+    for (name, schema) in [("agms64", &agms), ("fagms5000", &fagms)] {
+        group.bench_function(BenchmarkId::new(format!("{name}/full"), 1.0), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| {
+                for key in 0..TUPLES {
+                    s.update(black_box(key), 1);
+                }
+            })
+        });
+        for p in [0.1, 0.01] {
+            group.bench_function(BenchmarkId::new(format!("{name}/shed"), p), |b| {
+                let mut shed =
+                    LoadSheddingSketcher::new(schema, p, &mut rng).expect("valid probability");
+                b.iter(|| {
+                    for key in 0..TUPLES {
+                        shed.observe(black_box(key));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(sampled, benches);
+criterion_main!(sampled);

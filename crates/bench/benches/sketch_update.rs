@@ -1,0 +1,66 @@
+//! Per-tuple update cost of the sketch structures: the quantity load
+//! shedding divides by `1/p`. AGMS grows linearly with its counter count;
+//! F-AGMS and Count-Min stay O(depth) regardless of width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_sketch::{AgmsSchema, CountMinSchema, FagmsSchema, Sketch};
+use std::hint::black_box;
+
+const TUPLES: u64 = 4096;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("sketch_update");
+    group.throughput(Throughput::Elements(TUPLES));
+
+    for n in [16usize, 64, 256] {
+        let schema: AgmsSchema = AgmsSchema::new(n, &mut rng);
+        group.bench_function(BenchmarkId::new("agms", n), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| {
+                for key in 0..TUPLES {
+                    s.update(black_box(key), 1);
+                }
+            })
+        });
+    }
+    for width in [512usize, 5000, 10_000] {
+        let schema: FagmsSchema = FagmsSchema::new(1, width, &mut rng);
+        group.bench_function(BenchmarkId::new("fagms_d1", width), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| {
+                for key in 0..TUPLES {
+                    s.update(black_box(key), 1);
+                }
+            })
+        });
+    }
+    {
+        let schema: FagmsSchema = FagmsSchema::new(5, 1000, &mut rng);
+        group.bench_function(BenchmarkId::new("fagms_d5", 1000), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| {
+                for key in 0..TUPLES {
+                    s.update(black_box(key), 1);
+                }
+            })
+        });
+    }
+    {
+        let schema: CountMinSchema = CountMinSchema::new(5, 1000, &mut rng);
+        group.bench_function(BenchmarkId::new("countmin_d5", 1000), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| {
+                for key in 0..TUPLES {
+                    s.update(black_box(key), 1);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sketch, benches);
+criterion_main!(sketch);

@@ -1,0 +1,40 @@
+//! Throughput of the ±1 generator families — the per-tuple cost floor of
+//! every sketch update. Reproduces the generator comparison that motivated
+//! the paper's testbed choices (Rusu & Dobra, TODS 2007).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_xi::{Bch3, Bch5, Cw2, Cw4, Eh3, SignFamily, Tabulation};
+use std::hint::black_box;
+
+const KEYS: u64 = 4096;
+
+fn bench_family<F: SignFamily>(c: &mut Criterion, name: &str) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let f = F::random(&mut rng);
+    let mut group = c.benchmark_group("xi_sign");
+    group.throughput(Throughput::Elements(KEYS));
+    group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for key in 0..KEYS {
+                acc += f.sign(black_box(key));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family::<Cw2>(c, "cw2");
+    bench_family::<Cw4>(c, "cw4");
+    bench_family::<Eh3>(c, "eh3");
+    bench_family::<Bch3>(c, "bch3");
+    bench_family::<Bch5>(c, "bch5");
+    bench_family::<Tabulation>(c, "tabulation");
+}
+
+criterion_group!(xi, benches);
+criterion_main!(xi);

@@ -1,0 +1,41 @@
+//! Figure 3: empirical relative error of the **size-of-join** sketch over
+//! Bernoulli samples, as a function of Zipf skew, for several sampling
+//! probabilities (p = 1.0 is sketching the full stream).
+//!
+//! The paper's setup: two independently-generated Zipf relations, F-AGMS
+//! with 5000 buckets, ≥100 repetitions at 10M–100M tuples. Defaults here
+//! are laptop-scaled (1M tuples, 25 repetitions); raise with flags.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin fig3 \
+//!     [--tuples=1000000] [--domain=100000] [--buckets=5000] [--reps=25] [--seed=9]
+//! ```
+
+use sss_bench::experiments::{bernoulli_sj_sweep, BernoulliSweep};
+use sss_bench::{arg, banner, skew_grid};
+
+fn main() {
+    let cfg = BernoulliSweep {
+        tuples: arg("tuples", 1_000_000),
+        domain: arg("domain", 100_000),
+        buckets: arg("buckets", 5_000),
+        reps: arg("reps", 25),
+        probabilities: vec![0.001, 0.01, 0.1, 1.0],
+        skews: skew_grid(0.5),
+        seed: arg("seed", 9),
+    };
+    banner(
+        "fig3",
+        "size-of-join error vs skew (sketch over Bernoulli samples, F-AGMS)",
+        &[
+            ("tuples", cfg.tuples.to_string()),
+            ("domain", cfg.domain.to_string()),
+            ("buckets", cfg.buckets.to_string()),
+            ("reps", cfg.reps.to_string()),
+        ],
+    );
+    println!("skew,p,relative_error");
+    for pt in bernoulli_sj_sweep(&cfg) {
+        println!("{},{},{:.6}", pt.skew, pt.p, pt.error);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 5: empirical relative error of the **size-of-join** sketch over
+//! samples drawn **with replacement**, as a function of the sample size
+//! (fraction of the population size).
+//!
+//! The generative-model setting of §VI-B: two fixed Zipf populations drawn
+//! from the same law ("the tuples in the two relations are generated
+//! completely independent") emit i.i.d. streams; the streams are sketched
+//! and the population join size estimated.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin fig5 \
+//!     [--population=1000000] [--domain=100000] [--buckets=5000] [--reps=25] \
+//!     [--skew=1.0] [--seed=11]
+//! ```
+
+use sss_bench::experiments::{wr_sj_sweep, WrSweep};
+use sss_bench::{arg, banner};
+
+fn main() {
+    let cfg = WrSweep {
+        population: arg("population", 1_000_000),
+        domain: arg("domain", 100_000),
+        buckets: arg("buckets", 5_000),
+        reps: arg("reps", 25),
+        skew: arg("skew", 1.0),
+        fractions: vec![0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0],
+        seed: arg("seed", 11),
+    };
+    banner(
+        "fig5",
+        "size-of-join error vs WR sample fraction (F-AGMS over i.i.d. streams)",
+        &[
+            ("population", cfg.population.to_string()),
+            ("domain", cfg.domain.to_string()),
+            ("buckets", cfg.buckets.to_string()),
+            ("reps", cfg.reps.to_string()),
+            ("skew", cfg.skew.to_string()),
+        ],
+    );
+    println!("fraction,relative_error");
+    for (frac, err) in wr_sj_sweep(&cfg) {
+        println!("{frac},{err:.6}");
+    }
+}

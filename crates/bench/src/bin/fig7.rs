@@ -1,0 +1,40 @@
+//! Figure 7: empirical relative error of the **size-of-join**
+//! `lineitem ⋈ orders` (mini TPC-H) as a function of the **without-
+//! replacement sampling rate** — the online-aggregation scan experiment.
+//!
+//! The paper observes a non-monotone curve here: the error is *smallest*
+//! around a 10% scan and grows again as more data is sketched, an artifact
+//! of F-AGMS bucket contention (§VII-D). Whether the effect reproduces
+//! depends on the bucket-to-data ratio; run with `--buckets` and `--scale`
+//! to explore (see EXPERIMENTS.md for a probe).
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin fig7 \
+//!     [--scale=0.05] [--buckets=5000] [--reps=25] [--seed=13]
+//! ```
+
+use sss_bench::experiments::{wor_join_sweep, WorSweep};
+use sss_bench::{arg, banner};
+
+fn main() {
+    let cfg = WorSweep {
+        scale: arg("scale", 0.05),
+        buckets: arg("buckets", 5_000),
+        reps: arg("reps", 25),
+        rates: vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+        seed: arg("seed", 13),
+    };
+    banner(
+        "fig7",
+        "lineitem ⋈ orders error vs WOR sampling rate (mini TPC-H)",
+        &[
+            ("scale", cfg.scale.to_string()),
+            ("buckets", cfg.buckets.to_string()),
+            ("reps", cfg.reps.to_string()),
+        ],
+    );
+    println!("rate,relative_error");
+    for (rate, err) in wor_join_sweep(&cfg) {
+        println!("{rate},{err:.6}");
+    }
+}

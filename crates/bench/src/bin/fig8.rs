@@ -1,0 +1,35 @@
+//! Figure 8: empirical relative error of the **second frequency moment of
+//! `lineitem.l_orderkey`** (mini TPC-H) as a function of the without-
+//! replacement sampling rate — the self-join side of the online-aggregation
+//! experiment.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin fig8 \
+//!     [--scale=0.05] [--buckets=5000] [--reps=25] [--seed=14]
+//! ```
+
+use sss_bench::experiments::{wor_sjs_sweep, WorSweep};
+use sss_bench::{arg, banner};
+
+fn main() {
+    let cfg = WorSweep {
+        scale: arg("scale", 0.05),
+        buckets: arg("buckets", 5_000),
+        reps: arg("reps", 25),
+        rates: vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+        seed: arg("seed", 14),
+    };
+    banner(
+        "fig8",
+        "F₂(lineitem.l_orderkey) error vs WOR sampling rate (mini TPC-H)",
+        &[
+            ("scale", cfg.scale.to_string()),
+            ("buckets", cfg.buckets.to_string()),
+            ("reps", cfg.reps.to_string()),
+        ],
+    );
+    println!("rate,relative_error");
+    for (rate, err) in wor_sjs_sweep(&cfg) {
+        println!("{rate},{err:.6}");
+    }
+}

@@ -1,0 +1,61 @@
+//! The §I / §VII-E speed-up table: wall-clock cost of sketching a
+//! Bernoulli p-sample vs the full stream, for both sketch backends.
+//!
+//! "The sketching of streams can thus be sped-up by a factor of 10" (at
+//! p = 0.1) "and a factor of up to 1000 in some cases" (p = 0.001).
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin speedup \
+//!     [--tuples=10000000] [--domain=1000000] [--skew=1.0] [--seed=15]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_bench::{arg, banner};
+use sss_core::sketch::JoinSchema;
+use sss_datagen::ZipfGenerator;
+use sss_moments::FrequencyVector;
+use sss_stream::ShedderComparison;
+
+fn main() {
+    let tuples: usize = arg("tuples", 10_000_000);
+    let domain: usize = arg("domain", 1_000_000);
+    let skew: f64 = arg("skew", 1.0);
+    let seed: u64 = arg("seed", 15);
+    banner(
+        "speedup",
+        "sketch-update speed-up vs shedding probability",
+        &[
+            ("tuples", tuples.to_string()),
+            ("domain", domain.to_string()),
+            ("skew", skew.to_string()),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    eprintln!("# generating {tuples} Zipf({skew}) tuples…");
+    let stream = ZipfGenerator::new(domain, skew).relation(tuples, &mut rng);
+    let truth = FrequencyVector::from_keys(stream.iter().copied(), domain).self_join();
+
+    println!("backend,p,kept,full_mtps,shed_mtps,speedup,rel_error");
+    let backends: Vec<(&str, JoinSchema)> = vec![
+        ("fagms-1x5000", JoinSchema::fagms(1, 5000, &mut rng)),
+        ("agms-64", JoinSchema::agms(64, &mut rng)),
+    ];
+    for (name, schema) in backends {
+        let cmp = ShedderComparison::new(schema);
+        // Warm-up pass so the first measured row doesn't pay the cold
+        // cache/page-fault cost of the first touch of the stream.
+        let _ = cmp.run(&stream[..stream.len().min(1_000_000)], 1.0, &mut rng);
+        for p in [1.0, 0.1, 0.01, 0.001] {
+            let r = cmp.run(&stream, p, &mut rng).expect("valid probability");
+            println!(
+                "{name},{p},{},{:.2},{:.2},{:.1},{:.6}",
+                r.kept,
+                r.full.tuples_per_sec() / 1e6,
+                r.shedded.tuples_per_sec() / 1e6,
+                r.speedup(),
+                ((r.shedded_estimate - truth) / truth).abs()
+            );
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Epoch-based shedding: unbiased estimates under a **time-varying**
+//! sampling rate.
+//!
+//! An adaptive load shedder changes `p` as the arrival rate drifts, but
+//! the paper's Proposition 14 scaling assumes one fixed `p`. The fix is to
+//! segment the stream into *epochs* of constant `p` and keep one sketch
+//! per epoch (same schema). Writing `fᵢ = Σ_e fᵢᵉ` for the per-epoch
+//! frequencies, the self-join size splits over epoch pairs:
+//!
+//! ```text
+//! F₂ = Σ_{e} Σᵢ (fᵢᵉ)²  +  Σ_{e ≠ e′} Σᵢ fᵢᵉ fᵢᵉ′
+//! ```
+//!
+//! and each piece has an unbiased sketch-over-samples estimator from the
+//! paper: the diagonal terms via Proposition 14 (self-join over a
+//! Bernoulli sample at `p_e`, with its additive correction), the
+//! off-diagonal terms via Proposition 13 (size of join between two
+//! *independent* Bernoulli samples at `p_e`, `p_e′` — independence holds
+//! because the epochs cover disjoint stream segments). Everything reuses
+//! the single shared sketch schema, so the combination is exact linear
+//! algebra over the same counters.
+//!
+//! The same decomposition gives the size of join between two epoch-shedded
+//! streams: `Σ_{e,e′} (1/(p_e q_e′))·S_e·T_e′` with no diagonal
+//! correction, since the two relations' samples are always independent.
+
+use crate::error::{Error, Result};
+use crate::sketch::{JoinSchema, JoinSketch};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sss_sampling::bernoulli::GeometricSkip;
+
+/// One constant-`p` segment of the stream.
+#[derive(Debug, Clone)]
+struct Epoch {
+    p: f64,
+    sketch: JoinSketch,
+    kept: u64,
+    seen: u64,
+}
+
+/// A load shedder whose sampling rate may change between epochs while the
+/// overall estimate stays unbiased.
+#[derive(Debug)]
+pub struct EpochShedder {
+    schema: JoinSchema,
+    epochs: Vec<Epoch>,
+    skip: GeometricSkip<StdRng>,
+    gap: u64,
+}
+
+impl EpochShedder {
+    /// Start a shedder with an initial sampling probability.
+    pub fn new<R: Rng>(schema: &JoinSchema, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let mut skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        let gap = skip.next_gap();
+        Ok(Self {
+            schema: schema.clone(),
+            epochs: vec![Epoch {
+                p,
+                sketch: schema.sketch(),
+                kept: 0,
+                seen: 0,
+            }],
+            skip,
+            gap,
+        })
+    }
+
+    /// Begin a new epoch at probability `p` (no-op if `p` equals the
+    /// current epoch's rate). Empty current epochs are reused in place.
+    pub fn set_probability<R: Rng>(&mut self, p: f64, seed_rng: &mut R) -> Result<()> {
+        let current = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        if (current.p - p).abs() < f64::EPSILON * p.abs() {
+            return Ok(());
+        }
+        self.skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        self.gap = self.skip.next_gap();
+        if current.seen == 0 {
+            current.p = p;
+        } else {
+            self.epochs.push(Epoch {
+                p,
+                sketch: self.schema.sketch(),
+                kept: 0,
+                seen: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Offer the next stream tuple; returns whether it was sketched.
+    #[inline]
+    pub fn observe(&mut self, key: u64) -> bool {
+        let epoch = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        epoch.seen += 1;
+        if self.gap > 0 {
+            self.gap -= 1;
+            return false;
+        }
+        epoch.sketch.update(key, 1);
+        epoch.kept += 1;
+        self.gap = self.skip.next_gap();
+        true
+    }
+
+    /// The probability currently in force.
+    pub fn probability(&self) -> f64 {
+        self.epochs
+            .last()
+            .expect("at least one epoch always exists")
+            .p
+    }
+
+    /// Number of epochs (including the current one).
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Tuples offered across all epochs.
+    pub fn seen(&self) -> u64 {
+        self.epochs.iter().map(|e| e.seen).sum()
+    }
+
+    /// Tuples sketched across all epochs.
+    pub fn kept(&self) -> u64 {
+        self.epochs.iter().map(|e| e.kept).sum()
+    }
+
+    /// Unbiased self-join size estimate of the *entire* stream, combining
+    /// Proposition 14 within epochs and Proposition 13 across them.
+    pub fn self_join(&self) -> Result<f64> {
+        let mut total = 0.0;
+        for (i, e) in self.epochs.iter().enumerate() {
+            // Diagonal: self-join of the epoch's own contribution.
+            let p2 = e.p * e.p;
+            total += e.sketch.raw_self_join() / p2 - (1.0 - e.p) / p2 * e.kept as f64;
+            // Off-diagonal: joins against every later epoch, doubled.
+            for e2 in &self.epochs[i + 1..] {
+                let cross = e.sketch.raw_size_of_join(&e2.sketch)?;
+                total += 2.0 * cross / (e.p * e2.p);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Unbiased size-of-join estimate against another epoch-shedded stream
+    /// (sharing the sketch schema).
+    pub fn size_of_join(&self, other: &EpochShedder) -> Result<f64> {
+        let mut total = 0.0;
+        for e in &self.epochs {
+            for o in &other.epochs {
+                let cross = e.sketch.raw_size_of_join(&o.sketch)?;
+                total += cross / (e.p * o.p);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Collapse all epochs into a single merged sketch **only valid when
+    /// every epoch used the same `p`** — the fast path for steady load.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::IncompatibleEstimators`] if epochs used different rates.
+    pub fn merged_sketch(&self) -> Result<(JoinSketch, f64, u64)> {
+        let p = self.epochs[0].p;
+        if self
+            .epochs
+            .iter()
+            .any(|e| (e.p - p).abs() > f64::EPSILON * p)
+        {
+            return Err(Error::IncompatibleEstimators);
+        }
+        let mut merged = self.schema.sketch();
+        let mut kept = 0;
+        for e in &self.epochs {
+            merged.merge(&e.sketch)?;
+            kept += e.kept;
+        }
+        Ok((merged, p, kept))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_epoch_matches_plain_shedder_scaling() {
+        let mut r = rng(1);
+        let schema = JoinSchema::fagms(1, 4096, &mut r);
+        let mut shed = EpochShedder::new(&schema, 1.0, &mut r).unwrap();
+        for k in 0..50_000u64 {
+            shed.observe(k % 500);
+        }
+        assert_eq!(shed.epoch_count(), 1);
+        assert_eq!(shed.kept(), 50_000);
+        // p = 1: exact.
+        let truth = 500.0 * 100.0 * 100.0;
+        assert!((shed.self_join().unwrap() - truth).abs() / truth < 0.05);
+    }
+
+    #[test]
+    fn probability_changes_create_epochs_lazily() {
+        let mut r = rng(2);
+        let schema = JoinSchema::agms(4, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        // Change before any tuple: reuse the empty epoch.
+        shed.set_probability(0.25, &mut r).unwrap();
+        assert_eq!(shed.epoch_count(), 1);
+        assert_eq!(shed.probability(), 0.25);
+        shed.observe(1);
+        // Same p: no new epoch.
+        shed.set_probability(0.25, &mut r).unwrap();
+        assert_eq!(shed.epoch_count(), 1);
+        // Different p after traffic: new epoch.
+        shed.set_probability(0.5, &mut r).unwrap();
+        assert_eq!(shed.epoch_count(), 2);
+    }
+
+    /// The headline property: an estimate over epochs with *different*
+    /// sampling rates is still unbiased.
+    #[test]
+    fn varying_rates_stay_unbiased() {
+        let mut r = rng(3);
+        // Relation: 40 keys, key k appears 3(k+1) times, split across
+        // three epochs with different rates.
+        let truth: f64 = (1..=40u64)
+            .map(|f| (3.0 * f as f64) * (3.0 * f as f64))
+            .sum();
+        let reps = 600;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = JoinSchema::agms(16, &mut r);
+            let mut shed = EpochShedder::new(&schema, 0.9, &mut r).unwrap();
+            for (epoch, p) in [(0u64, 0.9), (1, 0.3), (2, 0.6)] {
+                shed.set_probability(p, &mut r).unwrap();
+                for k in 0..40u64 {
+                    for _ in 0..=k {
+                        shed.observe(k);
+                    }
+                }
+                let _ = epoch;
+            }
+            acc += shed.self_join().unwrap();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.08,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn epoch_join_between_streams_is_unbiased() {
+        let mut r = rng(4);
+        // F: keys 0..30 ×4 (two epochs at different rates);
+        // G: keys 15..45 ×20 (one epoch). Overlap: 15 keys.
+        let truth = 15.0 * 4.0 * 20.0;
+        let reps = 800;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = JoinSchema::agms(16, &mut r);
+            let mut f = EpochShedder::new(&schema, 0.8, &mut r).unwrap();
+            let mut g = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+            // F in two epochs of 2 copies each = 4 copies per key.
+            for (p, copies) in [(0.8, 2u64), (0.4, 2)] {
+                f.set_probability(p, &mut r).unwrap();
+                for k in 0..30u64 {
+                    for _ in 0..copies {
+                        f.observe(k);
+                    }
+                }
+            }
+            for k in 15..45u64 {
+                for _ in 0..20u64 {
+                    g.observe(k);
+                }
+            }
+            acc += f.size_of_join(&g).unwrap();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn merged_fast_path_requires_constant_p() {
+        let mut r = rng(5);
+        let schema = JoinSchema::agms(4, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        shed.observe(1);
+        shed.set_probability(0.5, &mut r).unwrap();
+        assert!(shed.merged_sketch().is_ok());
+        shed.set_probability(0.25, &mut r).unwrap();
+        shed.observe(2);
+        assert!(matches!(
+            shed.merged_sketch(),
+            Err(Error::IncompatibleEstimators)
+        ));
+    }
+}

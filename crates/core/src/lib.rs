@@ -1,0 +1,71 @@
+//! # sss-core — sketching sampled data streams
+//!
+//! The primary contribution of *"Sketching Sampled Data Streams"* (Rusu &
+//! Dobra, ICDE 2009) as a production API: **sketch-over-samples estimators**
+//! for the size of join and the self-join size, for the three sampling
+//! regimes of the paper's Section VI, with the exact scaling factors and
+//! bias corrections of Propositions 13–16 applied automatically.
+//!
+//! | Driver | Sampling scheme | Application (paper §VI) |
+//! |---|---|---|
+//! | [`LoadSheddingSketcher`] | Bernoulli(p), coin/skip | shedding tuples of a too-fast stream before they reach the sketch |
+//! | [`CoordinatedShedder`] | Bernoulli(p), hash-coordinated | deletion-safe (turnstile) shedding: insert/delete decisions agree per tuple identity |
+//! | [`EpochShedder`] | Bernoulli(p(t)) | unbiased estimates under a **time-varying** rate (adaptive shedding) |
+//! | [`IidStreamSketcher`] | with replacement | the stream *is* an i.i.d. sample from a generative model over a known finite population |
+//! | [`ScanSketcher`] | without replacement | a random-order relation scan feeding an online aggregation engine |
+//!
+//! [`cross::size_of_join`] joins any two of these across regimes (e.g. a
+//! shedded live stream against a scanned stored table).
+//!
+//! Each driver owns a [`sketch::JoinSketch`] (AGMS or F-AGMS, selected by a
+//! [`sketch::JoinSchema`]) and the per-scheme bookkeeping (tuples seen /
+//! kept / scanned), and exposes unbiased `self_join()` and
+//! `size_of_join()` estimates at any point in the stream.
+//!
+//! The exact error analysis (the variance of each estimate, confidence
+//! intervals) is available through [`analysis`] whenever the true frequency
+//! vector is known — which is how the experiment harness validates the
+//! drivers — and is predicted by the `sss-moments` engine in general.
+//!
+//! ## Quick example: 10× load shedding
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sss_core::sketch::JoinSchema;
+//! use sss_core::LoadSheddingSketcher;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! // F-AGMS with 5000 buckets, as in the paper's experiments.
+//! let schema = JoinSchema::fagms(1, 5000, &mut rng);
+//! let mut sketcher = LoadSheddingSketcher::new(&schema, 0.1, &mut rng).unwrap();
+//! // A stream of 200k tuples over 1000 values (uniform; F₂ = 4·10⁷).
+//! for i in 0..200_000u64 {
+//!     sketcher.observe(i % 1000);
+//! }
+//! let est = sketcher.self_join();
+//! assert!((est - 4e7).abs() / 4e7 < 0.1, "est = {est}");
+//! // Only ~10% of the stream was sketched:
+//! assert!(sketcher.kept() < 25_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod coordinated;
+pub mod cross;
+pub mod epochs;
+pub mod error;
+pub mod iid;
+pub mod scan;
+pub mod shedding;
+pub mod sketch;
+
+pub use coordinated::CoordinatedShedder;
+pub use cross::RatedSketch;
+pub use epochs::EpochShedder;
+pub use error::{Error, Result};
+pub use iid::IidStreamSketcher;
+pub use scan::ScanSketcher;
+pub use shedding::LoadSheddingSketcher;
+pub use sketch::{JoinSchema, JoinSketch};

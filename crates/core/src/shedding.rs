@@ -1,0 +1,239 @@
+//! Load shedding: sketching a Bernoulli sample of a too-fast stream
+//! (paper Section VI-A).
+//!
+//! The driver draws geometric skip intervals (work proportional to the
+//! tuples actually *kept*, per Olken) and forwards kept tuples to the
+//! sketch. Estimates apply the Proposition 13/14 scaling:
+//!
+//! ```text
+//! size of join:  X = (1/p_F·p_G) · S·T
+//! self-join:     X = (1/p²)·S² − ((1−p)/p²)·|F′|
+//! ```
+//!
+//! where `|F′|` is the number of kept tuples — known exactly, which is why
+//! Bernoulli sampling composes so cleanly with sketching ("the size of the
+//! sample is unknown prior to running the process. This is not a problem
+//! anymore when the sample is sketched").
+
+use crate::error::Result;
+use crate::sketch::{JoinSchema, JoinSketch};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sss_sampling::bernoulli::GeometricSkip;
+
+/// Bernoulli load shedder in front of a join sketch.
+#[derive(Debug)]
+pub struct LoadSheddingSketcher {
+    sketch: JoinSketch,
+    skip: GeometricSkip<StdRng>,
+    /// Tuples to silently drop before the next kept tuple.
+    gap: u64,
+    p: f64,
+    seen: u64,
+    kept: u64,
+}
+
+impl LoadSheddingSketcher {
+    /// Create a shedder with inclusion probability `p ∈ (0, 1]` over the
+    /// given sketch schema.
+    pub fn new<R: Rng>(schema: &JoinSchema, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let mut skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        let gap = skip.next_gap();
+        Ok(Self {
+            sketch: schema.sketch(),
+            skip,
+            gap,
+            p,
+            seen: 0,
+            kept: 0,
+        })
+    }
+
+    /// Offer the next stream tuple; returns whether it was kept (sketched).
+    #[inline]
+    pub fn observe(&mut self, key: u64) -> bool {
+        self.seen += 1;
+        if self.gap > 0 {
+            self.gap -= 1;
+            return false;
+        }
+        self.sketch.update(key, 1);
+        self.kept += 1;
+        self.gap = self.skip.next_gap();
+        true
+    }
+
+    /// The inclusion probability `p`.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Tuples offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Tuples kept (sketched) so far.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+
+    /// The underlying sketch (e.g. to merge partial streams).
+    pub fn sketch(&self) -> &JoinSketch {
+        &self.sketch
+    }
+
+    /// Unbiased self-join size estimate of the *full* stream
+    /// (Proposition 14 scaling).
+    pub fn self_join(&self) -> f64 {
+        let p2 = self.p * self.p;
+        self.sketch.raw_self_join() / p2 - (1.0 - self.p) / p2 * self.kept as f64
+    }
+
+    /// Unbiased size-of-join estimate between this shedded stream and
+    /// another (Proposition 13 scaling, supporting different `p`s).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Sketch`] if the two sketches do not share a schema.
+    pub fn size_of_join(&self, other: &LoadSheddingSketcher) -> Result<f64> {
+        let raw = self.sketch.raw_size_of_join(&other.sketch)?;
+        Ok(raw / (self.p * other.p))
+    }
+
+    /// The effective speed-up over sketching every tuple: tuples seen per
+    /// tuple sketched. Returns `None` before any tuple is kept.
+    pub fn speedup(&self) -> Option<f64> {
+        if self.kept == 0 {
+            None
+        } else {
+            Some(self.seen as f64 / self.kept as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn p_one_keeps_everything_and_is_exact_scaling() {
+        let mut r = rng(1);
+        let schema = JoinSchema::fagms(1, 2048, &mut r);
+        let mut shed = LoadSheddingSketcher::new(&schema, 1.0, &mut r).unwrap();
+        for k in 0..10_000u64 {
+            assert!(shed.observe(k % 100));
+        }
+        assert_eq!(shed.kept(), 10_000);
+        assert_eq!(shed.seen(), 10_000);
+        // p = 1: estimate equals the raw sketch estimate.
+        assert_eq!(shed.self_join(), shed.sketch().raw_self_join());
+        assert_eq!(shed.speedup(), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let mut r = rng(2);
+        let schema = JoinSchema::agms(8, &mut r);
+        assert!(LoadSheddingSketcher::new(&schema, 0.0, &mut r).is_err());
+        assert!(LoadSheddingSketcher::new(&schema, 1.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn kept_fraction_tracks_p() {
+        let mut r = rng(3);
+        let schema = JoinSchema::fagms(1, 512, &mut r);
+        let mut shed = LoadSheddingSketcher::new(&schema, 0.05, &mut r).unwrap();
+        for k in 0..100_000u64 {
+            shed.observe(k);
+        }
+        let frac = shed.kept() as f64 / shed.seen() as f64;
+        assert!((frac - 0.05).abs() < 0.005, "kept fraction {frac}");
+        let sp = shed.speedup().unwrap();
+        assert!((sp - 20.0).abs() < 2.0, "speed-up {sp}");
+    }
+
+    #[test]
+    fn self_join_estimate_is_accurate_at_10_percent() {
+        let mut r = rng(4);
+        let schema = JoinSchema::fagms(1, 5000, &mut r);
+        let mut shed = LoadSheddingSketcher::new(&schema, 0.1, &mut r).unwrap();
+        // 1000 keys × 300 copies: F₂ = 9·10⁷.
+        for _rep in 0..300u64 {
+            for k in 0..1000u64 {
+                shed.observe(k.wrapping_mul(2654435761));
+            }
+        }
+        let truth = 1000.0 * 300.0 * 300.0;
+        let est = shed.self_join();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn size_of_join_with_asymmetric_probabilities() {
+        let mut r = rng(5);
+        let schema = JoinSchema::fagms(1, 4096, &mut r);
+        let mut f = LoadSheddingSketcher::new(&schema, 0.5, &mut r).unwrap();
+        let mut g = LoadSheddingSketcher::new(&schema, 0.25, &mut r).unwrap();
+        // F: keys 0..1000 ×100; G: keys 500..1500 ×80. Overlap 500 keys.
+        for _ in 0..100 {
+            for k in 0..1000u64 {
+                f.observe(k);
+            }
+        }
+        for _ in 0..80 {
+            for k in 500..1500u64 {
+                g.observe(k);
+            }
+        }
+        let truth = 500.0 * 100.0 * 80.0;
+        let est = f.size_of_join(&g).unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.2,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn join_requires_shared_schema() {
+        let mut r = rng(6);
+        let s1 = JoinSchema::fagms(1, 64, &mut r);
+        let s2 = JoinSchema::fagms(1, 64, &mut r);
+        let f = LoadSheddingSketcher::new(&s1, 0.5, &mut r).unwrap();
+        let g = LoadSheddingSketcher::new(&s2, 0.5, &mut r).unwrap();
+        assert!(f.size_of_join(&g).is_err());
+    }
+
+    /// Unbiasedness at a small p: average many runs.
+    #[test]
+    fn estimate_is_unbiased_at_small_p() {
+        let mut r = rng(7);
+        let truth: f64 = (1..=40u64).map(|f| (f * f) as f64).sum();
+        let reps = 400;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = JoinSchema::agms(16, &mut r);
+            let mut shed = LoadSheddingSketcher::new(&schema, 0.3, &mut r).unwrap();
+            for key in 0..40u64 {
+                for _ in 0..=key {
+                    shed.observe(key);
+                }
+            }
+            acc += shed.self_join();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! The sketch backend selector.
+//!
+//! The drivers can run on either sketch family from `sss-sketch`:
+//!
+//! * **AGMS** — `n` basic counters, O(n) per update, mean-combined. The
+//!   reference estimator the theory is stated for.
+//! * **F-AGMS** — `depth × width` bucketed counters, O(depth) per update,
+//!   median-combined. The paper's experimental choice ("due to their
+//!   superior performance both in accuracy and update time").
+//!
+//! [`JoinSchema`] fixes the seeds; every sketch created from one schema can
+//! be joined against every other. The concrete families are the workspace
+//! defaults (CW4 signs, CW2 bucket hashes).
+
+use crate::error::Result;
+use rand::Rng;
+use sss_sketch::{AgmsSchema, AgmsSketch, FagmsSchema, FagmsSketch, Sketch as _};
+
+/// Seeds for a join-capable sketch (AGMS or F-AGMS).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum JoinSchema {
+    /// Basic AGMS with the given number of averaged counters.
+    Agms(AgmsSchema),
+    /// F-AGMS with `depth` median-combined rows of `width` buckets.
+    Fagms(FagmsSchema),
+}
+
+impl JoinSchema {
+    /// An AGMS schema with `counters` basic estimators.
+    pub fn agms<R: Rng + ?Sized>(counters: usize, rng: &mut R) -> Self {
+        JoinSchema::Agms(AgmsSchema::new(counters, rng))
+    }
+
+    /// An F-AGMS schema with `depth` rows of `width` buckets. The paper's
+    /// experiments use `fagms(1, 5000)` or `fagms(1, 10000)`.
+    pub fn fagms<R: Rng + ?Sized>(depth: usize, width: usize, rng: &mut R) -> Self {
+        JoinSchema::Fagms(FagmsSchema::new(depth, width, rng))
+    }
+
+    /// A zeroed sketch bound to this schema.
+    pub fn sketch(&self) -> JoinSketch {
+        match self {
+            JoinSchema::Agms(s) => JoinSketch::Agms(s.sketch()),
+            JoinSchema::Fagms(s) => JoinSketch::Fagms(s.sketch()),
+        }
+    }
+
+    /// Total number of counters a sketch from this schema maintains.
+    pub fn counters(&self) -> usize {
+        match self {
+            JoinSchema::Agms(s) => s.len(),
+            JoinSchema::Fagms(s) => s.depth() * s.width(),
+        }
+    }
+
+    /// The averaging factor `n` entering the variance formulas: the number
+    /// of basic AGMS estimators effectively averaged (`width` per F-AGMS
+    /// row).
+    pub fn averaging_factor(&self) -> usize {
+        match self {
+            JoinSchema::Agms(s) => s.len(),
+            JoinSchema::Fagms(s) => s.width(),
+        }
+    }
+}
+
+/// A sketch created from a [`JoinSchema`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum JoinSketch {
+    /// Basic AGMS counters.
+    Agms(AgmsSketch),
+    /// F-AGMS rows.
+    Fagms(FagmsSketch),
+}
+
+impl JoinSketch {
+    /// Add `count` occurrences of `key`.
+    #[inline]
+    pub fn update(&mut self, key: u64, count: i64) {
+        match self {
+            JoinSketch::Agms(s) => s.update(key, count),
+            JoinSketch::Fagms(s) => s.update(key, count),
+        }
+    }
+
+    /// Raw (unscaled) self-join estimate of whatever was sketched.
+    pub fn raw_self_join(&self) -> f64 {
+        match self {
+            JoinSketch::Agms(s) => s.self_join(),
+            JoinSketch::Fagms(s) => s.self_join(),
+        }
+    }
+
+    /// Raw (unscaled) size-of-join estimate against another sketch of the
+    /// same schema.
+    pub fn raw_size_of_join(&self, other: &JoinSketch) -> Result<f64> {
+        match (self, other) {
+            (JoinSketch::Agms(a), JoinSketch::Agms(b)) => Ok(a.size_of_join(b)?),
+            (JoinSketch::Fagms(a), JoinSketch::Fagms(b)) => Ok(a.size_of_join(b)?),
+            _ => Err(sss_sketch::Error::SchemaMismatch.into()),
+        }
+    }
+
+    /// Merge another sketch of the same schema (stream union).
+    pub fn merge(&mut self, other: &JoinSketch) -> Result<()> {
+        match (self, other) {
+            (JoinSketch::Agms(a), JoinSketch::Agms(b)) => Ok(a.merge(b)?),
+            (JoinSketch::Fagms(a), JoinSketch::Fagms(b)) => Ok(a.merge(b)?),
+            _ => Err(sss_sketch::Error::SchemaMismatch.into()),
+        }
+    }
+
+    /// Subtract another sketch of the same schema; afterwards this sketch
+    /// summarizes the frequency difference, so [`raw_self_join`] estimates
+    /// the squared L2 distance `Σᵢ(fᵢ−gᵢ)²` (change detection).
+    ///
+    /// [`raw_self_join`]: JoinSketch::raw_self_join
+    pub fn subtract(&mut self, other: &JoinSketch) -> Result<()> {
+        match (self, other) {
+            (JoinSketch::Agms(a), JoinSketch::Agms(b)) => Ok(a.subtract(b)?),
+            (JoinSketch::Fagms(a), JoinSketch::Fagms(b)) => Ok(a.subtract(b)?),
+            _ => Err(sss_sketch::Error::SchemaMismatch.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_backends_estimate_the_same_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth: f64 = (0..500u64)
+            .map(|k| ((k % 4 + 1) * (k % 4 + 1)) as f64)
+            .sum();
+        for schema in [
+            JoinSchema::agms(1024, &mut rng),
+            JoinSchema::fagms(3, 1024, &mut rng),
+        ] {
+            let mut s = schema.sketch();
+            for k in 0..500u64 {
+                s.update(k, (k % 4 + 1) as i64);
+            }
+            let est = s.raw_self_join();
+            assert!(
+                (est - truth).abs() / truth < 0.2,
+                "est = {est}, truth = {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_backends_cannot_be_joined() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = JoinSchema::agms(8, &mut rng).sketch();
+        let mut b = JoinSchema::fagms(2, 8, &mut rng).sketch();
+        assert!(a.raw_size_of_join(&b).is_err());
+        assert!(b.merge(&a).is_err());
+    }
+
+    #[test]
+    fn counters_and_averaging_factor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = JoinSchema::agms(64, &mut rng);
+        assert_eq!(a.counters(), 64);
+        assert_eq!(a.averaging_factor(), 64);
+        let f = JoinSchema::fagms(5, 1000, &mut rng);
+        assert_eq!(f.counters(), 5000);
+        assert_eq!(f.averaging_factor(), 1000);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let schema = JoinSchema::fagms(2, 64, &mut rng);
+        let mut whole = schema.sketch();
+        let mut part1 = schema.sketch();
+        let mut part2 = schema.sketch();
+        for k in 0..100u64 {
+            whole.update(k, 1);
+            if k < 50 {
+                part1.update(k, 1);
+            } else {
+                part2.update(k, 1);
+            }
+        }
+        part1.merge(&part2).unwrap();
+        assert_eq!(part1.raw_self_join(), whole.raw_self_join());
+    }
+}

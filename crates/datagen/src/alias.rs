@@ -1,0 +1,165 @@
+//! Vose's alias method: exact O(1) sampling from any finite discrete
+//! distribution after O(n) setup.
+//!
+//! Each of the `n` table slots holds a probability threshold and an alias;
+//! a draw picks a uniform slot, then flips a biased coin between the slot
+//! and its alias. The construction partitions the probability mass so every
+//! slot's column has total mass exactly `1/n`, which makes the method exact
+//! (up to f64 rounding of the input weights).
+
+use rand::Rng;
+
+/// Alias table for a discrete distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct DiscreteAlias {
+    /// Probability of keeping the slot index rather than its alias.
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl DiscreteAlias {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        // Partition into under- and over-full slots.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Fill slot s's column with mass from l.
+            alias[s as usize] = l;
+            let remaining = prob[l as usize] - (1.0 - prob[s as usize]);
+            prob[l as usize] = remaining;
+            if remaining < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: both lists drain to slots with mass ≈ 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome in `0..len()`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let slot = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[slot] {
+            slot as u64
+        } else {
+            self.alias[slot] as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_outcome() {
+        let a = DiscreteAlias::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| a.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let a = DiscreteAlias::new(&[1.0, 0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = a.sample(&mut rng);
+            assert!(s == 0 || s == 2, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let a = DiscreteAlias::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[a.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            let expect = weights[i] / 10.0;
+            assert!(
+                (freq - expect).abs() < 0.005,
+                "outcome {i}: {freq} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let mut weights = vec![1.0; 100];
+        weights[7] = 1e6;
+        let a = DiscreteAlias::new(&weights);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| a.sample(&mut rng) == 7).count();
+        let expect = n as f64 * 1e6 / (1e6 + 99.0);
+        assert!((hits as f64 - expect).abs() < 5.0 * (n as f64 * 1e-4).sqrt().max(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = DiscreteAlias::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_panic() {
+        let _ = DiscreteAlias::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = DiscreteAlias::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sss-datagen — workload generators for the experiments
+//!
+//! The paper's evaluation (Section VII) uses two kinds of data:
+//!
+//! * **Synthetic Zipf streams** — "10 or 100 million tuples generated from a
+//!   Zipfian distribution with the coefficient ranging between 0 (uniform)
+//!   and 5 (skewed). The domain of the possible values is 1 million." The
+//!   [`zipf`] module generates these, with exact O(1)-per-tuple draws via
+//!   the Vose [`alias`] method.
+//! * **TPC-H scale-1 data** — the join `lineitem ⋈ orders` on the order
+//!   key and the self-join of `lineitem.l_orderkey`. The [`tpch`] module is
+//!   a mini-dbgen reproducing exactly the key-frequency structure those
+//!   experiments depend on (each order key appears once in `orders` and
+//!   1–7 times — uniformly — in `lineitem`), at a configurable scale
+//!   factor. See DESIGN.md for the substitution rationale.
+//!
+//! All generators are deterministic given the caller's RNG, so experiments
+//! are reproducible end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod tpch;
+pub mod workloads;
+pub mod zipf;
+
+pub use alias::DiscreteAlias;
+pub use tpch::{TpchGenerator, TpchTables};
+pub use workloads::{uniform_relation, CorrelatedPair, SelfSimilar};
+pub use zipf::ZipfGenerator;

@@ -1,0 +1,208 @@
+//! Mini TPC-H dbgen: the `orders` / `lineitem` key structure.
+//!
+//! The paper's without-replacement experiments (Figures 7–8) run on TPC-H
+//! scale-1 data: the size of join `lineitem ⋈ orders` on the order key and
+//! the second frequency moment of `lineitem.l_orderkey`. Those estimators
+//! only observe the *join-key frequency profile*, which in TPC-H is fully
+//! determined by dbgen's rules:
+//!
+//! * `orders` has `1,500,000 × SF` rows, each with a distinct order key
+//!   (frequency exactly 1);
+//! * `lineitem` has 1–7 rows per order, chosen uniformly (average 4, i.e.
+//!   ≈ `6,000,000 × SF` rows at scale 1).
+//!
+//! This module reproduces exactly that profile at a configurable scale.
+//! dbgen's *sparse* order-key numbering (8 keys used out of every 32) is
+//! also reproduced — it does not affect frequencies, but it keeps the key
+//! domain shaped like the real benchmark's, which matters for hash-bucket
+//! contention in F-AGMS.
+
+use rand::Rng;
+
+/// TPC-H rows per unit scale factor in `orders`.
+pub const ORDERS_PER_SF: u64 = 1_500_000;
+
+/// Generator parameters.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_datagen::TpchGenerator;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let tables = TpchGenerator::new(0.001).generate(&mut rng); // 1500 orders
+/// assert_eq!(tables.orders.len(), 1500);
+/// // Every order key is unique in `orders`, so the join size is |lineitem|.
+/// assert_eq!(tables.join_size(), tables.lineitem.len() as f64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchGenerator {
+    /// TPC-H scale factor; 1.0 reproduces the paper's scale-1 setup, while
+    /// the experiment harness defaults to smaller scales for laptop runs.
+    pub scale: f64,
+}
+
+/// The generated key columns.
+#[derive(Debug, Clone)]
+pub struct TpchTables {
+    /// `o_orderkey` of every `orders` row (distinct keys).
+    pub orders: Vec<u64>,
+    /// `l_orderkey` of every `lineitem` row (1–7 copies of each order key).
+    pub lineitem: Vec<u64>,
+}
+
+impl TpchGenerator {
+    /// Create a generator for the given scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not a positive finite number or produces
+    /// zero orders.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        assert!(
+            (scale * ORDERS_PER_SF as f64) >= 1.0,
+            "scale {scale} produces an empty orders table"
+        );
+        Self { scale }
+    }
+
+    /// Number of orders at this scale.
+    pub fn order_count(&self) -> u64 {
+        (self.scale * ORDERS_PER_SF as f64).round() as u64
+    }
+
+    /// dbgen's sparse order-key numbering: the i-th order (0-based) gets
+    /// key `(i/8)*32 + i%8 + 1` — 8 used keys per block of 32.
+    #[inline]
+    pub fn order_key(index: u64) -> u64 {
+        (index / 8) * 32 + index % 8 + 1
+    }
+
+    /// Generate both key columns.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> TpchTables {
+        let n = self.order_count();
+        let mut orders = Vec::with_capacity(n as usize);
+        let mut lineitem = Vec::with_capacity((n * 4) as usize);
+        for i in 0..n {
+            let key = Self::order_key(i);
+            orders.push(key);
+            let lines = rng.random_range(1..=7u32);
+            for _ in 0..lines {
+                lineitem.push(key);
+            }
+        }
+        TpchTables { orders, lineitem }
+    }
+}
+
+impl TpchTables {
+    /// The exact size of join `|lineitem ⋈ orders|` on the order key.
+    ///
+    /// Every order key is unique in `orders`, so the join size is simply
+    /// `|lineitem|`.
+    pub fn join_size(&self) -> f64 {
+        self.lineitem.len() as f64
+    }
+
+    /// The exact self-join size (second frequency moment) of
+    /// `lineitem.l_orderkey`.
+    pub fn lineitem_self_join(&self) -> f64 {
+        // lineitem is generated key-contiguous; count runs.
+        let mut total = 0f64;
+        let mut run = 0f64;
+        let mut prev = None;
+        for &k in &self.lineitem {
+            if prev == Some(k) {
+                run += 1.0;
+            } else {
+                total += run * run;
+                run = 1.0;
+                prev = Some(k);
+            }
+        }
+        total + run * run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_keys_are_sparse_and_distinct() {
+        assert_eq!(TpchGenerator::order_key(0), 1);
+        assert_eq!(TpchGenerator::order_key(7), 8);
+        assert_eq!(TpchGenerator::order_key(8), 33);
+        assert_eq!(TpchGenerator::order_key(15), 40);
+        assert_eq!(TpchGenerator::order_key(16), 65);
+        let keys: Vec<u64> = (0..1000).map(TpchGenerator::order_key).collect();
+        let mut sorted = keys.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "keys must be distinct");
+    }
+
+    #[test]
+    fn generated_sizes_match_tpch_rules() {
+        let g = TpchGenerator::new(0.001); // 1500 orders
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = g.generate(&mut rng);
+        assert_eq!(t.orders.len(), 1500);
+        // lineitem: 1..=7 per order, mean 4.
+        let per_order = t.lineitem.len() as f64 / 1500.0;
+        assert!(
+            (per_order - 4.0).abs() < 0.25,
+            "mean lines/order = {per_order}"
+        );
+        assert!(t.lineitem.len() >= 1500 && t.lineitem.len() <= 7 * 1500);
+    }
+
+    #[test]
+    fn lineitem_frequencies_are_one_to_seven() {
+        let g = TpchGenerator::new(0.001);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = g.generate(&mut rng);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &k in &t.lineitem {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 1500, "every order key appears in lineitem");
+        assert!(counts.values().all(|&c| (1..=7).contains(&c)));
+        // Uniform 1..=7: each multiplicity class ≈ 1500/7 ≈ 214.
+        for m in 1..=7u64 {
+            let class = counts.values().filter(|&&c| c == m).count();
+            assert!(
+                (140..300).contains(&class),
+                "multiplicity {m}: {class} keys"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let g = TpchGenerator::new(0.0005);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = g.generate(&mut rng);
+        // Brute-force both aggregates and compare with the fast paths.
+        let mut counts: HashMap<u64, f64> = HashMap::new();
+        for &k in &t.lineitem {
+            *counts.entry(k).or_insert(0.0) += 1.0;
+        }
+        let join: f64 = t
+            .orders
+            .iter()
+            .map(|k| counts.get(k).copied().unwrap_or(0.0))
+            .sum();
+        assert_eq!(join, t.join_size());
+        let f2: f64 = counts.values().map(|&c| c * c).sum();
+        assert_eq!(f2, t.lineitem_self_join());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty orders")]
+    fn microscopic_scale_panics() {
+        let _ = TpchGenerator::new(1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Additional workload families beyond Zipf.
+//!
+//! * [`SelfSimilar`] — the "80/20 law" generator (Gray et al., SIGMOD'94):
+//!   a fraction `h` of the mass falls in the first half of the domain,
+//!   recursively. A standard skew model distinct from Zipf's power law.
+//! * [`uniform_relation`] — the skew-0 baseline, directly.
+//! * [`CorrelatedPair`] — two streams over a shared domain with a tunable
+//!   correlation knob: with probability `rho` the second stream repeats
+//!   the first stream's draw, otherwise it draws independently. The
+//!   resulting expected size of join interpolates linearly between the
+//!   independent and identical cases, which the tests pin — the substrate
+//!   for join-estimation experiments where overlap is the variable.
+
+use crate::zipf::ZipfGenerator;
+use rand::Rng;
+
+/// Self-similar (80/20-style) distribution over `0..domain`.
+///
+/// Drawing walks the domain bisection: with probability `h` descend into
+/// the lower half, else the upper half. `h = 0.5` is uniform; `h = 0.8` is
+/// the classic 80/20 rule; `h → 1` concentrates on key 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfSimilar {
+    domain: u64,
+    h: f64,
+}
+
+impl SelfSimilar {
+    /// Build a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `domain > 0` and `h ∈ [0.5, 1)`.
+    pub fn new(domain: u64, h: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!((0.5..1.0).contains(&h), "h must be in [0.5, 1)");
+        Self { domain, h }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut lo = 0u64;
+        let mut len = self.domain;
+        while len > 1 {
+            let half = len / 2;
+            if rng.random::<f64>() < self.h {
+                // lower half keeps floor(len/2) + remainder on the left
+                len -= half;
+            } else {
+                lo += len - half;
+                len = half;
+            }
+        }
+        lo
+    }
+
+    /// Generate a relation of `tuples` draws.
+    pub fn relation<R: Rng + ?Sized>(&self, tuples: usize, rng: &mut R) -> Vec<u64> {
+        (0..tuples).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A uniform relation: `tuples` draws from `0..domain`.
+pub fn uniform_relation<R: Rng + ?Sized>(domain: u64, tuples: usize, rng: &mut R) -> Vec<u64> {
+    assert!(domain > 0, "domain must be non-empty");
+    (0..tuples).map(|_| rng.random_range(0..domain)).collect()
+}
+
+/// Paired streams with tunable correlation; see the module docs.
+#[derive(Debug, Clone)]
+pub struct CorrelatedPair {
+    base: ZipfGenerator,
+    rho: f64,
+}
+
+impl CorrelatedPair {
+    /// Build over a Zipf(`skew`) base distribution with correlation knob
+    /// `rho ∈ [0, 1]` (0 = independent draws, 1 = identical streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]` (domain/skew validation is the
+    /// base generator's).
+    pub fn new(domain: usize, skew: f64, rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        Self {
+            base: ZipfGenerator::new(domain, skew),
+            rho,
+        }
+    }
+
+    /// The correlation knob.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Draw one pair `(f_key, g_key)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (u64, u64) {
+        let f = self.base.sample(rng);
+        let g = if rng.random::<f64>() < self.rho {
+            f
+        } else {
+            self.base.sample(rng)
+        };
+        (f, g)
+    }
+
+    /// Generate two relations of `tuples` pairs.
+    pub fn relations<R: Rng + ?Sized>(&self, tuples: usize, rng: &mut R) -> (Vec<u64>, Vec<u64>) {
+        let mut f = Vec::with_capacity(tuples);
+        let mut g = Vec::with_capacity(tuples);
+        for _ in 0..tuples {
+            let (a, b) = self.sample(rng);
+            f.push(a);
+            g.push(b);
+        }
+        (f, g)
+    }
+
+    /// The expected size of join of two `tuples`-sized relations: with
+    /// `P_2 = Σ pᵢ²` the base collision mass,
+    ///
+    /// ```text
+    /// E[|F ⋈ G|] = tuples·rho·(1 + (tuples−1)·P₂) + tuples·(tuples−rho·tuples)·P₂
+    /// ```
+    ///
+    /// — derived from pairing each F-tuple with each G-tuple: a G-tuple
+    /// copied from that same F-draw matches with probability 1, everything
+    /// else collides with probability `P₂`. (Exact; pinned by tests.)
+    pub fn expected_join(&self, tuples: u64) -> f64 {
+        let n = tuples as f64;
+        let p2: f64 = {
+            let ef = self.base.expected_frequencies(1);
+            ef.iter().map(|&p| p * p).sum()
+        };
+        // Same-index pairs: rho → identical (prob 1), else collide at P₂.
+        let same = n * (self.rho + (1.0 - self.rho) * p2);
+        // Cross-index pairs: always independent draws at P₂.
+        let cross = n * (n - 1.0) * p2;
+        same + cross
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn self_similar_half_is_uniform() {
+        let g = SelfSimilar::new(16, 0.5);
+        let mut r = rng(1);
+        let n = 160_000;
+        let mut counts = [0u64; 16];
+        for _ in 0..n {
+            counts[g.sample(&mut r) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 16.0).abs() < 0.005, "key {k}: {freq}");
+        }
+    }
+
+    #[test]
+    fn self_similar_eighty_twenty() {
+        let g = SelfSimilar::new(1024, 0.8);
+        let mut r = rng(2);
+        let n = 100_000;
+        let lower_half = (0..n).filter(|_| g.sample(&mut r) < 512).count() as f64;
+        assert!(
+            (lower_half / n as f64 - 0.8).abs() < 0.01,
+            "lower-half mass {lower_half}"
+        );
+        // Recursively: the first quarter carries 0.64.
+        let mut r = rng(3);
+        let first_quarter = (0..n).filter(|_| g.sample(&mut r) < 256).count() as f64;
+        assert!((first_quarter / n as f64 - 0.64).abs() < 0.01);
+    }
+
+    #[test]
+    fn self_similar_stays_in_domain() {
+        // Non-power-of-two domain must still cover exactly 0..domain.
+        let g = SelfSimilar::new(13, 0.7);
+        let mut r = rng(4);
+        let mut seen = [false; 13];
+        for _ in 0..50_000 {
+            let k = g.sample(&mut r);
+            assert!(k < 13);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 13 keys should occur");
+    }
+
+    #[test]
+    fn uniform_relation_covers_domain() {
+        let mut r = rng(5);
+        let rel = uniform_relation(100, 50_000, &mut r);
+        assert_eq!(rel.len(), 50_000);
+        assert!(rel.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn correlated_pair_rho_zero_and_one() {
+        let mut r = rng(6);
+        let indep = CorrelatedPair::new(1000, 1.0, 0.0);
+        let (f, g) = indep.relations(20_000, &mut r);
+        let same = f.iter().zip(&g).filter(|(a, b)| a == b).count() as f64 / 20_000.0;
+        // At rho = 0 matches happen only by collision (P₂ of Zipf(1) over
+        // 1000 ≈ 0.03).
+        assert!(same < 0.1, "rho=0 same-index match rate {same}");
+
+        let ident = CorrelatedPair::new(1000, 1.0, 1.0);
+        let (f, g) = ident.relations(1000, &mut r);
+        assert_eq!(f, g, "rho=1 must copy the stream");
+    }
+
+    /// The exact expected-join formula against brute force.
+    #[test]
+    fn expected_join_matches_empirical() {
+        let pair = CorrelatedPair::new(200, 0.5, 0.4);
+        let tuples = 2_000u64;
+        let expect = pair.expected_join(tuples);
+        let mut r = rng(7);
+        let reps = 60;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let (f, g) = pair.relations(tuples as usize, &mut r);
+            let mut counts = std::collections::HashMap::new();
+            for &k in &f {
+                *counts.entry(k).or_insert(0u64) += 1;
+            }
+            acc += g
+                .iter()
+                .map(|k| *counts.get(k).unwrap_or(&0) as f64)
+                .sum::<f64>();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "empirical {mean} vs formula {expect}"
+        );
+    }
+
+    #[test]
+    fn join_grows_with_rho() {
+        let lo = CorrelatedPair::new(500, 1.0, 0.1).expected_join(10_000);
+        let hi = CorrelatedPair::new(500, 1.0, 0.9).expected_join(10_000);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0, 1]")]
+    fn bad_rho_panics() {
+        let _ = CorrelatedPair::new(10, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Zipf-distributed tuple streams.
+//!
+//! The paper's synthetic workloads draw tuples from a Zipfian distribution
+//! `P(value = k) ∝ 1/k^z` over a domain of 1 million values, with the
+//! coefficient `z` swept from 0 (uniform) to 5 (extremely skewed). For size
+//! of join, "the tuples in the two relations are generated completely
+//! independent" — two [`ZipfGenerator`]s with independent RNG states.
+//!
+//! Draws are exact and O(1) via the alias method; building the table is
+//! O(domain).
+
+use crate::alias::DiscreteAlias;
+use rand::Rng;
+
+/// A Zipf(z) sampler over the domain `0..domain` (value `k` has weight
+/// `1/(k+1)^z`, so value 0 is the most frequent).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_datagen::ZipfGenerator;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let gen = ZipfGenerator::new(1000, 1.0);
+/// let relation = gen.relation(50_000, &mut rng);
+/// // Value 0 is drawn ≈ 1/H₁₀₀₀ ≈ 13.4% of the time at skew 1.
+/// let zeros = relation.iter().filter(|&&k| k == 0).count() as f64;
+/// assert!((zeros / 50_000.0 - 0.134).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    table: DiscreteAlias,
+    skew: f64,
+    domain: usize,
+}
+
+impl ZipfGenerator {
+    /// Build a generator for the given domain size and skew `z ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0` or `skew` is negative/NaN.
+    pub fn new(domain: usize, skew: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(
+            skew >= 0.0 && skew.is_finite(),
+            "skew must be a finite non-negative number"
+        );
+        let weights: Vec<f64> = (0..domain)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(skew))
+            .collect();
+        Self {
+            table: DiscreteAlias::new(&weights),
+            skew,
+            domain,
+        }
+    }
+
+    /// The skew coefficient `z`.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Draw one tuple (a value in `0..domain`).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.table.sample(rng)
+    }
+
+    /// Generate a relation of `tuples` draws.
+    pub fn relation<R: Rng + ?Sized>(&self, tuples: usize, rng: &mut R) -> Vec<u64> {
+        (0..tuples).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The *expected* frequency vector of a relation of `tuples` draws —
+    /// the analytical workload for the Figure 1–2 variance decompositions,
+    /// which operate on true frequencies rather than realizations.
+    pub fn expected_frequencies(&self, tuples: u64) -> Vec<f64> {
+        let norm: f64 = (0..self.domain)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.skew))
+            .sum();
+        (0..self.domain)
+            .map(|k| tuples as f64 / ((k + 1) as f64).powf(self.skew) / norm)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_skew_zero() {
+        let z = ZipfGenerator::new(16, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 160_000;
+        let mut counts = [0u64; 16];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 16.0).abs() < 0.005, "value {k}: {freq}");
+        }
+    }
+
+    #[test]
+    fn skew_one_matches_harmonic_weights() {
+        let z = ZipfGenerator::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let h8: f64 = (1..=8).map(|k| 1.0 / k as f64).sum();
+        for (k, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            let expect = 1.0 / (k + 1) as f64 / h8;
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "value {k}: {freq} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_skew_concentrates_on_first_value() {
+        let z = ZipfGenerator::new(1000, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let zeros = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
+        // P(0) = 1/ζ(5) ≈ 0.964
+        assert!(zeros as f64 / n as f64 > 0.95, "zeros = {zeros}");
+    }
+
+    #[test]
+    fn expected_frequencies_sum_to_tuple_count() {
+        for skew in [0.0, 0.5, 1.0, 3.0] {
+            let z = ZipfGenerator::new(100, skew);
+            let ef = z.expected_frequencies(10_000);
+            let total: f64 = ef.iter().sum();
+            assert!((total - 10_000.0).abs() < 1e-6, "skew {skew}: {total}");
+            // Monotone non-increasing
+            assert!(ef.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+
+    #[test]
+    fn relation_has_requested_size_and_domain() {
+        let z = ZipfGenerator::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rel = z.relation(5000, &mut rng);
+        assert_eq!(rel.len(), 5000);
+        assert!(rel.iter().all(|&k| k < 50));
+    }
+
+    #[test]
+    fn realized_frequencies_track_expected() {
+        let z = ZipfGenerator::new(32, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000usize;
+        let rel = z.relation(n, &mut rng);
+        let mut counts = vec![0f64; 32];
+        for k in rel {
+            counts[k as usize] += 1.0;
+        }
+        let expect = z.expected_frequencies(n as u64);
+        for k in 0..4 {
+            // Heavy values: relative agreement.
+            assert!(
+                (counts[k] - expect[k]).abs() / expect[k] < 0.05,
+                "value {k}: {} vs {}",
+                counts[k],
+                expect[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Confidence intervals from (mean, variance) pairs.
+//!
+//! The paper (Section II) deliberately reports expected values and
+//! variances, noting that "actual error guarantees can be obtained
+//! straightforwardly" from them via distribution-independent bounds
+//! (Chebyshev) or distribution-dependent ones (CLT). This module implements
+//! both conversions so the estimators can report user-facing intervals.
+
+use crate::engine::Moments;
+
+/// A two-sided confidence interval around an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+    /// The confidence level the interval was built for, in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.high - self.low) / 2.0
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        self.low <= value && value <= self.high
+    }
+}
+
+/// Distribution-independent interval via Chebyshev's inequality:
+/// `P(|X − μ| ≥ k·σ) ≤ 1/k²`, so `k = 1/√(1−confidence)`.
+pub fn chebyshev(center: f64, moments: &Moments, confidence: f64) -> ConfidenceInterval {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in (0,1)"
+    );
+    let k = (1.0 / (1.0 - confidence)).sqrt();
+    let hw = k * moments.std();
+    ConfidenceInterval {
+        low: center - hw,
+        high: center + hw,
+        confidence,
+    }
+}
+
+/// CLT-based interval: treats the estimator as normal with the given
+/// variance (justified when many basics are averaged).
+pub fn normal(center: f64, moments: &Moments, confidence: f64) -> ConfidenceInterval {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in (0,1)"
+    );
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let hw = z * moments.std();
+    ConfidenceInterval {
+        low: center - hw,
+        high: center + hw,
+        confidence,
+    }
+}
+
+/// The standard normal CDF `Φ(z)`, via Abramowitz–Stegun 7.1.26
+/// (|error| < 7.5e−8).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(x))
+}
+
+/// The error function (Abramowitz–Stegun 7.1.26 rational approximation).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The probability that a normal estimator with the given `moments` lands
+/// within `±tolerance` of its mean — the CLT answer to "how often will the
+/// estimate be this good?".
+pub fn normal_coverage(moments: &Moments, tolerance: f64) -> f64 {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let sd = moments.std();
+    if sd == 0.0 {
+        return 1.0;
+    }
+    let z = tolerance / sd;
+    normal_cdf(z) - normal_cdf(-z)
+}
+
+/// The standard normal quantile (inverse CDF), Acklam's rational
+/// approximation — |relative error| < 1.15e−9 over (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        for p in [0.01, 0.1, 0.25, 0.5, 0.9, 0.99] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn coverage_behaves() {
+        let m = Moments {
+            mean: 0.0,
+            variance: 4.0,
+        };
+        // ±1.96σ covers 95%.
+        assert!((normal_coverage(&m, 2.0 * 1.959964) - 0.95).abs() < 1e-4);
+        assert_eq!(
+            normal_coverage(&m, 0.0),
+            0.0 + (normal_cdf(0.0) - normal_cdf(0.0))
+        );
+        // Zero-variance estimators always hit.
+        assert_eq!(
+            normal_coverage(
+                &Moments {
+                    mean: 1.0,
+                    variance: 0.0
+                },
+                0.1
+            ),
+            1.0
+        );
+        // Wider tolerance ⇒ more coverage.
+        assert!(normal_coverage(&m, 4.0) > normal_coverage(&m, 1.0));
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        // Symmetry
+        for p in [0.01, 0.1, 0.3] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chebyshev_is_wider_than_normal() {
+        let m = Moments {
+            mean: 100.0,
+            variance: 16.0,
+        };
+        let ch = chebyshev(100.0, &m, 0.95);
+        let no = normal(100.0, &m, 0.95);
+        assert!(ch.half_width() > no.half_width());
+        // Chebyshev at 95%: k = sqrt(20) ≈ 4.472 → hw ≈ 17.9
+        assert!((ch.half_width() - 4.0 * 20f64.sqrt()).abs() < 1e-9);
+        // Normal at 95%: 1.96σ ≈ 7.84
+        assert!((no.half_width() - 4.0 * 1.959964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_contains_and_width() {
+        let ci = ConfidenceInterval {
+            low: 2.0,
+            high: 6.0,
+            confidence: 0.9,
+        };
+        assert_eq!(ci.half_width(), 2.0);
+        assert!(ci.contains(2.0) && ci.contains(6.0) && ci.contains(4.0));
+        assert!(!ci.contains(1.999) && !ci.contains(6.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        let m = Moments {
+            mean: 0.0,
+            variance: 1.0,
+        };
+        let _ = chebyshev(0.0, &m, 1.0);
+    }
+}

@@ -1,0 +1,679 @@
+//! The paper's printed variance formulas, implemented literally.
+//!
+//! Each function transcribes one numbered equation of *"Sketching Sampled
+//! Data Streams"* in terms of power sums and cross sums of the true
+//! frequency vectors. The test suite pins every formula against the generic
+//! engine of [`crate::engine`], so a transcription error here or a
+//! derivation error there cannot pass unnoticed — this is the
+//! reproduction's strongest internal consistency check.
+//!
+//! Sums of the form `Σ_{i≠j} fᵢᵃgⱼᵇ` are expanded as
+//! `(Σfᵃ)(Σgᵇ) − Σfᵢᵃgᵢᵇ`.
+
+use crate::freq::FrequencyVector;
+use crate::scheme::{Bernoulli, WithReplacement, WithoutReplacement};
+use crate::{Error, Result};
+
+fn check(f: &FrequencyVector, g: &FrequencyVector) -> Result<()> {
+    if f.len() != g.len() {
+        return Err(Error::DomainMismatch {
+            left: f.len(),
+            right: g.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Eq. 6 — variance of the Bernoulli sampling-only size-of-join estimator
+/// `X = (1/pq)·Σf′g′` (Proposition 3).
+pub fn bernoulli_sampling_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    p: &Bernoulli,
+    q: &Bernoulli,
+) -> Result<f64> {
+    check(f, g)?;
+    let (p, q) = (p.p(), q.p());
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    let fg = f.dot(g);
+    Ok((1.0 - p) / p * fg2 + (1.0 - q) / q * f2g + (1.0 - p) * (1.0 - q) / (p * q) * fg)
+}
+
+/// Eq. 7 — variance of the Bernoulli sampling-only self-join estimator
+/// `X = (1/p²)Σf′² − ((1−p)/p²)Σf′` (Proposition 4).
+pub fn bernoulli_sampling_sjs_variance(f: &FrequencyVector, p: &Bernoulli) -> f64 {
+    let p = p.p();
+    let f3 = f.power_sum(3);
+    let f2 = f.power_sum(2);
+    let f1 = f.power_sum(1);
+    (1.0 - p) / (p * p * p)
+        * (4.0 * p * p * f3 + 2.0 * p * (1.0 - 3.0 * p) * f2 - p * (2.0 - 3.0 * p) * f1)
+}
+
+/// Eq. 10 — variance of the with-replacement sampling-only size-of-join
+/// estimator `X = (1/αβ)·Σf′g′` (Proposition 5).
+///
+/// **Erratum.** The paper prints the middle coefficients as `|F|αβ₂` and
+/// `|G|α₂β`; exact enumeration of tiny populations (see
+/// `exhaustive_enumeration_wr_sampling_sj` below and the engine's
+/// multinomial-oracle tests) shows the correct coefficients are `β₂` and
+/// `α₂` — the printed versions are off by the sample sizes `|F′| = |F|α`
+/// and `|G′| = |G|β`. This implementation uses the verified form
+///
+/// ```text
+/// Var[X] = (1/αβ)·[ Σfg + β₂·Σfg² + α₂·Σf²g + (α₂β₂ − αβ)·(Σfg)² ]
+/// ```
+pub fn wr_sampling_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithReplacement,
+    sg: &WithReplacement,
+) -> Result<f64> {
+    check(f, g)?;
+    let (a, a2) = (sf.alpha(), sf.alpha2());
+    let (b, b2) = (sg.alpha(), sg.alpha2());
+    let fg = f.dot(g);
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    Ok((fg + b2 * fg2 + a2 * f2g + (a2 * b2 - a * b) * fg * fg) / (a * b))
+}
+
+/// Eq. 11 — variance of the without-replacement sampling-only size-of-join
+/// estimator `X = (1/αβ)·Σf′g′` (Proposition 6).
+pub fn wor_sampling_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithoutReplacement,
+    sg: &WithoutReplacement,
+) -> Result<f64> {
+    check(f, g)?;
+    let (a, a1) = (sf.alpha(), sf.alpha1());
+    let (b, b1) = (sg.alpha(), sg.alpha1());
+    let fg = f.dot(g);
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    Ok(((1.0 - a1) * (1.0 - b1) * fg
+        + (1.0 - a1) * b1 * fg2
+        + a1 * (1.0 - b1) * f2g
+        + (a1 * b1 - a * b) * fg * fg)
+        / (a * b))
+}
+
+/// Variance of the with-replacement sampling-only **self-join** estimator
+/// `X = (1/αα₂)·Σf′² − N/α₂` (Section III-D — the paper omits this formula
+/// "due to lack of space"; derived here from the multinomial factorial
+/// moments and pinned against the generic engine and exhaustive
+/// enumeration):
+///
+/// ```text
+/// Var[X] = [ 2N²F₂ + 4(m−2)·N·F₃ − 2(2m−3)·F₂² ] / (m(m−1))
+/// ```
+///
+/// with `N = |F|`, `m = |F′|` and power sums `F_k = Σfᵢᵏ`. Sanity limits:
+/// a single-value relation (`F₂ = N²`, `F₃ = N³`) gives 0 only when the
+/// estimator is degenerate, and `m → ∞` decays as `4NF₃/m`, the WR
+/// analogue of Bernoulli's `4F₃/p` leading term.
+pub fn wr_sampling_sjs_variance(f: &FrequencyVector, s: &WithReplacement) -> f64 {
+    let n = s.population() as f64;
+    let m = s.sample_size() as f64;
+    let f2 = f.power_sum(2);
+    let f3 = f.power_sum(3);
+    (2.0 * n * n * f2 + 4.0 * (m - 2.0) * n * f3 - 2.0 * (2.0 * m - 3.0) * f2 * f2)
+        / (m * (m - 1.0))
+}
+
+/// Variance of the **averaged sketch-over-WR-samples self-join** estimator
+/// (the WR analogue of Eq. 26, omitted by the paper; derivation in the
+/// multinomial factorial basis, engine-pinned):
+///
+/// ```text
+/// Var = Var_sampling
+///     + (2/(n·m(m−1)))·[ N²·Σ_{i≠j}fᵢfⱼ
+///                       + 2(m−2)·N·Σ_{i≠j}fᵢ²fⱼ
+///                       + (m−2)(m−3)·Σ_{i≠j}fᵢ²fⱼ² ]
+/// ```
+pub fn wr_combined_sjs_variance(
+    f: &FrequencyVector,
+    s: &WithReplacement,
+    n_avg: usize,
+) -> Result<f64> {
+    if n_avg == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let n = s.population() as f64;
+    let m = s.sample_size() as f64;
+    let f1 = f.power_sum(1);
+    let f2 = f.power_sum(2);
+    let f3 = f.power_sum(3);
+    let f4 = f.power_sum(4);
+    let cross_11 = f1 * f1 - f2; //      Σ_{i≠j} fᵢfⱼ
+    let cross_21 = f2 * f1 - f3; //      Σ_{i≠j} fᵢ²fⱼ
+    let cross_22 = f2 * f2 - f4; //      Σ_{i≠j} fᵢ²fⱼ²
+    let sampling = wr_sampling_sjs_variance(f, s);
+    let bracket =
+        n * n * cross_11 + 2.0 * (m - 2.0) * n * cross_21 + (m - 2.0) * (m - 3.0) * cross_22;
+    Ok(sampling + 2.0 * bracket / (n_avg as f64 * m * (m - 1.0)))
+}
+
+/// Variance of the without-replacement sampling-only **self-join**
+/// estimator `X = (1/αα₁)·Σf′² − ((1−α₁)/α₁)·N` (Section III-E, omitted by
+/// the paper). Closed form in the falling-factorial basis with
+/// `κ_R = (m)_R/(N)_R` and `Φ_r = Σᵢ(fᵢ)_r`:
+///
+/// ```text
+/// Var[X] = VarQ / (κ₂)²,   Q = Σf′²
+/// VarQ = (m − m²) + (7 − 2m)κ₂Φ₂ + 6κ₃Φ₃ + κ₄Φ₄ + κ₂(N² − F₂)
+///      + 2κ₃(N·Φ₂ − F₃ + F₂) + κ₄(Φ₂² − F₄ + 2F₃ − F₂) − κ₂²Φ₂²
+/// ```
+pub fn wor_sampling_sjs_variance(f: &FrequencyVector, s: &WithoutReplacement) -> f64 {
+    let (var_q, kappa2) = wor_var_q(f, s);
+    var_q / (kappa2 * kappa2)
+}
+
+/// Variance of the **averaged sketch-over-WOR-samples self-join** estimator
+/// (the WOR analogue of Eq. 26, omitted by the paper):
+///
+/// ```text
+/// Var = Var_sampling + (2/(n·κ₂²))·[ κ₂(N²−F₂) + 2κ₃(NΦ₂−F₃+F₂)
+///                                   + κ₄(Φ₂²−F₄+2F₃−F₂) ]
+/// ```
+///
+/// (the bracket is `Σ_{i≠j}E[f′ᵢ²f′ⱼ²]`, which is also the averaged term's
+/// driver in Proposition 12). Vanishes entirely at a full scan except the
+/// pure-sketch residue, which the full-scan tests pin.
+pub fn wor_combined_sjs_variance(
+    f: &FrequencyVector,
+    s: &WithoutReplacement,
+    n_avg: usize,
+) -> Result<f64> {
+    if n_avg == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let (var_q, kappa2) = wor_var_q(f, s);
+    let joint22 = wor_joint22(f, s);
+    Ok((var_q + 2.0 * joint22 / n_avg as f64) / (kappa2 * kappa2))
+}
+
+/// `(Var[Σf′²], κ₂)` for a WOR sample — shared by the two public forms.
+fn wor_var_q(f: &FrequencyVector, s: &WithoutReplacement) -> (f64, f64) {
+    let m = s.sample_size() as f64;
+    let (kappa2, kappa3, kappa4) = wor_kappas(s);
+    let (phi2, phi3, phi4) = falling_sums(f);
+    let s2 = m + kappa2 * phi2;
+    let s4 = m + 7.0 * kappa2 * phi2 + 6.0 * kappa3 * phi3 + kappa4 * phi4;
+    let joint22 = wor_joint22(f, s);
+    (s4 + joint22 - s2 * s2, kappa2)
+}
+
+/// `Σ_{i≠j} E[f′ᵢ²f′ⱼ²]` for a WOR sample.
+fn wor_joint22(f: &FrequencyVector, s: &WithoutReplacement) -> f64 {
+    let n = s.population() as f64;
+    let (kappa2, kappa3, kappa4) = wor_kappas(s);
+    let (phi2, _, _) = falling_sums(f);
+    let f2 = f.power_sum(2);
+    let f3 = f.power_sum(3);
+    let f4 = f.power_sum(4);
+    kappa2 * (n * n - f2)
+        + 2.0 * kappa3 * (n * phi2 - (f3 - f2))
+        + kappa4 * (phi2 * phi2 - (f4 - 2.0 * f3 + f2))
+}
+
+fn wor_kappas(s: &WithoutReplacement) -> (f64, f64, f64) {
+    let n = s.population() as f64;
+    let m = s.sample_size() as f64;
+    let falling = |x: f64, r: i32| -> f64 { (0..r).map(|k| x - k as f64).product() };
+    let k = |r: i32| {
+        let denom = falling(n, r);
+        if denom == 0.0 {
+            0.0
+        } else {
+            falling(m, r) / denom
+        }
+    };
+    (k(2), k(3), k(4))
+}
+
+/// `(Φ₂, Φ₃, Φ₄) = (Σ(fᵢ)₂, Σ(fᵢ)₃, Σ(fᵢ)₄)`.
+fn falling_sums(f: &FrequencyVector) -> (f64, f64, f64) {
+    let mut phi2 = 0.0;
+    let mut phi3 = 0.0;
+    let mut phi4 = 0.0;
+    for i in 0..f.len() {
+        let x = f.get(i);
+        let p2 = x * (x - 1.0);
+        phi2 += p2;
+        phi3 += p2 * (x - 2.0);
+        phi4 += p2 * (x - 2.0) * (x - 3.0);
+    }
+    (phi2, phi3, phi4)
+}
+
+/// Eq. 14 — variance of one basic AGMS size-of-join estimator
+/// (Proposition 7).
+pub fn agms_sj_variance(f: &FrequencyVector, g: &FrequencyVector) -> Result<f64> {
+    check(f, g)?;
+    let fg = f.dot(g);
+    Ok(f.power_sum(2) * g.power_sum(2) + fg * fg - 2.0 * f.cross_sum(g, 2, 2))
+}
+
+/// Eq. 16 — variance of one basic AGMS self-join estimator (Proposition 8).
+pub fn agms_sjs_variance(f: &FrequencyVector) -> f64 {
+    let f2 = f.power_sum(2);
+    2.0 * (f2 * f2 - f.power_sum(4))
+}
+
+/// Eq. 25 — variance of the *averaged* sketch-over-Bernoulli-samples
+/// size-of-join estimator (Proposition 13), with `n` the number of averaged
+/// basic sketches.
+pub fn bernoulli_combined_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    p: &Bernoulli,
+    q: &Bernoulli,
+    n: usize,
+) -> Result<f64> {
+    check(f, g)?;
+    if n == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let nf = n as f64;
+    let (pp, qq) = (p.p(), q.p());
+    let sampling = bernoulli_sampling_sj_variance(f, g, p, q)?;
+    let sketch = agms_sj_variance(f, g)?;
+    // Σ_{i≠j} fᵢgⱼᵇ expansions:
+    let f1 = f.power_sum(1);
+    let g1 = g.power_sum(1);
+    let g2 = g.power_sum(2);
+    let f2 = f.power_sum(2);
+    let fg = f.dot(g);
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    let cross_1_2 = f1 * g2 - fg2; // Σ_{i≠j} fᵢ gⱼ²
+    let cross_2_1 = f2 * g1 - f2g; // Σ_{i≠j} fᵢ² gⱼ
+    let cross_1_1 = f1 * g1 - fg; //  Σ_{i≠j} fᵢ gⱼ
+    let interaction = (1.0 - pp) / pp * cross_1_2
+        + (1.0 - qq) / qq * cross_2_1
+        + (1.0 - pp) * (1.0 - qq) / (pp * qq) * cross_1_1;
+    Ok(sampling + sketch / nf + interaction / nf)
+}
+
+/// Eq. 26 — variance of the *averaged* sketch-over-Bernoulli-samples
+/// self-join estimator (Proposition 14).
+pub fn bernoulli_combined_sjs_variance(
+    f: &FrequencyVector,
+    p: &Bernoulli,
+    n: usize,
+) -> Result<f64> {
+    if n == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let nf = n as f64;
+    let pp = p.p();
+    let sampling = bernoulli_sampling_sjs_variance(f, p);
+    let sketch = agms_sjs_variance(f);
+    let f1 = f.power_sum(1);
+    let f2 = f.power_sum(2);
+    let f3 = f.power_sum(3);
+    let cross_1_1 = f1 * f1 - f2; //  Σ_{i≠j} fᵢfⱼ
+    let cross_2_1 = f2 * f1 - f3; //  Σ_{i≠j} fᵢ²fⱼ
+    let q = 1.0 - pp;
+    let interaction = 2.0 * (q * q / (pp * pp) * cross_1_1 + 2.0 * q / pp * cross_2_1);
+    Ok(sampling + sketch / nf + interaction / nf)
+}
+
+/// Eq. 27 — variance of the *averaged* sketch-over-samples-with-replacement
+/// size-of-join estimator (Proposition 15).
+///
+/// **Erratum.** As in [`wr_sampling_sj_variance`], the paper's printed
+/// interaction coefficients `|F|αβ₂` / `|G|α₂β` are off by the sample
+/// sizes; the verified coefficients are `β₂` / `α₂` (pinned against the
+/// generic engine, which is itself pinned against exhaustive enumeration).
+pub fn wr_combined_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithReplacement,
+    sg: &WithReplacement,
+    n: usize,
+) -> Result<f64> {
+    check(f, g)?;
+    if n == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let nf = n as f64;
+    let (a, a2) = (sf.alpha(), sf.alpha2());
+    let (b, b2) = (sg.alpha(), sg.alpha2());
+    let sampling = wr_sampling_sj_variance(f, g, sf, sg)?;
+    let sketch = agms_sj_variance(f, g)?;
+    let f1 = f.power_sum(1);
+    let g1 = g.power_sum(1);
+    let f2 = f.power_sum(2);
+    let g2 = g.power_sum(2);
+    let fg = f.dot(g);
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    let cross_1_1 = f1 * g1 - fg;
+    let cross_1_2 = f1 * g2 - fg2;
+    let cross_2_1 = f2 * g1 - f2g;
+    let interaction = (cross_1_1 + b2 * cross_1_2 + a2 * cross_2_1) / (a * b);
+    Ok(sampling + (a2 / a) * (b2 / b) * sketch / nf + interaction / nf)
+}
+
+/// Eq. 28 — variance of the *averaged* sketch-over-samples-without-
+/// replacement size-of-join estimator (Proposition 16).
+pub fn wor_combined_sj_variance(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithoutReplacement,
+    sg: &WithoutReplacement,
+    n: usize,
+) -> Result<f64> {
+    check(f, g)?;
+    if n == 0 {
+        return Err(Error::InvalidAverageCount(0));
+    }
+    let nf = n as f64;
+    let (a, a1) = (sf.alpha(), sf.alpha1());
+    let (b, b1) = (sg.alpha(), sg.alpha1());
+    let sampling = wor_sampling_sj_variance(f, g, sf, sg)?;
+    let sketch = agms_sj_variance(f, g)?;
+    let f1 = f.power_sum(1);
+    let g1 = g.power_sum(1);
+    let f2 = f.power_sum(2);
+    let g2 = g.power_sum(2);
+    let fg = f.dot(g);
+    let fg2 = f.cross_sum(g, 1, 2);
+    let f2g = f.cross_sum(g, 2, 1);
+    let cross_1_1 = f1 * g1 - fg;
+    let cross_1_2 = f1 * g2 - fg2;
+    let cross_2_1 = f2 * g1 - f2g;
+    let interaction = ((1.0 - a1) * (1.0 - b1) * cross_1_1
+        + (1.0 - a1) * b1 * cross_1_2
+        + a1 * (1.0 - b1) * cross_2_1)
+        / (a * b);
+    Ok(sampling + (a1 / a) * (b1 / b) * sketch / nf + interaction / nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+
+    fn fv(counts: &[u32]) -> FrequencyVector {
+        FrequencyVector::from_counts(counts.to_vec())
+    }
+
+    /// A deterministic battery of (f, g) pairs with assorted shapes:
+    /// uniform, skewed, sparse, disjoint-support, single-heavy-hitter.
+    fn workloads() -> Vec<(FrequencyVector, FrequencyVector)> {
+        vec![
+            (fv(&[4, 4, 4, 4, 4, 4]), fv(&[4, 4, 4, 4, 4, 4])),
+            (fv(&[100, 1, 1, 1, 0, 1]), fv(&[1, 50, 2, 0, 3, 1])),
+            (fv(&[2, 0, 0, 7, 1, 3]), fv(&[0, 5, 0, 2, 2, 0])),
+            (fv(&[1, 2, 3, 4, 5, 6]), fv(&[6, 5, 4, 3, 2, 1])),
+            (fv(&[10, 0, 0, 0, 0, 0]), fv(&[0, 0, 0, 0, 0, 10])),
+        ]
+    }
+
+    fn close(a: f64, b: f64, what: &str) {
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() <= tol, "{what}: closed {a} vs engine {b}");
+    }
+
+    #[test]
+    fn eq6_and_eq7_match_engine() {
+        for (f, g) in workloads() {
+            for (pp, qq) in [(0.1, 0.1), (0.5, 0.25), (1.0, 0.75), (0.9, 1.0)] {
+                let p = Bernoulli::new(pp).unwrap();
+                let q = Bernoulli::new(qq).unwrap();
+                let closed = bernoulli_sampling_sj_variance(&f, &g, &p, &q).unwrap();
+                let eng = engine::sampling_sj(&p, &f, &q, &g).unwrap().variance;
+                close(closed, eng, "Eq 6");
+                let closed = bernoulli_sampling_sjs_variance(&f, &p);
+                let eng = engine::sampling_sjs(&p, &f).unwrap().variance;
+                close(closed, eng, "Eq 7");
+            }
+        }
+    }
+
+    #[test]
+    fn eq10_and_eq11_match_engine() {
+        for (f, g) in workloads() {
+            let nf = f.total() as u64;
+            let ng = g.total() as u64;
+            for (m_f, m_g) in [(2u64, 3u64), (5, 5), (nf, ng), (3 * nf, 2 * ng)] {
+                let sf = WithReplacement::new(m_f, nf).unwrap();
+                let sg = WithReplacement::new(m_g, ng).unwrap();
+                let closed = wr_sampling_sj_variance(&f, &g, &sf, &sg).unwrap();
+                let eng = engine::sampling_sj(&sf, &f, &sg, &g).unwrap().variance;
+                close(closed, eng, "Eq 10");
+                if m_f <= nf && m_g <= ng {
+                    let sf = WithoutReplacement::new(m_f, nf).unwrap();
+                    let sg = WithoutReplacement::new(m_g, ng).unwrap();
+                    let closed = wor_sampling_sj_variance(&f, &g, &sf, &sg).unwrap();
+                    let eng = engine::sampling_sj(&sf, &f, &sg, &g).unwrap().variance;
+                    close(closed, eng, "Eq 11");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq14_and_eq16_match_engine() {
+        for (f, g) in workloads() {
+            close(
+                agms_sj_variance(&f, &g).unwrap(),
+                engine::sketch_sj(&f, &g, 1).variance,
+                "Eq 14",
+            );
+            close(
+                agms_sjs_variance(&f),
+                engine::sketch_sjs(&f, 1).variance,
+                "Eq 16",
+            );
+        }
+    }
+
+    #[test]
+    fn eq25_matches_engine() {
+        for (f, g) in workloads() {
+            for n in [1usize, 4, 100] {
+                for (pp, qq) in [(0.05, 0.05), (0.3, 0.8), (1.0, 1.0)] {
+                    let p = Bernoulli::new(pp).unwrap();
+                    let q = Bernoulli::new(qq).unwrap();
+                    let closed = bernoulli_combined_sj_variance(&f, &g, &p, &q, n).unwrap();
+                    let eng = engine::sketch_sample_sj(&p, &f, &q, &g, n)
+                        .unwrap()
+                        .variance;
+                    close(closed, eng, &format!("Eq 25 (p={pp}, q={qq}, n={n})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq26_matches_engine() {
+        for (f, _) in workloads() {
+            for n in [1usize, 4, 100] {
+                for pp in [0.05, 0.3, 0.9, 1.0] {
+                    let p = Bernoulli::new(pp).unwrap();
+                    let closed = bernoulli_combined_sjs_variance(&f, &p, n).unwrap();
+                    let eng = engine::sketch_sample_sjs(&p, &f, n).unwrap().variance;
+                    close(closed, eng, &format!("Eq 26 (p={pp}, n={n})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq27_matches_engine() {
+        for (f, g) in workloads() {
+            let nf = f.total() as u64;
+            let ng = g.total() as u64;
+            for n in [1usize, 8] {
+                for (m_f, m_g) in [(2u64, 2u64), (4, 7), (nf, ng)] {
+                    let sf = WithReplacement::new(m_f, nf).unwrap();
+                    let sg = WithReplacement::new(m_g, ng).unwrap();
+                    let closed = wr_combined_sj_variance(&f, &g, &sf, &sg, n).unwrap();
+                    let eng = engine::sketch_sample_sj(&sf, &f, &sg, &g, n)
+                        .unwrap()
+                        .variance;
+                    close(closed, eng, &format!("Eq 27 (m=({m_f},{m_g}), n={n})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq28_matches_engine() {
+        for (f, g) in workloads() {
+            let nf = f.total() as u64;
+            let ng = g.total() as u64;
+            for n in [1usize, 8] {
+                for (m_f, m_g) in [(2u64, 2u64), (4, 7), (nf, ng)] {
+                    if m_f > nf || m_g > ng {
+                        continue;
+                    }
+                    let sf = WithoutReplacement::new(m_f, nf).unwrap();
+                    let sg = WithoutReplacement::new(m_g, ng).unwrap();
+                    let closed = wor_combined_sj_variance(&f, &g, &sf, &sg, n).unwrap();
+                    let eng = engine::sketch_sample_sj(&sf, &f, &sg, &g, n)
+                        .unwrap()
+                        .variance;
+                    close(closed, eng, &format!("Eq 28 (m=({m_f},{m_g}), n={n})"));
+                }
+            }
+        }
+    }
+
+    /// The paper-omitted closed forms (WR/WOR self-join variances) must
+    /// agree with the generic engine on every workload and parameter
+    /// combination.
+    #[test]
+    fn omitted_self_join_closed_forms_match_engine() {
+        for (f, _) in workloads() {
+            let nf = f.total() as u64;
+            for m in [2u64, 3, nf / 2 + 2, nf] {
+                let wr = WithReplacement::new(m, nf).unwrap();
+                let closed = wr_sampling_sjs_variance(&f, &wr);
+                let eng = engine::sampling_sjs(&wr, &f).unwrap().variance;
+                close(closed, eng, &format!("WR sampling sjs (m={m})"));
+                for n in [1usize, 16, 5000] {
+                    let closed = wr_combined_sjs_variance(&f, &wr, n).unwrap();
+                    let eng = engine::sketch_sample_sjs(&wr, &f, n).unwrap().variance;
+                    close(closed, eng, &format!("WR combined sjs (m={m}, n={n})"));
+                }
+                if m <= nf {
+                    let wor = WithoutReplacement::new(m, nf).unwrap();
+                    let closed = wor_sampling_sjs_variance(&f, &wor);
+                    let eng = engine::sampling_sjs(&wor, &f).unwrap().variance;
+                    close(closed, eng, &format!("WOR sampling sjs (m={m})"));
+                    for n in [1usize, 16, 5000] {
+                        let closed = wor_combined_sjs_variance(&f, &wor, n).unwrap();
+                        let eng = engine::sketch_sample_sjs(&wor, &f, n).unwrap().variance;
+                        close(closed, eng, &format!("WOR combined sjs (m={m}, n={n})"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Limit checks for the omitted forms: full WOR scan has zero sampling
+    /// variance; combined at full scan reduces to the pure sketch.
+    #[test]
+    fn omitted_forms_limits() {
+        let f = fv(&[4, 7, 2, 9, 3]);
+        let nf = f.total() as u64;
+        let full = WithoutReplacement::new(nf, nf).unwrap();
+        assert!(wor_sampling_sjs_variance(&f, &full).abs() < 1e-6);
+        let v = wor_combined_sjs_variance(&f, &full, 10).unwrap();
+        close(
+            v,
+            agms_sjs_variance(&f) / 10.0,
+            "WOR combined sjs at full scan",
+        );
+    }
+
+    /// The erratum decider: enumerate *all* with-replacement samples of two
+    /// tiny populations and compute the exact variance of
+    /// `X = (1/αβ)Σf′g′`. The verified Eq. 10 must match to 1e−12; the
+    /// paper's printed `|F|αβ₂`/`|G|α₂β` coefficients do not (they are off
+    /// by the sample sizes).
+    #[test]
+    fn exhaustive_enumeration_wr_sampling_sj() {
+        // F: values [0,0,1] (f = [2,1]); G: values [0,1,1,1] (g = [1,3]).
+        let f = fv(&[2, 1]);
+        let g = fv(&[1, 3]);
+        let (m_f, m_g) = (2u32, 3u32);
+        let sf = WithReplacement::new(m_f as u64, 3).unwrap();
+        let sg = WithReplacement::new(m_g as u64, 4).unwrap();
+        let c = 1.0 / (sf.alpha() * sg.alpha());
+        let f_owner = [0usize, 0, 1];
+        let g_owner = [0usize, 1, 1, 1];
+        let mut mean = 0.0;
+        let mut second = 0.0;
+        let total = 3f64.powi(m_f as i32) * 4f64.powi(m_g as i32);
+        for df in 0u32..3u32.pow(m_f) {
+            let mut fc = [0f64; 2];
+            let mut d = df;
+            for _ in 0..m_f {
+                fc[f_owner[(d % 3) as usize]] += 1.0;
+                d /= 3;
+            }
+            for dg in 0u32..4u32.pow(m_g) {
+                let mut gc = [0f64; 2];
+                let mut d = dg;
+                for _ in 0..m_g {
+                    gc[g_owner[(d % 4) as usize]] += 1.0;
+                    d /= 4;
+                }
+                let x = c * (fc[0] * gc[0] + fc[1] * gc[1]);
+                mean += x / total;
+                second += x * x / total;
+            }
+        }
+        let exact_var = second - mean * mean;
+        assert!((mean - f.dot(&g)).abs() < 1e-9, "unbiasedness: {mean}");
+        let ours = wr_sampling_sj_variance(&f, &g, &sf, &sg).unwrap();
+        assert!(
+            (ours - exact_var).abs() < 1e-12 * exact_var.max(1.0),
+            "verified Eq 10: {ours} vs exact {exact_var}"
+        );
+        // The printed coefficients would give a different (wrong) value:
+        let printed = {
+            let (a, a2) = (sf.alpha(), sf.alpha2());
+            let (b, b2) = (sg.alpha(), sg.alpha2());
+            let fg = f.dot(&g);
+            (fg + 3.0 * a * b2 * f.cross_sum(&g, 1, 2)
+                + 4.0 * a2 * b * f.cross_sum(&g, 2, 1)
+                + (a2 * b2 - a * b) * fg * fg)
+                / (a * b)
+        };
+        assert!(
+            (printed - exact_var).abs() > 0.1,
+            "the printed form should be distinguishably wrong here"
+        );
+    }
+
+    #[test]
+    fn degenerate_reductions() {
+        let (f, g) = (fv(&[3, 5, 2, 8]), fv(&[1, 0, 4, 2]));
+        // p = q = 1 kills the sampling and interaction terms of Eq 25.
+        let one = Bernoulli::new(1.0).unwrap();
+        let v = bernoulli_combined_sj_variance(&f, &g, &one, &one, 10).unwrap();
+        close(
+            v,
+            agms_sj_variance(&f, &g).unwrap() / 10.0,
+            "Eq 25 at p=q=1",
+        );
+        // Full WOR sample likewise (α = α₁ = 1).
+        let sf = WithoutReplacement::new(f.total() as u64, f.total() as u64).unwrap();
+        let sg = WithoutReplacement::new(g.total() as u64, g.total() as u64).unwrap();
+        let v = wor_combined_sj_variance(&f, &g, &sf, &sg, 10).unwrap();
+        close(
+            v,
+            agms_sj_variance(&f, &g).unwrap() / 10.0,
+            "Eq 28 at full sample",
+        );
+    }
+}

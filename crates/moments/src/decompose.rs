@@ -1,0 +1,279 @@
+//! The sampling / sketch / interaction variance decomposition.
+//!
+//! Section V-E of the paper shows the variance of the averaged combined
+//! estimator always splits as
+//!
+//! ```text
+//! Var = V_sampling + (1/n)·c·V_sketch + (1/n)·V_interaction
+//! ```
+//!
+//! where `V_sampling` is the sampling-only estimator variance, `V_sketch`
+//! the AGMS variance over the *true* data (with a scheme-dependent
+//! coefficient `c`: 1 for Bernoulli, `α₂β₂/αβ` for WR, `α₁β₁/αβ` for WOR),
+//! and `V_interaction` the genuinely new cross term that makes the naive
+//! "sum of the two variances" analysis wrong. Figures 1–2 of the paper plot
+//! the *relative contribution* of the three terms as a function of data
+//! skew; [`VarianceDecomposition`] is what those harnesses compute.
+//!
+//! The decomposition is obtained from exact quantities: total and sampling
+//! variances come from the generic engine, the sketch term from the closed
+//! AGMS formula, and the interaction term as the (exact) remainder.
+
+use crate::closed_form;
+use crate::engine;
+use crate::freq::FrequencyVector;
+use crate::scheme::{Bernoulli, SamplingScheme, WithReplacement, WithoutReplacement};
+use crate::Result;
+
+/// One three-way split of a combined-estimator variance.
+///
+/// ```
+/// use sss_moments::decompose;
+/// use sss_moments::scheme::Bernoulli;
+/// use sss_moments::FrequencyVector;
+///
+/// // Uniform data at 1% sampling: the interaction term dominates.
+/// let f = FrequencyVector::from_counts(vec![3u32; 500]);
+/// let p = Bernoulli::new(0.01).unwrap();
+/// let d = decompose::bernoulli_sjs(&f, &p, 5000).unwrap();
+/// let [sampling, sketch, interaction] = d.relative();
+/// assert!(interaction > sketch);
+/// assert!((sampling + sketch + interaction - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceDecomposition {
+    /// The sampling-only term (does **not** shrink with averaging).
+    pub sampling: f64,
+    /// The sketch term, already divided by `n` (and scaled by the WR/WOR
+    /// coefficient where applicable).
+    pub sketch: f64,
+    /// The interaction term, already divided by `n`.
+    pub interaction: f64,
+}
+
+impl VarianceDecomposition {
+    /// Total variance.
+    pub fn total(&self) -> f64 {
+        self.sampling + self.sketch + self.interaction
+    }
+
+    /// The three terms as fractions of the total (sampling, sketch,
+    /// interaction). Returns zeros when the total vanishes.
+    pub fn relative(&self) -> [f64; 3] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; 3];
+        }
+        [self.sampling / t, self.sketch / t, self.interaction / t]
+    }
+}
+
+fn split<S: SamplingScheme>(
+    total: f64,
+    sampling: f64,
+    sketch_true: f64,
+    sketch_coeff: f64,
+    n: usize,
+    _scheme: &S,
+) -> VarianceDecomposition {
+    let sketch = sketch_coeff * sketch_true / n as f64;
+    VarianceDecomposition {
+        sampling,
+        sketch,
+        interaction: total - sampling - sketch,
+    }
+}
+
+/// Figure 1 analytics: decomposition of Eq. 25 (size of join over Bernoulli
+/// samples with probabilities `p`, `q`, `n` averaged sketches).
+pub fn bernoulli_sj(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    p: &Bernoulli,
+    q: &Bernoulli,
+    n: usize,
+) -> Result<VarianceDecomposition> {
+    let total = closed_form::bernoulli_combined_sj_variance(f, g, p, q, n)?;
+    let sampling = closed_form::bernoulli_sampling_sj_variance(f, g, p, q)?;
+    let sketch = closed_form::agms_sj_variance(f, g)?;
+    Ok(split(total, sampling, sketch, 1.0, n, p))
+}
+
+/// Figure 2 analytics: decomposition of Eq. 26 (self-join size over
+/// Bernoulli samples).
+pub fn bernoulli_sjs(
+    f: &FrequencyVector,
+    p: &Bernoulli,
+    n: usize,
+) -> Result<VarianceDecomposition> {
+    let total = closed_form::bernoulli_combined_sjs_variance(f, p, n)?;
+    let sampling = closed_form::bernoulli_sampling_sjs_variance(f, p);
+    let sketch = closed_form::agms_sjs_variance(f);
+    Ok(split(total, sampling, sketch, 1.0, n, p))
+}
+
+/// Decomposition of Eq. 27 (size of join over samples with replacement).
+pub fn wr_sj(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithReplacement,
+    sg: &WithReplacement,
+    n: usize,
+) -> Result<VarianceDecomposition> {
+    let total = closed_form::wr_combined_sj_variance(f, g, sf, sg, n)?;
+    let sampling = closed_form::wr_sampling_sj_variance(f, g, sf, sg)?;
+    let sketch = closed_form::agms_sj_variance(f, g)?;
+    let coeff = (sf.alpha2() / sf.alpha()) * (sg.alpha2() / sg.alpha());
+    Ok(split(total, sampling, sketch, coeff, n, sf))
+}
+
+/// Decomposition of Eq. 28 (size of join over samples without replacement).
+pub fn wor_sj(
+    f: &FrequencyVector,
+    g: &FrequencyVector,
+    sf: &WithoutReplacement,
+    sg: &WithoutReplacement,
+    n: usize,
+) -> Result<VarianceDecomposition> {
+    let total = closed_form::wor_combined_sj_variance(f, g, sf, sg, n)?;
+    let sampling = closed_form::wor_sampling_sj_variance(f, g, sf, sg)?;
+    let sketch = closed_form::agms_sj_variance(f, g)?;
+    let coeff = (sf.alpha1() / sf.alpha()) * (sg.alpha1() / sg.alpha());
+    Ok(split(total, sampling, sketch, coeff, n, sf))
+}
+
+/// Self-join decomposition for WR samples. The paper omits this formula
+/// ("due to space constraints"); the total comes from the exact generic
+/// engine, the sketch term keeps the Eq.-27 coefficient structure
+/// (`(α₂/α)²`), and the interaction is the exact remainder.
+pub fn wr_sjs(f: &FrequencyVector, s: &WithReplacement, n: usize) -> Result<VarianceDecomposition> {
+    let total = engine::sketch_sample_sjs(s, f, n)?.variance;
+    let sampling = engine::sampling_sjs(s, f)?.variance;
+    let sketch = closed_form::agms_sjs_variance(f);
+    let coeff = (s.alpha2() / s.alpha()).powi(2);
+    Ok(split(total, sampling, sketch, coeff, n, s))
+}
+
+/// Self-join decomposition for WOR samples (paper omits the closed form;
+/// see [`wr_sjs`] for the construction, with `α₁` in place of `α₂`).
+pub fn wor_sjs(
+    f: &FrequencyVector,
+    s: &WithoutReplacement,
+    n: usize,
+) -> Result<VarianceDecomposition> {
+    let total = engine::sketch_sample_sjs(s, f, n)?.variance;
+    let sampling = engine::sampling_sjs(s, f)?.variance;
+    let sketch = closed_form::agms_sjs_variance(f);
+    let coeff = (s.alpha1() / s.alpha()).powi(2);
+    Ok(split(total, sampling, sketch, coeff, n, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(counts: &[u32]) -> FrequencyVector {
+        FrequencyVector::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn terms_sum_to_total_and_match_engine() {
+        let f = fv(&[9, 3, 1, 1, 1, 5]);
+        let g = fv(&[2, 2, 8, 1, 0, 3]);
+        let p = Bernoulli::new(0.2).unwrap();
+        let q = Bernoulli::new(0.6).unwrap();
+        let d = bernoulli_sj(&f, &g, &p, &q, 25).unwrap();
+        let eng = engine::sketch_sample_sj(&p, &f, &q, &g, 25)
+            .unwrap()
+            .variance;
+        assert!((d.total() - eng).abs() < 1e-9 * eng);
+        let [rs, rk, ri] = d.relative();
+        assert!((rs + rk + ri - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_low_skew_is_interaction_dominated() {
+        // The paper (Section V-B): for uniform frequencies with value
+        // smaller than the domain size, the interaction dominates the
+        // sketch term.
+        let f = fv(&vec![2u32; 1000]);
+        let p = Bernoulli::new(0.1).unwrap();
+        let d = bernoulli_sjs(&f, &p, 100).unwrap();
+        assert!(
+            d.interaction > d.sketch,
+            "interaction {} should dominate sketch {} for uniform data",
+            d.interaction,
+            d.sketch
+        );
+    }
+
+    #[test]
+    fn skewed_data_is_sketch_dominated() {
+        // One huge frequency: the AGMS variance term (∝ F₂²−F₄ relative to
+        // the cross terms) dominates.
+        let mut counts = vec![1u32; 100];
+        counts[0] = 10_000;
+        counts[1] = 8_000;
+        let f = fv(&counts);
+        let p = Bernoulli::new(0.5).unwrap();
+        let d = bernoulli_sjs(&f, &p, 100).unwrap();
+        assert!(
+            d.sketch > d.sampling && d.sketch > d.interaction,
+            "sketch term should dominate for skewed data: {d:?}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_p1_has_pure_sketch_variance() {
+        let f = fv(&[5, 2, 9, 4]);
+        let p = Bernoulli::new(1.0).unwrap();
+        let d = bernoulli_sjs(&f, &p, 10).unwrap();
+        assert!(d.sampling.abs() < 1e-9);
+        assert!(d.interaction.abs() < 1e-6 * d.sketch.max(1.0));
+        assert!((d.total() - closed_form::agms_sjs_variance(&f) / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wr_and_wor_sj_decompositions_are_consistent() {
+        let f = fv(&[4, 1, 7, 2, 6]);
+        let g = fv(&[3, 3, 1, 5, 2]);
+        let nf = f.total() as u64;
+        let ng = g.total() as u64;
+        let wr_f = WithReplacement::new(6, nf).unwrap();
+        let wr_g = WithReplacement::new(5, ng).unwrap();
+        let d = wr_sj(&f, &g, &wr_f, &wr_g, 9).unwrap();
+        let eng = engine::sketch_sample_sj(&wr_f, &f, &wr_g, &g, 9)
+            .unwrap()
+            .variance;
+        assert!((d.total() - eng).abs() < 1e-9 * eng.max(1.0));
+
+        let wor_f = WithoutReplacement::new(6, nf).unwrap();
+        let wor_g = WithoutReplacement::new(5, ng).unwrap();
+        let d = wor_sj(&f, &g, &wor_f, &wor_g, 9).unwrap();
+        let eng = engine::sketch_sample_sj(&wor_f, &f, &wor_g, &g, 9)
+            .unwrap()
+            .variance;
+        assert!((d.total() - eng).abs() < 1e-9 * eng.max(1.0));
+    }
+
+    #[test]
+    fn sjs_decompositions_for_fixed_size_schemes() {
+        let f = fv(&[4, 1, 7, 2, 6]);
+        let n_pop = f.total() as u64;
+        let wr = WithReplacement::new(8, n_pop).unwrap();
+        let d = wr_sjs(&f, &wr, 16).unwrap();
+        assert!(d.sampling > 0.0 && d.sketch > 0.0);
+        let eng = engine::sketch_sample_sjs(&wr, &f, 16).unwrap().variance;
+        assert!((d.total() - eng).abs() < 1e-9 * eng.max(1.0));
+
+        let wor = WithoutReplacement::new(8, n_pop).unwrap();
+        let d = wor_sjs(&f, &wor, 16).unwrap();
+        let eng = engine::sketch_sample_sjs(&wor, &f, 16).unwrap().variance;
+        assert!((d.total() - eng).abs() < 1e-9 * eng.max(1.0));
+        // Full WOR scan: only the sketch term survives.
+        let full = WithoutReplacement::new(n_pop, n_pop).unwrap();
+        let d = wor_sjs(&f, &full, 16).unwrap();
+        assert!(d.sampling.abs() < 1e-9);
+        assert!(d.interaction.abs() < 1e-6 * d.sketch.max(1.0));
+    }
+}

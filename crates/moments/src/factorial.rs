@@ -1,0 +1,89 @@
+//! Falling factorials and the power → factorial-moment conversion.
+//!
+//! Power moments of the sampling frequency random variables are obtained
+//! from factorial moments through Stirling numbers of the second kind:
+//!
+//! ```text
+//! xⁿ = Σ_{r=0}^{n} S(n, r) · (x)ᵣ      ⇒      E[Xⁿ] = Σᵣ S(n, r) · E[(X)ᵣ]
+//! ```
+//!
+//! The analysis never needs powers above 4 (the highest moment in any
+//! variance formula is `E[f′ᵢ² f′ⱼ²]` / `E[f′ᵢ⁴]`), so the table is small
+//! and fully unit-tested against the recurrence.
+
+/// Highest power any formula in this crate needs.
+pub const MAX_POWER: usize = 4;
+
+/// Stirling numbers of the second kind `S(n, r)` for `n, r ≤ 4`.
+///
+/// `STIRLING2[n][r]` is the number of ways to partition an `n`-set into `r`
+/// non-empty blocks.
+pub const STIRLING2: [[f64; MAX_POWER + 1]; MAX_POWER + 1] = [
+    [1.0, 0.0, 0.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0, 0.0, 0.0],
+    [0.0, 1.0, 1.0, 0.0, 0.0],
+    [0.0, 1.0, 3.0, 1.0, 0.0],
+    [0.0, 1.0, 7.0, 6.0, 1.0],
+];
+
+/// The falling factorial `(x)ᵣ = x(x−1)⋯(x−r+1)`; `(x)₀ = 1`.
+#[inline]
+pub fn falling(x: f64, r: u32) -> f64 {
+    let mut acc = 1.0;
+    for k in 0..r {
+        acc *= x - k as f64;
+    }
+    acc
+}
+
+/// `(x)ᵣ` for integer `x`, exact in `f64` for the magnitudes used here.
+#[inline]
+pub fn falling_u64(x: u64, r: u32) -> f64 {
+    falling(x as f64, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_factorial_basics() {
+        assert_eq!(falling(5.0, 0), 1.0);
+        assert_eq!(falling(5.0, 1), 5.0);
+        assert_eq!(falling(5.0, 2), 20.0);
+        assert_eq!(falling(5.0, 3), 60.0);
+        assert_eq!(falling(5.0, 4), 120.0);
+        // r > x for integer x annihilates
+        assert_eq!(falling(3.0, 4), 0.0);
+        assert_eq!(falling(0.0, 1), 0.0);
+    }
+
+    #[test]
+    fn stirling_table_matches_recurrence() {
+        // S(n, r) = r·S(n−1, r) + S(n−1, r−1)
+        for n in 1..=MAX_POWER {
+            for r in 1..=MAX_POWER {
+                let expect = r as f64 * STIRLING2[n - 1][r] + STIRLING2[n - 1][r - 1];
+                assert_eq!(STIRLING2[n][r], expect, "S({n},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn power_expansion_reproduces_powers() {
+        // x^n = Σ_r S(n,r)·(x)_r must hold identically.
+        #[allow(clippy::needless_range_loop)] // n indexes both the table and powi
+        for x in [0.0f64, 1.0, 2.0, 3.5, 10.0, 100.0] {
+            for n in 0..=MAX_POWER {
+                let expanded: f64 = (0..=n)
+                    .map(|r| STIRLING2[n][r] * falling(x, r as u32))
+                    .sum();
+                let direct = x.powi(n as i32);
+                assert!(
+                    (expanded - direct).abs() <= 1e-9 * direct.abs().max(1.0),
+                    "x={x} n={n}: {expanded} vs {direct}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! True frequency vectors and their power sums.
+//!
+//! The paper's analysis lives entirely in the *frequency domain*: a relation
+//! `F` with join attribute over domain `I` is represented by the vector
+//! `(fᵢ)_{i∈I}` of value frequencies. Every variance formula is a polynomial
+//! in the power sums `Σfᵢᵏ` and the cross sums `Σfᵢᵃgᵢᵇ`.
+
+/// The frequency vector of one relation over a dense domain `0..len`.
+///
+/// Zero entries are allowed (and are how two relations share a common
+/// domain for join analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyVector {
+    freqs: Vec<f64>,
+    total: f64,
+}
+
+impl FrequencyVector {
+    /// Build from per-value counts.
+    pub fn from_counts<C: Into<f64> + Copy>(counts: Vec<C>) -> Self {
+        let freqs: Vec<f64> = counts.iter().map(|&c| c.into()).collect();
+        let total = freqs.iter().sum();
+        Self { freqs, total }
+    }
+
+    /// Build by counting keys from a stream over the domain `0..domain`.
+    ///
+    /// Keys outside the domain are counted modulo `domain` — generators in
+    /// this workspace always produce in-domain keys, the fold is a guard.
+    pub fn from_keys<I: IntoIterator<Item = u64>>(keys: I, domain: usize) -> Self {
+        let mut freqs = vec![0.0; domain];
+        let mut total = 0.0;
+        for k in keys {
+            freqs[(k % domain as u64) as usize] += 1.0;
+            total += 1.0;
+        }
+        Self { freqs, total }
+    }
+
+    /// Domain size `|I|`.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The frequency of value `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.freqs[i]
+    }
+
+    /// The relation size `|F| = Σᵢ fᵢ`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The raw frequencies.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// The power sum `Σᵢ fᵢᵏ`. `power_sum(2)` is the self-join size F₂.
+    pub fn power_sum(&self, k: u32) -> f64 {
+        self.freqs.iter().map(|&f| f.powi(k as i32)).sum()
+    }
+
+    /// The cross sum `Σᵢ fᵢᵃ·gᵢᵇ` over a shared domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ; public APIs validate first.
+    pub fn cross_sum(&self, other: &FrequencyVector, a: u32, b: u32) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cross_sum requires a shared domain"
+        );
+        self.freqs
+            .iter()
+            .zip(&other.freqs)
+            .map(|(&f, &g)| f.powi(a as i32) * g.powi(b as i32))
+            .sum()
+    }
+
+    /// The size of join `|F ⋈ G| = Σᵢ fᵢgᵢ`.
+    pub fn dot(&self, other: &FrequencyVector) -> f64 {
+        self.cross_sum(other, 1, 1)
+    }
+
+    /// The self-join size (second frequency moment) `F₂ = Σᵢ fᵢ²`.
+    pub fn self_join(&self) -> f64 {
+        self.power_sum(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_from_counts_and_keys_agree() {
+        let from_counts = FrequencyVector::from_counts(vec![2u32, 0, 3, 1]);
+        let from_keys = FrequencyVector::from_keys([0u64, 0, 2, 2, 2, 3], 4);
+        assert_eq!(from_counts, from_keys);
+        assert_eq!(from_counts.total(), 6.0);
+        assert_eq!(from_counts.len(), 4);
+        assert_eq!(from_counts.get(2), 3.0);
+    }
+
+    #[test]
+    fn power_sums() {
+        let f = FrequencyVector::from_counts(vec![1u32, 2, 3]);
+        assert_eq!(f.power_sum(1), 6.0);
+        assert_eq!(f.power_sum(2), 14.0);
+        assert_eq!(f.power_sum(3), 36.0);
+        assert_eq!(f.power_sum(4), 98.0);
+        assert_eq!(f.self_join(), 14.0);
+    }
+
+    #[test]
+    fn cross_sums_and_dot() {
+        let f = FrequencyVector::from_counts(vec![1u32, 2, 3]);
+        let g = FrequencyVector::from_counts(vec![4u32, 5, 0]);
+        assert_eq!(f.dot(&g), 14.0);
+        assert_eq!(f.cross_sum(&g, 2, 1), 1.0 * 4.0 + 4.0 * 5.0);
+        assert_eq!(f.cross_sum(&g, 1, 2), 16.0 + 50.0);
+        assert_eq!(f.cross_sum(&g, 2, 2), 16.0 + 100.0);
+    }
+
+    #[test]
+    fn out_of_domain_keys_fold() {
+        let f = FrequencyVector::from_keys([0u64, 4, 8], 4);
+        assert_eq!(f.get(0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared domain")]
+    fn mismatched_domains_panic() {
+        let f = FrequencyVector::from_counts(vec![1u32]);
+        let g = FrequencyVector::from_counts(vec![1u32, 2]);
+        let _ = f.dot(&g);
+    }
+}

@@ -1,0 +1,139 @@
+//! Planning utilities: inverting the variance formulas.
+//!
+//! The paper's introduction frames the analysis as a planning tool — "the
+//! formulas resulting from such an analysis could be used to determine how
+//! aggressive the load shedding can be without a significant loss in the
+//! accuracy". This module answers the two inverse questions directly:
+//!
+//! * how many averaged basic sketches `n` are needed for a target error at
+//!   a fixed sampling rate ([`averages_for_error`]), and
+//! * what is the error floor no amount of averaging can beat at that rate
+//!   ([`error_floor`]) — the sampling term of the decomposition, which the
+//!   shared-sample covariance makes irreducible.
+
+use crate::engine::{self};
+use crate::freq::FrequencyVector;
+use crate::scheme::SamplingScheme;
+use crate::Result;
+
+/// The irreducible relative standard error of the combined self-join
+/// estimator at this sampling scheme — the `n → ∞` limit of averaging
+/// (Proposition 12's sampling term).
+pub fn error_floor<S: SamplingScheme>(scheme: &S, f: &FrequencyVector) -> Result<f64> {
+    let sampling = engine::sampling_sjs(scheme, f)?;
+    Ok(sampling.relative_error(f.self_join()))
+}
+
+/// The smallest number of averaged basic sketches `n` such that the
+/// combined self-join estimator's relative standard error is at most
+/// `target`. Returns `None` when the target is below the sampling
+/// [`error_floor`] — no sketch size can reach it at this sampling rate.
+///
+/// Uses the exact variance split `Var(n) = V_samp + V_avg/n` (Prop 12), so
+/// the answer is `n = ⌈V_avg / (target²·F₂² − V_samp)⌉`.
+pub fn averages_for_error<S: SamplingScheme>(
+    scheme: &S,
+    f: &FrequencyVector,
+    target: f64,
+) -> Result<Option<usize>> {
+    assert!(
+        target > 0.0 && target.is_finite(),
+        "target error must be positive"
+    );
+    let truth = f.self_join();
+    let budget = target * target * truth * truth;
+    let v_samp = engine::sampling_sjs(scheme, f)?.variance;
+    if budget <= v_samp {
+        return Ok(None);
+    }
+    // V_avg = n·(Var(n) − V_samp) for any n; read it off at n = 1.
+    let v1 = engine::sketch_sample_sjs(scheme, f, 1)?.variance;
+    let v_avg = v1 - v_samp;
+    if v_avg <= 0.0 {
+        return Ok(Some(1));
+    }
+    let n = (v_avg / (budget - v_samp)).ceil() as usize;
+    Ok(Some(n.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Bernoulli, WithoutReplacement};
+
+    fn workload() -> FrequencyVector {
+        FrequencyVector::from_counts((1..=100u32).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn planned_n_achieves_the_target() {
+        let f = workload();
+        let p = Bernoulli::new(0.3).unwrap();
+        let target = 0.05;
+        let n = averages_for_error(&p, &f, target)
+            .unwrap()
+            .expect("achievable");
+        let achieved = engine::sketch_sample_sjs(&p, &f, n)
+            .unwrap()
+            .relative_error(f.self_join());
+        assert!(
+            achieved <= target * (1.0 + 1e-9),
+            "n = {n}: achieved {achieved}"
+        );
+        // And it is minimal: n − 1 misses the target (unless n == 1).
+        if n > 1 {
+            let worse = engine::sketch_sample_sjs(&p, &f, n - 1)
+                .unwrap()
+                .relative_error(f.self_join());
+            assert!(worse > target, "n − 1 = {} already achieves {worse}", n - 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let f = workload();
+        let p = Bernoulli::new(0.05).unwrap();
+        let floor = error_floor(&p, &f).unwrap();
+        assert!(floor > 0.0);
+        assert_eq!(averages_for_error(&p, &f, floor * 0.5).unwrap(), None);
+        // Just above the floor, a (large) n exists.
+        assert!(averages_for_error(&p, &f, floor * 1.5).unwrap().is_some());
+    }
+
+    #[test]
+    fn full_scan_has_zero_floor() {
+        let f = workload();
+        let full = WithoutReplacement::new(f.total() as u64, f.total() as u64).unwrap();
+        let floor = error_floor(&full, &f).unwrap();
+        assert!(floor.abs() < 1e-6, "full scan floor {floor}");
+        // Any target is reachable with enough averaging.
+        let n = averages_for_error(&full, &f, 0.001)
+            .unwrap()
+            .expect("achievable");
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn higher_sampling_rate_needs_fewer_averages() {
+        let f = workload();
+        let target = 0.1;
+        let n_lo = averages_for_error(&Bernoulli::new(0.5).unwrap(), &f, target)
+            .unwrap()
+            .expect("achievable at p = 0.5");
+        let n_hi_rate = averages_for_error(&Bernoulli::new(0.9).unwrap(), &f, target)
+            .unwrap()
+            .expect("achievable at p = 0.9");
+        assert!(
+            n_hi_rate <= n_lo,
+            "p=0.9 needs {n_hi_rate}, p=0.5 needs {n_lo}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target error must be positive")]
+    fn nonsense_target_panics() {
+        let f = workload();
+        let p = Bernoulli::new(0.5).unwrap();
+        let _ = averages_for_error(&p, &f, 0.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! The `(κ, φ)` factorial-moment oracles for the three sampling schemes.
+//!
+//! See the crate docs for the factorization. Each scheme also knows the
+//! constants of its unbiased estimators:
+//!
+//! * the **rate** `E[f′ᵢ]/fᵢ` (the size-of-join scaling is the product of
+//!   the two relations' inverse rates), and
+//! * the affine self-join correction `X = u·Σf′ᵢ² + v·Σf′ᵢ + c` that undoes
+//!   the `E[f′²] ≠ rate²·f²` bias.
+
+use crate::factorial::falling_u64;
+use crate::{Error, Result};
+
+/// A sampling scheme's factorial-moment oracle plus estimator constants.
+///
+/// The contract (verified exhaustively in the tests of this module against
+/// direct enumeration of the underlying distributions) is
+///
+/// ```text
+/// E[(f′ᵢ)ᵣ]        = κ(r)   · φᵣ(fᵢ)
+/// E[(f′ᵢ)ᵣ(f′ⱼ)ₛ]  = κ(r+s) · φᵣ(fᵢ) · φₛ(fⱼ)     for i ≠ j
+/// ```
+pub trait SamplingScheme {
+    /// The order-R coefficient `κ(R)`.
+    fn kappa(&self, order: u32) -> f64;
+
+    /// The per-cell factor `φᵣ(f)` for a cell with true frequency `f`.
+    fn phi(&self, freq: f64, r: u32) -> f64;
+
+    /// `E[f′ᵢ] / fᵢ` — `p` for Bernoulli, `α` for the fixed-size schemes.
+    fn rate(&self) -> f64;
+
+    /// The `(u, v, c)` of the unbiased self-join estimator
+    /// `X = u·Σf′² + v·Σf′ + c`.
+    fn sjs_affine(&self) -> (f64, f64, f64);
+
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bernoulli sampling with inclusion probability `p`: `f′ᵢ ~ Binomial(fᵢ, p)`
+/// independently across cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// `p` must lie in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if p > 0.0 && p <= 1.0 {
+            Ok(Self { p })
+        } else {
+            Err(Error::InvalidProbability(p))
+        }
+    }
+
+    /// The inclusion probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl SamplingScheme for Bernoulli {
+    fn kappa(&self, order: u32) -> f64 {
+        self.p.powi(order as i32)
+    }
+
+    fn phi(&self, freq: f64, r: u32) -> f64 {
+        crate::factorial::falling(freq, r)
+    }
+
+    fn rate(&self) -> f64 {
+        self.p
+    }
+
+    fn sjs_affine(&self) -> (f64, f64, f64) {
+        // X = (1/p²)Σf′² − ((1−p)/p²)Σf′  (Proposition 4)
+        let p2 = self.p * self.p;
+        (1.0 / p2, -(1.0 - self.p) / p2, 0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+}
+
+/// Sampling with replacement: `m` draws from a population of `N` tuples;
+/// the `f′ᵢ` are multinomial components with cell probabilities `fᵢ/N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WithReplacement {
+    m: u64,
+    n: u64,
+}
+
+impl WithReplacement {
+    /// `m ≥ 1` draws from a population of `n ≥ 1` tuples. `m` may exceed
+    /// `n` (replacement allows it); the self-join estimator needs `m ≥ 2`.
+    pub fn new(m: u64, n: u64) -> Result<Self> {
+        if n == 0 || m == 0 {
+            return Err(Error::InvalidSampleSize {
+                sample: m,
+                population: n,
+            });
+        }
+        Ok(Self { m, n })
+    }
+
+    /// Sample size `m = |F′|`.
+    pub fn sample_size(&self) -> u64 {
+        self.m
+    }
+
+    /// Population size `N = |F|`.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// `α = m/N`.
+    pub fn alpha(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// `α₂ = (m−1)/N`.
+    pub fn alpha2(&self) -> f64 {
+        (self.m - 1) as f64 / self.n as f64
+    }
+}
+
+impl SamplingScheme for WithReplacement {
+    fn kappa(&self, order: u32) -> f64 {
+        falling_u64(self.m, order)
+    }
+
+    fn phi(&self, freq: f64, r: u32) -> f64 {
+        (freq / self.n as f64).powi(r as i32)
+    }
+
+    fn rate(&self) -> f64 {
+        self.alpha()
+    }
+
+    fn sjs_affine(&self) -> (f64, f64, f64) {
+        // X = (1/αα₂)Σf′² − N/α₂   (Section III-D; needs m ≥ 2)
+        let a = self.alpha();
+        let a2 = self.alpha2();
+        (1.0 / (a * a2), 0.0, -(self.n as f64) / a2)
+    }
+
+    fn name(&self) -> &'static str {
+        "with-replacement"
+    }
+}
+
+/// Sampling without replacement: a uniform `m`-subset of `N` tuples; the
+/// `f′ᵢ` are multivariate-hypergeometric components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WithoutReplacement {
+    m: u64,
+    n: u64,
+}
+
+impl WithoutReplacement {
+    /// `1 ≤ m ≤ n`.
+    pub fn new(m: u64, n: u64) -> Result<Self> {
+        if n == 0 || m == 0 || m > n {
+            return Err(Error::InvalidSampleSize {
+                sample: m,
+                population: n,
+            });
+        }
+        Ok(Self { m, n })
+    }
+
+    /// Sample size `m = |F′|`.
+    pub fn sample_size(&self) -> u64 {
+        self.m
+    }
+
+    /// Population size `N = |F|`.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// `α = m/N`.
+    pub fn alpha(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// `α₁ = (m−1)/(N−1)` (1 when `N = 1`).
+    pub fn alpha1(&self) -> f64 {
+        if self.n == 1 {
+            1.0
+        } else {
+            (self.m - 1) as f64 / (self.n - 1) as f64
+        }
+    }
+}
+
+impl SamplingScheme for WithoutReplacement {
+    fn kappa(&self, order: u32) -> f64 {
+        let denom = falling_u64(self.n, order);
+        if denom == 0.0 {
+            // Order exceeds the population: the factorial moment is 0 and
+            // so is (m)_order; define κ = 0 (φ will multiply to 0 anyway).
+            0.0
+        } else {
+            falling_u64(self.m, order) / denom
+        }
+    }
+
+    fn phi(&self, freq: f64, r: u32) -> f64 {
+        crate::factorial::falling(freq, r)
+    }
+
+    fn rate(&self) -> f64 {
+        self.alpha()
+    }
+
+    fn sjs_affine(&self) -> (f64, f64, f64) {
+        // X = (1/αα₁)Σf′² − ((1−α₁)/α₁)·N  (Section III-E; needs m ≥ 2)
+        let a = self.alpha();
+        let a1 = self.alpha1();
+        (1.0 / (a * a1), 0.0, -(1.0 - a1) / a1 * self.n as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "without-replacement"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct enumeration of a Binomial(f, p) pmf.
+    fn binomial_pmf(f: u64, p: f64) -> Vec<f64> {
+        let mut pmf = vec![0.0; f as usize + 1];
+        for (k, slot) in pmf.iter_mut().enumerate() {
+            let mut log = 0.0f64;
+            for j in 0..k {
+                log += ((f as usize - j) as f64).ln() - (j as f64 + 1.0).ln();
+            }
+            *slot = log.exp() * p.powi(k as i32) * (1.0 - p).powi((f as usize - k) as i32);
+        }
+        pmf
+    }
+
+    #[test]
+    fn bernoulli_factorial_moments_match_enumeration() {
+        let b = Bernoulli::new(0.3).unwrap();
+        for f in [0u64, 1, 3, 7] {
+            let pmf = binomial_pmf(f, 0.3);
+            for r in 0..=4u32 {
+                let direct: f64 = pmf
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &pr)| pr * falling_u64(k as u64, r))
+                    .sum();
+                let oracle = b.kappa(r) * b.phi(f as f64, r);
+                assert!(
+                    (direct - oracle).abs() < 1e-10,
+                    "f={f} r={r}: {direct} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    /// Enumerate all with-replacement samples of a tiny population and check
+    /// both single and joint factorial moments of the oracle.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // r, s index the moment tables
+    fn multinomial_moments_match_enumeration() {
+        // Population: value 0 ×2, value 1 ×1, value 2 ×3 (N = 6); m = 3.
+        let freqs = [2u64, 1, 3];
+        let n: u64 = freqs.iter().sum();
+        let m = 3u32;
+        let wr = WithReplacement::new(m as u64, n).unwrap();
+        // Enumerate all 6^3 draws.
+        let mut acc_single = [[0.0f64; 5]; 3];
+        let mut acc_joint = [[0.0f64; 3]; 3]; // E[(f0)_r (f1)_s] r,s in 1..=2
+        let mut acc_joint22 = 0.0f64; // E[(f0)_2 (f2)_2]
+        let total = 6f64.powi(m as i32);
+        let expand = |t: u32| -> [u64; 3] {
+            let mut cells = [0u64; 3];
+            let mut t = t;
+            for _ in 0..m {
+                let tuple = t % 6;
+                t /= 6;
+                let v = if tuple < 2 {
+                    0
+                } else if tuple < 3 {
+                    1
+                } else {
+                    2
+                };
+                cells[v] += 1;
+            }
+            cells
+        };
+        for t in 0..6u32.pow(m) {
+            let cells = expand(t);
+            for (v, acc) in acc_single.iter_mut().enumerate() {
+                for (r, slot) in acc.iter_mut().enumerate() {
+                    *slot += falling_u64(cells[v], r as u32) / total;
+                }
+            }
+            for r in 1..=2usize {
+                for s in 1..=2usize {
+                    acc_joint[r][s] +=
+                        falling_u64(cells[0], r as u32) * falling_u64(cells[1], s as u32) / total;
+                }
+            }
+            acc_joint22 += falling_u64(cells[0], 2) * falling_u64(cells[2], 2) / total;
+        }
+        for (v, &f) in freqs.iter().enumerate() {
+            for r in 0..=4u32 {
+                let oracle = wr.kappa(r) * wr.phi(f as f64, r);
+                assert!(
+                    (acc_single[v][r as usize] - oracle).abs() < 1e-10,
+                    "single v={v} r={r}: {} vs {oracle}",
+                    acc_single[v][r as usize]
+                );
+            }
+        }
+        for r in 1..=2u32 {
+            for s in 1..=2u32 {
+                let oracle = wr.kappa(r + s) * wr.phi(2.0, r) * wr.phi(1.0, s);
+                assert!(
+                    (acc_joint[r as usize][s as usize] - oracle).abs() < 1e-10,
+                    "joint r={r} s={s}"
+                );
+            }
+        }
+        let oracle22 = wr.kappa(4) * wr.phi(2.0, 2) * wr.phi(3.0, 2);
+        assert!((acc_joint22 - oracle22).abs() < 1e-10);
+    }
+
+    /// Enumerate all without-replacement subsets of a tiny population.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // r, s index the moment tables
+    fn hypergeometric_moments_match_enumeration() {
+        // Population of 6 tuples: values [0,0,1,2,2,2]; m = 3.
+        let tuples = [0u64, 0, 1, 2, 2, 2];
+        let freqs = [2u64, 1, 3];
+        let m = 3usize;
+        let wor = WithoutReplacement::new(m as u64, 6).unwrap();
+        let mut acc_single = [[0.0f64; 5]; 3];
+        let mut acc_joint = [[0.0f64; 3]; 3];
+        let mut count = 0u32;
+        // Enumerate all C(6,3) = 20 subsets via bitmasks.
+        for mask in 0u32..64 {
+            if mask.count_ones() as usize != m {
+                continue;
+            }
+            count += 1;
+            let mut cells = [0u64; 3];
+            for (t, &v) in tuples.iter().enumerate() {
+                if mask >> t & 1 == 1 {
+                    cells[v as usize] += 1;
+                }
+            }
+            for (v, acc) in acc_single.iter_mut().enumerate() {
+                for (r, slot) in acc.iter_mut().enumerate() {
+                    *slot += falling_u64(cells[v], r as u32);
+                }
+            }
+            for r in 1..=2usize {
+                for s in 1..=2usize {
+                    acc_joint[r][s] +=
+                        falling_u64(cells[0], r as u32) * falling_u64(cells[2], s as u32);
+                }
+            }
+        }
+        assert_eq!(count, 20);
+        for (v, &f) in freqs.iter().enumerate() {
+            for r in 0..=4u32 {
+                let direct = acc_single[v][r as usize] / count as f64;
+                let oracle = wor.kappa(r) * wor.phi(f as f64, r);
+                assert!((direct - oracle).abs() < 1e-10, "single v={v} r={r}");
+            }
+        }
+        for r in 1..=2u32 {
+            for s in 1..=2u32 {
+                let direct = acc_joint[r as usize][s as usize] / count as f64;
+                let oracle = wor.kappa(r + s) * wor.phi(2.0, r) * wor.phi(3.0, s);
+                assert!((direct - oracle).abs() < 1e-10, "joint r={r} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Bernoulli::new(0.0).is_err());
+        assert!(Bernoulli::new(1.2).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+        assert!(Bernoulli::new(1.0).is_ok());
+        assert!(WithReplacement::new(0, 5).is_err());
+        assert!(WithReplacement::new(5, 0).is_err());
+        assert!(WithReplacement::new(10, 5).is_ok(), "WR may oversample");
+        assert!(WithoutReplacement::new(6, 5).is_err());
+        assert!(WithoutReplacement::new(5, 5).is_ok());
+    }
+
+    #[test]
+    fn rates_and_affine_constants() {
+        let b = Bernoulli::new(0.25).unwrap();
+        assert_eq!(b.rate(), 0.25);
+        let (u, v, c) = b.sjs_affine();
+        assert_eq!(u, 16.0);
+        assert_eq!(v, -12.0);
+        assert_eq!(c, 0.0);
+
+        let wr = WithReplacement::new(10, 100).unwrap();
+        assert_eq!(wr.rate(), 0.1);
+        let (u, v, c) = wr.sjs_affine();
+        assert!((u - 1.0 / (0.1 * 0.09)).abs() < 1e-12);
+        assert_eq!(v, 0.0);
+        assert!((c - -(100.0 / 0.09)).abs() < 1e-9);
+
+        let wor = WithoutReplacement::new(10, 100).unwrap();
+        let a1 = 9.0 / 99.0;
+        let (u, v, c) = wor.sjs_affine();
+        assert!((u - 1.0 / (0.1 * a1)).abs() < 1e-12);
+        assert_eq!(v, 0.0);
+        assert!((c - -((1.0 - a1) / a1 * 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wor_kappa_saturates_beyond_population() {
+        // population 3, order 4: (3)_4 = 0 in the denominator — κ must be 0.
+        let wor = WithoutReplacement::new(2, 3).unwrap();
+        assert_eq!(wor.kappa(4), 0.0);
+    }
+
+    #[test]
+    fn full_wor_sample_has_deterministic_frequencies() {
+        // m = N: f′ = f exactly, so E[(f′)_r] = (f)_r, i.e. κ(r) = 1.
+        let wor = WithoutReplacement::new(5, 5).unwrap();
+        for r in 0..=4u32 {
+            if falling_u64(5, r) > 0.0 {
+                assert!((wor.kappa(r) - 1.0).abs() < 1e-12, "r = {r}");
+            }
+        }
+    }
+}

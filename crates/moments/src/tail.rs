@@ -1,0 +1,184 @@
+//! Distribution-dependent tail bounds.
+//!
+//! Section II of the paper lists the two standard routes from (mean,
+//! variance) to error guarantees: distribution-independent inequalities
+//! (Chebyshev — see [`crate::bounds`]) and distribution-dependent bounds.
+//! This module supplies the distribution-dependent side for the quantities
+//! whose exact laws we know:
+//!
+//! * Chernoff bounds for the **sample size** of a Bernoulli shedder — how
+//!   far `|F′|` can stray from `p·|F|`, which governs both the memory of a
+//!   stored sample and the stability of the speed-up factor;
+//! * exact binomial pmf/cdf (stable log-space evaluation), used by the
+//!   tests to verify the Chernoff bounds are actually bounds.
+
+/// Natural log of `n!` via the log-gamma function (Lanczos approximation,
+/// accurate to ~1e-13 for the integer arguments used here).
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Log-gamma by the Lanczos approximation (g = 7, 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = C[0];
+    let t = x + G + 0.5;
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "choose requires k <= n");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact `P(Binomial(n, p) = k)`, evaluated in log space.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Exact `P(Binomial(n, p) ≤ k)` by summation (fine for the test sizes;
+/// production users should window the sum).
+pub fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, p, i))
+        .sum::<f64>()
+        .min(1.0)
+}
+
+/// Chernoff upper bound on `P(X ≥ (1+δ)·np)` for `X ~ Binomial(n, p)`,
+/// `δ ≥ 0`: `exp(−np·((1+δ)ln(1+δ) − δ))`.
+pub fn chernoff_upper(n: u64, p: f64, delta: f64) -> f64 {
+    assert!(delta >= 0.0, "delta must be non-negative");
+    let mu = n as f64 * p;
+    (-(mu * ((1.0 + delta) * (1.0 + delta).ln() - delta)))
+        .exp()
+        .min(1.0)
+}
+
+/// Chernoff upper bound on `P(X ≤ (1−δ)·np)`, `0 ≤ δ ≤ 1`:
+/// `exp(−np·δ²/2)`.
+pub fn chernoff_lower(n: u64, p: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "delta must be in [0, 1]");
+    let mu = n as f64 * p;
+    (-(mu * delta * delta / 2.0)).exp().min(1.0)
+}
+
+/// The smallest stream length `n` such that a Bernoulli(p) shedder's kept
+/// count stays within `±tol·np` of its mean with probability `≥ 1 − fail`
+/// (union bound over both Chernoff tails). `None` if `tol` or `fail` make
+/// the requirement unsatisfiable.
+pub fn stream_length_for_stable_sample(p: f64, tol: f64, fail: f64) -> Option<u64> {
+    let valid = p > 0.0 && p <= 1.0 && tol > 0.0 && fail > 0.0 && fail < 1.0;
+    if !valid {
+        return None;
+    }
+    // Solve exp(-np·tol²/3) ≤ fail/2 (the weaker of the two exponents for
+    // tol ≤ 1 is δ²/3 on the upper side).
+    let np = 3.0 * (2.0 / fail).ln() / (tol * tol);
+    Some((np / p).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn factorials_and_binomials() {
+        assert!((ln_factorial(0)).abs() < 1e-12);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_small_cases() {
+        let total: f64 = (0..=20).map(|k| binomial_pmf(20, 0.3, k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // P(Bin(4, 1/2) = 2) = 6/16.
+        assert!((binomial_pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+        assert_eq!(binomial_pmf(4, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(4, 1.0, 4), 1.0);
+        assert_eq!(binomial_pmf(4, 0.5, 5), 0.0);
+    }
+
+    #[test]
+    fn chernoff_bounds_actually_bound() {
+        let (n, p) = (2000u64, 0.1);
+        let mu = n as f64 * p;
+        for delta in [0.1, 0.25, 0.5, 1.0] {
+            let exact_upper = 1.0 - binomial_cdf(n, p, ((1.0 + delta) * mu).floor() as u64 - 1);
+            assert!(
+                chernoff_upper(n, p, delta) >= exact_upper - 1e-12,
+                "upper δ={delta}: bound {} < exact {exact_upper}",
+                chernoff_upper(n, p, delta)
+            );
+            if delta <= 1.0 {
+                let exact_lower = binomial_cdf(n, p, ((1.0 - delta) * mu).floor() as u64);
+                assert!(
+                    chernoff_lower(n, p, delta) >= exact_lower - 1e-12,
+                    "lower δ={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_decay_with_n() {
+        assert!(chernoff_upper(10_000, 0.1, 0.2) < chernoff_upper(1_000, 0.1, 0.2));
+        assert!(chernoff_lower(10_000, 0.1, 0.2) < chernoff_lower(1_000, 0.1, 0.2));
+    }
+
+    #[test]
+    fn stable_sample_planner() {
+        let n = stream_length_for_stable_sample(0.1, 0.05, 0.01).expect("satisfiable");
+        // The planned n must make both Chernoff tails ≤ fail/2.
+        assert!(chernoff_upper(n, 0.1, 0.05) <= 0.005 * 1.5);
+        assert!(chernoff_lower(n, 0.1, 0.05) <= 0.005);
+        // Degenerate parameters are rejected.
+        assert_eq!(stream_length_for_stable_sample(0.0, 0.1, 0.1), None);
+        assert_eq!(stream_length_for_stable_sample(0.1, 0.0, 0.1), None);
+        assert_eq!(stream_length_for_stable_sample(0.1, 0.1, 1.0), None);
+    }
+}

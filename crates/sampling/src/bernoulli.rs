@@ -1,0 +1,288 @@
+//! Bernoulli sampling: each tuple is kept independently with probability `p`.
+//!
+//! This is the *load shedding* scheme of the paper's Section VI-A. Two
+//! implementations are provided:
+//!
+//! * [`BernoulliSampler`] tosses one coin per tuple — O(1) work per stream
+//!   item whether or not it is kept.
+//! * [`GeometricSkip`] draws the *gap* until the next kept tuple from the
+//!   geometric distribution (Olken's interval generation, the paper's
+//!   reference \[18\]) — O(1) work per *kept* tuple, which is what makes the
+//!   speed-up of sketching a p-sample proportional to `1/p` rather than
+//!   bounded by the per-tuple coin cost.
+
+use crate::error::{Error, Result};
+use rand::Rng;
+
+/// Per-tuple coin-flip Bernoulli sampler.
+///
+/// The sampler owns its RNG so that a pipeline can call [`keep`] in a tight
+/// loop without re-borrowing.
+///
+/// [`keep`]: BernoulliSampler::keep
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler<R = rand::rngs::StdRng> {
+    p: f64,
+    rng: R,
+}
+
+impl<R: Rng> BernoulliSampler<R> {
+    /// Create a sampler with inclusion probability `p ∈ [0, 1]`, seeding its
+    /// internal RNG from `seed_rng`.
+    pub fn new<S: Rng>(p: f64, seed_rng: &mut S) -> Result<Self>
+    where
+        R: rand::SeedableRng,
+    {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(Error::InvalidProbability(p));
+        }
+        Ok(Self {
+            p,
+            rng: R::from_rng(seed_rng),
+        })
+    }
+
+    /// Create from an explicit RNG.
+    pub fn with_rng(p: f64, rng: R) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(Error::InvalidProbability(p));
+        }
+        Ok(Self { p, rng })
+    }
+
+    /// The inclusion probability.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Toss the coin for the next tuple.
+    #[inline]
+    pub fn keep(&mut self) -> bool {
+        // Fast paths for the degenerate probabilities keep p=1.0 exactly
+        // lossless (random() < 1.0 would already be always-true, but being
+        // explicit documents the contract).
+        if self.p >= 1.0 {
+            return true;
+        }
+        if self.p <= 0.0 {
+            return false;
+        }
+        self.rng.random::<f64>() < self.p
+    }
+
+    /// Filter an iterator of items, keeping each independently with
+    /// probability `p`.
+    pub fn filter_iter<I>(mut self, iter: I) -> impl Iterator<Item = I::Item>
+    where
+        I: IntoIterator,
+    {
+        iter.into_iter().filter(move |_| self.keep())
+    }
+}
+
+/// Geometric-skip Bernoulli sampler: generates the positions of kept tuples
+/// directly.
+///
+/// The gap `G` before the next kept tuple satisfies `P(G = k) = (1−p)ᵏ·p`,
+/// i.e. `G = ⌊ln U / ln(1−p)⌋` for `U ~ Uniform(0,1)`. Work is proportional
+/// to the number of *kept* tuples only.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_sampling::GeometricSkip;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sampler: GeometricSkip = GeometricSkip::new(0.01, &mut rng).unwrap();
+/// let positions = sampler.sample_indices(1_000_000);
+/// // ≈ 1% of the stream positions are selected, strictly increasing.
+/// assert!((positions.len() as f64 - 10_000.0).abs() < 600.0);
+/// assert!(positions.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeometricSkip<R = rand::rngs::StdRng> {
+    /// `ln(1 − p)`, cached.
+    log_q: f64,
+    p: f64,
+    rng: R,
+}
+
+impl<R: Rng> GeometricSkip<R> {
+    /// Create a skip sampler with inclusion probability `p ∈ (0, 1]`.
+    ///
+    /// `p = 0` is rejected: the gap would be infinite.
+    pub fn new<S: Rng>(p: f64, seed_rng: &mut S) -> Result<Self>
+    where
+        R: rand::SeedableRng,
+    {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(Error::InvalidProbability(p));
+        }
+        Ok(Self {
+            log_q: (1.0 - p).ln(),
+            p,
+            rng: R::from_rng(seed_rng),
+        })
+    }
+
+    /// The inclusion probability.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// The number of tuples to skip before the next kept tuple.
+    #[inline]
+    pub fn next_gap(&mut self) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // U ∈ (0, 1]; ln U ≤ 0; log_q < 0 — the ratio is the geometric draw.
+        let u: f64 = 1.0 - self.rng.random::<f64>();
+        let g = (u.ln() / self.log_q).floor();
+        // Guard against numeric overflow for astronomically unlikely draws.
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Iterator over the (0-based) positions of kept tuples in an infinite
+    /// stream; take positions `< n` to sample a stream of length `n`.
+    pub fn positions(mut self) -> impl Iterator<Item = u64> {
+        let mut next: Option<u64> = Some(0);
+        std::iter::from_fn(move || {
+            let base = next?;
+            let pos = base.checked_add(self.next_gap())?;
+            next = pos.checked_add(1);
+            Some(pos)
+        })
+    }
+
+    /// Sample the indices of kept tuples from a stream of length `n`.
+    pub fn sample_indices(self, n: u64) -> Vec<u64> {
+        self.positions().take_while(|&pos| pos < n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut r = rng(0);
+        assert!(BernoulliSampler::<StdRng>::new(-0.1, &mut r).is_err());
+        assert!(BernoulliSampler::<StdRng>::new(1.1, &mut r).is_err());
+        assert!(BernoulliSampler::<StdRng>::new(f64::NAN, &mut r).is_err());
+        assert!(GeometricSkip::<StdRng>::new(0.0, &mut r).is_err());
+        assert!(GeometricSkip::<StdRng>::new(-1.0, &mut r).is_err());
+        assert!(GeometricSkip::<StdRng>::new(1.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut s = BernoulliSampler::<StdRng>::new(1.0, &mut rng(1)).unwrap();
+        assert!((0..100).all(|_| s.keep()));
+        let mut s = BernoulliSampler::<StdRng>::new(0.0, &mut rng(2)).unwrap();
+        assert!((0..100).all(|_| !s.keep()));
+        let mut g = GeometricSkip::<StdRng>::new(1.0, &mut rng(3)).unwrap();
+        assert!((0..100).all(|_| g.next_gap() == 0));
+    }
+
+    #[test]
+    fn coin_sample_size_concentrates() {
+        let n = 100_000u64;
+        let p = 0.1;
+        let mut s = BernoulliSampler::<StdRng>::new(p, &mut rng(4)).unwrap();
+        let kept = (0..n).filter(|_| s.keep()).count() as f64;
+        let mean = n as f64 * p;
+        let std = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (kept - mean).abs() < 5.0 * std,
+            "kept = {kept}, expect ≈ {mean}"
+        );
+    }
+
+    #[test]
+    fn skip_sample_size_concentrates() {
+        let n = 100_000u64;
+        let p = 0.05;
+        let g = GeometricSkip::<StdRng>::new(p, &mut rng(5)).unwrap();
+        let kept = g.sample_indices(n).len() as f64;
+        let mean = n as f64 * p;
+        let std = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (kept - mean).abs() < 5.0 * std,
+            "kept = {kept}, expect ≈ {mean}"
+        );
+    }
+
+    #[test]
+    fn skip_positions_are_strictly_increasing_and_in_range() {
+        let g = GeometricSkip::<StdRng>::new(0.03, &mut rng(6)).unwrap();
+        let idx = g.sample_indices(50_000);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 50_000));
+    }
+
+    /// The gap distribution must be geometric: compare the empirical mean
+    /// and the P(G = 0) mass against theory.
+    #[test]
+    fn gap_distribution_is_geometric() {
+        let p: f64 = 0.2;
+        let mut g = GeometricSkip::<StdRng>::new(p, &mut rng(7)).unwrap();
+        let n = 200_000;
+        let mut sum = 0u64;
+        let mut zeros = 0u64;
+        for _ in 0..n {
+            let gap = g.next_gap();
+            sum += gap;
+            zeros += (gap == 0) as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        let expect_mean = (1.0 - p) / p; // E[G] for gaps counted before the success
+        assert!(
+            (mean - expect_mean).abs() < 0.05,
+            "mean gap = {mean}, expect {expect_mean}"
+        );
+        let p0 = zeros as f64 / n as f64;
+        assert!((p0 - p).abs() < 0.01, "P(G=0) = {p0}, expect {p}");
+    }
+
+    /// Coin and skip samplers induce the same inclusion law: each index is
+    /// kept with probability p, independently. Check per-index inclusion
+    /// frequency for the skip sampler.
+    #[test]
+    fn skip_inclusion_is_uniform_over_positions() {
+        let p = 0.3;
+        let n = 50u64;
+        let reps = 20_000;
+        let mut incl = vec![0u32; n as usize];
+        let mut r = rng(8);
+        for _ in 0..reps {
+            let g: GeometricSkip<StdRng> = GeometricSkip::new(p, &mut r).unwrap();
+            for i in g.sample_indices(n) {
+                incl[i as usize] += 1;
+            }
+        }
+        for (i, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / reps as f64;
+            assert!((freq - p).abs() < 0.02, "index {i}: inclusion {freq}");
+        }
+    }
+
+    #[test]
+    fn filter_iter_keeps_order() {
+        let s = BernoulliSampler::<StdRng>::new(0.5, &mut rng(9)).unwrap();
+        let kept: Vec<u64> = s.filter_iter(0..1000u64).collect();
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,248 @@
+//! Sampling-only estimators for size of join and self-join size
+//! (Propositions 3–6 of the paper).
+//!
+//! Each estimator is the raw sample aggregate with the scheme's scaling
+//! factor `C` and — for self-join size, where plain scaling cannot remove
+//! the bias — an additive correction:
+//!
+//! | Scheme | Size of join | Self-join size |
+//! |---|---|---|
+//! | Bernoulli | `(1/pq)·Σf′g′` | `(1/p²)·Σf′² − ((1−p)/p²)·Σf′` |
+//! | With replacement | `(1/αβ)·Σf′g′` | `(1/αα₂)·Σf′² − |F|/α₂` |
+//! | Without replacement | `(1/αβ)·Σf′g′` | `(1/αα₁)·Σf′² − ((1−α₁)/α₁)·|F|` |
+//!
+//! All are unbiased; their variances (Eqs. 6, 7, 10, 11) are implemented in
+//! `sss-moments` and verified against these estimators by Monte-Carlo
+//! integration tests.
+
+use crate::coefficients::SamplingFractions;
+use crate::counts::SampleCounts;
+use crate::error::{Error, Result};
+
+fn check_prob(p: f64) -> Result<f64> {
+    if p > 0.0 && p <= 1.0 {
+        Ok(p)
+    } else {
+        Err(Error::InvalidProbability(p))
+    }
+}
+
+/// Proposition 3: unbiased size-of-join estimator over Bernoulli samples
+/// with inclusion probabilities `p` (for `F′`) and `q` (for `G′`).
+pub fn bernoulli_size_of_join(
+    f_sample: &SampleCounts,
+    g_sample: &SampleCounts,
+    p: f64,
+    q: f64,
+) -> Result<f64> {
+    let p = check_prob(p)?;
+    let q = check_prob(q)?;
+    Ok(f_sample.dot(g_sample) / (p * q))
+}
+
+/// Proposition 4: unbiased self-join size estimator over a Bernoulli sample
+/// with inclusion probability `p`.
+///
+/// The `−(1−p)/p²·Σf′` correction removes the `E[f′²] = p²f² + p(1−p)f`
+/// bias that scaling alone cannot.
+pub fn bernoulli_self_join(sample: &SampleCounts, p: f64) -> Result<f64> {
+    let p = check_prob(p)?;
+    Ok(sample.sum_squares() / (p * p) - (1.0 - p) / (p * p) * sample.total() as f64)
+}
+
+/// Proposition 5: unbiased size-of-join estimator over samples drawn with
+/// replacement; `f_pop` and `g_pop` are the population sizes `|F|`, `|G|`.
+pub fn wr_size_of_join(
+    f_sample: &SampleCounts,
+    g_sample: &SampleCounts,
+    f_pop: u64,
+    g_pop: u64,
+) -> Result<f64> {
+    let fa = SamplingFractions::new(f_sample.total(), f_pop)?;
+    let fb = SamplingFractions::new(g_sample.total(), g_pop)?;
+    Ok(f_sample.dot(g_sample) / (fa.alpha() * fb.alpha()))
+}
+
+/// Unbiased self-join size estimator over a with-replacement sample
+/// (Section III-D): `X = (1/αα₂)·Σf′² − |F|/α₂`.
+///
+/// # Errors
+///
+/// Requires at least two sampled tuples (`α₂` divides by zero otherwise).
+pub fn wr_self_join(sample: &SampleCounts, population: u64) -> Result<f64> {
+    let fr = SamplingFractions::new(sample.total(), population)?;
+    if sample.total() < 2 {
+        return Err(Error::SampleTooSmall {
+            got: sample.total(),
+            need: 2,
+        });
+    }
+    Ok(sample.sum_squares() / (fr.alpha() * fr.alpha2()) - population as f64 / fr.alpha2())
+}
+
+/// Proposition 6: unbiased size-of-join estimator over samples drawn
+/// without replacement.
+pub fn wor_size_of_join(
+    f_sample: &SampleCounts,
+    g_sample: &SampleCounts,
+    f_pop: u64,
+    g_pop: u64,
+) -> Result<f64> {
+    let fa = SamplingFractions::new(f_sample.total(), f_pop)?;
+    let fb = SamplingFractions::new(g_sample.total(), g_pop)?;
+    if f_sample.total() > f_pop {
+        return Err(Error::SampleExceedsPopulation {
+            sample: f_sample.total(),
+            population: f_pop,
+        });
+    }
+    if g_sample.total() > g_pop {
+        return Err(Error::SampleExceedsPopulation {
+            sample: g_sample.total(),
+            population: g_pop,
+        });
+    }
+    Ok(f_sample.dot(g_sample) / (fa.alpha() * fb.alpha()))
+}
+
+/// Unbiased self-join size estimator over a without-replacement sample
+/// (Section III-E): `X = (1/αα₁)·Σf′² − ((1−α₁)/α₁)·|F|`.
+///
+/// # Errors
+///
+/// Requires at least two sampled tuples when `|F| > 1` (`α₁` divides by
+/// zero otherwise), and the sample may not exceed the population.
+pub fn wor_self_join(sample: &SampleCounts, population: u64) -> Result<f64> {
+    let fr = SamplingFractions::new(sample.total(), population)?;
+    if sample.total() > population {
+        return Err(Error::SampleExceedsPopulation {
+            sample: sample.total(),
+            population,
+        });
+    }
+    if population > 1 && sample.total() < 2 {
+        return Err(Error::SampleTooSmall {
+            got: sample.total(),
+            need: 2,
+        });
+    }
+    let a1 = fr.alpha1();
+    Ok(sample.sum_squares() / (fr.alpha() * a1) - (1.0 - a1) / a1 * population as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli::BernoulliSampler;
+    use crate::with_replacement::sample_with_replacement;
+    use crate::without_replacement::sample_without_replacement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small relation with known aggregates:
+    /// keys 0..K where key i has frequency i+1.
+    fn relation(k: u64) -> Vec<u64> {
+        (0..k)
+            .flat_map(|i| std::iter::repeat(i).take(i as usize + 1))
+            .collect()
+    }
+
+    fn self_join_truth(k: u64) -> f64 {
+        (1..=k).map(|f| (f * f) as f64).sum()
+    }
+
+    #[test]
+    fn full_bernoulli_sample_is_exact() {
+        let rel = relation(50);
+        let counts = SampleCounts::from_keys(rel.iter().copied());
+        assert_eq!(
+            bernoulli_self_join(&counts, 1.0).unwrap(),
+            self_join_truth(50)
+        );
+        let est = bernoulli_size_of_join(&counts, &counts, 1.0, 1.0).unwrap();
+        assert_eq!(est, self_join_truth(50));
+    }
+
+    #[test]
+    fn full_wor_sample_is_exact() {
+        let rel = relation(50);
+        let n = rel.len() as u64;
+        let counts = SampleCounts::from_keys(rel.iter().copied());
+        // α = α₁ = 1 ⇒ the estimator degenerates to the exact aggregate.
+        let est = wor_self_join(&counts, n).unwrap();
+        assert!((est - self_join_truth(50)).abs() < 1e-9);
+        let sj = wor_size_of_join(&counts, &counts, n, n).unwrap();
+        assert!((sj - self_join_truth(50)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimators_reject_bad_parameters() {
+        let c = SampleCounts::from_keys([1u64, 2, 3]);
+        assert!(bernoulli_self_join(&c, 0.0).is_err());
+        assert!(bernoulli_self_join(&c, 1.5).is_err());
+        assert!(bernoulli_size_of_join(&c, &c, 0.5, -0.1).is_err());
+        assert!(wr_self_join(&c, 0).is_err());
+        assert!(wor_self_join(&c, 2).is_err()); // sample 3 > population 2
+        let single = SampleCounts::from_keys([7u64]);
+        assert!(wr_self_join(&single, 100).is_err()); // needs ≥ 2 tuples
+        assert!(wor_self_join(&single, 100).is_err());
+    }
+
+    /// Monte-Carlo unbiasedness of every estimator at realistic sampling
+    /// rates. The averages over many repetitions must converge to truth.
+    #[test]
+    fn estimators_are_unbiased() {
+        let rel = relation(40); // |F| = 820, F₂ = Σ f² = 22140
+        let n = rel.len() as u64;
+        let truth = self_join_truth(40);
+        let reps = 4000;
+        let mut r = StdRng::seed_from_u64(99);
+
+        let mut acc_bern_sj = 0f64;
+        let mut acc_wr = 0f64;
+        let mut acc_wor = 0f64;
+        let mut acc_join = 0f64;
+        let m = 200u64;
+        for _ in 0..reps {
+            let mut s = BernoulliSampler::<StdRng>::new(0.25, &mut r).unwrap();
+            let bern = SampleCounts::from_keys(rel.iter().copied().filter(|_| s.keep()));
+            acc_bern_sj += bernoulli_self_join(&bern, 0.25).unwrap();
+
+            let wr = SampleCounts::from_keys(sample_with_replacement(&rel, m, &mut r).unwrap());
+            acc_wr += wr_self_join(&wr, n).unwrap();
+
+            let wor = SampleCounts::from_keys(sample_without_replacement(&rel, m, &mut r).unwrap());
+            acc_wor += wor_self_join(&wor, n).unwrap();
+
+            let wor_g =
+                SampleCounts::from_keys(sample_without_replacement(&rel, m, &mut r).unwrap());
+            acc_join += wor_size_of_join(&wor, &wor_g, n, n).unwrap();
+        }
+        for (name, acc) in [
+            ("bernoulli self-join", acc_bern_sj),
+            ("wr self-join", acc_wr),
+            ("wor self-join", acc_wor),
+            ("wor size-of-join", acc_join),
+        ] {
+            let mean = acc / reps as f64;
+            assert!(
+                (mean - truth).abs() / truth < 0.05,
+                "{name}: mean {mean} vs truth {truth}"
+            );
+        }
+    }
+
+    /// WOR at full sampling rate has zero variance — every draw returns the
+    /// exact answer, not merely the right answer on average.
+    #[test]
+    fn wor_variance_vanishes_at_full_rate() {
+        let rel = relation(20);
+        let n = rel.len() as u64;
+        let truth = self_join_truth(20);
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let s = SampleCounts::from_keys(sample_without_replacement(&rel, n, &mut r).unwrap());
+            assert!((wor_self_join(&s, n).unwrap() - truth).abs() < 1e-9);
+        }
+    }
+}

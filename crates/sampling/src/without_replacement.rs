@@ -1,0 +1,341 @@
+//! Sampling without replacement: a uniform random subset of fixed size.
+//!
+//! The sampled frequency vector `f′` follows the multivariate hypergeometric
+//! law. Three entry points match the three ways WOR samples arise in
+//! practice:
+//!
+//! * [`sample_without_replacement`] — partial Fisher–Yates over a
+//!   materialized relation.
+//! * [`reservoir_sample`] — Vitter's Algorithm R over a one-pass stream of
+//!   unknown length.
+//! * [`PrefixScan`] — shuffle once, then expose every prefix of the scan as
+//!   a growing WOR sample. This models the online-aggregation scenario of
+//!   the paper's Section VI-C, where "the fraction of the relation seen at
+//!   each point during the scan represents a sample without replacement of
+//!   the entire relation as long as the order of the tuples is random".
+
+use crate::error::{Error, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draw a uniform subset of `m` tuples from `population` (order random).
+///
+/// Runs a partial Fisher–Yates shuffle: O(m) swaps over one O(|population|)
+/// copy.
+///
+/// # Errors
+///
+/// [`Error::SampleExceedsPopulation`] if `m > |population|`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    population: &[u64],
+    m: u64,
+    rng: &mut R,
+) -> Result<Vec<u64>> {
+    let n = population.len() as u64;
+    if m > n {
+        return Err(Error::SampleExceedsPopulation {
+            sample: m,
+            population: n,
+        });
+    }
+    let mut pool: Vec<u64> = population.to_vec();
+    let m = m as usize;
+    for i in 0..m {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(m);
+    Ok(pool)
+}
+
+/// One-pass reservoir sampling (Algorithm R) over a stream of unknown
+/// length.
+///
+/// Returns `min(m, stream length)` tuples; every subset of that size is
+/// equally likely.
+pub fn reservoir_sample<I, R>(stream: I, m: usize, rng: &mut R) -> Vec<u64>
+where
+    I: IntoIterator<Item = u64>,
+    R: Rng + ?Sized,
+{
+    let mut reservoir: Vec<u64> = Vec::with_capacity(m);
+    if m == 0 {
+        return reservoir;
+    }
+    for (seen, item) in stream.into_iter().enumerate() {
+        if reservoir.len() < m {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=seen);
+            if j < m {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// One-pass reservoir sampling with geometric jumps (Li's Algorithm L).
+///
+/// Produces the same distribution as [`reservoir_sample`] but does O(1)
+/// work per *replacement* instead of per element: after the reservoir
+/// fills, the index of the next replaced element is drawn directly, so a
+/// stream of `n` elements costs `O(m·(1 + log(n/m)))` RNG work. This is
+/// the reservoir analogue of the geometric-skip Bernoulli sampler and the
+/// right choice when the stream is cheap to advance (e.g. an in-memory
+/// scan or a seekable file).
+pub fn reservoir_sample_l<I, R>(stream: I, m: usize, rng: &mut R) -> Vec<u64>
+where
+    I: IntoIterator<Item = u64>,
+    R: Rng + ?Sized,
+{
+    let mut it = stream.into_iter();
+    let mut reservoir: Vec<u64> = Vec::with_capacity(m);
+    if m == 0 {
+        return reservoir;
+    }
+    for item in it.by_ref().take(m) {
+        reservoir.push(item);
+    }
+    if reservoir.len() < m {
+        return reservoir; // stream shorter than the reservoir
+    }
+    // W is the running maximum of m uniform "keys" (in expectation);
+    // ln-space arithmetic avoids underflow on long streams.
+    let mut w: f64 = (rng.random::<f64>().max(f64::MIN_POSITIVE).ln() / m as f64).exp();
+    loop {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (u.ln() / (1.0 - w).ln()).floor();
+        if !skip.is_finite() || skip < 0.0 {
+            // w rounded to 1.0: every future key loses; sampling is done.
+            return reservoir;
+        }
+        // Advance past `skip` elements, then replace a random slot.
+        let mut remaining = skip as u64;
+        loop {
+            match it.next() {
+                None => return reservoir,
+                Some(item) => {
+                    if remaining == 0 {
+                        let slot = rng.random_range(0..m);
+                        reservoir[slot] = item;
+                        break;
+                    }
+                    remaining -= 1;
+                }
+            }
+        }
+        w *= (rng.random::<f64>().max(f64::MIN_POSITIVE).ln() / m as f64).exp();
+    }
+}
+
+/// A randomly-ordered scan whose prefixes are without-replacement samples.
+///
+/// Construct once (shuffles the relation), then either iterate tuple by
+/// tuple or take snapshots at chosen fractions. This is the substrate for
+/// the online-aggregation experiments (Figures 7–8 of the paper).
+#[derive(Debug, Clone)]
+pub struct PrefixScan {
+    tuples: Vec<u64>,
+}
+
+impl PrefixScan {
+    /// Shuffle `relation` into a random scan order.
+    pub fn new<R: Rng + ?Sized>(mut relation: Vec<u64>, rng: &mut R) -> Self {
+        relation.shuffle(rng);
+        Self { tuples: relation }
+    }
+
+    /// Build from a relation that is *already* in random order (e.g. the
+    /// output of a previous shuffle persisted to disk).
+    pub fn assume_random_order(relation: Vec<u64>) -> Self {
+        Self { tuples: relation }
+    }
+
+    /// Total relation size `|F|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The scan order (full relation).
+    pub fn tuples(&self) -> &[u64] {
+        &self.tuples
+    }
+
+    /// The WOR sample consisting of the first `m` scanned tuples.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SampleExceedsPopulation`] if `m > |F|`.
+    pub fn prefix(&self, m: usize) -> Result<&[u64]> {
+        if m > self.tuples.len() {
+            return Err(Error::SampleExceedsPopulation {
+                sample: m as u64,
+                population: self.tuples.len() as u64,
+            });
+        }
+        Ok(&self.tuples[..m])
+    }
+
+    /// The prefix covering the given `fraction ∈ [0, 1]` of the relation
+    /// (rounded to the nearest tuple).
+    pub fn prefix_fraction(&self, fraction: f64) -> Result<&[u64]> {
+        if !(0.0..=1.0).contains(&fraction) || fraction.is_nan() {
+            return Err(Error::InvalidProbability(fraction));
+        }
+        let m = (fraction * self.tuples.len() as f64).round() as usize;
+        self.prefix(m.min(self.tuples.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn wor_sample_has_exact_size_and_no_duplicates() {
+        let pop: Vec<u64> = (0..1000).collect();
+        let s = sample_without_replacement(&pop, 300, &mut rng(1)).unwrap();
+        assert_eq!(s.len(), 300);
+        let distinct: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(distinct.len(), 300, "WOR sample must not repeat tuples");
+    }
+
+    #[test]
+    fn wor_full_sample_is_a_permutation() {
+        let pop: Vec<u64> = (0..64).collect();
+        let mut s = sample_without_replacement(&pop, 64, &mut rng(2)).unwrap();
+        s.sort_unstable();
+        assert_eq!(s, pop);
+    }
+
+    #[test]
+    fn wor_rejects_oversized_samples() {
+        let pop: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            sample_without_replacement(&pop, 11, &mut rng(3)),
+            Err(Error::SampleExceedsPopulation {
+                sample: 11,
+                population: 10
+            })
+        );
+    }
+
+    /// Each element must be included with probability m/n.
+    #[test]
+    fn wor_inclusion_probability_is_uniform() {
+        let pop: Vec<u64> = (0..20).collect();
+        let reps = 40_000;
+        let mut incl = [0u32; 20];
+        let mut r = rng(4);
+        for _ in 0..reps {
+            for k in sample_without_replacement(&pop, 5, &mut r).unwrap() {
+                incl[k as usize] += 1;
+            }
+        }
+        for (k, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / reps as f64;
+            assert!((freq - 0.25).abs() < 0.015, "element {k}: inclusion {freq}");
+        }
+    }
+
+    #[test]
+    fn reservoir_matches_stream_when_short() {
+        let s = reservoir_sample(0..5u64, 10, &mut rng(5));
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        assert!(reservoir_sample(0..5u64, 0, &mut rng(5)).is_empty());
+    }
+
+    #[test]
+    fn algorithm_l_matches_stream_when_short() {
+        let s = reservoir_sample_l(0..5u64, 10, &mut rng(50));
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        assert!(reservoir_sample_l(0..5u64, 0, &mut rng(50)).is_empty());
+    }
+
+    /// Algorithm L must induce the same uniform inclusion law as
+    /// Algorithm R.
+    #[test]
+    fn algorithm_l_inclusion_probability_is_uniform() {
+        let reps = 40_000;
+        let n = 20u64;
+        let m = 5usize;
+        let mut incl = vec![0u32; n as usize];
+        let mut r = rng(51);
+        for _ in 0..reps {
+            for k in reservoir_sample_l(0..n, m, &mut r) {
+                incl[k as usize] += 1;
+            }
+        }
+        for (k, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / reps as f64;
+            assert!((freq - 0.25).abs() < 0.015, "element {k}: inclusion {freq}");
+        }
+    }
+
+    /// On long streams Algorithm L consumes far fewer RNG draws than
+    /// Algorithm R performs index draws — spot-check the sample is still
+    /// exact-size and in range.
+    #[test]
+    fn algorithm_l_long_stream() {
+        let mut r = rng(52);
+        let s = reservoir_sample_l(0..1_000_000u64, 64, &mut r);
+        assert_eq!(s.len(), 64);
+        assert!(s.iter().all(|&k| k < 1_000_000));
+        let distinct: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(distinct.len(), 64, "WOR sample must not repeat tuples");
+    }
+
+    #[test]
+    fn reservoir_inclusion_probability_is_uniform() {
+        let reps = 40_000;
+        let n = 20u64;
+        let m = 5usize;
+        let mut incl = vec![0u32; n as usize];
+        let mut r = rng(6);
+        for _ in 0..reps {
+            for k in reservoir_sample(0..n, m, &mut r) {
+                incl[k as usize] += 1;
+            }
+        }
+        for (k, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / reps as f64;
+            assert!((freq - 0.25).abs() < 0.015, "element {k}: inclusion {freq}");
+        }
+    }
+
+    #[test]
+    fn prefix_scan_prefixes_nest_and_bound() {
+        let scan = PrefixScan::new((0..100u64).collect(), &mut rng(7));
+        let p10 = scan.prefix(10).unwrap().to_vec();
+        let p50 = scan.prefix(50).unwrap().to_vec();
+        assert_eq!(&p50[..10], &p10[..], "prefixes must nest");
+        assert!(scan.prefix(101).is_err());
+        assert_eq!(scan.prefix_fraction(0.25).unwrap().len(), 25);
+        assert_eq!(scan.prefix_fraction(1.0).unwrap().len(), 100);
+        assert_eq!(scan.prefix_fraction(0.0).unwrap().len(), 0);
+        assert!(scan.prefix_fraction(1.5).is_err());
+    }
+
+    #[test]
+    fn prefix_scan_shuffles() {
+        let scan = PrefixScan::new((0..1000u64).collect(), &mut rng(8));
+        // A shuffled scan should not be sorted.
+        assert!(scan.tuples().windows(2).any(|w| w[0] > w[1]));
+        let mut sorted = scan.tuples().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000u64).collect::<Vec<_>>());
+    }
+}

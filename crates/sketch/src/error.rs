@@ -1,0 +1,29 @@
+//! Error type for sketch construction and cross-sketch operations.
+
+use std::fmt;
+
+/// Errors produced by sketch operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Two sketches from different schemas (different random seeds) were
+    /// combined; their counters are not comparable.
+    SchemaMismatch,
+    /// A sketch dimension (counter count, depth, or width) was zero.
+    InvalidDimensions,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SchemaMismatch => {
+                write!(f, "sketches were built from different schemas (seed sets)")
+            }
+            Error::InvalidDimensions => write!(f, "sketch dimensions must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

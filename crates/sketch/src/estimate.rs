@@ -1,0 +1,106 @@
+//! Combining basic estimators: means, medians, and medians of means.
+//!
+//! A single AGMS counter gives an unbiased but high-variance basic
+//! estimator. Averaging `n` independent basics divides the variance by `n`
+//! (Section IV of the paper); taking the median of several independent
+//! averages then converts the Chebyshev bound into an exponentially small
+//! failure probability (the classic AMS boosting). F-AGMS rows are *not*
+//! averaged — each row is already an implicit average over its buckets, and
+//! rows are combined by median because a row estimate is not guaranteed to
+//! concentrate symmetrically.
+
+/// Arithmetic mean of the basic estimates. Empty input returns 0.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median of the basic estimates (average of the two middles for even
+/// lengths). Empty input returns 0.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    // Total order on f64: estimates are finite by construction.
+    v.sort_by(|a, b| a.partial_cmp(b).expect("sketch estimates must not be NaN"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median of means: partition `values` into `groups` contiguous groups,
+/// average within each, then take the median across groups.
+///
+/// `groups` is clamped to `1..=values.len()`; trailing values that do not
+/// fill a complete group are folded into the last group.
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let groups = groups.clamp(1, values.len());
+    let per = values.len() / groups;
+    let mut means = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let start = g * per;
+        let end = if g + 1 == groups {
+            values.len()
+        } else {
+            start + per
+        };
+        means.push(mean(&values[start..end]));
+    }
+    median(&means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let v = [1.0, 1.0, 1.0, 1.0, 1e12];
+        assert_eq!(median(&v), 1.0);
+        assert!(mean(&v) > 1e11);
+    }
+
+    #[test]
+    fn median_of_means_degenerate_groupings() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // One group = plain mean.
+        assert_eq!(median_of_means(&v, 1), 3.5);
+        // As many groups as values = plain median.
+        assert_eq!(median_of_means(&v, 6), median(&v));
+        // Requesting more groups than values clamps.
+        assert_eq!(median_of_means(&v, 100), median(&v));
+        assert_eq!(median_of_means(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn median_of_means_folds_remainder_into_last_group() {
+        // 7 values, 3 groups -> sizes 2, 2, 3.
+        let v = [0.0, 2.0, 4.0, 6.0, 7.0, 8.0, 9.0];
+        let expect = median(&[1.0, 5.0, 8.0]);
+        assert_eq!(median_of_means(&v, 3), expect);
+    }
+}

@@ -1,0 +1,447 @@
+//! AGMS sketches for three-way **chain joins** —
+//! `|F(a) ⋈ G(a, b) ⋈ H(b)| = Σ_{a,b} f_a·g_{ab}·h_b`.
+//!
+//! The classic multi-join extension of AGMS (Dobra, Garofalakis, Gehrke &
+//! Rastogi, SIGMOD'02): give each join *attribute* its own independent
+//! ±1 family — `ξ` for `a`, `η` for `b` — and sketch
+//!
+//! ```text
+//! S_F = Σ_a f_a·ξ_a      S_G = Σ_{a,b} g_{ab}·ξ_a·η_b      S_H = Σ_b h_b·η_b
+//! ```
+//!
+//! Then `E[S_F·S_G·S_H] = Σ_{a,b} f_a·g_{ab}·h_b` exactly (all cross terms
+//! carry an unmatched `ξ` or `η` of zero expectation), and averaging `n`
+//! independent `(ξ, η)` pairs controls the variance as usual. The binary
+//! sketch is still linear and O(n)-updatable per tuple, so everything in
+//! this workspace — sampling before sketching included — composes with it.
+
+use crate::error::{Error, Result};
+use crate::estimate;
+use rand::Rng;
+use sss_xi::{DefaultSign, SignFamily};
+use std::sync::Arc;
+
+/// Which join attribute a unary relation binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Side {
+    /// The left attribute `a` (shared by `F` and `G`).
+    Left,
+    /// The right attribute `b` (shared by `G` and `H`).
+    Right,
+}
+
+/// Seeds for a three-way chain join: `n` independent `(ξ, η)` pairs.
+#[derive(Debug)]
+pub struct MultiwaySchema<F = DefaultSign> {
+    xi: Arc<[F]>,
+    eta: Arc<[F]>,
+    id: u64,
+}
+
+impl<F> Clone for MultiwaySchema<F> {
+    fn clone(&self) -> Self {
+        Self {
+            xi: Arc::clone(&self.xi),
+            eta: Arc::clone(&self.eta),
+            id: self.id,
+        }
+    }
+}
+
+// Persistence: both family lists plus the identity (see the AGMS impls).
+impl<F: serde::Serialize> serde::Serialize for MultiwaySchema<F> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("MultiwaySchema", 3)?;
+        st.serialize_field("xi", self.xi.as_ref())?;
+        st.serialize_field("eta", self.eta.as_ref())?;
+        st.serialize_field("id", &self.id)?;
+        st.end()
+    }
+}
+
+impl<'de, F: serde::Deserialize<'de>> serde::Deserialize<'de> for MultiwaySchema<F> {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr<F> {
+            xi: Vec<F>,
+            eta: Vec<F>,
+            id: u64,
+        }
+        let repr = Repr::<F>::deserialize(deserializer)?;
+        if repr.xi.is_empty() || repr.xi.len() != repr.eta.len() {
+            return Err(serde::de::Error::custom(
+                "multiway schema needs equal, non-empty ξ and η family lists",
+            ));
+        }
+        Ok(Self {
+            xi: repr.xi.into(),
+            eta: repr.eta.into(),
+            id: repr.id,
+        })
+    }
+}
+
+impl<F: SignFamily> MultiwaySchema<F> {
+    /// Create a schema with `n` basic estimators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "multiway schema needs at least one estimator");
+        Self {
+            xi: (0..n).map(|_| F::random(rng)).collect(),
+            eta: (0..n).map(|_| F::random(rng)).collect(),
+            id: rng.random::<u64>(),
+        }
+    }
+
+    /// Number of basic estimators.
+    pub fn len(&self) -> usize {
+        self.xi.len()
+    }
+
+    /// Whether the schema is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.xi.is_empty()
+    }
+
+    /// A zeroed sketch for a unary endpoint relation (`F` or `H`).
+    pub fn unary(&self, side: Side) -> UnarySketch<F> {
+        UnarySketch {
+            schema: self.clone(),
+            side,
+            counters: vec![0; self.len()],
+        }
+    }
+
+    /// A zeroed sketch for the middle binary relation `G(a, b)`.
+    pub fn binary(&self) -> BinarySketch<F> {
+        BinarySketch {
+            schema: self.clone(),
+            counters: vec![0; self.len()],
+        }
+    }
+}
+
+/// Sketch of a unary relation on one join attribute.
+#[derive(Debug, Clone)]
+pub struct UnarySketch<F = DefaultSign> {
+    schema: MultiwaySchema<F>,
+    side: Side,
+    counters: Vec<i64>,
+}
+
+impl<F: SignFamily> UnarySketch<F> {
+    /// Add `count` occurrences of the attribute value `key`.
+    #[inline]
+    pub fn update(&mut self, key: u64, count: i64) {
+        let families = match self.side {
+            Side::Left => &self.schema.xi,
+            Side::Right => &self.schema.eta,
+        };
+        for (c, fam) in self.counters.iter_mut().zip(families.iter()) {
+            *c += count * fam.sign(key);
+        }
+    }
+
+    /// The side this sketch binds to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+}
+
+/// Sketch of the middle relation `G(a, b)`.
+#[derive(Debug, Clone)]
+pub struct BinarySketch<F = DefaultSign> {
+    schema: MultiwaySchema<F>,
+    counters: Vec<i64>,
+}
+
+impl<F: SignFamily> BinarySketch<F> {
+    /// Add `count` occurrences of the attribute pair `(a, b)`.
+    #[inline]
+    pub fn update(&mut self, a: u64, b: u64, count: i64) {
+        for ((c, xi), eta) in self
+            .counters
+            .iter_mut()
+            .zip(self.schema.xi.iter())
+            .zip(self.schema.eta.iter())
+        {
+            *c += count * xi.sign(a) * eta.sign(b);
+        }
+    }
+
+    /// Merge another binary sketch of the same schema.
+    pub fn merge(&mut self, other: &BinarySketch<F>) -> Result<()> {
+        if self.schema.id != other.schema.id {
+            return Err(Error::SchemaMismatch);
+        }
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        Ok(())
+    }
+}
+
+/// The averaged three-way chain-join estimate `(1/n)·Σₖ S_F⁽ᵏ⁾S_G⁽ᵏ⁾S_H⁽ᵏ⁾`.
+///
+/// # Errors
+///
+/// [`Error::SchemaMismatch`] unless all three sketches share one schema and
+/// `f`/`h` bind to the left/right attribute respectively.
+pub fn chain_join<F: SignFamily>(
+    f: &UnarySketch<F>,
+    g: &BinarySketch<F>,
+    h: &UnarySketch<F>,
+) -> Result<f64> {
+    if f.schema.id != g.schema.id
+        || h.schema.id != g.schema.id
+        || f.side != Side::Left
+        || h.side != Side::Right
+    {
+        return Err(Error::SchemaMismatch);
+    }
+    let basics: Vec<f64> = f
+        .counters
+        .iter()
+        .zip(&g.counters)
+        .zip(&h.counters)
+        .map(|((&a, &b), &c)| a as f64 * b as f64 * c as f64)
+        .collect();
+    Ok(estimate::mean(&basics))
+}
+
+/// Median-of-means variant of [`chain_join`] over `groups` groups.
+pub fn chain_join_median_of_means<F: SignFamily>(
+    f: &UnarySketch<F>,
+    g: &BinarySketch<F>,
+    h: &UnarySketch<F>,
+    groups: usize,
+) -> Result<f64> {
+    if f.schema.id != g.schema.id
+        || h.schema.id != g.schema.id
+        || f.side != Side::Left
+        || h.side != Side::Right
+    {
+        return Err(Error::SchemaMismatch);
+    }
+    let basics: Vec<f64> = f
+        .counters
+        .iter()
+        .zip(&g.counters)
+        .zip(&h.counters)
+        .map(|((&a, &b), &c)| a as f64 * b as f64 * c as f64)
+        .collect();
+    Ok(estimate::median_of_means(&basics, groups))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    type Schema = MultiwaySchema<DefaultSign>;
+
+    #[test]
+    fn single_path_join_is_exact_in_expectation() {
+        // F = {a₀}, G = {(a₀, b₀)}, H = {b₀}: the join has exactly 1 row,
+        // and every basic is ξ²η² = 1 exactly.
+        let schema = Schema::new(16, &mut rng(1));
+        let mut f = schema.unary(Side::Left);
+        let mut g = schema.binary();
+        let mut h = schema.unary(Side::Right);
+        f.update(5, 1);
+        g.update(5, 9, 1);
+        h.update(9, 1);
+        assert_eq!(chain_join(&f, &g, &h).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_relations_estimate_zero_join() {
+        let schema = Schema::new(256, &mut rng(2));
+        let mut f = schema.unary(Side::Left);
+        let mut g = schema.binary();
+        let mut h = schema.unary(Side::Right);
+        f.update(1, 10);
+        g.update(2, 3, 10); // a = 2 never appears in F
+        h.update(3, 10);
+        let est = chain_join(&f, &g, &h).unwrap();
+        assert!(est.abs() < 400.0, "zero join estimated as {est}");
+    }
+
+    /// Monte-Carlo unbiasedness on a dense small join with a known answer.
+    #[test]
+    fn chain_join_is_unbiased() {
+        // F: a ∈ 0..4 with f_a = a+1; H: b ∈ 0..3 with h_b = b+1;
+        // G: all (a, b) pairs once  ⇒  |J| = Σf_a · Σh_b = 10 · 6 = 60.
+        let truth = 60.0;
+        let reps = 3000;
+        let mut r = rng(3);
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = Schema::new(16, &mut r);
+            let mut f = schema.unary(Side::Left);
+            let mut g = schema.binary();
+            let mut h = schema.unary(Side::Right);
+            for a in 0..4u64 {
+                f.update(a, a as i64 + 1);
+            }
+            for b in 0..3u64 {
+                h.update(b, b as i64 + 1);
+            }
+            for a in 0..4u64 {
+                for b in 0..3u64 {
+                    g.update(a, b, 1);
+                }
+            }
+            acc += chain_join(&f, &g, &h).unwrap();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn averaging_tightens_the_estimate() {
+        let mut errs = Vec::new();
+        for n in [8usize, 512] {
+            let mut r = rng(4);
+            let reps = 60;
+            let mut err = 0.0;
+            for _ in 0..reps {
+                let schema = Schema::new(n, &mut r);
+                let mut f = schema.unary(Side::Left);
+                let mut g = schema.binary();
+                let mut h = schema.unary(Side::Right);
+                for a in 0..50u64 {
+                    f.update(a, 2);
+                    for b in 0..4u64 {
+                        g.update(a, b, 1);
+                    }
+                }
+                for b in 0..4u64 {
+                    h.update(b, 3);
+                }
+                let truth = 50.0 * 2.0 * 4.0 * 3.0;
+                err += ((chain_join(&f, &g, &h).unwrap() - truth) / truth).abs();
+            }
+            errs.push(err / reps as f64);
+        }
+        assert!(
+            errs[1] < errs[0] / 2.0,
+            "n=512 should beat n=8 clearly: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn schema_and_side_mismatches_are_rejected() {
+        let s1 = Schema::new(8, &mut rng(5));
+        let s2 = Schema::new(8, &mut rng(6));
+        let f = s1.unary(Side::Left);
+        let g = s1.binary();
+        let h = s1.unary(Side::Right);
+        // Wrong schema.
+        assert!(chain_join(&s2.unary(Side::Left), &g, &h).is_err());
+        // Wrong sides.
+        assert!(chain_join(&h, &g, &f).is_err());
+        assert!(chain_join(&f, &g, &f).is_err());
+        // Median-of-means path validates identically.
+        assert!(chain_join_median_of_means(&h, &g, &f, 4).is_err());
+        assert!(chain_join_median_of_means(&f, &g, &h, 4).is_ok());
+        // Binary merge requires the shared schema too.
+        let mut g2 = s2.binary();
+        assert!(g2.merge(&g).is_err());
+    }
+
+    #[test]
+    fn schema_roundtrips_through_serde() {
+        let schema = Schema::new(8, &mut rng(9));
+        let json = serde_json::to_string(&schema).unwrap();
+        let restored: Schema = serde_json::from_str(&json).unwrap();
+        // Same seeds: sketches built from either are cross-compatible and
+        // produce identical counters.
+        let mut f1 = schema.unary(Side::Left);
+        let mut f2 = restored.unary(Side::Left);
+        let mut g = restored.binary();
+        let mut h = schema.unary(Side::Right);
+        f1.update(3, 2);
+        f2.update(3, 2);
+        g.update(3, 4, 1);
+        h.update(4, 1);
+        assert_eq!(f1.counters, f2.counters);
+        assert!(chain_join(&f1, &g, &h).is_ok());
+        // Mismatched family lists are rejected.
+        let bad = r#"{"xi":[],"eta":[],"id":1}"#;
+        assert!(serde_json::from_str::<Schema>(bad).is_err());
+    }
+
+    #[test]
+    fn binary_sketch_is_linear() {
+        let schema = Schema::new(8, &mut rng(7));
+        let mut whole = schema.binary();
+        let mut p1 = schema.binary();
+        let mut p2 = schema.binary();
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                whole.update(a, b, 1);
+                if (a + b) % 2 == 0 {
+                    p1.update(a, b, 1);
+                } else {
+                    p2.update(a, b, 1);
+                }
+            }
+        }
+        p1.merge(&p2).unwrap();
+        assert_eq!(p1.counters, whole.counters);
+    }
+
+    /// Sampling composes with multiway sketching exactly as with binary
+    /// joins: shed the middle relation with Bernoulli(p), scale by 1/p.
+    #[test]
+    fn shedded_middle_relation_stays_unbiased() {
+        let truth = 60.0; // same join as chain_join_is_unbiased
+        let p = 0.5;
+        let reps = 4000;
+        let mut r = rng(8);
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = Schema::new(16, &mut r);
+            let mut f = schema.unary(Side::Left);
+            let mut g = schema.binary();
+            let mut h = schema.unary(Side::Right);
+            for a in 0..4u64 {
+                f.update(a, a as i64 + 1);
+            }
+            for b in 0..3u64 {
+                h.update(b, b as i64 + 1);
+            }
+            for a in 0..4u64 {
+                for b in 0..3u64 {
+                    if rand::Rng::random::<f64>(&mut r) < p {
+                        g.update(a, b, 1);
+                    }
+                }
+            }
+            acc += chain_join(&f, &g, &h).unwrap() / p;
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Adaptive load shedding: choosing `p` on line.
+//!
+//! The paper's §VI-A scenario assumes the operator knows how aggressively
+//! to shed. In a running system the right `p` follows from two live
+//! quantities:
+//!
+//! * the **capacity** `C` — tuples/second the sketch path can ingest
+//!   (measured once at startup, or supplied), and
+//! * the **arrival rate** `λ` — estimated online with exponential
+//!   smoothing over batch timestamps.
+//!
+//! The controller sets `p = min(1, C/λ)` (with hysteresis so `p` does not
+//! thrash) and can report, through the exact analysis of `sss-moments`,
+//! what the chosen `p` costs in accuracy for a *planned* workload profile.
+//! This closes the loop the paper's introduction sketches: "the formulas
+//! resulting from such an analysis could be used to determine how
+//! aggressive the load shedding can be without a significant loss in the
+//! accuracy".
+
+use crate::throughput::Throughput;
+use sss_core::sketch::JoinSchema;
+use sss_core::Result;
+
+/// Configuration of the [`RateController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Sustainable ingest rate of the sketch path, tuples/second.
+    pub capacity_tps: f64,
+    /// Smoothing factor for the arrival-rate estimate (0 = frozen,
+    /// 1 = last batch only). Typical: 0.2–0.5.
+    pub smoothing: f64,
+    /// Relative change of the target `p` required before the controller
+    /// actually moves (hysteresis against thrash). Typical: 0.1–0.3.
+    pub hysteresis: f64,
+    /// Lower bound on `p` (never shed below this rate).
+    pub min_p: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            capacity_tps: 1e7,
+            smoothing: 0.3,
+            hysteresis: 0.2,
+            min_p: 1e-4,
+        }
+    }
+}
+
+/// Tracks the arrival rate and recommends a shedding probability.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    config: ControllerConfig,
+    /// Smoothed arrival rate, tuples/second (None until the first batch).
+    rate: Option<f64>,
+    /// The probability currently in force.
+    current_p: f64,
+    /// How many times the controller actually changed `p`.
+    adjustments: u64,
+}
+
+impl RateController {
+    /// Create a controller; `p` starts at 1 (no shedding) until the
+    /// observed rate justifies dropping tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity, smoothing outside `(0, 1]`,
+    /// negative hysteresis, or `min_p` outside `(0, 1]`.
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(config.capacity_tps > 0.0, "capacity must be positive");
+        assert!(
+            config.smoothing > 0.0 && config.smoothing <= 1.0,
+            "smoothing must be in (0, 1]"
+        );
+        assert!(config.hysteresis >= 0.0, "hysteresis must be non-negative");
+        assert!(
+            config.min_p > 0.0 && config.min_p <= 1.0,
+            "min_p must be in (0, 1]"
+        );
+        Self {
+            config,
+            rate: None,
+            current_p: 1.0,
+            adjustments: 0,
+        }
+    }
+
+    /// Measure the capacity of a schema empirically: time a calibration
+    /// burst through a throwaway sketch and build a controller from it
+    /// (derated by `headroom ∈ (0, 1]`, e.g. 0.8 to keep 20% slack).
+    pub fn calibrated(schema: &JoinSchema, headroom: f64, config: ControllerConfig) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be in (0, 1]"
+        );
+        let mut sketch = schema.sketch();
+        let burst: u64 = 200_000;
+        let t = Throughput::measure(burst, || {
+            for key in 0..burst {
+                sketch.update(key, 1);
+            }
+        });
+        Self::new(ControllerConfig {
+            capacity_tps: t.tuples_per_sec() * headroom,
+            ..config
+        })
+    }
+
+    /// Report one observed batch: `tuples` arrived over `seconds`.
+    /// Returns the probability now in force.
+    pub fn observe_batch(&mut self, tuples: u64, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "batch duration must be positive");
+        let batch_rate = tuples as f64 / seconds;
+        let s = self.config.smoothing;
+        let rate = match self.rate {
+            None => batch_rate,
+            Some(r) => (1.0 - s) * r + s * batch_rate,
+        };
+        self.rate = Some(rate);
+        let target = (self.config.capacity_tps / rate)
+            .min(1.0)
+            .max(self.config.min_p);
+        // Hysteresis: only move when the relative change is material.
+        let rel_change = (target - self.current_p).abs() / self.current_p;
+        if rel_change > self.config.hysteresis {
+            self.current_p = target;
+            self.adjustments += 1;
+        }
+        self.current_p
+    }
+
+    /// The probability currently in force.
+    pub fn probability(&self) -> f64 {
+        self.current_p
+    }
+
+    /// The smoothed arrival-rate estimate, if any batch has been seen.
+    pub fn estimated_rate(&self) -> Option<f64> {
+        self.rate
+    }
+
+    /// Number of times the controller changed `p`.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// The expected relative standard error of a self-join estimate at the
+    /// probability currently in force, for a planned workload profile
+    /// (true frequency vector) and sketch schema — the accuracy price of
+    /// the current shedding level, computed exactly.
+    pub fn expected_self_join_error(
+        &self,
+        profile: &sss_moments::FrequencyVector,
+        schema: &JoinSchema,
+    ) -> Result<f64> {
+        let m = sss_core::analysis::shedding_self_join(profile, self.current_p, schema)?;
+        Ok(m.relative_error(profile.self_join()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_moments::FrequencyVector;
+
+    fn controller(capacity: f64) -> RateController {
+        RateController::new(ControllerConfig {
+            capacity_tps: capacity,
+            smoothing: 0.5,
+            hysteresis: 0.1,
+            min_p: 1e-4,
+        })
+    }
+
+    #[test]
+    fn underload_keeps_p_at_one() {
+        let mut c = controller(1e6);
+        for _ in 0..10 {
+            assert_eq!(c.observe_batch(100_000, 1.0), 1.0); // 10× headroom
+        }
+        assert_eq!(c.adjustments(), 0);
+    }
+
+    #[test]
+    fn overload_drops_p_toward_capacity_ratio() {
+        let mut c = controller(1e6);
+        for _ in 0..20 {
+            c.observe_batch(10_000_000, 1.0); // 10× overload
+        }
+        let p = c.probability();
+        assert!((p - 0.1).abs() < 0.02, "p = {p}, expected ≈ 0.1");
+        // Overload clears: p recovers to 1.
+        for _ in 0..20 {
+            c.observe_batch(100_000, 1.0);
+        }
+        assert_eq!(c.probability(), 1.0);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_thrash() {
+        let mut c = RateController::new(ControllerConfig {
+            capacity_tps: 1e6,
+            smoothing: 1.0, // no smoothing: isolate the hysteresis
+            hysteresis: 0.3,
+            min_p: 1e-4,
+        });
+        c.observe_batch(2_000_000, 1.0); // 2× overload → p = 0.5
+        let adjustments_before = c.adjustments();
+        // ±10% load wobble must not move p (relative p change < 30%).
+        for i in 0..50 {
+            let tuples = if i % 2 == 0 { 2_200_000 } else { 1_800_000 };
+            c.observe_batch(tuples, 1.0);
+        }
+        assert_eq!(
+            c.adjustments(),
+            adjustments_before,
+            "p thrashed under wobble"
+        );
+    }
+
+    #[test]
+    fn min_p_is_a_floor() {
+        let mut c = RateController::new(ControllerConfig {
+            capacity_tps: 1.0,
+            smoothing: 1.0,
+            hysteresis: 0.0,
+            min_p: 0.01,
+        });
+        c.observe_batch(u32::MAX as u64, 1.0);
+        assert_eq!(c.probability(), 0.01);
+    }
+
+    #[test]
+    fn smoothing_damps_single_spikes() {
+        let mut c = RateController::new(ControllerConfig {
+            capacity_tps: 1e6,
+            smoothing: 0.1,
+            hysteresis: 0.0,
+            min_p: 1e-4,
+        });
+        for _ in 0..10 {
+            c.observe_batch(1_000_000, 1.0); // exactly at capacity
+        }
+        // One 100× spike barely moves the smoothed rate.
+        c.observe_batch(100_000_000, 1.0);
+        assert!(
+            c.probability() > 0.08,
+            "p = {} after a single spike",
+            c.probability()
+        );
+    }
+
+    #[test]
+    fn calibration_produces_a_positive_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let c = RateController::calibrated(&schema, 0.8, ControllerConfig::default());
+        assert!(c.config.capacity_tps > 0.0);
+    }
+
+    #[test]
+    fn reports_the_accuracy_price() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let schema = JoinSchema::fagms(1, 5000, &mut rng);
+        let profile = FrequencyVector::from_counts(vec![100u32; 1000]);
+        let mut c = controller(1e6);
+        for _ in 0..20 {
+            c.observe_batch(10_000_000, 1.0);
+        }
+        let err_shedded = c.expected_self_join_error(&profile, &schema).unwrap();
+        let mut idle = controller(1e12);
+        idle.observe_batch(10, 1.0);
+        let err_full = idle.expected_self_join_error(&profile, &schema).unwrap();
+        assert!(err_shedded > err_full, "shedding must cost accuracy");
+        assert!(err_shedded < 1.0, "but not absurdly much at p ≈ 0.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_config_panics() {
+        let _ = RateController::new(ControllerConfig {
+            capacity_tps: 0.0,
+            ..ControllerConfig::default()
+        });
+    }
+}

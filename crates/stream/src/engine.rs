@@ -1,0 +1,319 @@
+//! A miniature data-stream-manager pipeline with QoS load shedding.
+//!
+//! The paper situates sketch-over-samples inside a DSMS: when the arrival
+//! rate exceeds what the query network sustains, a *load shedder* drops
+//! tuples — and if the drops are Bernoulli, every sketch downstream remains
+//! an unbiased (rescalable) summary. This module is the minimal honest
+//! version of that architecture (after Tatbul et al., VLDB'03):
+//!
+//! ```text
+//! source batches ─▶ [transforms: filter/map …] ─▶ [adaptive shedder] ─▶ sketch
+//!                                                        ▲
+//!                                            RateController (capacity vs λ)
+//! ```
+//!
+//! * Transforms model the query network (selection, key extraction).
+//! * The [`RateController`] watches the *post-transform* rate and adjusts
+//!   the shedding probability.
+//! * The [`EpochShedder`] segments the stream at each rate change so the
+//!   final estimate is unbiased end to end.
+//! * Per-stage statistics expose where tuples went — the observability a
+//!   real engine needs to explain an approximate answer.
+
+use crate::adaptive::RateController;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_core::sketch::JoinSchema;
+use sss_core::{EpochShedder, Result};
+
+/// A stateless per-tuple transform (function pointers keep the engine
+/// `Debug` and the stages trivially serializable in spirit).
+#[derive(Debug, Clone, Copy)]
+pub enum Transform {
+    /// Keep only tuples satisfying the predicate.
+    Filter(fn(u64) -> bool),
+    /// Rewrite the key (projection / key extraction).
+    Map(fn(u64) -> u64),
+}
+
+/// Tuples in/out of one stage, cumulative over the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage label.
+    pub name: String,
+    /// Tuples entering the stage.
+    pub tuples_in: u64,
+    /// Tuples leaving the stage.
+    pub tuples_out: u64,
+}
+
+/// The pipeline: transforms, an adaptive shedder, and a sketch sink.
+#[derive(Debug)]
+pub struct Pipeline {
+    transforms: Vec<(String, Transform)>,
+    stats: Vec<StageStats>,
+    controller: RateController,
+    shedder: EpochShedder,
+    rng: StdRng,
+    scratch: Vec<u64>,
+}
+
+/// Builder for [`Pipeline`].
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    transforms: Vec<(String, Transform)>,
+}
+
+impl PipelineBuilder {
+    /// Start an empty pipeline description.
+    pub fn new() -> Self {
+        Self {
+            transforms: Vec::new(),
+        }
+    }
+
+    /// Append a named filter stage.
+    pub fn filter(mut self, name: &str, pred: fn(u64) -> bool) -> Self {
+        self.transforms
+            .push((name.to_string(), Transform::Filter(pred)));
+        self
+    }
+
+    /// Append a named map stage.
+    pub fn map(mut self, name: &str, f: fn(u64) -> u64) -> Self {
+        self.transforms.push((name.to_string(), Transform::Map(f)));
+        self
+    }
+
+    /// Finish with the adaptive shedder and sketch sink.
+    pub fn sink<R: rand::Rng>(
+        self,
+        schema: &JoinSchema,
+        controller: RateController,
+        seed_rng: &mut R,
+    ) -> Result<Pipeline> {
+        let mut stats: Vec<StageStats> = self
+            .transforms
+            .iter()
+            .map(|(name, _)| StageStats {
+                name: name.clone(),
+                tuples_in: 0,
+                tuples_out: 0,
+            })
+            .collect();
+        stats.push(StageStats {
+            name: "shedder".into(),
+            tuples_in: 0,
+            tuples_out: 0,
+        });
+        let mut rng = StdRng::seed_from_u64(seed_rng.random());
+        let shedder = EpochShedder::new(schema, controller.probability(), &mut rng)?;
+        Ok(Pipeline {
+            transforms: self.transforms,
+            stats,
+            controller,
+            shedder,
+            rng,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// Feed one batch that arrived over `seconds` of wall-clock time.
+    pub fn push_batch(&mut self, keys: &[u64], seconds: f64) -> Result<()> {
+        // Run the transform chain on a scratch buffer.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(keys);
+        for (i, (_, t)) in self.transforms.iter().enumerate() {
+            self.stats[i].tuples_in += self.scratch.len() as u64;
+            match t {
+                Transform::Filter(pred) => self.scratch.retain(|&k| pred(k)),
+                Transform::Map(f) => {
+                    for k in self.scratch.iter_mut() {
+                        *k = f(*k);
+                    }
+                }
+            }
+            self.stats[i].tuples_out += self.scratch.len() as u64;
+        }
+        // The controller sees the post-transform rate (that is what the
+        // sketch path must sustain).
+        let p = self
+            .controller
+            .observe_batch(self.scratch.len() as u64, seconds);
+        self.shedder.set_probability(p, &mut self.rng)?;
+        let shed_stats = self.stats.last_mut().expect("shedder stage always exists");
+        shed_stats.tuples_in += self.scratch.len() as u64;
+        for &k in &self.scratch {
+            if self.shedder.observe(k) {
+                shed_stats.tuples_out += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Unbiased self-join estimate of the post-transform stream.
+    pub fn self_join(&self) -> Result<f64> {
+        self.shedder.self_join()
+    }
+
+    /// Per-stage statistics (transforms first, shedder last).
+    pub fn stats(&self) -> &[StageStats] {
+        &self.stats
+    }
+
+    /// The live controller (rate estimate, current p).
+    pub fn controller(&self) -> &RateController {
+        &self.controller
+    }
+
+    /// The live shedder (epochs, kept counts).
+    pub fn shedder(&self) -> &EpochShedder {
+        &self.shedder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::ControllerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_exact_stub::Exact;
+
+    /// A tiny exact aggregator local to the tests (the real `sss-exact`
+    /// crate is not a dependency of `sss-stream`; this stub keeps it so).
+    mod sss_exact_stub {
+        use std::collections::HashMap;
+
+        #[derive(Default)]
+        pub struct Exact(HashMap<u64, u64>);
+
+        impl Exact {
+            pub fn add(&mut self, k: u64) {
+                *self.0.entry(k).or_insert(0) += 1;
+            }
+            pub fn self_join(&self) -> f64 {
+                self.0.values().map(|&c| (c * c) as f64).sum()
+            }
+        }
+    }
+
+    fn controller(capacity: f64) -> RateController {
+        RateController::new(ControllerConfig {
+            capacity_tps: capacity,
+            smoothing: 0.5,
+            hysteresis: 0.1,
+            min_p: 1e-3,
+        })
+    }
+
+    fn is_even(k: u64) -> bool {
+        k % 2 == 0
+    }
+
+    fn halve(k: u64) -> u64 {
+        k / 2
+    }
+
+    #[test]
+    fn transforms_apply_in_order_and_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let mut p = PipelineBuilder::new()
+            .filter("evens", is_even)
+            .map("halve", halve)
+            .sink(&schema, controller(1e12), &mut rng)
+            .unwrap();
+        p.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0)
+            .unwrap();
+        let stats = p.stats();
+        assert_eq!(stats[0].tuples_in, 1000);
+        assert_eq!(stats[0].tuples_out, 500, "filter halves the batch");
+        assert_eq!(stats[1].tuples_in, 500);
+        assert_eq!(stats[1].tuples_out, 500, "map preserves cardinality");
+        // Huge capacity: no shedding.
+        assert_eq!(stats[2].tuples_out, 500);
+        assert_eq!(p.controller().probability(), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_the_post_transform_stream() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let schema = JoinSchema::fagms(1, 4096, &mut rng);
+        let mut p = PipelineBuilder::new()
+            .filter("evens", is_even)
+            .map("halve", halve)
+            .sink(&schema, controller(1e12), &mut rng)
+            .unwrap();
+        let mut exact = Exact::default();
+        // keys 0..2000 ×30: after filter+map the stream is 0..1000 ×30.
+        for _ in 0..30 {
+            let batch: Vec<u64> = (0..2000u64).collect();
+            p.push_batch(&batch, 1.0).unwrap();
+            for k in 0..2000u64 {
+                if is_even(k) {
+                    exact.add(halve(k));
+                }
+            }
+        }
+        let est = p.self_join().unwrap();
+        let truth = exact.self_join();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn overload_triggers_shedding_but_not_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = JoinSchema::fagms(1, 4096, &mut rng);
+        // Capacity of 100k tuples/s against a 1M tuples/s stream.
+        let mut p = PipelineBuilder::new()
+            .sink(&schema, controller(1e5), &mut rng)
+            .unwrap();
+        let mut exact = Exact::default();
+        for _ in 0..20 {
+            let batch: Vec<u64> = (0..1_000_000u64).map(|i| i % 2000).collect();
+            p.push_batch(&batch, 1.0).unwrap();
+            for i in 0..1_000_000u64 {
+                exact.add(i % 2000);
+            }
+        }
+        // The shedder actually dropped most tuples…
+        let shed = p.stats().last().unwrap();
+        assert!(
+            (shed.tuples_out as f64) < 0.2 * shed.tuples_in as f64,
+            "kept {}/{}",
+            shed.tuples_out,
+            shed.tuples_in
+        );
+        assert!(p.controller().probability() < 0.2);
+        // …and the estimate still lands on the full-stream truth.
+        let est = p.self_join().unwrap();
+        let truth = exact.self_join();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let schema = JoinSchema::agms(4, &mut rng);
+        let mut p = PipelineBuilder::new()
+            .sink(&schema, controller(1e6), &mut rng)
+            .unwrap();
+        p.push_batch(&[], 1.0).unwrap();
+        assert_eq!(p.stats().last().unwrap().tuples_in, 0);
+    }
+}

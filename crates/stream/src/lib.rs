@@ -1,0 +1,36 @@
+//! # sss-stream — streaming pipelines around the combined estimators
+//!
+//! The operational layer of the reproduction: where `sss-core` owns the
+//! estimator mathematics, this crate owns *running streams through them*
+//! and measuring what the paper's Sections VI–VII measure:
+//!
+//! * [`shedder`] — a load-shedding pipeline pairing a full-stream sketch
+//!   with a Bernoulli-shedded sketch and reporting the update-throughput
+//!   **speed-up** (the paper's headline "factor of at least 10");
+//! * [`online`] — an online-aggregation run that scans a relation in
+//!   random order and records an estimate **trajectory** at configurable
+//!   checkpoints (Figures 7–8 are trajectories of this kind);
+//! * [`throughput`] — wall-clock instrumentation shared by the pipelines
+//!   and the Criterion benches;
+//! * [`ops`] — small composable stream operators (tagging, key
+//!   extraction, multiplexing a stream into several consumers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod engine;
+pub mod online;
+pub mod ops;
+pub mod parallel;
+pub mod shedder;
+pub mod throughput;
+pub mod window;
+
+pub use adaptive::{ControllerConfig, RateController};
+pub use engine::{Pipeline, PipelineBuilder, StageStats, Transform};
+pub use online::{OnlineAggregation, OnlineJoinAggregation, Snapshot};
+pub use parallel::{parallel_shed, parallel_sketch, ParallelShedResult};
+pub use shedder::{ShedderComparison, ShedderReport};
+pub use throughput::Throughput;
+pub use window::PanedWindowSketch;

@@ -1,0 +1,101 @@
+//! Small composable stream operators.
+//!
+//! The pipelines in this crate consume plain `Iterator<Item = u64>`
+//! streams; these helpers adapt richer tuple shapes onto that interface
+//! and fan one stream out to several consumers (e.g. sketching two
+//! different attributes of the same relation during one scan, which is how
+//! an online aggregation engine amortizes its pass — "sketching can be
+//! done essentially for free" on a spare core).
+
+/// Extract a `u64` join key from each item of a stream.
+pub fn keyed<T, I, F>(stream: I, mut key_fn: F) -> impl Iterator<Item = u64>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> u64,
+{
+    stream.into_iter().map(move |t| key_fn(&t))
+}
+
+/// Feed every item of `stream` to each of the `consumers` callbacks.
+///
+/// This is the one-pass multiplexing pattern: one scan, many sketches.
+pub fn broadcast<I>(stream: I, consumers: &mut [&mut dyn FnMut(u64)])
+where
+    I: IntoIterator<Item = u64>,
+{
+    for k in stream {
+        for c in consumers.iter_mut() {
+            c(k);
+        }
+    }
+}
+
+/// Count tuples flowing through a stream while passing them on unchanged.
+pub struct Counted<I> {
+    inner: I,
+    count: u64,
+}
+
+impl<I> Counted<I> {
+    /// Wrap a stream.
+    pub fn new(inner: I) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Tuples that have flowed through so far.
+    ///
+    /// (Named `seen` rather than `count` because `Iterator::count(self)`
+    /// would shadow an inherent `count(&self)` during method resolution.)
+    pub fn seen(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<I: Iterator<Item = u64>> Iterator for Counted<I> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.count += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_extracts_join_keys() {
+        let rows = vec![("a", 3u64), ("b", 5), ("c", 3)];
+        let keys: Vec<u64> = keyed(rows, |r| r.1).collect();
+        assert_eq!(keys, vec![3, 5, 3]);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_consumer() {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        {
+            let mut add = |k: u64| sum += k;
+            let mut cnt = |_k: u64| count += 1;
+            broadcast(1..=4u64, &mut [&mut add, &mut cnt]);
+        }
+        assert_eq!(sum, 10);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn counted_passes_through_and_counts() {
+        let mut c = Counted::new(0..5u64);
+        let collected: Vec<u64> = c.by_ref().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.seen(), 5);
+    }
+}

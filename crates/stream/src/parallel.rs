@@ -1,0 +1,217 @@
+//! Parallel sketching over partitioned streams.
+//!
+//! Sketch linearity means a stream can be partitioned arbitrarily, each
+//! partition sketched on its own core, and the partial sketches merged —
+//! the result is *bit-identical* to sequential sketching (the paper's §VI-C
+//! remark that "on the modern multi-core processors, sketching can be done
+//! essentially for free"). Bernoulli shedding composes the same way: each
+//! tuple of the union is still kept independently with probability `p`.
+//!
+//! Uses `std::thread::scope`; no extra dependencies.
+
+use crate::throughput::Throughput;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_core::sketch::{JoinSchema, JoinSketch};
+use sss_core::{LoadSheddingSketcher, Result};
+
+/// Sketch `stream` with `threads` workers and merge the partial sketches.
+///
+/// The partitioning is by contiguous chunks; any partitioning yields the
+/// same result by linearity.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_core::sketch::JoinSchema;
+/// use sss_stream::parallel_sketch;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let schema = JoinSchema::fagms(1, 512, &mut rng);
+/// let stream: Vec<u64> = (0..10_000).map(|i| i % 100).collect();
+/// let merged = parallel_sketch(&schema, &stream, 4).unwrap();
+/// // Bit-identical to the sequential sketch of the same stream.
+/// let mut seq = schema.sketch();
+/// for &k in &stream { seq.update(k, 1); }
+/// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
+/// ```
+pub fn parallel_sketch(schema: &JoinSchema, stream: &[u64], threads: usize) -> Result<JoinSketch> {
+    let threads = threads.max(1).min(stream.len().max(1));
+    let chunk = stream.len().div_ceil(threads);
+    let partials: Vec<JoinSketch> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk.max(1))
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut sk = schema.sketch();
+                    for &k in part {
+                        sk.update(k, 1);
+                    }
+                    sk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sketch worker panicked"))
+            .collect()
+    });
+    let mut merged = schema.sketch();
+    for p in &partials {
+        merged.merge(p)?;
+    }
+    Ok(merged)
+}
+
+/// Result of a parallel shedding run: the merged sketch plus the total
+/// kept-tuple count needed by the Bernoulli bias correction.
+#[derive(Debug)]
+pub struct ParallelShedResult {
+    /// Merged (unscaled) sketch of the union of kept tuples.
+    pub sketch: JoinSketch,
+    /// Total tuples kept across all workers.
+    pub kept: u64,
+    /// Wall-clock measurement of the parallel region.
+    pub throughput: Throughput,
+    /// The shedding probability, for applying estimates later.
+    pub p: f64,
+}
+
+impl ParallelShedResult {
+    /// The unbiased self-join estimate of the full logical stream.
+    pub fn self_join(&self) -> f64 {
+        let p2 = self.p * self.p;
+        self.sketch.raw_self_join() / p2 - (1.0 - self.p) / p2 * self.kept as f64
+    }
+}
+
+/// Shed-and-sketch `stream` in parallel with `threads` workers, each with
+/// an independently seeded sampler.
+pub fn parallel_shed<R: Rng>(
+    schema: &JoinSchema,
+    stream: &[u64],
+    p: f64,
+    threads: usize,
+    seed_rng: &mut R,
+) -> Result<ParallelShedResult> {
+    let threads = threads.max(1).min(stream.len().max(1));
+    let chunk = stream.len().div_ceil(threads);
+    // Seed one RNG per worker up front, deterministically from the caller's.
+    let seeds: Vec<u64> = (0..threads).map(|_| seed_rng.random()).collect();
+    let mut result: Option<(JoinSketch, u64)> = None;
+    let mut err = None;
+    let t = Throughput::measure(stream.len() as u64, || {
+        let partials: Vec<Result<(JoinSketch, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stream
+                .chunks(chunk.max(1))
+                .zip(&seeds)
+                .map(|(part, &seed)| {
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut shed = LoadSheddingSketcher::new(schema, p, &mut rng)?;
+                        for &k in part {
+                            shed.observe(k);
+                        }
+                        Ok((shed.sketch().clone(), shed.kept()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shed worker panicked"))
+                .collect()
+        });
+        let mut merged = schema.sketch();
+        let mut kept = 0u64;
+        for part in partials {
+            match part {
+                Ok((sk, k)) => {
+                    if let Err(e) = merged.merge(&sk) {
+                        err = Some(e);
+                        return;
+                    }
+                    kept += k;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    return;
+                }
+            }
+        }
+        result = Some((merged, kept));
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let (sketch, kept) = result.expect("either err or result is set");
+    Ok(ParallelShedResult {
+        sketch,
+        kept,
+        throughput: t,
+        p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream() -> Vec<u64> {
+        (0..200_000u64).map(|i| (i * 2654435761) % 5000).collect()
+    }
+
+    /// Parallel sketching is bit-identical to sequential (linearity).
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = JoinSchema::fagms(2, 512, &mut rng);
+        let s = stream();
+        let mut sequential = schema.sketch();
+        for &k in &s {
+            sequential.update(k, 1);
+        }
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = parallel_sketch(&schema, &s, threads).unwrap();
+            assert_eq!(
+                parallel.raw_self_join(),
+                sequential.raw_self_join(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let schema = JoinSchema::agms(4, &mut rng);
+        let empty = parallel_sketch(&schema, &[], 8).unwrap();
+        assert_eq!(empty.raw_self_join(), 0.0);
+        let single = parallel_sketch(&schema, &[42], 8).unwrap();
+        assert_eq!(single.raw_self_join(), 1.0);
+    }
+
+    /// Parallel shedding gives an unbiased estimate with ≈p·n kept tuples.
+    #[test]
+    fn parallel_shed_estimates_the_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = JoinSchema::fagms(1, 4096, &mut rng);
+        let s = stream(); // 5000 keys × 40 copies → F₂ = 8·10⁶
+        let r = parallel_shed(&schema, &s, 0.2, 4, &mut rng).unwrap();
+        let frac = r.kept as f64 / s.len() as f64;
+        assert!((frac - 0.2).abs() < 0.01, "kept fraction {frac}");
+        let truth = 5000.0 * 40.0 * 40.0;
+        let est = r.self_join();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est = {est}, truth = {truth}"
+        );
+    }
+
+    #[test]
+    fn parallel_shed_rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let schema = JoinSchema::agms(4, &mut rng);
+        assert!(parallel_shed(&schema, &[1, 2, 3], 0.0, 2, &mut rng).is_err());
+    }
+}

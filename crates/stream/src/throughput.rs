@@ -1,0 +1,80 @@
+//! Wall-clock throughput instrumentation.
+
+use std::time::{Duration, Instant};
+
+/// A completed measurement: how many tuples were processed in how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Throughput {
+    /// Tuples offered to the pipeline.
+    pub tuples: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Measure a closure processing `tuples` tuples.
+    pub fn measure<F: FnOnce()>(tuples: u64, f: F) -> Self {
+        let start = Instant::now();
+        f();
+        Self {
+            tuples,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Tuples per second (0 when nothing was processed).
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            // Sub-resolution measurement: report via the smallest tick.
+            return self.tuples as f64 / 1e-9;
+        }
+        self.tuples as f64 / secs
+    }
+
+    /// How many times faster this run was than `baseline` at processing
+    /// the same logical stream (ratio of per-tuple costs).
+    pub fn speedup_over(&self, baseline: &Throughput) -> f64 {
+        let own = self.elapsed.as_secs_f64() / self.tuples.max(1) as f64;
+        let base = baseline.elapsed.as_secs_f64() / baseline.tuples.max(1) as f64;
+        if own <= 0.0 {
+            f64::INFINITY
+        } else {
+            base / own
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_and_times() {
+        let t = Throughput::measure(1000, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert_eq!(t.tuples, 1000);
+        assert!(t.tuples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_per_tuple_costs() {
+        let slow = Throughput {
+            tuples: 100,
+            elapsed: Duration::from_millis(100),
+        };
+        let fast = Throughput {
+            tuples: 100,
+            elapsed: Duration::from_millis(10),
+        };
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.1).abs() < 1e-9);
+        // Different stream sizes are normalized per tuple.
+        let half = Throughput {
+            tuples: 50,
+            elapsed: Duration::from_millis(50),
+        };
+        assert!((half.speedup_over(&slow) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Core traits implemented by every random-variable family.
+
+use rand::Rng;
+
+/// A family of {+1, −1} random variables indexed by a `u64` key.
+///
+/// A *family* is one fixed draw of the seed: `sign(key)` is a deterministic
+/// function of `key`, and the randomness lives in the seed. Limited
+/// independence (see the implementors) is a property of the *distribution
+/// over seeds*, which is why sketch estimators average over many
+/// independently-seeded families.
+pub trait SignFamily {
+    /// The value ξ(key) ∈ {+1, −1}.
+    fn sign(&self, key: u64) -> i64;
+
+    /// Construct a family with a fresh random seed drawn from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self
+    where
+        Self: Sized;
+}
+
+/// A family of hash functions mapping a `u64` key to a bucket index.
+///
+/// Pairwise independence of the bucket hash is what the F-AGMS and Count-Min
+/// analyses require; all implementors here provide at least that.
+pub trait BucketFamily {
+    /// Hash `key` into `0..width`. `width` must be non-zero.
+    fn bucket(&self, key: u64, width: usize) -> usize;
+
+    /// Construct a family with a fresh random seed drawn from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self
+    where
+        Self: Sized;
+}
+
+/// A sign family whose sums over key ranges are computable in
+/// polylogarithmic time.
+///
+/// Range summability is what lets a sketch ingest an entire interval of
+/// keys (a range predicate, a histogram bucket) without touching each key:
+/// `S += count · Σ_{i ∈ [lo, hi)} ξᵢ`. EH3 is the classic range-summable
+/// family; the polynomial families are not known to be.
+pub trait RangeSummable: SignFamily {
+    /// `Σ_{i ∈ [lo, hi)} ξ(i)`; 0 when the range is empty.
+    fn range_sum(&self, lo: u64, hi: u64) -> i64;
+}
+
+/// Marker trait asserting (at least) 4-wise independence over seeds.
+///
+/// The AGMS variance formulas (Propositions 7–8 of the paper) assume
+/// `E[ξᵢξⱼξₖξₗ] = 0` for distinct indices; families tagged with this trait
+/// guarantee it exactly. 3-wise families such as [`crate::Eh3`] work well in
+/// practice but are deliberately *not* tagged.
+pub trait FourWise: SignFamily {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bch5, Cw2, Cw4, Eh3, Tabulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_sign_range<F: SignFamily>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = F::random(&mut rng);
+        for key in (0..10_000u64).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+            let s = f.sign(key);
+            assert!(s == 1 || s == -1, "sign must be ±1, got {s} for key {key}");
+        }
+    }
+
+    #[test]
+    fn all_families_emit_plus_minus_one() {
+        check_sign_range::<Cw2>(1);
+        check_sign_range::<Cw4>(2);
+        check_sign_range::<Eh3>(3);
+        check_sign_range::<Bch5>(4);
+        check_sign_range::<Tabulation>(5);
+    }
+
+    fn check_determinism<F: SignFamily>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = F::random(&mut rng);
+        for key in 0..1000u64 {
+            assert_eq!(f.sign(key), f.sign(key));
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_given_seed() {
+        check_determinism::<Cw2>(11);
+        check_determinism::<Cw4>(12);
+        check_determinism::<Eh3>(13);
+        check_determinism::<Bch5>(14);
+        check_determinism::<Tabulation>(15);
+    }
+
+    fn check_seeds_differ<F: SignFamily>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = F::random(&mut rng);
+        let b = F::random(&mut rng);
+        let differing = (0..4096u64).filter(|&k| a.sign(k) != b.sign(k)).count();
+        // Two independent draws should disagree on roughly half the keys.
+        assert!(
+            (1024..3072).contains(&differing),
+            "families from different seeds look identical or anti-identical ({differing}/4096)"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        check_seeds_differ::<Cw2>(21);
+        check_seeds_differ::<Cw4>(22);
+        check_seeds_differ::<Eh3>(23);
+        check_seeds_differ::<Bch5>(24);
+        check_seeds_differ::<Tabulation>(25);
+    }
+}

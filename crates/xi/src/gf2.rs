@@ -1,0 +1,119 @@
+//! Arithmetic in the binary field GF(2⁶⁴).
+//!
+//! The BCH5 generator needs the cube of a key in GF(2⁶⁴). We represent field
+//! elements as `u64` bit vectors over the irreducible polynomial
+//! `x⁶⁴ + x⁴ + x³ + x + 1` (the standard low-weight choice) and implement
+//! carry-less multiplication in portable software. This is not the hot path
+//! of any sketch — BCH5 seeds are evaluated per tuple, but the cube uses only
+//! two multiplications.
+
+/// The reduction polynomial `x⁶⁴ + x⁴ + x³ + x + 1`, represented by its low
+/// 64 bits `0b11011` = 0x1B.
+pub const REDUCTION: u64 = 0x1B;
+
+/// Carry-less (polynomial) multiplication of two 64-bit values, returning
+/// the 128-bit product as `(high, low)`.
+#[inline]
+pub fn clmul(a: u64, b: u64) -> (u64, u64) {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    let mut a_lo = a;
+    let mut a_hi = 0u64;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 == 1 {
+            lo ^= a_lo;
+            hi ^= a_hi;
+        }
+        // shift (a_hi:a_lo) left by one
+        a_hi = (a_hi << 1) | (a_lo >> 63);
+        a_lo <<= 1;
+        b >>= 1;
+    }
+    (hi, lo)
+}
+
+/// Multiply two elements of GF(2⁶⁴).
+#[inline]
+pub fn gf_mul(a: u64, b: u64) -> u64 {
+    let (hi, lo) = clmul(a, b);
+    reduce(hi, lo)
+}
+
+/// Reduce a 128-bit polynomial (given as high/low words) modulo the field
+/// polynomial.
+#[inline]
+pub fn reduce(hi: u64, lo: u64) -> u64 {
+    // Fold the high word down twice: x^64 ≡ x^4 + x^3 + x + 1.
+    let (h1, l1) = clmul(hi, REDUCTION);
+    let (h2, l2) = clmul(h1, REDUCTION);
+    debug_assert_eq!(h2, 0, "second fold cannot overflow: deg(h1) <= 4");
+    lo ^ l1 ^ l2
+}
+
+/// The cube `a³` in GF(2⁶⁴).
+#[inline]
+pub fn gf_cube(a: u64) -> u64 {
+    gf_mul(gf_mul(a, a), a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert_eq!(clmul(0b11, 0b11), (0, 0b101));
+        // x^63 * x = x^64 -> bit 0 of the high word
+        assert_eq!(clmul(1 << 63, 2), (1, 0));
+        assert_eq!(clmul(0, u64::MAX), (0, 0));
+        assert_eq!(clmul(1, u64::MAX), (0, u64::MAX));
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let xs = [1u64, 2, 3, 0x1B, 0xdead_beef, u64::MAX, 1 << 63];
+        for &a in &xs {
+            assert_eq!(gf_mul(a, 1), a, "1 is the multiplicative identity");
+            assert_eq!(gf_mul(a, 0), 0);
+            for &b in &xs {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a), "commutativity");
+                for &c in &xs {
+                    assert_eq!(
+                        gf_mul(a, gf_mul(b, c)),
+                        gf_mul(gf_mul(a, b), c),
+                        "associativity"
+                    );
+                    assert_eq!(
+                        gf_mul(a, b ^ c),
+                        gf_mul(a, b) ^ gf_mul(a, c),
+                        "distributivity over XOR"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x64_reduces_to_reduction_polynomial() {
+        // x^63 * x = x^64 ≡ x^4 + x^3 + x + 1
+        assert_eq!(gf_mul(1 << 63, 2), REDUCTION);
+    }
+
+    #[test]
+    fn cube_matches_repeated_multiplication() {
+        for a in [3u64, 7, 0x1234_5678, u64::MAX] {
+            assert_eq!(gf_cube(a), gf_mul(a, gf_mul(a, a)));
+        }
+    }
+
+    #[test]
+    fn frobenius_squaring_is_linear() {
+        // In characteristic 2, (a + b)^2 = a^2 + b^2.
+        let pairs = [(3u64, 5u64), (0xfeed, 0xbeef), (u64::MAX, 1 << 40)];
+        for &(a, b) in &pairs {
+            assert_eq!(gf_mul(a ^ b, a ^ b), gf_mul(a, a) ^ gf_mul(b, b));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Arithmetic in the prime field GF(p) with p = 2⁶¹ − 1 (a Mersenne prime).
+//!
+//! Carter–Wegman polynomial hashing needs fast modular multiplication over a
+//! prime larger than the key domain slice it consumes. The Mersenne prime
+//! 2⁶¹ − 1 admits a branch-light reduction: for any x < 2¹²², write
+//! `x = hi·2⁶¹ + lo`; then `x ≡ hi + lo (mod p)`.
+
+/// The Mersenne prime 2⁶¹ − 1.
+pub const P61: u64 = (1 << 61) - 1;
+
+/// Reduce a 128-bit value modulo 2⁶¹ − 1.
+///
+/// The result is in `[0, P61)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // x = hi·2^61 + lo  ⇒  x ≡ hi + lo (mod p). After the first fold the
+    // value fits in 68 bits (hi < 2^67), after the second in 62 bits, so a
+    // single conditional subtraction finishes the reduction.
+    let mut x = (x & P61 as u128) + (x >> 61);
+    x = (x & P61 as u128) + (x >> 61);
+    let mut s = x as u64;
+    if s >= P61 {
+        s -= P61;
+    }
+    s
+}
+
+/// Multiply two field elements modulo 2⁶¹ − 1.
+///
+/// Inputs need not be reduced, but must be < 2⁶⁴; the result is in `[0, P61)`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+/// Add two reduced field elements modulo 2⁶¹ − 1.
+#[inline]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    let mut s = a + b; // a,b < 2^61 so no overflow
+    if s >= P61 {
+        s -= P61;
+    }
+    s
+}
+
+/// Evaluate the polynomial `c[0] + c[1]·x + … + c[d]·xᵈ` over GF(2⁶¹−1)
+/// using Horner's rule.
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let x = x % P61;
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = add_mod(mul_mod(acc, x), c % P61);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_naive_modulo() {
+        let cases: [u128; 8] = [
+            0,
+            1,
+            P61 as u128,
+            P61 as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX,
+            (P61 as u128) * (P61 as u128),
+            123_456_789_012_345_678_901_234_567u128,
+        ];
+        for &x in &cases {
+            assert_eq!(reduce128(x) as u128, x % P61 as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_wide_multiplication() {
+        let pairs = [
+            (0u64, 0u64),
+            (1, P61 - 1),
+            (P61 - 1, P61 - 1),
+            (u64::MAX, u64::MAX),
+            (0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321),
+        ];
+        for &(a, b) in &pairs {
+            let expect = ((a as u128 * b as u128) % P61 as u128) as u64;
+            assert_eq!(mul_mod(a, b), expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn add_wraps_at_p() {
+        assert_eq!(add_mod(P61 - 1, 1), 0);
+        assert_eq!(add_mod(P61 - 1, 2), 1);
+        assert_eq!(add_mod(5, 7), 12);
+    }
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        // c(x) = 3 + 5x + 7x^2 + 11x^3 at x = 1e9
+        let coeffs = [3u64, 5, 7, 11];
+        let x = 1_000_000_000u64;
+        let direct = {
+            let x = x as u128;
+            let p = P61 as u128;
+            ((3 + 5 * x % p + 7 * (x * x % p) % p + 11 * (x * x % p * x % p) % p) % p) as u64
+        };
+        assert_eq!(poly_eval(&coeffs, x), direct);
+    }
+
+    #[test]
+    fn poly_eval_reduces_unreduced_inputs() {
+        // x >= P61 must behave as x mod P61.
+        let coeffs = [17u64, 23, 29, 31];
+        assert_eq!(poly_eval(&coeffs, P61 + 5), poly_eval(&coeffs, 5));
+        assert_eq!(
+            poly_eval(&coeffs, u64::MAX),
+            poly_eval(&coeffs, u64::MAX % P61)
+        );
+    }
+}

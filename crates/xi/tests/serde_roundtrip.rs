@@ -1,0 +1,53 @@
+//! Serde round-trips for every family: a persisted seed must reproduce the
+//! exact same ±1 assignment, which is what allows sketches built on
+//! different machines (or at different times) to be joined.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_xi::{Bch5, BucketFamily, Cw2, Cw2Bucket, Cw4, Eh3, SignFamily, Tabulation};
+
+fn roundtrip_sign<F>(seed: u64)
+where
+    F: SignFamily + serde::Serialize + serde::de::DeserializeOwned,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let original = F::random(&mut rng);
+    let json = serde_json::to_string(&original).expect("serialize");
+    let restored: F = serde_json::from_str(&json).expect("deserialize");
+    for key in (0..2000u64).chain([u64::MAX, 1 << 63]) {
+        assert_eq!(original.sign(key), restored.sign(key), "key {key}");
+    }
+}
+
+#[test]
+fn sign_families_roundtrip() {
+    roundtrip_sign::<Cw2>(1);
+    roundtrip_sign::<Cw4>(2);
+    roundtrip_sign::<Eh3>(3);
+    roundtrip_sign::<Bch5>(4);
+    roundtrip_sign::<Tabulation>(5);
+}
+
+#[test]
+fn bucket_families_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let original = Cw2Bucket::random(&mut rng);
+    let json = serde_json::to_string(&original).unwrap();
+    let restored: Cw2Bucket = serde_json::from_str(&json).unwrap();
+    for key in 0..2000u64 {
+        assert_eq!(original.bucket(key, 5000), restored.bucket(key, 5000));
+    }
+    let original = <Tabulation as BucketFamily>::random(&mut rng);
+    let json = serde_json::to_string(&original).unwrap();
+    let restored: Tabulation = serde_json::from_str(&json).unwrap();
+    for key in 0..2000u64 {
+        assert_eq!(original.bucket(key, 5000), restored.bucket(key, 5000));
+    }
+}
+
+#[test]
+fn truncated_tabulation_payload_is_rejected() {
+    let bad = serde_json::to_string(&vec![0u64; 100]).unwrap();
+    let res: Result<Tabulation, _> = serde_json::from_str(&bad);
+    assert!(res.is_err(), "short table payloads must not deserialize");
+}

@@ -1,0 +1,147 @@
+//! Statistical acceptance tests for the ξ families.
+//!
+//! These tests exercise the properties the sketch estimators actually rely
+//! on: per-key balance (`E[ξᵢ] = 0`), pairwise orthogonality
+//! (`E[ξᵢξⱼ] = 0`), and — for the 4-wise families — fourth-order
+//! orthogonality. Everything is seeded, so the assertions are deterministic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_xi::{Bch5, BucketFamily, Cw2Bucket, Cw4, Eh3, SignFamily, Tabulation};
+
+/// Mean of ξ(key) over `trials` independently-seeded families.
+fn seed_mean<F: SignFamily>(key: u64, trials: usize, rng: &mut StdRng) -> f64 {
+    let mut acc = 0i64;
+    for _ in 0..trials {
+        acc += F::random(rng).sign(key);
+    }
+    acc as f64 / trials as f64
+}
+
+fn pair_mean<F: SignFamily>(a: u64, b: u64, trials: usize, rng: &mut StdRng) -> f64 {
+    let mut acc = 0i64;
+    for _ in 0..trials {
+        let f = F::random(rng);
+        acc += f.sign(a) * f.sign(b);
+    }
+    acc as f64 / trials as f64
+}
+
+const TRIALS: usize = 20_000;
+/// 5σ for a ±1 mean over TRIALS trials.
+const TOL: f64 = 0.036;
+
+macro_rules! balance_tests {
+    ($name:ident, $ty:ty, $seed:expr) => {
+        #[test]
+        fn $name() {
+            let mut rng = StdRng::seed_from_u64($seed);
+            for key in [0u64, 1, 12345, u64::MAX] {
+                let m = seed_mean::<$ty>(key, TRIALS, &mut rng);
+                assert!(m.abs() < TOL, "E[ξ({key})] = {m}");
+            }
+            for (a, b) in [(0u64, 1u64), (7, 1 << 50), (999_999, 1_000_000)] {
+                let m = pair_mean::<$ty>(a, b, TRIALS, &mut rng);
+                assert!(m.abs() < TOL, "E[ξ({a})ξ({b})] = {m}");
+            }
+        }
+    };
+}
+
+balance_tests!(cw4_is_balanced_and_pairwise_orthogonal, Cw4, 100);
+balance_tests!(eh3_is_balanced_and_pairwise_orthogonal, Eh3, 101);
+balance_tests!(bch5_is_balanced_and_pairwise_orthogonal, Bch5, 102);
+balance_tests!(
+    tabulation_is_balanced_and_pairwise_orthogonal,
+    Tabulation,
+    103
+);
+
+/// The AGMS self-join estimator over a single family: `X = S²` where
+/// `S = Σᵢ fᵢξᵢ`. `E[X] = Σ fᵢ²` holds for any pairwise-independent family;
+/// verify for every family on a fixed frequency vector.
+#[test]
+fn self_join_expectation_matches_for_all_families() {
+    fn run<F: SignFamily>(seed: u64) -> f64 {
+        let freqs: Vec<(u64, i64)> = (0u64..64)
+            .map(|i| (i * 31 + 7, (i % 5 + 1) as i64))
+            .collect();
+        let truth: i64 = freqs.iter().map(|&(_, f)| f * f).sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 40_000;
+        let mut acc = 0f64;
+        for _ in 0..trials {
+            let xi = F::random(&mut rng);
+            let s: i64 = freqs.iter().map(|&(k, f)| f * xi.sign(k)).sum();
+            acc += (s * s) as f64;
+        }
+        acc / trials as f64 / truth as f64
+    }
+    for (name, ratio) in [
+        ("cw4", run::<Cw4>(200)),
+        ("eh3", run::<Eh3>(201)),
+        ("bch5", run::<Bch5>(202)),
+        ("tabulation", run::<Tabulation>(203)),
+    ] {
+        assert!((ratio - 1.0).abs() < 0.05, "{name}: E[S²]/F₂ = {ratio}");
+    }
+}
+
+/// Bucket hashes distribute a contiguous key range uniformly: chi-square
+/// against the uniform law with a generous quantile.
+#[test]
+fn bucket_families_are_uniform() {
+    fn chi2<F: BucketFamily>(seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = F::random(&mut rng);
+        let width = 32usize;
+        let n = 320_000u64;
+        let mut counts = vec![0u64; width];
+        for key in 0..n {
+            counts[f.bucket(key, width)] += 1;
+        }
+        let expect = n as f64 / width as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 - expect).powi(2) / expect)
+            .sum()
+    }
+    // 99.99% quantile of chi-square with 31 dof ≈ 66.6.
+    assert!(chi2::<Cw2Bucket>(300) < 66.6);
+    assert!(chi2::<Tabulation>(301) < 66.6);
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every family returns ±1 for arbitrary keys and arbitrary seeds.
+        #[test]
+        fn signs_are_plus_minus_one(seed: u64, key: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            prop_assert!(Cw4::random(&mut rng).sign(key).abs() == 1);
+            prop_assert!(Eh3::random(&mut rng).sign(key).abs() == 1);
+            prop_assert!(Bch5::random(&mut rng).sign(key).abs() == 1);
+            prop_assert!(<Tabulation as SignFamily>::random(&mut rng).sign(key).abs() == 1);
+        }
+
+        /// Bucket indexes stay inside the table for arbitrary widths.
+        #[test]
+        fn buckets_stay_in_range(seed: u64, key: u64, width in 1usize..100_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            prop_assert!(Cw2Bucket::random(&mut rng).bucket(key, width) < width);
+            prop_assert!(<Tabulation as BucketFamily>::random(&mut rng).bucket(key, width) < width);
+        }
+
+        /// ξ evaluation is a pure function of (seed, key).
+        #[test]
+        fn evaluation_is_pure(seed: u64, key: u64) {
+            let mut rng1 = StdRng::seed_from_u64(seed);
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let a = Cw4::random(&mut rng1);
+            let b = Cw4::random(&mut rng2);
+            prop_assert_eq!(a.sign(key), b.sign(key));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Adaptive load shedding under a bursty stream: the closed control loop.
+//!
+//! A stream arrives in batches whose rate swings over three phases
+//! (calm → 20× burst → calm). A [`RateController`] watches the rate and
+//! picks the shedding probability; an [`EpochShedder`] segments the stream
+//! at each rate change and keeps the overall self-join estimate unbiased
+//! across the segments (Proposition 14 within an epoch, Proposition 13
+//! between epochs).
+//!
+//! ```text
+//! cargo run --release --example adaptive_shedding
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::EpochShedder;
+use sketch_sampled_streams::datagen::ZipfGenerator;
+use sketch_sampled_streams::exact::ExactAggregator;
+use sketch_sampled_streams::stream::{ControllerConfig, RateController};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let gen = ZipfGenerator::new(20_000, 0.8);
+
+    // Capacity: pretend the sketch path sustains 2M tuples/s.
+    let mut controller = RateController::new(ControllerConfig {
+        capacity_tps: 2_000_000.0,
+        smoothing: 0.5,
+        hysteresis: 0.15,
+        min_p: 1e-3,
+    });
+
+    let schema = JoinSchema::fagms(1, 5000, &mut rng);
+    let mut shedder = EpochShedder::new(&schema, 1.0, &mut rng).unwrap();
+    let mut exact = ExactAggregator::new();
+
+    // Three phases: calm (1M t/s), burst (20M t/s), calm again.
+    let phases: [(&str, f64, usize); 3] =
+        [("calm", 1e6, 10), ("burst", 2e7, 10), ("calm", 1e6, 10)];
+    println!(
+        "{:>8} {:>12} {:>8} {:>8} {:>12}",
+        "phase", "rate t/s", "p", "epochs", "running est"
+    );
+    for (name, rate, batches) in phases {
+        for _ in 0..batches {
+            // One simulated second of traffic, scaled down 100× so the
+            // example runs quickly; the controller sees the real rate.
+            let batch = gen.relation((rate / 100.0) as usize, &mut rng);
+            let p = controller.observe_batch(rate as u64, 1.0);
+            shedder.set_probability(p, &mut rng).unwrap();
+            for &k in &batch {
+                shedder.observe(k);
+                exact.update(k, 1);
+            }
+        }
+        let est = shedder.self_join().unwrap();
+        let truth = exact.self_join();
+        println!(
+            "{:>8} {:>12.0} {:>8.3} {:>8} {:>11.2}%",
+            name,
+            rate,
+            controller.probability(),
+            shedder.epoch_count(),
+            100.0 * (est - truth).abs() / truth
+        );
+    }
+    let truth = exact.self_join();
+    let est = shedder.self_join().unwrap();
+    println!(
+        "\nfinal: sketched {} of {} tuples across {} epochs; rel. error {:.2}%",
+        shedder.kept(),
+        shedder.seen(),
+        shedder.epoch_count(),
+        100.0 * (est - truth).abs() / truth
+    );
+    println!(
+        "Reading: the controller sheds only during the burst (p drops to\n\
+         ≈0.1), and the epoch-combined estimator absorbs the rate changes\n\
+         without bias — the closed loop the paper's introduction sketches."
+    );
+}

@@ -1,0 +1,62 @@
+//! Heavy hitters from a shedded stream: combining the paper's load
+//! shedding with the Count-Sketch point query.
+//!
+//! A 10% Bernoulli sample of the stream is sketched; point queries (scaled
+//! by 1/p) recover the top keys and their approximate frequencies without
+//! ever storing the stream.
+//!
+//! ```text
+//! cargo run --release --example heavy_hitters
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::datagen::ZipfGenerator;
+use sketch_sampled_streams::moments::FrequencyVector;
+use sketch_sampled_streams::sampling::BernoulliSampler;
+use sketch_sampled_streams::sketch::{FagmsSchema, Sketch};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let domain = 100_000;
+    let tuples = 2_000_000;
+    let p = 0.1;
+
+    println!("stream: {tuples} Zipf(1.2) tuples over domain {domain}; shedding at p = {p}");
+    let stream = ZipfGenerator::new(domain, 1.2).relation(tuples, &mut rng);
+    let truth = FrequencyVector::from_keys(stream.iter().copied(), domain);
+
+    let schema: FagmsSchema = FagmsSchema::new(5, 4096, &mut rng);
+    let mut sketch = schema.sketch();
+    let mut sampler: BernoulliSampler = BernoulliSampler::new(p, &mut rng).unwrap();
+    let mut kept = 0u64;
+    for &k in &stream {
+        if sampler.keep() {
+            sketch.update(k, 1);
+            kept += 1;
+        }
+    }
+    println!("sketched {kept} of {tuples} tuples\n");
+
+    // Candidates: the whole domain (a dictionary pass); scale estimates by 1/p.
+    let top = sketch.top_k(0..domain as u64, 10);
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "key", "estimated", "true", "err"
+    );
+    for (key, est) in top {
+        let scaled = est / p;
+        let t = truth.get(key as usize);
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>8.2}%",
+            key,
+            scaled,
+            t,
+            100.0 * (scaled - t).abs() / t.max(1.0)
+        );
+    }
+    println!(
+        "\nReading: the Zipf head is recovered in rank order from a 10%\n\
+         sample, with per-key error bounded by √(F₂/width)/p."
+    );
+}

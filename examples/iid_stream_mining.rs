@@ -1,0 +1,74 @@
+//! Sketching i.i.d. samples from a generative model (paper §VI-B).
+//!
+//! A finite population (the "model") emits a stream of with-replacement
+//! samples — the data-mining setting where the stream is the only access
+//! to the distribution and is too large to store. We sketch the stream and
+//! estimate the *population's* second frequency moment and the correlation
+//! (size of join) between two models, watching the estimate stabilize once
+//! the sample reaches ~10% of the population size.
+//!
+//! ```text
+//! cargo run --release --example iid_stream_mining
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::IidStreamSketcher;
+use sketch_sampled_streams::datagen::{DiscreteAlias, ZipfGenerator};
+use sketch_sampled_streams::moments::FrequencyVector;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1337);
+
+    // Two generative models over a shared domain of 20k values: a Zipf(1)
+    // model and a Zipf(0.5) model, each representing a population of 200k
+    // tuples.
+    let domain = 20_000;
+    let population = 200_000u64;
+    let f_weights = ZipfGenerator::new(domain, 1.0).expected_frequencies(population);
+    let g_weights = ZipfGenerator::new(domain, 0.5).expected_frequencies(population);
+    let f_freqs = FrequencyVector::from_counts(f_weights.clone());
+    let g_freqs = FrequencyVector::from_counts(g_weights.clone());
+    let truth_f2 = f_freqs.self_join();
+    let truth_join = f_freqs.dot(&g_freqs);
+    println!("population F₂(F) = {truth_f2:.4e}, |F ⋈ G| = {truth_join:.4e}\n");
+
+    let f_model = DiscreteAlias::new(&f_weights);
+    let g_model = DiscreteAlias::new(&g_weights);
+
+    let schema = JoinSchema::fagms(1, 10_000, &mut rng);
+    let mut f_sketch = IidStreamSketcher::new(&schema, population).unwrap();
+    let mut g_sketch = IidStreamSketcher::new(&schema, population).unwrap();
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "samples", "fraction", "F₂ rel.err", "join rel.err"
+    );
+    let checkpoints: Vec<u64> = [0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|f| (f * population as f64) as u64)
+        .collect();
+    let mut drawn = 0u64;
+    for &target in &checkpoints {
+        while drawn < target {
+            f_sketch.observe(f_model.sample(&mut rng));
+            g_sketch.observe(g_model.sample(&mut rng));
+            drawn += 1;
+        }
+        let f2 = f_sketch.self_join().unwrap();
+        let join = f_sketch.size_of_join(&g_sketch).unwrap();
+        println!(
+            "{:>10} {:>10.3} {:>11.2}% {:>11.2}%",
+            drawn,
+            f_sketch.alpha(),
+            100.0 * (f2 - truth_f2).abs() / truth_f2,
+            100.0 * (join - truth_join).abs() / truth_join
+        );
+    }
+    println!(
+        "\nReading: the error stabilizes around a 0.1 sampling fraction —\n\
+         streaming more than ~10% of the population size buys almost no\n\
+         extra accuracy (paper Figures 5–6)."
+    );
+}

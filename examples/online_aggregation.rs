@@ -1,0 +1,77 @@
+//! Online aggregation over TPC-H (paper §VI-C, Figures 7–8).
+//!
+//! Scans `lineitem` and `orders` in random order — every prefix is a
+//! without-replacement sample — and prints the running estimates an online
+//! aggregation engine would surface: the size of join
+//! `lineitem ⋈ orders` and the second frequency moment of
+//! `lineitem.l_orderkey`, both with their exact relative error.
+//!
+//! ```text
+//! cargo run --release --example online_aggregation [scale]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::ScanSketcher;
+use sketch_sampled_streams::datagen::TpchGenerator;
+use sketch_sampled_streams::sampling::without_replacement::PrefixScan;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("generating mini TPC-H at scale {scale}…");
+    let tables = TpchGenerator::new(scale).generate(&mut rng);
+    let truth_join = tables.join_size();
+    let truth_f2 = tables.lineitem_self_join();
+    println!(
+        "orders: {} rows, lineitem: {} rows, |L ⋈ O| = {truth_join:.0}, F₂(L) = {truth_f2:.0}\n",
+        tables.orders.len(),
+        tables.lineitem.len()
+    );
+
+    let schema = JoinSchema::fagms(1, 5000, &mut rng);
+    let line_scan = PrefixScan::new(tables.lineitem.clone(), &mut rng);
+    let order_scan = PrefixScan::new(tables.orders.clone(), &mut rng);
+
+    let mut line = ScanSketcher::new(&schema, line_scan.len() as u64).unwrap();
+    let mut orders = ScanSketcher::new(&schema, order_scan.len() as u64).unwrap();
+
+    println!(
+        "{:>9} {:>14} {:>9} {:>14} {:>9}",
+        "scanned", "join est", "err", "F₂ est", "err"
+    );
+    let fractions = [0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut li = 0usize;
+    let mut oi = 0usize;
+    for &frac in &fractions {
+        let l_target = (frac * line_scan.len() as f64) as usize;
+        let o_target = (frac * order_scan.len() as f64) as usize;
+        while li < l_target {
+            line.observe(line_scan.tuples()[li]).unwrap();
+            li += 1;
+        }
+        while oi < o_target {
+            orders.observe(order_scan.tuples()[oi]).unwrap();
+            oi += 1;
+        }
+        let join = line.size_of_join(&orders).unwrap();
+        let f2 = line.self_join().unwrap();
+        println!(
+            "{:>8.0}% {:>14.0} {:>8.2}% {:>14.0} {:>8.2}%",
+            100.0 * frac,
+            join,
+            100.0 * (join - truth_join).abs() / truth_join,
+            f2,
+            100.0 * (f2 - truth_f2).abs() / truth_f2
+        );
+    }
+    println!(
+        "\nReading: estimates are already stable near a 10% scan — the\n\
+         online aggregation engine can start making decisions long before\n\
+         the scan finishes (paper Figures 7–8)."
+    );
+}

@@ -1,0 +1,77 @@
+//! The variance anatomy of the combined estimator (paper §V-B, Figures
+//! 1–2): how much of the error comes from sampling, how much from
+//! sketching, and how much from their *interaction*?
+//!
+//! Computes the exact three-way decomposition for a sweep of Zipf skews
+//! and Bernoulli probabilities — no simulation involved, everything is the
+//! closed-form analysis evaluated on expected Zipf frequency vectors.
+//!
+//! ```text
+//! cargo run --release --example variance_decomposition
+//! ```
+
+use sketch_sampled_streams::datagen::ZipfGenerator;
+use sketch_sampled_streams::moments::decompose;
+use sketch_sampled_streams::moments::scheme::Bernoulli;
+use sketch_sampled_streams::moments::FrequencyVector;
+
+fn main() {
+    let domain = 10_000;
+    let tuples = 1_000_000u64;
+    let buckets = 5000; // averaging factor n, as in the paper's setup
+
+    println!("self-join size over Bernoulli samples — relative variance contributions");
+    println!(
+        "{:>5} {:>6} {:>10} {:>10} {:>12}",
+        "skew", "p", "sampling", "sketch", "interaction"
+    );
+    for skew in [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+        let freqs = FrequencyVector::from_counts(
+            ZipfGenerator::new(domain, skew).expected_frequencies(tuples),
+        );
+        for p in [0.01, 0.1, 0.5] {
+            let scheme = Bernoulli::new(p).unwrap();
+            let d = decompose::bernoulli_sjs(&freqs, &scheme, buckets).unwrap();
+            let [s, k, i] = d.relative();
+            println!(
+                "{:>5} {:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
+                skew,
+                p,
+                100.0 * s,
+                100.0 * k,
+                100.0 * i
+            );
+        }
+    }
+
+    println!("\nsize of join over Bernoulli samples (independent Zipf relations)");
+    println!(
+        "{:>5} {:>6} {:>10} {:>10} {:>12}",
+        "skew", "p", "sampling", "sketch", "interaction"
+    );
+    for skew in [0.0, 0.5, 1.0, 2.0] {
+        let freqs = FrequencyVector::from_counts(
+            ZipfGenerator::new(domain, skew).expected_frequencies(tuples),
+        );
+        for p in [0.01, 0.1, 0.5] {
+            let scheme = Bernoulli::new(p).unwrap();
+            let d = decompose::bernoulli_sj(&freqs, &freqs, &scheme, &scheme, buckets).unwrap();
+            let [s, k, i] = d.relative();
+            println!(
+                "{:>5} {:>6} {:>9.1}% {:>9.1}% {:>11.1}%",
+                skew,
+                p,
+                100.0 * s,
+                100.0 * k,
+                100.0 * i
+            );
+        }
+    }
+
+    println!(
+        "\nReading: at low skew the interaction term carries most of the\n\
+         variance (the naive \"sum of the two variances\" analysis would be\n\
+         badly wrong); at high skew the sketch term dominates — exactly the\n\
+         trends of the paper's Figures 1 and 2."
+    );
+}

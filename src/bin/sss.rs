@@ -1,0 +1,175 @@
+//! `sss` — command-line join-size estimation over key files.
+//!
+//! Reads whitespace/newline-separated unsigned integer keys and estimates
+//! the requested aggregate with an F-AGMS sketch over an (optional)
+//! Bernoulli sample:
+//!
+//! ```text
+//! sss selfjoin <file> [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact]
+//! sss join <file_f> <file_g> [--p=0.1] [--q=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact]
+//! ```
+//!
+//! With `--exact` the true aggregate is also computed (hash map over the
+//! full data) and the relative error reported — useful for calibrating a
+//! sketch configuration against a data sample before deploying it on the
+//! full stream.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::LoadSheddingSketcher;
+use sketch_sampled_streams::exact::ExactAggregator;
+
+fn arg_value<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{name}"))
+}
+
+fn read_keys(path: &str) -> Result<Vec<u64>, String> {
+    let mut text = String::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut keys = Vec::new();
+    for (lineno, token) in text.split_whitespace().enumerate() {
+        keys.push(
+            token
+                .parse::<u64>()
+                .map_err(|_| format!("{path}: token {} ({token:?}) is not a u64", lineno + 1))?,
+        );
+    }
+    if keys.is_empty() {
+        return Err(format!("{path}: no keys found"));
+    }
+    Ok(keys)
+}
+
+fn exact_self_join(keys: &[u64]) -> f64 {
+    ExactAggregator::from_keys(keys.iter().copied()).self_join()
+}
+
+fn exact_join(f: &[u64], g: &[u64]) -> f64 {
+    ExactAggregator::from_keys(f.iter().copied())
+        .join(&ExactAggregator::from_keys(g.iter().copied()))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let depth: usize = arg_value(&args, "depth", 3);
+    let width: usize = arg_value(&args, "width", 5000);
+    let seed: u64 = arg_value(&args, "seed", 1);
+    let p: f64 = arg_value(&args, "p", 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = JoinSchema::fagms(depth, width, &mut rng);
+
+    match cmd.as_str() {
+        "selfjoin" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let keys = match read_keys(path) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut shed = match LoadSheddingSketcher::new(&schema, p, &mut rng) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for &k in &keys {
+                shed.observe(k);
+            }
+            let est = shed.self_join();
+            println!("tuples     {}", keys.len());
+            println!("sketched   {}", shed.kept());
+            println!("estimate   {est:.2}");
+            if has_flag(&args, "exact") {
+                let truth = exact_self_join(&keys);
+                println!("exact      {truth:.2}");
+                println!(
+                    "rel_error  {:.4}%",
+                    100.0 * (est - truth).abs() / truth.max(1.0)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "join" => {
+            let (Some(pf), Some(pg)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let q: f64 = arg_value(&args, "q", 1.0);
+            let (f_keys, g_keys) = match (read_keys(pf), read_keys(pg)) {
+                (Ok(f), Ok(g)) => (f, g),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut fs = match LoadSheddingSketcher::new(&schema, p, &mut rng) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut gs = match LoadSheddingSketcher::new(&schema, q, &mut rng) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for &k in &f_keys {
+                fs.observe(k);
+            }
+            for &k in &g_keys {
+                gs.observe(k);
+            }
+            let est = match fs.size_of_join(&gs) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("tuples     {} ⋈ {}", f_keys.len(), g_keys.len());
+            println!("sketched   {} + {}", fs.kept(), gs.kept());
+            println!("estimate   {est:.2}");
+            if has_flag(&args, "exact") {
+                let truth = exact_join(&f_keys, &g_keys);
+                println!("exact      {truth:.2}");
+                println!(
+                    "rel_error  {:.4}%",
+                    100.0 * (est - truth).abs() / truth.max(1.0)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

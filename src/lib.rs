@@ -1,0 +1,47 @@
+//! # sketch-sampled-streams
+//!
+//! Facade crate for the *Sketching Sampled Data Streams* workspace
+//! (Rusu & Dobra, ICDE 2009). Re-exports the public API of every subsystem
+//! so applications can depend on a single crate:
+//!
+//! * [`xi`] — limited-independence ±1 families and bucket hashes.
+//! * [`sampling`] — Bernoulli / with-replacement / without-replacement
+//!   sampling and sampling-only estimators.
+//! * [`sketch`] — AGMS, F-AGMS, Count-Min and multiway-join sketches.
+//! * [`moments`] — exact expectation/variance formulas, the
+//!   sampling/sketch/interaction variance decomposition, planning and
+//!   tail bounds.
+//! * [`core`] — the combined sketch-over-samples estimators and the
+//!   application drivers (load shedding — coin-flip, hash-coordinated and
+//!   epoch-based, i.i.d. streams, online aggregation).
+//! * [`exact`] — exact streaming aggregates used as ground truth.
+//! * [`datagen`] — Zipf, self-similar, correlated-pair and mini-TPC-H
+//!   workload generators.
+//! * [`stream`] — streaming pipeline substrate: adaptive controllers,
+//!   DSMS operator chains, parallel sketching, sliding windows.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sketch_sampled_streams::core::sketch::JoinSchema;
+//! use sketch_sampled_streams::core::LoadSheddingSketcher;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let schema = JoinSchema::fagms(1, 5000, &mut rng);
+//! let mut sketcher = LoadSheddingSketcher::new(&schema, 0.1, &mut rng).unwrap();
+//! for i in 0..100_000u64 {
+//!     sketcher.observe(i % 500); // sketch a 10% sample of the stream
+//! }
+//! let f2 = sketcher.self_join(); // unbiased estimate of the FULL stream's F₂
+//! assert!((f2 - 2e7).abs() / 2e7 < 0.1);
+//! ```
+
+pub use sss_core as core;
+pub use sss_datagen as datagen;
+pub use sss_exact as exact;
+pub use sss_moments as moments;
+pub use sss_sampling as sampling;
+pub use sss_sketch as sketch;
+pub use sss_stream as stream;
+pub use sss_xi as xi;

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `sss` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_keys(path: &std::path::Path, keys: impl IntoIterator<Item = u64>) {
+    let mut f = std::fs::File::create(path).unwrap();
+    for k in keys {
+        writeln!(f, "{k}").unwrap();
+    }
+}
+
+fn sss() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sss"))
+}
+
+#[test]
+fn selfjoin_with_exact_reports_error() {
+    let dir = std::env::temp_dir().join("sss-cli-test-selfjoin");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    write_keys(&file, (0..60_000u64).map(|i| i % 300));
+    let out = sss()
+        .args([
+            "selfjoin",
+            file.to_str().unwrap(),
+            "--p=0.5",
+            "--exact",
+            "--seed=7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tuples     60000"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("exact      12000000.00"),
+        "stdout: {stdout}"
+    );
+    // The reported relative error should be small at p = 0.5 / 5000 buckets.
+    let err_line = stdout.lines().find(|l| l.starts_with("rel_error")).unwrap();
+    let pct: f64 = err_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(pct < 10.0, "reported error {pct}%");
+}
+
+#[test]
+fn join_command_runs() {
+    let dir = std::env::temp_dir().join("sss-cli-test-join");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("f.txt");
+    let g = dir.join("g.txt");
+    write_keys(&f, (0..20_000u64).map(|i| i % 200));
+    write_keys(&g, (0..30_000u64).map(|i| i % 300));
+    let out = sss()
+        .args(["join", f.to_str().unwrap(), g.to_str().unwrap(), "--exact"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Exact join: 200 overlapping keys × 100 × 100 = 2,000,000.
+    assert!(stdout.contains("exact      2000000.00"), "stdout: {stdout}");
+}
+
+#[test]
+fn bad_usage_and_bad_files_fail_cleanly() {
+    let out = sss().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no args → usage");
+    let out = sss().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown command → usage");
+    let out = sss()
+        .args(["selfjoin", "/definitely/not/a/file"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing file → failure");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Non-numeric content is rejected with a location.
+    let dir = std::env::temp_dir().join("sss-cli-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bad.txt");
+    std::fs::write(&file, "1 2 three 4").unwrap();
+    let out = sss()
+        .args(["selfjoin", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("three"));
+}

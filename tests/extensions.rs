@@ -1,0 +1,197 @@
+//! Integration tests for the engineering extensions: the pieces beyond the
+//! paper's core estimators, exercised together through the public facade.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::{CoordinatedShedder, EpochShedder};
+use sketch_sampled_streams::datagen::ZipfGenerator;
+use sketch_sampled_streams::exact::ExactAggregator;
+use sketch_sampled_streams::moments::planning;
+use sketch_sampled_streams::moments::scheme::Bernoulli;
+use sketch_sampled_streams::moments::FrequencyVector;
+use sketch_sampled_streams::sketch::multiway::{chain_join, MultiwaySchema, Side};
+use sketch_sampled_streams::stream::{ControllerConfig, PipelineBuilder, RateController};
+use sketch_sampled_streams::xi::Eh3;
+
+/// Coordinated shedding on a turnstile stream agrees with the exact
+/// aggregator on the surviving data.
+#[test]
+fn coordinated_shedding_tracks_the_net_stream() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let schema = JoinSchema::fagms(1, 4096, &mut rng);
+    let mut shed = CoordinatedShedder::new(&schema, 0.3, &mut rng).unwrap();
+    let mut exact = ExactAggregator::new();
+    let gen = ZipfGenerator::new(2_000, 0.8);
+    let inserts: Vec<u64> = gen.relation(200_000, &mut rng);
+    for (id, &k) in inserts.iter().enumerate() {
+        shed.observe(id as u64, k, 1);
+        exact.update(k, 1);
+    }
+    // Delete a third of the tuples (same ids).
+    for (id, &k) in inserts.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+        shed.observe(id as u64, k, -1);
+        exact.update(k, -1);
+    }
+    let truth = exact.self_join();
+    let est = shed.self_join();
+    assert!(
+        (est - truth).abs() / truth < 0.1,
+        "est = {est}, truth = {truth}"
+    );
+}
+
+/// The DSMS pipeline end to end: filter → map → adaptive shedder, with the
+/// estimate validated against the exact post-transform stream.
+#[test]
+fn pipeline_estimate_matches_exact_under_overload() {
+    fn keep_small(k: u64) -> bool {
+        k < 1_500
+    }
+    fn bucketize(k: u64) -> u64 {
+        k / 3
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let schema = JoinSchema::fagms(1, 4096, &mut rng);
+    let controller = RateController::new(ControllerConfig {
+        capacity_tps: 50_000.0,
+        smoothing: 0.5,
+        hysteresis: 0.1,
+        min_p: 1e-3,
+    });
+    let mut pipeline = PipelineBuilder::new()
+        .filter("small", keep_small)
+        .map("bucket", bucketize)
+        .sink(&schema, controller, &mut rng)
+        .unwrap();
+    let mut exact = ExactAggregator::new();
+    let gen = ZipfGenerator::new(3_000, 0.5);
+    for _ in 0..10 {
+        let batch = gen.relation(400_000, &mut rng);
+        pipeline.push_batch(&batch, 1.0).unwrap();
+        for &k in &batch {
+            if keep_small(k) {
+                exact.update(bucketize(k), 1);
+            }
+        }
+    }
+    assert!(
+        pipeline.controller().probability() < 0.5,
+        "overload must trigger shedding"
+    );
+    let est = pipeline.self_join().unwrap();
+    let truth = exact.self_join();
+    assert!(
+        (est - truth).abs() / truth < 0.1,
+        "est = {est}, truth = {truth}"
+    );
+}
+
+/// Epoch shedding with rates driven by a controller stays unbiased over a
+/// bursty schedule (the adaptive_shedding example, as an assertion).
+#[test]
+fn controller_plus_epochs_is_unbiased_over_bursts() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let schema = JoinSchema::fagms(1, 5000, &mut rng);
+    let mut controller = RateController::new(ControllerConfig {
+        capacity_tps: 1_000_000.0,
+        smoothing: 0.5,
+        hysteresis: 0.15,
+        min_p: 1e-3,
+    });
+    let mut shedder = EpochShedder::new(&schema, 1.0, &mut rng).unwrap();
+    let mut exact = ExactAggregator::new();
+    let gen = ZipfGenerator::new(5_000, 0.6);
+    for (rate, batches) in [(5e5, 5), (2e7, 5), (5e5, 5)] {
+        for _ in 0..batches {
+            let batch = gen.relation(100_000, &mut rng);
+            let p = controller.observe_batch(rate as u64, 1.0);
+            shedder.set_probability(p, &mut rng).unwrap();
+            for &k in &batch {
+                shedder.observe(k);
+                exact.update(k, 1);
+            }
+        }
+    }
+    assert!(
+        shedder.epoch_count() >= 2,
+        "the burst must open a new epoch"
+    );
+    let est = shedder.self_join().unwrap();
+    let truth = exact.self_join();
+    assert!(
+        (est - truth).abs() / truth < 0.1,
+        "est = {est}, truth = {truth}"
+    );
+}
+
+/// The planner's recommended sketch size actually delivers its target on a
+/// real (simulated) run.
+#[test]
+fn planner_sizes_a_real_sketch_correctly() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let profile = FrequencyVector::from_counts(vec![50u32; 2_000]);
+    let scheme = Bernoulli::new(0.2).unwrap();
+    let target = 0.08;
+    let n = planning::averages_for_error(&scheme, &profile, target)
+        .unwrap()
+        .expect("achievable");
+    // Build exactly the recommended sketch and measure over repetitions.
+    let truth = profile.self_join();
+    let reps = 60;
+    let mut sq_err = 0.0;
+    for _ in 0..reps {
+        let schema = JoinSchema::fagms(1, n, &mut rng);
+        let mut shed =
+            sketch_sampled_streams::core::LoadSheddingSketcher::new(&schema, 0.2, &mut rng)
+                .unwrap();
+        for key in 0..2_000u64 {
+            for _ in 0..50 {
+                shed.observe(key);
+            }
+        }
+        let rel = (shed.self_join() - truth) / truth;
+        sq_err += rel * rel;
+    }
+    let rmse = (sq_err / reps as f64).sqrt();
+    // F-AGMS beats the AGMS-based bound in practice; allow 1.5× slack for
+    // measurement noise, but the planner must be in the right regime.
+    assert!(
+        rmse < 1.5 * target,
+        "planned n = {n}: rmse {rmse} vs target {target}"
+    );
+}
+
+/// Multiway chain join composed with range-summable EH3 unary endpoints:
+/// the extensions interoperate.
+#[test]
+fn multiway_join_with_range_loaded_endpoint() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let truth_join = {
+        // F: keys 0..1000 ×1 (loaded via one range update);
+        // G: (a, a % 50) for a in 0..1000; H: keys 0..50 ×2.
+        // Every G row joins F once and H twice → 1000 × 1 × 2.
+        2_000.0
+    };
+    let reps = 400;
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let schema = MultiwaySchema::<Eh3>::new(16, &mut rng);
+        let mut f = schema.unary(Side::Left);
+        let mut g = schema.binary();
+        let mut h = schema.unary(Side::Right);
+        for a in 0..1000u64 {
+            f.update(a, 1);
+            g.update(a, a % 50, 1);
+        }
+        for b in 0..50u64 {
+            h.update(b, 2);
+        }
+        acc += chain_join(&f, &g, &h).unwrap();
+    }
+    let mean = acc / reps as f64;
+    assert!(
+        (mean - truth_join).abs() / truth_join < 0.15,
+        "mean = {mean}, truth = {truth_join}"
+    );
+}

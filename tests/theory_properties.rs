@@ -1,0 +1,164 @@
+//! Property-based tests of the analytical engine: invariants that must
+//! hold for *arbitrary* frequency vectors and sampling parameters.
+
+use proptest::prelude::*;
+use sketch_sampled_streams::moments::closed_form;
+use sketch_sampled_streams::moments::decompose;
+use sketch_sampled_streams::moments::engine;
+use sketch_sampled_streams::moments::scheme::{Bernoulli, WithReplacement, WithoutReplacement};
+use sketch_sampled_streams::moments::FrequencyVector;
+
+fn freq_vector() -> impl Strategy<Value = FrequencyVector> {
+    prop::collection::vec(0u32..40, 2..20)
+        .prop_filter("need a non-empty relation", |v| v.iter().any(|&c| c > 0))
+        .prop_map(FrequencyVector::from_counts)
+}
+
+fn pair_same_domain() -> impl Strategy<Value = (FrequencyVector, FrequencyVector)> {
+    (2usize..16).prop_flat_map(|len| {
+        (
+            prop::collection::vec(0u32..40, len)
+                .prop_filter("F non-empty", |v| v.iter().any(|&c| c > 0))
+                .prop_map(FrequencyVector::from_counts),
+            prop::collection::vec(0u32..40, len)
+                .prop_filter("G non-empty", |v| v.iter().any(|&c| c > 0))
+                .prop_map(FrequencyVector::from_counts),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Variances are non-negative and estimators unbiased, for every
+    /// scheme, on arbitrary inputs.
+    #[test]
+    fn variances_nonnegative_and_means_exact(
+        f in freq_vector(),
+        p in 0.01f64..=1.0,
+        n in 1usize..200,
+    ) {
+        let truth = f.self_join();
+        let scheme = Bernoulli::new(p).unwrap();
+        let m = engine::sketch_sample_sjs(&scheme, &f, n).unwrap();
+        prop_assert!(m.variance >= -1e-6 * truth * truth - 1e-9);
+        prop_assert!((m.mean - truth).abs() <= 1e-6 * truth.max(1.0));
+
+        let pop = f.total() as u64;
+        let sample = (pop / 2).max(2).min(pop);
+        if sample >= 2 {
+            let wr = WithReplacement::new(sample, pop).unwrap();
+            let m = engine::sketch_sample_sjs(&wr, &f, n).unwrap();
+            prop_assert!((m.mean - truth).abs() <= 1e-6 * truth.max(1.0));
+            prop_assert!(m.variance >= -1e-6 * truth * truth - 1e-9);
+            let wor = WithoutReplacement::new(sample, pop).unwrap();
+            let m = engine::sketch_sample_sjs(&wor, &f, n).unwrap();
+            prop_assert!((m.mean - truth).abs() <= 1e-6 * truth.max(1.0));
+            prop_assert!(m.variance >= -1e-6 * truth * truth - 1e-9);
+        }
+    }
+
+    /// Averaging more basic sketches never increases the variance, and the
+    /// sampling-only variance is a floor.
+    #[test]
+    fn averaging_is_monotone_with_a_sampling_floor(
+        f in freq_vector(),
+        p in 0.05f64..=1.0,
+    ) {
+        let scheme = Bernoulli::new(p).unwrap();
+        let v1 = engine::sketch_sample_sjs(&scheme, &f, 1).unwrap().variance;
+        let v8 = engine::sketch_sample_sjs(&scheme, &f, 8).unwrap().variance;
+        let v64 = engine::sketch_sample_sjs(&scheme, &f, 64).unwrap().variance;
+        prop_assert!(v1 >= v8 - 1e-9);
+        prop_assert!(v8 >= v64 - 1e-9);
+        let floor = engine::sampling_sjs(&scheme, &f).unwrap().variance;
+        prop_assert!(v64 >= floor - 1e-6 * floor.abs() - 1e-9);
+    }
+
+    /// The closed forms match the generic engine on arbitrary inputs (the
+    /// unit tests check curated shapes; this fuzzes the agreement).
+    #[test]
+    fn closed_forms_equal_engine(
+        (f, g) in pair_same_domain(),
+        p in 0.01f64..=1.0,
+        q in 0.01f64..=1.0,
+        n in 1usize..64,
+    ) {
+        let bp = Bernoulli::new(p).unwrap();
+        let bq = Bernoulli::new(q).unwrap();
+        let closed = closed_form::bernoulli_combined_sj_variance(&f, &g, &bp, &bq, n).unwrap();
+        let eng = engine::sketch_sample_sj(&bp, &f, &bq, &g, n).unwrap().variance;
+        let tol = 1e-9 * closed.abs().max(eng.abs()).max(1.0);
+        prop_assert!((closed - eng).abs() <= tol, "closed {closed} vs engine {eng}");
+
+        let closed = closed_form::bernoulli_combined_sjs_variance(&f, &bp, n).unwrap();
+        let eng = engine::sketch_sample_sjs(&bp, &f, n).unwrap().variance;
+        let tol = 1e-9 * closed.abs().max(eng.abs()).max(1.0);
+        prop_assert!((closed - eng).abs() <= tol);
+    }
+
+    /// WR/WOR closed forms vs engine, plus the WOR ≤ WR variance ordering
+    /// (finite-population correction can only help).
+    #[test]
+    fn fixed_size_schemes_agree_and_order(
+        (f, g) in pair_same_domain(),
+        frac in 0.1f64..=1.0,
+        n in 1usize..32,
+    ) {
+        let nf = f.total() as u64;
+        let ng = g.total() as u64;
+        let mf = ((nf as f64 * frac) as u64).clamp(2, nf);
+        let mg = ((ng as f64 * frac) as u64).clamp(2, ng);
+        prop_assume!(nf >= 2 && ng >= 2);
+
+        let wr_f = WithReplacement::new(mf, nf).unwrap();
+        let wr_g = WithReplacement::new(mg, ng).unwrap();
+        let closed = closed_form::wr_combined_sj_variance(&f, &g, &wr_f, &wr_g, n).unwrap();
+        let eng = engine::sketch_sample_sj(&wr_f, &f, &wr_g, &g, n).unwrap().variance;
+        prop_assert!((closed - eng).abs() <= 1e-9 * closed.abs().max(1.0));
+
+        let wor_f = WithoutReplacement::new(mf, nf).unwrap();
+        let wor_g = WithoutReplacement::new(mg, ng).unwrap();
+        let closed_wor =
+            closed_form::wor_combined_sj_variance(&f, &g, &wor_f, &wor_g, n).unwrap();
+        let eng_wor = engine::sketch_sample_sj(&wor_f, &f, &wor_g, &g, n).unwrap().variance;
+        prop_assert!((closed_wor - eng_wor).abs() <= 1e-9 * closed_wor.abs().max(1.0));
+
+        // Same sample sizes: sampling without replacement is never worse.
+        prop_assert!(eng_wor <= eng + 1e-6 * eng.abs() + 1e-9);
+    }
+
+    /// Decomposition terms always sum to the total, and each relative
+    /// share is a number in [0, 1] (up to round-off) when the total > 0.
+    #[test]
+    fn decomposition_is_a_partition(
+        f in freq_vector(),
+        p in 0.01f64..=0.99,
+        n in 1usize..100,
+    ) {
+        let scheme = Bernoulli::new(p).unwrap();
+        let d = decompose::bernoulli_sjs(&f, &scheme, n).unwrap();
+        let total = engine::sketch_sample_sjs(&scheme, &f, n).unwrap().variance;
+        prop_assert!((d.total() - total).abs() <= 1e-9 * total.abs().max(1.0));
+        if total > 1.0 {
+            let [s, k, i] = d.relative();
+            prop_assert!((s + k + i - 1.0).abs() < 1e-9);
+            prop_assert!(s >= -1e-9 && k >= -1e-9 && i >= -0.05,
+                "shares ({s}, {k}, {i}) out of range");
+        }
+    }
+
+    /// Bernoulli at p = 1 must exactly reduce to the pure sketch formulas.
+    #[test]
+    fn p_one_reduction((f, g) in pair_same_domain(), n in 1usize..64) {
+        let one = Bernoulli::new(1.0).unwrap();
+        let combined = engine::sketch_sample_sj(&one, &f, &one, &g, n).unwrap();
+        let pure = engine::sketch_sj(&f, &g, n);
+        prop_assert!((combined.variance - pure.variance).abs()
+            <= 1e-6 * pure.variance.abs().max(1.0));
+        let combined = engine::sketch_sample_sjs(&one, &f, n).unwrap();
+        let pure = engine::sketch_sjs(&f, n);
+        prop_assert!((combined.variance - pure.variance).abs()
+            <= 1e-6 * pure.variance.abs().max(1.0));
+    }
+}
