@@ -1,7 +1,9 @@
 //! The speed-up mechanism itself: processing a stream through a full
 //! sketch vs through a Bernoulli shedder at various p. The per-*stream-
 //! tuple* cost of the shedded pipeline must fall roughly as p falls, which
-//! is exactly the paper's claimed speed-up.
+//! is exactly the paper's claimed speed-up. The `shed_batched` lines run
+//! the same sampler through `feed_batch`, which jumps the geometric gaps
+//! instead of branching per tuple.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -14,6 +16,7 @@ const TUPLES: u64 = 16_384;
 
 fn benches(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
+    let keys: Vec<u64> = (0..TUPLES).collect();
     let mut group = c.benchmark_group("sampled_update");
     group.throughput(Throughput::Elements(TUPLES));
 
@@ -26,20 +29,29 @@ fn benches(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new(format!("{name}/full"), 1.0), |b| {
             let mut s = schema.sketch();
             b.iter(|| {
-                for key in 0..TUPLES {
+                for &key in &keys {
                     s.update(black_box(key), 1);
                 }
             })
+        });
+        group.bench_function(BenchmarkId::new(format!("{name}/full_batched"), 1.0), |b| {
+            let mut s = schema.sketch();
+            b.iter(|| s.update_batch(black_box(&keys)))
         });
         for p in [0.1, 0.01] {
             group.bench_function(BenchmarkId::new(format!("{name}/shed"), p), |b| {
                 let mut shed =
                     LoadSheddingSketcher::new(schema, p, &mut rng).expect("valid probability");
                 b.iter(|| {
-                    for key in 0..TUPLES {
+                    for &key in &keys {
                         shed.observe(black_box(key));
                     }
                 })
+            });
+            group.bench_function(BenchmarkId::new(format!("{name}/shed_batched"), p), |b| {
+                let mut shed =
+                    LoadSheddingSketcher::new(schema, p, &mut rng).expect("valid probability");
+                b.iter(|| shed.feed_batch(black_box(&keys)))
             });
         }
     }

@@ -1,8 +1,12 @@
 //! Per-tuple update cost of the sketch structures: the quantity load
 //! shedding divides by `1/p`. AGMS grows linearly with its counter count;
 //! F-AGMS and Count-Min stay O(depth) regardless of width.
+//!
+//! Every configuration is measured twice — the per-tuple `update` loop
+//! (`…/scalar`) and the row-major `update_batch` kernel (`…/batched`) —
+//! so the amortized-ξ speed-up is read directly off adjacent lines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_sketch::{AgmsSchema, CountMinSchema, FagmsSchema, Sketch};
@@ -10,54 +14,67 @@ use std::hint::black_box;
 
 const TUPLES: u64 = 4096;
 
+fn stream_keys() -> Vec<u64> {
+    (0..TUPLES)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+/// Benchmark one sketch configuration both ways: `name/scalar` runs the
+/// per-tuple update loop, `name/batched` the batched kernel. A fresh sketch
+/// is set up (untimed) for every timing iteration so counter state never
+/// accumulates across samples.
+fn bench_scalar_vs_batched<S, M>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    param: impl std::fmt::Display,
+    make: M,
+    keys: &[u64],
+) where
+    S: Sketch,
+    M: Fn() -> S + Copy,
+{
+    group.bench_function(BenchmarkId::new(format!("{name}/scalar"), &param), |b| {
+        b.iter_batched_ref(
+            make,
+            |s| {
+                for &key in keys {
+                    s.update(black_box(key), 1);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new(format!("{name}/batched"), &param), |b| {
+        b.iter_batched_ref(
+            make,
+            |s| s.update_batch(black_box(keys)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn benches(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
+    let keys = stream_keys();
     let mut group = c.benchmark_group("sketch_update");
     group.throughput(Throughput::Elements(TUPLES));
 
     for n in [16usize, 64, 256] {
         let schema: AgmsSchema = AgmsSchema::new(n, &mut rng);
-        group.bench_function(BenchmarkId::new("agms", n), |b| {
-            let mut s = schema.sketch();
-            b.iter(|| {
-                for key in 0..TUPLES {
-                    s.update(black_box(key), 1);
-                }
-            })
-        });
+        bench_scalar_vs_batched(&mut group, "agms", n, || schema.sketch(), &keys);
     }
     for width in [512usize, 5000, 10_000] {
         let schema: FagmsSchema = FagmsSchema::new(1, width, &mut rng);
-        group.bench_function(BenchmarkId::new("fagms_d1", width), |b| {
-            let mut s = schema.sketch();
-            b.iter(|| {
-                for key in 0..TUPLES {
-                    s.update(black_box(key), 1);
-                }
-            })
-        });
+        bench_scalar_vs_batched(&mut group, "fagms_d1", width, || schema.sketch(), &keys);
     }
     {
         let schema: FagmsSchema = FagmsSchema::new(5, 1000, &mut rng);
-        group.bench_function(BenchmarkId::new("fagms_d5", 1000), |b| {
-            let mut s = schema.sketch();
-            b.iter(|| {
-                for key in 0..TUPLES {
-                    s.update(black_box(key), 1);
-                }
-            })
-        });
+        bench_scalar_vs_batched(&mut group, "fagms_d5", 1000, || schema.sketch(), &keys);
     }
     {
         let schema: CountMinSchema = CountMinSchema::new(5, 1000, &mut rng);
-        group.bench_function(BenchmarkId::new("countmin_d5", 1000), |b| {
-            let mut s = schema.sketch();
-            b.iter(|| {
-                for key in 0..TUPLES {
-                    s.update(black_box(key), 1);
-                }
-            })
-        });
+        bench_scalar_vs_batched(&mut group, "countmin_d5", 1000, || schema.sketch(), &keys);
     }
     group.finish();
 }

@@ -110,6 +110,51 @@ impl EpochShedder {
         true
     }
 
+    /// Offer a whole batch of tuples to the current epoch; returns how many
+    /// were kept.
+    ///
+    /// Bit-identical to calling [`EpochShedder::observe`] per key — same
+    /// geometric-gap draw order, same sketch state via the batched update
+    /// kernel — with the skip-sampling fast path of
+    /// [`crate::LoadSheddingSketcher::feed_batch`]. The whole batch lands
+    /// in the epoch in force when the call starts; rate changes take effect
+    /// between batches via [`EpochShedder::set_probability`].
+    pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
+        const CHUNK: usize = 256;
+        let epoch = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        let mut kept_keys = [0u64; CHUNK];
+        let mut fill = 0usize;
+        let mut kept_now = 0u64;
+        let mut pos = 0u64;
+        let n = keys.len() as u64;
+        loop {
+            let remaining = n - pos;
+            if self.gap >= remaining {
+                self.gap -= remaining;
+                break;
+            }
+            pos += self.gap;
+            kept_keys[fill] = keys[pos as usize];
+            fill += 1;
+            kept_now += 1;
+            if fill == CHUNK {
+                epoch.sketch.update_batch(&kept_keys);
+                fill = 0;
+            }
+            self.gap = self.skip.next_gap();
+            pos += 1;
+        }
+        if fill > 0 {
+            epoch.sketch.update_batch(&kept_keys[..fill]);
+        }
+        epoch.seen += n;
+        epoch.kept += kept_now;
+        kept_now
+    }
+
     /// The probability currently in force.
     pub fn probability(&self) -> f64 {
         self.epochs
@@ -296,6 +341,35 @@ mod tests {
         assert!(
             (mean - truth).abs() / truth < 0.1,
             "mean = {mean}, truth = {truth}"
+        );
+    }
+
+    /// The batched path must replay the scalar path exactly, including
+    /// across epoch changes between batches.
+    #[test]
+    fn feed_batch_is_bit_identical_to_observe() {
+        let mut r = rng(10);
+        let schema = JoinSchema::fagms(1, 512, &mut r);
+        let mut seed_a = rng(11);
+        let mut seed_b = rng(11);
+        let mut scalar = EpochShedder::new(&schema, 0.4, &mut seed_a).unwrap();
+        let mut batched = EpochShedder::new(&schema, 0.4, &mut seed_b).unwrap();
+        let keys: Vec<u64> = (0..20_000u64).map(|i| (i * 2_654_435_761) % 300).collect();
+        for (i, (batch, p)) in keys.chunks(4999).zip([0.4, 0.1, 0.8, 0.1, 0.4]).enumerate() {
+            scalar.set_probability(p, &mut seed_a).unwrap();
+            batched.set_probability(p, &mut seed_b).unwrap();
+            for &k in batch {
+                scalar.observe(k);
+            }
+            batched.feed_batch(batch);
+            assert_eq!(scalar.kept(), batched.kept(), "batch {i}");
+        }
+        assert_eq!(scalar.epoch_count(), batched.epoch_count());
+        assert_eq!(scalar.seen(), batched.seen());
+        assert_eq!(
+            scalar.self_join().unwrap(),
+            batched.self_join().unwrap(),
+            "identical epochs must give identical estimates"
         );
     }
 

@@ -63,6 +63,47 @@ impl LoadSheddingSketcher {
         true
     }
 
+    /// Offer a whole batch of stream tuples; returns how many were kept.
+    ///
+    /// Bit-identical to calling [`LoadSheddingSketcher::observe`] on each
+    /// key in turn: the geometric gaps are consumed in the same order (one
+    /// draw per kept tuple), and the kept keys reach the sketch through its
+    /// batched kernel, which shares the scalar path's counter state exactly.
+    /// The win is that skipped tuples cost a pointer jump instead of a
+    /// per-tuple branch, and kept tuples are sketched in bulk.
+    pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
+        const CHUNK: usize = 256;
+        let mut kept_keys = [0u64; CHUNK];
+        let mut fill = 0usize;
+        let mut kept_now = 0u64;
+        let mut pos = 0u64;
+        let n = keys.len() as u64;
+        loop {
+            let remaining = n - pos;
+            if self.gap >= remaining {
+                // The rest of the batch is skipped outright.
+                self.gap -= remaining;
+                break;
+            }
+            pos += self.gap;
+            kept_keys[fill] = keys[pos as usize];
+            fill += 1;
+            kept_now += 1;
+            if fill == CHUNK {
+                self.sketch.update_batch(&kept_keys);
+                fill = 0;
+            }
+            self.gap = self.skip.next_gap();
+            pos += 1;
+        }
+        if fill > 0 {
+            self.sketch.update_batch(&kept_keys[..fill]);
+        }
+        self.seen += n;
+        self.kept += kept_now;
+        kept_now
+    }
+
     /// The inclusion probability `p`.
     pub fn probability(&self) -> f64 {
         self.p
@@ -211,6 +252,42 @@ mod tests {
         let f = LoadSheddingSketcher::new(&s1, 0.5, &mut r).unwrap();
         let g = LoadSheddingSketcher::new(&s2, 0.5, &mut r).unwrap();
         assert!(f.size_of_join(&g).is_err());
+    }
+
+    /// The batched path must replay the scalar path exactly: identically
+    /// seeded shedders fed the same tuples — one per tuple, one in batches
+    /// of awkward sizes — end with the same sample and the same sketch.
+    #[test]
+    fn feed_batch_is_bit_identical_to_observe() {
+        let mut r = rng(10);
+        for p in [0.03, 0.5, 1.0] {
+            let schema = JoinSchema::fagms(2, 256, &mut r);
+            let mut seed_a = rng(11);
+            let mut seed_b = rng(11);
+            let mut scalar = LoadSheddingSketcher::new(&schema, p, &mut seed_a).unwrap();
+            let mut batched = LoadSheddingSketcher::new(&schema, p, &mut seed_b).unwrap();
+            let keys: Vec<u64> = (0..30_000u64).map(|i| (i * 2_654_435_761) % 400).collect();
+            for &k in &keys {
+                scalar.observe(k);
+            }
+            batched.feed_batch(&[]); // empty batches are harmless
+            let mut rest = keys.as_slice();
+            for size in [1usize, 7, 255, 256, 257, 1000].iter().cycle() {
+                if rest.is_empty() {
+                    break;
+                }
+                let take = (*size).min(rest.len());
+                batched.feed_batch(&rest[..take]);
+                rest = &rest[take..];
+            }
+            assert_eq!(scalar.seen(), batched.seen(), "p = {p}");
+            assert_eq!(scalar.kept(), batched.kept(), "p = {p}");
+            assert_eq!(
+                scalar.sketch().raw_self_join(),
+                batched.sketch().raw_self_join(),
+                "p = {p}"
+            );
+        }
     }
 
     /// Unbiasedness at a small p: average many runs.

@@ -83,6 +83,27 @@ impl JoinSketch {
         }
     }
 
+    /// Add one occurrence of every key, through the backend's row-major
+    /// batched kernel. Bit-identical to updating each key in turn, but the
+    /// enum dispatch happens once per batch instead of once per tuple.
+    #[inline]
+    pub fn update_batch(&mut self, keys: &[u64]) {
+        match self {
+            JoinSketch::Agms(s) => s.update_batch(keys),
+            JoinSketch::Fagms(s) => s.update_batch(keys),
+        }
+    }
+
+    /// Add `count` occurrences of `key` for every `(key, count)` pair, via
+    /// the backend's batched kernel (bit-identical to per-pair updates).
+    #[inline]
+    pub fn update_batch_counts(&mut self, items: &[(u64, i64)]) {
+        match self {
+            JoinSketch::Agms(s) => s.update_batch_counts(items),
+            JoinSketch::Fagms(s) => s.update_batch_counts(items),
+        }
+    }
+
     /// Raw (unscaled) self-join estimate of whatever was sketched.
     pub fn raw_self_join(&self) -> f64 {
         match self {

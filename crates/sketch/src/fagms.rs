@@ -318,6 +318,61 @@ impl<S: SignFamily, B: BucketFamily> Sketch for FagmsSketch<S, B> {
         }
     }
 
+    // Row-major batched kernel. When both of a row's families are CW
+    // polynomials (the default configuration), the fused `signed_scatter`
+    // kernel evaluates sign and bucket on shared lanes and scatters in the
+    // same pass — no per-key sign/bucket buffers, no hardware divide. Other
+    // families take the generic buffered path. Both are bit-identical to
+    // per-key updates because integer counter increments commute.
+    fn update_batch(&mut self, keys: &[u64]) {
+        let w = self.schema.width;
+        let mut signs = [0i64; crate::BATCH_CHUNK];
+        let mut buckets = [0usize; crate::BATCH_CHUNK];
+        for (r, row) in self.schema.rows.iter().enumerate() {
+            let row_counters = &mut self.counters[r * w..(r + 1) * w];
+            if let (Some(sc), Some(bc)) = (row.sign.poly_coeffs(), row.bucket.poly_coeffs()) {
+                sss_xi::signed_scatter(sc, bc, w, keys, row_counters);
+                continue;
+            }
+            for chunk in keys.chunks(crate::BATCH_CHUNK) {
+                let signs = &mut signs[..chunk.len()];
+                let buckets = &mut buckets[..chunk.len()];
+                row.sign.sign_batch(chunk, signs);
+                row.bucket.bucket_batch(chunk, w, buckets);
+                for (&b, &s) in buckets.iter().zip(signs.iter()) {
+                    row_counters[b] += s;
+                }
+            }
+        }
+    }
+
+    fn update_batch_counts(&mut self, items: &[(u64, i64)]) {
+        let w = self.schema.width;
+        let mut keys = [0u64; crate::BATCH_CHUNK];
+        let mut signs = [0i64; crate::BATCH_CHUNK];
+        let mut buckets = [0usize; crate::BATCH_CHUNK];
+        for (r, row) in self.schema.rows.iter().enumerate() {
+            let row_counters = &mut self.counters[r * w..(r + 1) * w];
+            if let (Some(sc), Some(bc)) = (row.sign.poly_coeffs(), row.bucket.poly_coeffs()) {
+                sss_xi::signed_scatter_counts(sc, bc, w, items, row_counters);
+                continue;
+            }
+            for chunk in items.chunks(crate::BATCH_CHUNK) {
+                let keys = &mut keys[..chunk.len()];
+                for (k, &(key, _)) in keys.iter_mut().zip(chunk) {
+                    *k = key;
+                }
+                let signs = &mut signs[..chunk.len()];
+                let buckets = &mut buckets[..chunk.len()];
+                row.sign.sign_batch(keys, signs);
+                row.bucket.bucket_batch(keys, w, buckets);
+                for ((&b, &s), &(_, c)) in buckets.iter().zip(signs.iter()).zip(chunk.iter()) {
+                    row_counters[b] += s * c;
+                }
+            }
+        }
+    }
+
     fn merge(&mut self, other: &Self) -> Result<()> {
         self.check_schema(other)?;
         for (c, o) in self.counters.iter_mut().zip(&other.counters) {
@@ -464,6 +519,31 @@ mod tests {
             errors[1] < errors[0] / 2.0,
             "width 512 should be far more accurate: {errors:?}"
         );
+    }
+
+    /// The batched kernels must leave exactly the counter state of the
+    /// per-key loop, across chunk boundaries and with negative counts.
+    #[test]
+    fn batched_updates_are_bit_identical_to_scalar() {
+        let schema = Schema::new(5, 300, &mut rng(50));
+        let keys: Vec<u64> = (0..777u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let items: Vec<(u64, i64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (i as i64 % 5) - 2))
+            .collect();
+        let mut scalar = schema.sketch();
+        let mut batched = schema.sketch();
+        for &k in &keys {
+            scalar.update(k, 1);
+        }
+        batched.update_batch(&keys);
+        assert_eq!(scalar.counters, batched.counters);
+        for &(k, c) in &items {
+            scalar.update(k, c);
+        }
+        batched.update_batch_counts(&items);
+        assert_eq!(scalar.counters, batched.counters);
     }
 
     #[test]

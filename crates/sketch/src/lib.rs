@@ -55,6 +55,11 @@ pub mod estimate;
 pub mod fagms;
 pub mod multiway;
 
+/// Keys per stack-buffered chunk of the batched update kernels: large
+/// enough to amortize the per-row ξ setup, small enough that the sign and
+/// bucket scratch buffers stay on the stack.
+pub(crate) const BATCH_CHUNK: usize = 256;
+
 pub use agms::{AgmsSchema, AgmsSketch};
 pub use countmin::{CountMinSchema, CountMinSketch};
 pub use error::{Error, Result};
@@ -70,6 +75,31 @@ pub trait Sketch {
     /// Add `count` occurrences of `key` (negative counts model deletions —
     /// all sketches here are turnstile-capable).
     fn update(&mut self, key: u64, count: i64);
+
+    /// Add one occurrence of every key in the batch.
+    ///
+    /// Semantically `for &k in keys { self.update(k, 1) }`, and every
+    /// implementation must leave **bit-identical** counter state to that
+    /// loop (exact by linearity: integer counter updates commute). The
+    /// sketches in this crate override the default with row-major kernels
+    /// that walk the batch once per row/family, keeping the family seeds
+    /// hot and evaluating the ξ polynomials several keys at a time.
+    fn update_batch(&mut self, keys: &[u64]) {
+        for &key in keys {
+            self.update(key, 1);
+        }
+    }
+
+    /// Add `count` occurrences of `key` for every `(key, count)` pair
+    /// (negative counts model deletions).
+    ///
+    /// Same bit-identity contract as [`Sketch::update_batch`], relative to
+    /// `for &(k, c) in items { self.update(k, c) }`.
+    fn update_batch_counts(&mut self, items: &[(u64, i64)]) {
+        for &(key, count) in items {
+            self.update(key, count);
+        }
+    }
 
     /// Entry-wise merge of a sketch built over another stream fragment with
     /// the same schema.

@@ -151,11 +151,9 @@ impl Pipeline {
         self.shedder.set_probability(p, &mut self.rng)?;
         let shed_stats = self.stats.last_mut().expect("shedder stage always exists");
         shed_stats.tuples_in += self.scratch.len() as u64;
-        for &k in &self.scratch {
-            if self.shedder.observe(k) {
-                shed_stats.tuples_out += 1;
-            }
-        }
+        // Batched skip-sampling: bit-identical to observing each tuple, but
+        // skipped tuples are jumped over and kept tuples sketched in bulk.
+        shed_stats.tuples_out += self.shedder.feed_batch(&self.scratch);
         Ok(())
     }
 

@@ -35,17 +35,22 @@ use sss_core::{LoadSheddingSketcher, Result};
 /// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
 /// ```
 pub fn parallel_sketch(schema: &JoinSchema, stream: &[u64], threads: usize) -> Result<JoinSketch> {
-    let threads = threads.max(1).min(stream.len().max(1));
+    // An empty stream has nothing to partition: return the zero sketch
+    // without spawning workers (`chunks` would reject a chunk size of 0).
+    if stream.is_empty() {
+        return Ok(schema.sketch());
+    }
+    // Never more workers than tuples — a short stream yields fewer, busier
+    // partitions rather than empty spawns.
+    let threads = threads.clamp(1, stream.len());
     let chunk = stream.len().div_ceil(threads);
     let partials: Vec<JoinSketch> = std::thread::scope(|scope| {
         let handles: Vec<_> = stream
-            .chunks(chunk.max(1))
+            .chunks(chunk)
             .map(|part| {
                 scope.spawn(move || {
                     let mut sk = schema.sketch();
-                    for &k in part {
-                        sk.update(k, 1);
-                    }
+                    sk.update_batch(part);
                     sk
                 })
             })
@@ -93,7 +98,19 @@ pub fn parallel_shed<R: Rng>(
     threads: usize,
     seed_rng: &mut R,
 ) -> Result<ParallelShedResult> {
-    let threads = threads.max(1).min(stream.len().max(1));
+    // Validate `p` up front so an empty stream still rejects bad inputs,
+    // then handle the empty stream explicitly (nothing to partition).
+    let mut probe_rng = StdRng::seed_from_u64(seed_rng.random());
+    let probe = LoadSheddingSketcher::new(schema, p, &mut probe_rng)?;
+    if stream.is_empty() {
+        return Ok(ParallelShedResult {
+            sketch: probe.sketch().clone(),
+            kept: 0,
+            throughput: Throughput::measure(0, || {}),
+            p,
+        });
+    }
+    let threads = threads.clamp(1, stream.len());
     let chunk = stream.len().div_ceil(threads);
     // Seed one RNG per worker up front, deterministically from the caller's.
     let seeds: Vec<u64> = (0..threads).map(|_| seed_rng.random()).collect();
@@ -102,15 +119,13 @@ pub fn parallel_shed<R: Rng>(
     let t = Throughput::measure(stream.len() as u64, || {
         let partials: Vec<Result<(JoinSketch, u64)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = stream
-                .chunks(chunk.max(1))
+                .chunks(chunk)
                 .zip(&seeds)
                 .map(|(part, &seed)| {
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(seed);
                         let mut shed = LoadSheddingSketcher::new(schema, p, &mut rng)?;
-                        for &k in part {
-                            shed.observe(k);
-                        }
+                        shed.feed_batch(part);
                         Ok((shed.sketch().clone(), shed.kept()))
                     })
                 })
@@ -189,6 +204,47 @@ mod tests {
         assert_eq!(empty.raw_self_join(), 0.0);
         let single = parallel_sketch(&schema, &[42], 8).unwrap();
         assert_eq!(single.raw_self_join(), 1.0);
+    }
+
+    /// Empty streams return the zero sketch without spawning workers, for
+    /// any thread count (including the degenerate 0).
+    #[test]
+    fn empty_stream_yields_zero_sketch() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let schema = JoinSchema::fagms(2, 64, &mut rng);
+        for threads in [0usize, 1, 8] {
+            let sk = parallel_sketch(&schema, &[], threads).unwrap();
+            assert_eq!(sk.raw_self_join(), 0.0, "threads = {threads}");
+        }
+        // Shedding over an empty stream: zero kept, estimate zero, and the
+        // probability is still validated.
+        let r = parallel_shed(&schema, &[], 0.5, 4, &mut rng).unwrap();
+        assert_eq!(r.kept, 0);
+        assert_eq!(r.self_join(), 0.0);
+        assert!(parallel_shed(&schema, &[], 0.0, 4, &mut rng).is_err());
+    }
+
+    /// More workers than tuples: the worker count clamps to the stream
+    /// length and the result stays bit-identical to sequential.
+    #[test]
+    fn more_threads_than_tuples() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let schema = JoinSchema::fagms(2, 64, &mut rng);
+        let short: Vec<u64> = (0..5u64).collect();
+        let mut sequential = schema.sketch();
+        for &k in &short {
+            sequential.update(k, 1);
+        }
+        for threads in [6usize, 64] {
+            let parallel = parallel_sketch(&schema, &short, threads).unwrap();
+            assert_eq!(
+                parallel.raw_self_join(),
+                sequential.raw_self_join(),
+                "threads = {threads}"
+            );
+        }
+        let r = parallel_shed(&schema, &short, 1.0, 64, &mut rng).unwrap();
+        assert_eq!(r.kept, short.len() as u64, "p = 1 keeps everything");
     }
 
     /// Parallel shedding gives an unbiased estimate with ≈p·n kept tuples.

@@ -9,7 +9,7 @@
 //! * a **bucket index** from the value modulo the number of buckets.
 
 use crate::family::{BucketFamily, FourWise, SignFamily};
-use crate::prime::{poly_eval, P61};
+use crate::prime::{horner_lanes_reduced, poly_eval, poly_eval_batch, FixedMod, P61, POLY_LANES};
 use rand::Rng;
 
 fn random_coeff<R: Rng + ?Sized>(rng: &mut R) -> u64 {
@@ -22,6 +22,248 @@ fn random_coeff<R: Rng + ?Sized>(rng: &mut R) -> u64 {
     }
 }
 
+/// Hash-buffer size of the batched polynomial paths: big enough to amortize
+/// the per-call coefficient setup of [`poly_eval_batch`], small enough to
+/// live on the stack.
+const HASH_CHUNK: usize = 64;
+
+/// Evaluate `coeffs` at every key and map the hashes to ±1 via the low bit
+/// (the batched twin of the scalar `1 - 2·(hash & 1)` sign derivations).
+fn poly_sign_batch(coeffs: &[u64], keys: &[u64], out: &mut [i64]) {
+    assert_eq!(
+        keys.len(),
+        out.len(),
+        "sign_batch needs one output slot per key"
+    );
+    let mut hashes = [0u64; HASH_CHUNK];
+    for (kc, oc) in keys.chunks(HASH_CHUNK).zip(out.chunks_mut(HASH_CHUNK)) {
+        let h = &mut hashes[..kc.len()];
+        poly_eval_batch(coeffs, kc, h);
+        for (o, &v) in oc.iter_mut().zip(h.iter()) {
+            *o = 1 - 2 * ((v & 1) as i64);
+        }
+    }
+}
+
+/// `Σᵢ sign(keys[i])` for a polynomial sign family, with the sum folded
+/// into the lane loop: no per-key sign ever touches memory, which is the
+/// difference between the batched AGMS kernel breaking even and winning.
+/// `coeffs` must be reduced modulo 2⁶¹−1 (family seeds always are).
+fn poly_sign_sum(coeffs: &[u64], keys: &[u64]) -> i64 {
+    let mut odd = 0u64;
+    let mut chunks = keys.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
+        let h = horner_lanes_reduced(coeffs, &xs);
+        for v in h {
+            odd += v & 1;
+        }
+    }
+    for &k in chunks.remainder() {
+        odd += poly_eval(coeffs, k) & 1;
+    }
+    // Each odd hash contributes −1, each even one +1.
+    keys.len() as i64 - 2 * odd as i64
+}
+
+/// `Σᵢ countᵢ·sign(keyᵢ)`: the weighted twin of [`poly_sign_sum`].
+fn poly_sign_dot(coeffs: &[u64], items: &[(u64, i64)]) -> i64 {
+    let mut dot = 0i64;
+    let mut chunks = items.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
+        let h = horner_lanes_reduced(coeffs, &xs);
+        for l in 0..POLY_LANES {
+            dot += (1 - 2 * ((h[l] & 1) as i64)) * c[l].1;
+        }
+    }
+    for &(k, count) in chunks.remainder() {
+        dot += (1 - 2 * ((poly_eval(coeffs, k) & 1) as i64)) * count;
+    }
+    dot
+}
+
+/// Reduce up to 8 coefficients onto the stack; `None` means the degree
+/// exceeds the lane kernels' coefficient budget and the caller should take
+/// its scalar path. No polynomial family in this workspace goes past
+/// degree 3, so the fallback exists for API robustness, not performance.
+#[inline]
+fn reduced_coeffs(coeffs: &[u64], buf: &mut [u64; 8]) -> Option<usize> {
+    if coeffs.len() > buf.len() {
+        return None;
+    }
+    for (r, &c) in buf.iter_mut().zip(coeffs) {
+        *r = c % P61;
+    }
+    Some(coeffs.len())
+}
+
+/// Fused F-AGMS row kernel: for every key, add `sign(key)` (the low bit of
+/// the `sign_coeffs` polynomial) into `counters[hash(key) % width]` (the
+/// `bucket_coeffs` polynomial). One pass over the keys evaluates both
+/// polynomials on shared reduced lanes and scatters immediately — no
+/// intermediate sign/bucket buffers — and the per-key `% width` divide is
+/// replaced by a [`FixedMod`] multiply.
+///
+/// Bit-identical to the per-key `counters[bucket(k, width)] += sign(k)`
+/// loop: hashes are canonical, `FixedMod` is an exact remainder, and
+/// integer counter increments commute.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `counters.len() < width`.
+pub fn signed_scatter(
+    sign_coeffs: &[u64],
+    bucket_coeffs: &[u64],
+    width: usize,
+    keys: &[u64],
+    counters: &mut [i64],
+) {
+    assert!(width > 0, "bucket width must be non-zero");
+    assert!(counters.len() >= width, "counter row narrower than width");
+    let mut sbuf = [0u64; 8];
+    let mut bbuf = [0u64; 8];
+    let (Some(sn), Some(bn)) = (
+        reduced_coeffs(sign_coeffs, &mut sbuf),
+        reduced_coeffs(bucket_coeffs, &mut bbuf),
+    ) else {
+        for &k in keys {
+            let s = 1 - 2 * ((poly_eval(sign_coeffs, k) & 1) as i64);
+            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += s;
+        }
+        return;
+    };
+    let (sc, bc) = (&sbuf[..sn], &bbuf[..bn]);
+    let wm = FixedMod::new(width as u64);
+    let mut chunks = keys.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
+        let hs = horner_lanes_reduced(sc, &xs);
+        let hb = horner_lanes_reduced(bc, &xs);
+        for l in 0..POLY_LANES {
+            let s = 1 - 2 * ((hs[l] & 1) as i64);
+            counters[wm.rem(hb[l]) as usize] += s;
+        }
+    }
+    for &k in chunks.remainder() {
+        let s = 1 - 2 * ((poly_eval(sc, k) & 1) as i64);
+        counters[wm.rem(poly_eval(bc, k)) as usize] += s;
+    }
+}
+
+/// Count-carrying twin of [`signed_scatter`]:
+/// `counters[hash(key) % width] += count·sign(key)` per `(key, count)`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `counters.len() < width`.
+pub fn signed_scatter_counts(
+    sign_coeffs: &[u64],
+    bucket_coeffs: &[u64],
+    width: usize,
+    items: &[(u64, i64)],
+    counters: &mut [i64],
+) {
+    assert!(width > 0, "bucket width must be non-zero");
+    assert!(counters.len() >= width, "counter row narrower than width");
+    let mut sbuf = [0u64; 8];
+    let mut bbuf = [0u64; 8];
+    let (Some(sn), Some(bn)) = (
+        reduced_coeffs(sign_coeffs, &mut sbuf),
+        reduced_coeffs(bucket_coeffs, &mut bbuf),
+    ) else {
+        for &(k, count) in items {
+            let s = 1 - 2 * ((poly_eval(sign_coeffs, k) & 1) as i64);
+            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += s * count;
+        }
+        return;
+    };
+    let (sc, bc) = (&sbuf[..sn], &bbuf[..bn]);
+    let wm = FixedMod::new(width as u64);
+    let mut chunks = items.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
+        let hs = horner_lanes_reduced(sc, &xs);
+        let hb = horner_lanes_reduced(bc, &xs);
+        for l in 0..POLY_LANES {
+            let s = 1 - 2 * ((hs[l] & 1) as i64);
+            counters[wm.rem(hb[l]) as usize] += s * c[l].1;
+        }
+    }
+    for &(k, count) in chunks.remainder() {
+        let s = 1 - 2 * ((poly_eval(sc, k) & 1) as i64);
+        counters[wm.rem(poly_eval(bc, k)) as usize] += s * count;
+    }
+}
+
+/// Fused Count-Min row kernel: `counters[hash(key) % width] += 1` per key.
+/// Same lane evaluation and [`FixedMod`] remainder as [`signed_scatter`],
+/// minus the sign polynomial.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `counters.len() < width`.
+pub fn bucket_scatter(bucket_coeffs: &[u64], width: usize, keys: &[u64], counters: &mut [i64]) {
+    assert!(width > 0, "bucket width must be non-zero");
+    assert!(counters.len() >= width, "counter row narrower than width");
+    let mut bbuf = [0u64; 8];
+    let Some(bn) = reduced_coeffs(bucket_coeffs, &mut bbuf) else {
+        for &k in keys {
+            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += 1;
+        }
+        return;
+    };
+    let bc = &bbuf[..bn];
+    let wm = FixedMod::new(width as u64);
+    let mut chunks = keys.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
+        let hb = horner_lanes_reduced(bc, &xs);
+        for l in 0..POLY_LANES {
+            counters[wm.rem(hb[l]) as usize] += 1;
+        }
+    }
+    for &k in chunks.remainder() {
+        counters[wm.rem(poly_eval(bc, k)) as usize] += 1;
+    }
+}
+
+/// Count-carrying twin of [`bucket_scatter`]:
+/// `counters[hash(key) % width] += count` per `(key, count)`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `counters.len() < width`.
+pub fn bucket_scatter_counts(
+    bucket_coeffs: &[u64],
+    width: usize,
+    items: &[(u64, i64)],
+    counters: &mut [i64],
+) {
+    assert!(width > 0, "bucket width must be non-zero");
+    assert!(counters.len() >= width, "counter row narrower than width");
+    let mut bbuf = [0u64; 8];
+    let Some(bn) = reduced_coeffs(bucket_coeffs, &mut bbuf) else {
+        for &(k, count) in items {
+            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += count;
+        }
+        return;
+    };
+    let bc = &bbuf[..bn];
+    let wm = FixedMod::new(width as u64);
+    let mut chunks = items.chunks_exact(POLY_LANES);
+    for c in chunks.by_ref() {
+        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
+        let hb = horner_lanes_reduced(bc, &xs);
+        for l in 0..POLY_LANES {
+            counters[wm.rem(hb[l]) as usize] += c[l].1;
+        }
+    }
+    for &(k, count) in chunks.remainder() {
+        counters[wm.rem(poly_eval(bc, k)) as usize] += count;
+    }
+}
+
 /// Pairwise-independent family: `h(x) = a + b·x mod (2⁶¹ − 1)`.
 ///
 /// Used for the bucket hashes of F-AGMS / Count-Min (see [`Cw2Bucket`]) and
@@ -30,23 +272,21 @@ fn random_coeff<R: Rng + ?Sized>(rng: &mut R) -> u64 {
 /// exactly what the `xi_independence` integration test demonstrates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Cw2 {
-    a: u64,
-    b: u64,
+    coeffs: [u64; 2],
 }
 
 impl Cw2 {
     /// Build from explicit coefficients (reduced modulo 2⁶¹−1).
     pub fn from_coeffs(a: u64, b: u64) -> Self {
         Self {
-            a: a % P61,
-            b: b % P61,
+            coeffs: [a % P61, b % P61],
         }
     }
 
     /// The raw hash value in `[0, 2⁶¹−1)`.
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
-        poly_eval(&[self.a, self.b], key)
+        poly_eval(&self.coeffs, key)
     }
 }
 
@@ -56,11 +296,28 @@ impl SignFamily for Cw2 {
         1 - 2 * ((self.hash(key) & 1) as i64)
     }
 
+    fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
+        poly_sign_batch(&self.coeffs, keys, out);
+    }
+
+    fn sign_sum(&self, keys: &[u64]) -> i64 {
+        poly_sign_sum(&self.coeffs, keys)
+    }
+
+    fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
+        poly_sign_dot(&self.coeffs, items)
+    }
+
+    fn poly_coeffs(&self) -> Option<&[u64]> {
+        Some(&self.coeffs)
+    }
+
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self {
-            a: random_coeff(rng),
-            b: random_coeff(rng),
-        }
+        // Drawn in ascending-degree order, matching the historical
+        // `a` then `b` field order so seeded streams stay reproducible.
+        let a = random_coeff(rng);
+        let b = random_coeff(rng);
+        Self { coeffs: [a, b] }
     }
 }
 
@@ -80,6 +337,28 @@ impl BucketFamily for Cw2Bucket {
     fn bucket(&self, key: u64, width: usize) -> usize {
         debug_assert!(width > 0, "bucket width must be non-zero");
         (self.0.hash(key) % width as u64) as usize
+    }
+
+    fn bucket_batch(&self, keys: &[u64], width: usize, out: &mut [usize]) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "bucket_batch needs one output slot per key"
+        );
+        debug_assert!(width > 0, "bucket width must be non-zero");
+        let wm = FixedMod::new(width as u64);
+        let mut hashes = [0u64; HASH_CHUNK];
+        for (kc, oc) in keys.chunks(HASH_CHUNK).zip(out.chunks_mut(HASH_CHUNK)) {
+            let h = &mut hashes[..kc.len()];
+            poly_eval_batch(&self.0.coeffs, kc, h);
+            for (o, &v) in oc.iter_mut().zip(h.iter()) {
+                *o = wm.rem(v) as usize;
+            }
+        }
+    }
+
+    fn poly_coeffs(&self) -> Option<&[u64]> {
+        Some(&self.0.coeffs)
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
@@ -117,6 +396,22 @@ impl SignFamily for Cw4 {
     #[inline]
     fn sign(&self, key: u64) -> i64 {
         1 - 2 * ((self.hash(key) & 1) as i64)
+    }
+
+    fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
+        poly_sign_batch(&self.coeffs, keys, out);
+    }
+
+    fn sign_sum(&self, keys: &[u64]) -> i64 {
+        poly_sign_sum(&self.coeffs, keys)
+    }
+
+    fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
+        poly_sign_dot(&self.coeffs, items)
+    }
+
+    fn poly_coeffs(&self) -> Option<&[u64]> {
+        Some(&self.coeffs)
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
@@ -207,6 +502,93 @@ mod tests {
         let mean = acc as f64 / trials as f64;
         // Std of the mean is 1/sqrt(trials) ≈ 0.007; allow 5 sigma.
         assert!(mean.abs() < 0.036, "mean = {mean}");
+    }
+
+    /// The fused row kernels must reproduce the per-key
+    /// `counters[bucket] += sign·count` loop exactly, across lane
+    /// remainders, widths, and negative counts.
+    #[test]
+    fn scatter_kernels_match_per_key_loops() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let sign = Cw4::random(&mut rng);
+        let bucket = Cw2Bucket::random(&mut rng);
+        let sc = sign.poly_coeffs().unwrap();
+        let bc = bucket.poly_coeffs().unwrap();
+        let keys: Vec<u64> = (0..203u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, u64::MAX])
+            .collect();
+        let items: Vec<(u64, i64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (i as i64 % 7) - 3))
+            .collect();
+        for width in [1usize, 3, 300, 5000] {
+            for len in [0usize, 1, 3, 4, 5, keys.len()] {
+                let mut want = vec![0i64; width];
+                for &k in &keys[..len] {
+                    want[bucket.bucket(k, width)] += sign.sign(k);
+                }
+                let mut got = vec![0i64; width];
+                signed_scatter(sc, bc, width, &keys[..len], &mut got);
+                assert_eq!(got, want, "signed width {width} len {len}");
+
+                let mut want = vec![0i64; width];
+                for &(k, c) in &items[..len] {
+                    want[bucket.bucket(k, width)] += c * sign.sign(k);
+                }
+                let mut got = vec![0i64; width];
+                signed_scatter_counts(sc, bc, width, &items[..len], &mut got);
+                assert_eq!(got, want, "signed counts width {width} len {len}");
+
+                let mut want = vec![0i64; width];
+                for &k in &keys[..len] {
+                    want[bucket.bucket(k, width)] += 1;
+                }
+                let mut got = vec![0i64; width];
+                bucket_scatter(bc, width, &keys[..len], &mut got);
+                assert_eq!(got, want, "bucket width {width} len {len}");
+
+                let mut want = vec![0i64; width];
+                for &(k, c) in &items[..len] {
+                    want[bucket.bucket(k, width)] += c;
+                }
+                let mut got = vec![0i64; width];
+                bucket_scatter_counts(bc, width, &items[..len], &mut got);
+                assert_eq!(got, want, "bucket counts width {width} len {len}");
+            }
+        }
+    }
+
+    /// Coefficient vectors beyond the lane budget take the scalar branch
+    /// and must agree with direct polynomial evaluation.
+    #[test]
+    fn scatter_kernels_fall_back_beyond_lane_budget() {
+        let sc: Vec<u64> = (1..=12u64).collect();
+        let bc: Vec<u64> = (3..=14u64).collect();
+        let keys: Vec<u64> = (0..37u64).map(|i| i * 997).collect();
+        let width = 29usize;
+        let mut want = vec![0i64; width];
+        for &k in &keys {
+            let s = 1 - 2 * ((poly_eval(&sc, k) & 1) as i64);
+            want[(poly_eval(&bc, k) % width as u64) as usize] += s;
+        }
+        let mut got = vec![0i64; width];
+        signed_scatter(&sc, &bc, width, &keys, &mut got);
+        assert_eq!(got, want);
+        let mut got = vec![0i64; width];
+        bucket_scatter(&bc, width, &keys, &mut got);
+        let mut want = vec![0i64; width];
+        for &k in &keys {
+            want[(poly_eval(&bc, k) % width as u64) as usize] += 1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be non-zero")]
+    fn signed_scatter_rejects_zero_width() {
+        signed_scatter(&[1, 2, 3, 4], &[1, 2], 0, &[1], &mut []);
     }
 
     /// Contrast: CW2 is only pairwise, and its *fourth*-order products are

@@ -13,6 +13,57 @@ pub trait SignFamily {
     /// The value ξ(key) ∈ {+1, −1}.
     fn sign(&self, key: u64) -> i64;
 
+    /// Fill `out[i] = self.sign(keys[i])` for a whole batch of keys.
+    ///
+    /// The default walks the keys one by one, so every family works
+    /// unchanged; families with a vectorizable evaluation (the polynomial
+    /// constructions) override this to amortize per-evaluation setup and
+    /// run several keys' worth of arithmetic in parallel. Overrides must be
+    /// bit-identical to the per-key path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != out.len()`.
+    fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "sign_batch needs one output slot per key"
+        );
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.sign(k);
+        }
+    }
+
+    /// `Σᵢ sign(keys[i])` — the net increment a single AGMS counter
+    /// receives from a batch of unit-count tuples.
+    ///
+    /// Folding the sum into the evaluation loop (instead of materializing
+    /// per-key signs through [`SignFamily::sign_batch`]) is what makes the
+    /// batched AGMS kernel profitable: the per-key output traffic
+    /// disappears entirely. Overrides must return exactly what the
+    /// per-key default returns.
+    fn sign_sum(&self, keys: &[u64]) -> i64 {
+        keys.iter().map(|&k| self.sign(k)).sum()
+    }
+
+    /// `Σᵢ counts·sign(key)` over `(key, count)` pairs — the weighted twin
+    /// of [`SignFamily::sign_sum`] used by count-carrying batch updates.
+    fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
+        items.iter().map(|&(k, c)| c * self.sign(k)).sum()
+    }
+
+    /// The coefficient vector (lowest degree first) if this family is a
+    /// Carter–Wegman polynomial over GF(2⁶¹−1), else `None`.
+    ///
+    /// Batched sketch kernels use this to fuse sign and bucket evaluation
+    /// of a whole row into a single pass over the keys (see
+    /// `sss_xi::cw::signed_scatter`); non-polynomial families take the
+    /// generic buffered path instead.
+    fn poly_coeffs(&self) -> Option<&[u64]> {
+        None
+    }
+
     /// Construct a family with a fresh random seed drawn from `rng`.
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self
     where
@@ -26,6 +77,33 @@ pub trait SignFamily {
 pub trait BucketFamily {
     /// Hash `key` into `0..width`. `width` must be non-zero.
     fn bucket(&self, key: u64, width: usize) -> usize;
+
+    /// Fill `out[i] = self.bucket(keys[i], width)` for a whole batch.
+    ///
+    /// Same contract as [`SignFamily::sign_batch`]: the default is the
+    /// per-key loop, overrides must be bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != out.len()`.
+    fn bucket_batch(&self, keys: &[u64], width: usize, out: &mut [usize]) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "bucket_batch needs one output slot per key"
+        );
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.bucket(k, width);
+        }
+    }
+
+    /// The coefficient vector (lowest degree first) if this family hashes
+    /// through a Carter–Wegman polynomial over GF(2⁶¹−1) and derives the
+    /// bucket as `hash % width`, else `None`. Same fusion hook as
+    /// [`SignFamily::poly_coeffs`].
+    fn poly_coeffs(&self) -> Option<&[u64]> {
+        None
+    }
 
     /// Construct a family with a fresh random seed drawn from `rng`.
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self
@@ -114,5 +192,107 @@ mod tests {
         check_seeds_differ::<Eh3>(23);
         check_seeds_differ::<Bch5>(24);
         check_seeds_differ::<Tabulation>(25);
+    }
+
+    fn check_sign_batch<F: SignFamily>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = F::random(&mut rng);
+        let keys: Vec<u64> = (0..301u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, u64::MAX])
+            .collect();
+        // Odd lengths exercise the lane remainder of overridden impls.
+        for len in [0usize, 1, 3, 4, 5, 17, keys.len()] {
+            let mut out = vec![0i64; len];
+            f.sign_batch(&keys[..len], &mut out);
+            for (i, &s) in out.iter().enumerate() {
+                assert_eq!(s, f.sign(keys[i]), "len {len}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_batch_matches_per_key_for_all_families() {
+        check_sign_batch::<Cw2>(31);
+        check_sign_batch::<Cw4>(32);
+        check_sign_batch::<Eh3>(33);
+        check_sign_batch::<Bch5>(34);
+        check_sign_batch::<Tabulation>(35);
+    }
+
+    fn check_sign_sum<F: SignFamily>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = F::random(&mut rng);
+        let keys: Vec<u64> = (0..301u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, u64::MAX])
+            .collect();
+        let items: Vec<(u64, i64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, (i as i64 % 7) - 3))
+            .collect();
+        for len in [0usize, 1, 3, 4, 5, 17, keys.len()] {
+            let want_sum: i64 = keys[..len].iter().map(|&k| f.sign(k)).sum();
+            assert_eq!(f.sign_sum(&keys[..len]), want_sum, "len {len}");
+            let want_dot: i64 = items[..len].iter().map(|&(k, c)| c * f.sign(k)).sum();
+            assert_eq!(f.sign_dot(&items[..len]), want_dot, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sign_sum_and_dot_match_per_key_for_all_families() {
+        check_sign_sum::<Cw2>(41);
+        check_sign_sum::<Cw4>(42);
+        check_sign_sum::<Eh3>(43);
+        check_sign_sum::<Bch5>(44);
+        check_sign_sum::<Tabulation>(45);
+    }
+
+    #[test]
+    fn poly_coeffs_identifies_polynomial_families() {
+        let mut rng = StdRng::seed_from_u64(46);
+        assert_eq!(
+            Cw2::random(&mut rng).poly_coeffs().map(<[u64]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            Cw4::random(&mut rng).poly_coeffs().map(<[u64]>::len),
+            Some(4)
+        );
+        assert!(Eh3::random(&mut rng).poly_coeffs().is_none());
+        assert!(Bch5::random(&mut rng).poly_coeffs().is_none());
+        let tab = <Tabulation as SignFamily>::random(&mut rng);
+        assert!(SignFamily::poly_coeffs(&tab).is_none());
+        assert!(BucketFamily::poly_coeffs(&tab).is_none());
+        use crate::{BucketFamily, Cw2Bucket};
+        assert_eq!(
+            Cw2Bucket::random(&mut rng).poly_coeffs().map(<[u64]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn bucket_batch_matches_per_key() {
+        use crate::{BucketFamily, Cw2Bucket};
+        let mut rng = StdRng::seed_from_u64(36);
+        let f = Cw2Bucket::random(&mut rng);
+        let keys: Vec<u64> = (0..131u64).map(|i| i * 2_654_435_761).collect();
+        for width in [1usize, 2, 1000, 5000] {
+            let mut out = vec![0usize; keys.len()];
+            f.bucket_batch(&keys, width, &mut out);
+            for (i, &b) in out.iter().enumerate() {
+                assert_eq!(b, f.bucket(keys[i], width), "width {width}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per key")]
+    fn sign_batch_rejects_mismatched_lengths() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let f = Cw4::random(&mut rng);
+        let mut out = [0i64; 1];
+        f.sign_batch(&[1, 2], &mut out);
     }
 }

@@ -53,7 +53,10 @@ pub mod prime;
 pub mod tabulation;
 
 pub use bch::{Bch3, Bch5};
-pub use cw::{Cw2, Cw2Bucket, Cw4};
+pub use cw::{
+    bucket_scatter, bucket_scatter_counts, signed_scatter, signed_scatter_counts, Cw2, Cw2Bucket,
+    Cw4,
+};
 pub use eh3::Eh3;
 pub use family::{BucketFamily, FourWise, RangeSummable, SignFamily};
 pub use tabulation::Tabulation;

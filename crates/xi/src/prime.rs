@@ -55,6 +55,142 @@ pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
     acc
 }
 
+/// Number of Horner chains evaluated in parallel by [`poly_eval_batch`].
+///
+/// Each chain is a serial multiply→reduce dependency, so a single key
+/// cannot saturate the multiplier; four independent chains keep it busy
+/// while staying within the register budget on x86-64 and aarch64.
+pub const POLY_LANES: usize = 4;
+
+/// Reduce a 128-bit value modulo 2⁶¹ − 1 *partially*: two folds, no final
+/// conditional subtraction. The result is < 2⁶² and congruent to `x`.
+///
+/// This is the lazy-reduction half of the batched Horner kernel: an
+/// accumulator only needs to stay small enough for the next 64×64→128
+/// multiply, so the canonicalizing subtract (a compare + branch/cmov per
+/// step) can be deferred to the very end of the evaluation.
+#[inline]
+fn reduce128_partial(x: u128) -> u64 {
+    let x = (x & P61 as u128) + (x >> 61);
+    ((x & P61 as u128) + (x >> 61)) as u64
+}
+
+/// Evaluate one polynomial at `LANES` points with interleaved Horner chains
+/// and lazy reduction. Both `coeffs` and the evaluation points `xs` must
+/// already be reduced modulo 2⁶¹−1; the results are canonical.
+///
+/// The accumulators start at the leading coefficient instead of zero —
+/// the generic Horner loop's first `0·x` multiply is dead work that the
+/// optimizer cannot remove when the coefficient count is only known at run
+/// time. Invariant: each accumulator stays below 2⁶² + 2⁶¹ < 2⁶³ (partial
+/// reduction < 2⁶² plus one reduced coefficient < 2⁶¹), so the next
+/// `acc·x` product fits comfortably in 128 bits.
+#[inline]
+pub(crate) fn horner_lanes_reduced<const LANES: usize>(
+    coeffs: &[u64],
+    xs: &[u64; LANES],
+) -> [u64; LANES] {
+    let Some((&last, rest)) = coeffs.split_last() else {
+        return [0u64; LANES];
+    };
+    let mut acc = [last; LANES];
+    for &c in rest.iter().rev() {
+        for lane in 0..LANES {
+            acc[lane] = reduce128_partial(acc[lane] as u128 * xs[lane] as u128) + c;
+        }
+    }
+    acc.map(|a| reduce128(a as u128))
+}
+
+/// Branchless exact remainder `h % d` for hash values `h < 2⁶¹`, using the
+/// round-up magic-number method for division by an invariant integer
+/// (Granlund & Montgomery): with `m = ⌈2ᵇ/d⌉` and `b = 61 + ⌈log₂ d⌉`,
+/// the quotient `⌊h/d⌋` equals `(h·m) >> b` exactly for every `h < 2⁶¹`,
+/// because the magic's excess `e = m·d − 2ᵇ < d` contributes an error
+/// `e·h/(d·2ᵇ) < d·2⁶¹/(d·2ᵇ) ≤ 1/d`, too small to push the product over
+/// the next integer. One 64×64→128 multiply and a shift replace the
+/// hardware divide in the bucket-hash hot loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMod {
+    magic: u64,
+    shift: u32,
+    d: u64,
+}
+
+impl FixedMod {
+    /// Prepare the magic constants for divisor `d ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "modulus must be non-zero");
+        let ceil_log2 = 64 - (d - 1).leading_zeros();
+        let shift = 61 + ceil_log2;
+        // m = ceil(2^shift / d) < 2^62 + 1, so it always fits in a u64.
+        let magic = (1u128 << shift).div_ceil(d as u128) as u64;
+        Self { magic, shift, d }
+    }
+
+    /// Exact `h % d`. Requires `h < 2⁶¹` (every canonical GF(2⁶¹−1) value
+    /// qualifies).
+    #[inline]
+    pub fn rem(&self, h: u64) -> u64 {
+        debug_assert!(h < (1 << 61), "FixedMod::rem requires h < 2^61");
+        let q = ((h as u128 * self.magic as u128) >> self.shift) as u64;
+        h - q * self.d
+    }
+}
+
+/// Evaluate the polynomial `c[0] + c[1]·x + … + c[d]·xᵈ` at every key of a
+/// batch, writing `out[i] = poly_eval(coeffs, keys[i])` bit for bit.
+///
+/// Compared to calling [`poly_eval`] per key this amortizes the coefficient
+/// reduction (`c % P61` once per batch instead of once per key), defers the
+/// canonicalizing subtraction to the end of each Horner chain, and runs
+/// [`POLY_LANES`] independent chains so the serial multiply latency of one
+/// key overlaps with the others.
+///
+/// # Panics
+///
+/// Panics if `keys.len() != out.len()`.
+pub fn poly_eval_batch(coeffs: &[u64], keys: &[u64], out: &mut [u64]) {
+    assert_eq!(
+        keys.len(),
+        out.len(),
+        "poly_eval_batch needs one output slot per key"
+    );
+    // Reduce the coefficients once for the whole batch. Degrees above 7
+    // never occur in this workspace (CW4 is cubic), but fall back to the
+    // scalar path rather than allocate.
+    let mut reduced = [0u64; 8];
+    if coeffs.len() > reduced.len() {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = poly_eval(coeffs, k);
+        }
+        return;
+    }
+    for (r, &c) in reduced.iter_mut().zip(coeffs) {
+        *r = c % P61;
+    }
+    let reduced = &reduced[..coeffs.len()];
+
+    let mut key_chunks = keys.chunks_exact(POLY_LANES);
+    let mut out_chunks = out.chunks_exact_mut(POLY_LANES);
+    for (kc, oc) in key_chunks.by_ref().zip(out_chunks.by_ref()) {
+        let lanes: &[u64; POLY_LANES] = kc.try_into().expect("chunks_exact yields full chunks");
+        let xs = lanes.map(|k| k % P61);
+        oc.copy_from_slice(&horner_lanes_reduced(reduced, &xs));
+    }
+    for (o, &k) in out_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(key_chunks.remainder())
+    {
+        *o = poly_eval(reduced, k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +245,107 @@ mod tests {
             ((3 + 5 * x % p + 7 * (x * x % p) % p + 11 * (x * x % p * x % p) % p) % p) as u64
         };
         assert_eq!(poly_eval(&coeffs, x), direct);
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar() {
+        // Exercise every chunk-remainder split and unreduced keys.
+        let coeffs = [7u64, 0, P61 - 1, 1 << 60];
+        let keys: Vec<u64> = (0..23u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, 1, P61 - 1, P61, P61 + 1, u64::MAX])
+            .collect();
+        for len in 0..keys.len() {
+            let mut out = vec![0u64; len];
+            poly_eval_batch(&coeffs, &keys[..len], &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, poly_eval(&coeffs, keys[i]), "len {len}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_unreduced_coefficients() {
+        let coeffs = [u64::MAX, P61 + 3, 1 << 62];
+        let keys = [5u64, 1 << 61, u64::MAX];
+        let mut out = [0u64; 3];
+        poly_eval_batch(&coeffs, &keys, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, poly_eval(&coeffs, keys[i]));
+        }
+    }
+
+    #[test]
+    fn batch_falls_back_beyond_lane_budget() {
+        // Degree > 7 takes the scalar fallback; results must still match.
+        let coeffs: Vec<u64> = (1..=12u64).collect();
+        let keys: Vec<u64> = (0..9u64).map(|i| i * 997).collect();
+        let mut out = vec![0u64; keys.len()];
+        poly_eval_batch(&coeffs, &keys, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, poly_eval(&coeffs, keys[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per key")]
+    fn batch_rejects_mismatched_lengths() {
+        let mut out = [0u64; 2];
+        poly_eval_batch(&[1, 2], &[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    fn fixed_mod_is_exact_across_divisors() {
+        // Awkward divisors: 1, powers of two ±1, the bench widths, large.
+        let divisors = [
+            1u64,
+            2,
+            3,
+            5,
+            7,
+            255,
+            256,
+            257,
+            512,
+            1000,
+            5000,
+            10_000,
+            (1 << 32) - 1,
+            1 << 40,
+            (1 << 61) - 2,
+        ];
+        let hashes = [
+            0u64,
+            1,
+            2,
+            12345,
+            123_456_789_012,
+            P61 / 2,
+            P61 - 2,
+            P61 - 1,
+        ];
+        for &d in &divisors {
+            let m = FixedMod::new(d);
+            for &h in &hashes {
+                assert_eq!(m.rem(h), h % d, "d = {d}, h = {h}");
+            }
+            // Values adjacent to multiples of d, where a magic-number
+            // off-by-one would surface.
+            for q in [1u64, 2, 1000] {
+                if let Some(base) = d.checked_mul(q) {
+                    if base < P61 {
+                        assert_eq!(m.rem(base - 1), (base - 1) % d, "d = {d}");
+                        assert_eq!(m.rem(base), 0, "d = {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be non-zero")]
+    fn fixed_mod_rejects_zero() {
+        let _ = FixedMod::new(0);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! A real measuring harness, not a no-op: benchmarks are calibrated, then
+//! sampled, and the median per-iteration time is reported together with
+//! throughput. Every result is also printed as a single machine-readable
+//! line prefixed with `BENCHJSON ` so experiment scripts can collect numbers
+//! without scraping human output:
+//!
+//! ```text
+//! BENCHJSON {"group":"sketch_update","id":"agms/64","median_ns_per_iter":...}
+//! ```
+//!
+//! Supported CLI arguments (anything else is ignored): `--test` runs every
+//! benchmark closure exactly once without timing (CI smoke mode), and a bare
+//! positional argument filters benchmarks by substring of `group/id`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: reported alongside timing as elements or bytes per
+/// second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark inside a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark identifier by
+/// [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical string id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup; all variants behave the
+/// same here (setup excluded from timing on every iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over the requested number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` with a fresh `setup()` input per iteration; the
+    /// setup cost is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        if self.criterion.test_mode {
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            println!("{full}: test ok");
+            return self;
+        }
+
+        // Calibrate: double the iteration count until one sample is long
+        // enough to trust the clock.
+        let mut iters: u64 = 1;
+        let mut per_iter_ns: f64;
+        loop {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            let elapsed = bencher.elapsed;
+            if elapsed >= Duration::from_millis(2) || iters >= (1 << 30) {
+                per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Sample: ~10 samples of ~60ms each, median of per-iteration times.
+        let sample_iters = ((60_000_000.0 / per_iter_ns.max(0.1)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(10);
+        for _ in 0..10 {
+            let mut bencher = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        per_iter_ns = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+
+        let mut human = format!(
+            "{full:<40} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(per_iter_ns),
+            format_ns(hi)
+        );
+        let mut machine = format!(
+            "BENCHJSON {{\"group\":\"{}\",\"id\":\"{}\",\"median_ns_per_iter\":{:.2}",
+            self.name, id, per_iter_ns
+        );
+        match self.throughput {
+            Some(Throughput::Elements(elements)) => {
+                let per_sec = elements as f64 / per_iter_ns * 1e9;
+                human.push_str(&format!(" thrpt: {} elem/s", format_count(per_sec)));
+                machine.push_str(&format!(
+                    ",\"throughput_elements\":{elements},\"elements_per_sec\":{per_sec:.1}"
+                ));
+            }
+            Some(Throughput::Bytes(bytes)) => {
+                let per_sec = bytes as f64 / per_iter_ns * 1e9;
+                human.push_str(&format!(" thrpt: {} B/s", format_count(per_sec)));
+                machine.push_str(&format!(
+                    ",\"throughput_bytes\":{bytes},\"bytes_per_sec\":{per_sec:.1}"
+                ));
+            }
+            None => {}
+        }
+        machine.push('}');
+        println!("{human}");
+        println!("{machine}");
+        self
+    }
+
+    /// Finish the group (prints a separator in measurement mode).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn format_count(count: f64) -> String {
+    if count >= 1e9 {
+        format!("{:.3}G", count / 1e9)
+    } else if count >= 1e6 {
+        format!("{:.3}M", count / 1e6)
+    } else if count >= 1e3 {
+        format!("{:.3}K", count / 1e3)
+    } else {
+        format!("{count:.1}")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut bencher = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1000);
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut bencher = Bencher {
+            iters: 16,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 8]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 16);
+        assert_eq!(runs, 16);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("agms", 64).into_benchmark_id(), "agms/64");
+        assert_eq!(BenchmarkId::from_parameter(0.1).into_benchmark_id(), "0.1");
+    }
+}

@@ -1,0 +1,516 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with
+//! `name in strategy` / `name: Type` arguments and an optional
+//! `#![proptest_config(...)]` header, integer/float range strategies,
+//! `prop::collection::vec`, tuple strategies, `prop_map` / `prop_filter` /
+//! `prop_flat_map`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros. Cases are sampled from a deterministic RNG;
+//! failing inputs are **not shrunk** — the failure message reports the case
+//! number instead.
+
+#![forbid(unsafe_code)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration and per-case error plumbing.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property is violated: fail the whole test.
+        Fail(String),
+        /// The inputs were rejected (`prop_assume!`): draw a fresh case.
+        Reject(String),
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    use rand::{Rng, RngCore};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree / shrinking: `sample` draws one
+    /// value, returning `None` when a `prop_filter` rejects it.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value, or `None` if this draw was rejected by a filter.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<Self::Value>;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Reject generated values for which `f` returns false.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                f,
+                _reason: reason,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy it maps to.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<O> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        _reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<S::Value> {
+            self.inner.sample(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<S2::Value> {
+            let mid = self.inner.sample(rng)?;
+            (self.f)(mid).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample<R: RngCore>(&self, _rng: &mut R) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample<R: RngCore>(&self, rng: &mut R) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample<R: RngCore>(&self, rng: &mut R) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample<R: RngCore>(&self, rng: &mut R) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Full-domain strategy behind `any::<T>()` and `name: Type` arguments.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        /// A strategy drawing uniformly from `T`'s value domain.
+        pub fn new() -> Self {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<T> {
+            Some(rng.random())
+        }
+    }
+}
+
+/// `any::<T>()` for `name: Type` proptest arguments.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any::new()
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Strategy;
+
+    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                lo: len,
+                hi: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange {
+                lo: range.start,
+                hi: range.end.max(range.start + 1),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// comes from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Option<Vec<S::Value>> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// The glob-imported prelude: strategies, config, and macros, plus `prop`
+/// as an alias for this crate (enabling `prop::collection::vec`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declare property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$config:expr]) => {};
+    ([$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!([$config] [] $($params)*, @body $body);
+        }
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // `pattern in strategy` argument.
+    ([$config:expr] [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)+) => {
+        $crate::__proptest_body!([$config] [$($acc)* ($pat) ($strat)] $($rest)+);
+    };
+    // `name: Type` argument (arbitrary value of that type).
+    ([$config:expr] [$($acc:tt)*] $name:ident : $ty:ty, $($rest:tt)+) => {
+        $crate::__proptest_body!(
+            [$config] [$($acc)* ($name) ($crate::arbitrary::any::<$ty>())] $($rest)+);
+    };
+    // A trailing comma in the parameter list leaves a stray `,` before the
+    // `@body` marker appended by `__proptest_items`.
+    ([$config:expr] [$($acc:tt)*] , @body $body:block) => {
+        $crate::__proptest_body!([$config] [$($acc)*] @body $body);
+    };
+    // All arguments normalized: emit the runner.
+    ([$config:expr] [$(($pat:pat) ($strat:expr))*] @body $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $config;
+        let mut __rng: $crate::__rand::rngs::StdRng =
+            $crate::__rand::SeedableRng::seed_from_u64(0x5EED_CAFE_F00Du64);
+        let __max_rejects: u64 = u64::from(__config.cases).saturating_mul(256).max(65_536);
+        let mut __completed: u32 = 0;
+        let mut __rejects: u64 = 0;
+        while __completed < __config.cases {
+            // Strategy constructors are cheap: rebuild them per case so
+            // arbitrary patterns (tuples, ...) can bind the sampled values.
+            let __sampled = (|| {
+                ::core::option::Option::Some((
+                    $($crate::strategy::Strategy::sample(&($strat), &mut __rng)?,)*
+                ))
+            })();
+            let ($($pat,)*) = match __sampled {
+                ::core::option::Option::Some(values) => values,
+                ::core::option::Option::None => {
+                    __rejects += 1;
+                    if __rejects > __max_rejects {
+                        panic!("proptest: too many rejected samples");
+                    }
+                    continue;
+                }
+            };
+            let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body;
+                    ::core::result::Result::Ok(())
+                })();
+            match __outcome {
+                ::core::result::Result::Ok(()) => __completed += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                    __rejects += 1;
+                    if __rejects > __max_rejects {
+                        panic!("proptest: too many rejected samples (prop_assume)");
+                    }
+                }
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!("proptest case #{} failed: {}", __completed, __msg);
+                }
+            }
+        }
+    }};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} at {}:{}", format!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Reject the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng).unwrap();
+            assert!((10..20).contains(&v));
+            let u = (3usize..4).sample(&mut rng).unwrap();
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..5, 2..6)
+                .sample(&mut rng)
+                .unwrap();
+            assert!(v.len() >= 2 && v.len() < 6);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = prop::collection::vec(0u32..5, 4usize)
+            .sample(&mut rng)
+            .unwrap();
+        assert_eq!(fixed.len(), 4);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = (1u32..10)
+            .prop_map(|v| v * 2)
+            .prop_filter("even only", |v| v % 2 == 0)
+            .prop_flat_map(|v| 0u32..v.max(1));
+        for _ in 0..100 {
+            if let Some(v) = strat.sample(&mut rng) {
+                assert!(v < 18);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires `in`-style and type-style arguments together.
+        #[test]
+        fn macro_smoke(xs in prop::collection::vec(0u64..100, 1..10), seed: u64, k in 0usize..5) {
+            prop_assert!(xs.len() < 10);
+            prop_assert!(k < 5);
+            let _ = seed;
+            let count = xs.iter().filter(|&&x| x < 100).count();
+            prop_assert_eq!(xs.len(), count);
+        }
+
+        /// `prop_assume!` rejects without failing.
+        #[test]
+        fn assume_rejects(v in 0u32..10) {
+            prop_assume!(v >= 5);
+            prop_assert!(v >= 5);
+        }
+    }
+}

@@ -1,0 +1,1013 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the small slice of serde it actually uses. The public
+//! trait surface (`Serialize`, `Serializer`, `Deserialize`, `Deserializer`,
+//! the `ser`/`de` modules, and the derive macros) matches upstream closely
+//! enough that every manual impl and derive site in this repository compiles
+//! unchanged. Internally the data model is simplified: deserializers hand
+//! back a [`__private::Content`] tree instead of driving a visitor.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+/// Serialization traits: [`Serialize`], [`Serializer`], and the compound
+/// builders ([`ser::SerializeSeq`], [`ser::SerializeMap`],
+/// [`ser::SerializeStruct`]).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// A data structure that can be serialized into any [`Serializer`].
+    pub trait Serialize {
+        /// Serialize `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Raised by `Serialize` impls on invalid data.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A format-specific sink for the serde data model.
+    ///
+    /// Compared to upstream this trait is trimmed to the methods this
+    /// workspace (and the vendored `serde_json`) actually exercise; integer
+    /// widths funnel through `serialize_u64`/`serialize_i64`.
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type raised on failure.
+        type Error: Error;
+        /// Builder returned by [`Serializer::serialize_seq`].
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Builder returned by [`Serializer::serialize_map`].
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Builder returned by [`Serializer::serialize_struct`].
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serialize a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serialize any unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize any signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a floating-point number.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `()` / JSON null.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `Option::None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serialize `Option::Some`.
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error>;
+        /// Begin serializing a variable-length sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begin serializing a key/value map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begin serializing a struct with named fields.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Serialize a unit struct such as `struct Marker;`.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a newtype struct such as `struct Wrapper(T);` as its
+        /// inner value.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a dataless enum variant (externally tagged: the variant
+        /// name itself).
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serialize a single-field enum variant (externally tagged:
+        /// `{"Variant": value}`).
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental builder for sequences.
+    pub trait SerializeSeq {
+        /// Output produced by [`SerializeSeq::end`].
+        type Ok;
+        /// Error type raised on failure.
+        type Error: Error;
+        /// Append one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental builder for maps.
+    pub trait SerializeMap {
+        /// Output produced by [`SerializeMap::end`].
+        type Ok;
+        /// Error type raised on failure.
+        type Error: Error;
+        /// Append a key; must be followed by [`SerializeMap::serialize_value`].
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        /// Append the value for the pending key.
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Append a complete entry.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error> {
+            self.serialize_key(key)?;
+            self.serialize_value(value)
+        }
+        /// Finish the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Incremental builder for structs with named fields.
+    pub trait SerializeStruct {
+        /// Output produced by [`SerializeStruct::end`].
+        type Ok;
+        /// Error type raised on failure.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization traits: [`Deserialize`], [`Deserializer`], and the error
+/// plumbing ([`de::Error`], [`de::Expected`]).
+pub mod de {
+    use std::fmt::{self, Display};
+
+    use crate::__private::Content;
+
+    /// A data structure that can be deserialized from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserialize `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// A format-specific source for the serde data model.
+    ///
+    /// Unlike upstream's visitor-driven contract, this simplified model hands
+    /// the whole parsed value back as a [`Content`] tree; `Deserialize` impls
+    /// interpret it. That is sufficient for the self-describing formats this
+    /// workspace uses (JSON).
+    pub trait Deserializer<'de>: Sized {
+        /// Error type raised on failure.
+        type Error: Error;
+        /// Consume the deserializer and return the parsed value tree.
+        fn deserialize_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// Expectation description used by [`Error::invalid_length`] and friends.
+    pub trait Expected {
+        /// Format the expectation ("at least one family", ...).
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl Expected for &str {
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(formatter, "{self}")
+        }
+    }
+
+    impl Expected for String {
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(formatter, "{self}")
+        }
+    }
+
+    impl fmt::Display for dyn Expected + '_ {
+        fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+            Expected::fmt(self, formatter)
+        }
+    }
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Raised with a free-form message.
+        fn custom<T: Display>(msg: T) -> Self;
+
+        /// Raised when a sequence has the wrong number of elements.
+        fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+            Self::custom(format!("invalid length {len}, expected {exp}"))
+        }
+
+        /// Raised when a struct field is absent.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format!("missing field `{field}`"))
+        }
+
+        /// Raised when an enum tag matches no variant.
+        fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+            Self::custom(format!(
+                "unknown variant `{variant}`, expected one of {expected:?}"
+            ))
+        }
+
+        /// Raised when the value has the wrong shape for the target type.
+        fn invalid_type(unexpected: &str, exp: &dyn Expected) -> Self {
+            Self::custom(format!("invalid type: {unexpected}, expected {exp}"))
+        }
+    }
+}
+
+/// Support machinery shared by the derive macro and the vendored
+/// `serde_json`. Not part of the public API contract.
+#[doc(hidden)]
+pub mod __private {
+    use std::marker::PhantomData;
+
+    use crate::de::{self, Deserialize, Deserializer};
+    use crate::ser::{self, Serialize, Serializer};
+
+    /// The parsed value tree every [`Deserializer`] in this workspace
+    /// produces and every [`Serializer`] consumes.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// JSON `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A non-negative integer.
+        U64(u64),
+        /// A negative (or explicitly signed) integer.
+        I64(i64),
+        /// A floating-point number.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Seq(Vec<Content>),
+        /// An ordered list of key/value pairs (struct fields or map entries).
+        Map(Vec<(Content, Content)>),
+    }
+
+    impl Content {
+        /// Human-readable shape name for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Content::Null => "null",
+                Content::Bool(_) => "a boolean",
+                Content::U64(_) | Content::I64(_) => "an integer",
+                Content::F64(_) => "a floating-point number",
+                Content::Str(_) => "a string",
+                Content::Seq(_) => "a sequence",
+                Content::Map(_) => "a map",
+            }
+        }
+    }
+
+    /// Widen any integer-shaped content to `u64`. Strings are accepted so
+    /// JSON object keys (always strings) can deserialize as integers.
+    pub fn as_u64(content: &Content) -> Option<u64> {
+        match content {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Widen any integer-shaped content to `i64` (see [`as_u64`]).
+    pub fn as_i64(content: &Content) -> Option<i64> {
+        match content {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::F64(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Widen any numeric content to `f64`.
+    pub fn as_f64(content: &Content) -> Option<f64> {
+        match content {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ContentSerializer: Serialize -> Content
+    // ------------------------------------------------------------------
+
+    /// A [`Serializer`] that builds a [`Content`] tree, generic over the
+    /// error type so format crates can reuse it.
+    pub struct ContentSerializer<E> {
+        _marker: PhantomData<E>,
+    }
+
+    impl<E> ContentSerializer<E> {
+        /// A fresh serializer.
+        pub fn new() -> Self {
+            ContentSerializer {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<E> Default for ContentSerializer<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Convert any serializable value into a [`Content`] tree.
+    pub fn to_content<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Content, E> {
+        value.serialize(ContentSerializer::<E>::new())
+    }
+
+    /// Sequence builder for [`ContentSerializer`].
+    pub struct ContentSeq<E> {
+        items: Vec<Content>,
+        _marker: PhantomData<E>,
+    }
+
+    /// Map builder for [`ContentSerializer`].
+    pub struct ContentMap<E> {
+        entries: Vec<(Content, Content)>,
+        pending_key: Option<Content>,
+        _marker: PhantomData<E>,
+    }
+
+    /// Struct builder for [`ContentSerializer`].
+    pub struct ContentStruct<E> {
+        fields: Vec<(Content, Content)>,
+        _marker: PhantomData<E>,
+    }
+
+    impl<E: ser::Error> Serializer for ContentSerializer<E> {
+        type Ok = Content;
+        type Error = E;
+        type SerializeSeq = ContentSeq<E>;
+        type SerializeMap = ContentMap<E>;
+        type SerializeStruct = ContentStruct<E>;
+
+        fn serialize_bool(self, v: bool) -> Result<Content, E> {
+            Ok(Content::Bool(v))
+        }
+        fn serialize_u64(self, v: u64) -> Result<Content, E> {
+            Ok(Content::U64(v))
+        }
+        fn serialize_i64(self, v: i64) -> Result<Content, E> {
+            if v >= 0 {
+                Ok(Content::U64(v as u64))
+            } else {
+                Ok(Content::I64(v))
+            }
+        }
+        fn serialize_f64(self, v: f64) -> Result<Content, E> {
+            Ok(Content::F64(v))
+        }
+        fn serialize_str(self, v: &str) -> Result<Content, E> {
+            Ok(Content::Str(v.to_owned()))
+        }
+        fn serialize_unit(self) -> Result<Content, E> {
+            Ok(Content::Null)
+        }
+        fn serialize_none(self) -> Result<Content, E> {
+            Ok(Content::Null)
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Content, E> {
+            v.serialize(self)
+        }
+        fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq<E>, E> {
+            Ok(ContentSeq {
+                items: Vec::with_capacity(len.unwrap_or(0)),
+                _marker: PhantomData,
+            })
+        }
+        fn serialize_map(self, len: Option<usize>) -> Result<ContentMap<E>, E> {
+            Ok(ContentMap {
+                entries: Vec::with_capacity(len.unwrap_or(0)),
+                pending_key: None,
+                _marker: PhantomData,
+            })
+        }
+        fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentStruct<E>, E> {
+            Ok(ContentStruct {
+                fields: Vec::with_capacity(len),
+                _marker: PhantomData,
+            })
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<Content, E> {
+            Ok(Content::Null)
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<Content, E> {
+            value.serialize(self)
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Content, E> {
+            Ok(Content::Str(variant.to_owned()))
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            _variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Content, E> {
+            let inner = to_content(value)?;
+            Ok(Content::Map(vec![(
+                Content::Str(variant.to_owned()),
+                inner,
+            )]))
+        }
+    }
+
+    impl<E: ser::Error> ser::SerializeSeq for ContentSeq<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+            self.items.push(to_content(value)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Seq(self.items))
+        }
+    }
+
+    impl<E: ser::Error> ser::SerializeMap for ContentMap<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), E> {
+            self.pending_key = Some(to_content(key)?);
+            Ok(())
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+            let key = self
+                .pending_key
+                .take()
+                .ok_or_else(|| ser::Error::custom("serialize_value called before serialize_key"))?;
+            self.entries.push((key, to_content(value)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Map(self.entries))
+        }
+    }
+
+    impl<E: ser::Error> ser::SerializeStruct for ContentStruct<E> {
+        type Ok = Content;
+        type Error = E;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), E> {
+            self.fields
+                .push((Content::Str(key.to_owned()), to_content(value)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Content, E> {
+            Ok(Content::Map(self.fields))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ContentDeserializer: Content -> Deserialize
+    // ------------------------------------------------------------------
+
+    /// A [`Deserializer`] over an already-parsed [`Content`] tree, generic
+    /// over the error type so format crates can reuse it.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        _marker: PhantomData<E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wrap a content tree.
+        pub fn new(content: Content) -> Self {
+            ContentDeserializer {
+                content,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+        fn deserialize_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    /// Deserialize a value straight out of a [`Content`] tree.
+    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+        T::deserialize(ContentDeserializer::<E>::new(content))
+    }
+
+    /// Expect a map-shaped content (struct fields), by value.
+    pub fn content_map<E: de::Error>(
+        content: Content,
+        type_name: &'static str,
+    ) -> Result<Vec<(Content, Content)>, E> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(de::Error::custom(format!(
+                "invalid type: {}, expected struct `{type_name}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expect a sequence-shaped content, by value.
+    pub fn content_seq<E: de::Error>(
+        content: Content,
+        type_name: &'static str,
+    ) -> Result<Vec<Content>, E> {
+        match content {
+            Content::Seq(items) => Ok(items),
+            other => Err(de::Error::custom(format!(
+                "invalid type: {}, expected tuple struct `{type_name}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Remove the named field from a struct's entry list and deserialize it.
+    pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+        entries: &mut Vec<(Content, Content)>,
+        field: &'static str,
+    ) -> Result<T, E> {
+        let index = entries
+            .iter()
+            .position(|(key, _)| matches!(key, Content::Str(s) if s == field))
+            .ok_or_else(|| E::missing_field(field))?;
+        let (_, value) = entries.swap_remove(index);
+        from_content(value)
+    }
+
+    /// Split an externally-tagged enum content into `(tag, payload)`. A bare
+    /// string is a unit variant (no payload); a single-entry map is a
+    /// data-carrying variant.
+    pub fn enum_variant<E: de::Error>(
+        content: Content,
+        enum_name: &'static str,
+    ) -> Result<(String, Option<Content>), E> {
+        match content {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(mut entries) if entries.len() == 1 => {
+                let (key, value) = entries.pop().expect("length checked");
+                match key {
+                    Content::Str(tag) => Ok((tag, Some(value))),
+                    other => Err(de::Error::custom(format!(
+                        "invalid enum tag for `{enum_name}`: expected a string, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+            other => Err(de::Error::custom(format!(
+                "invalid type: {}, expected enum `{enum_name}`",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extract the payload of a data-carrying enum variant.
+    pub fn variant_payload<E: de::Error>(
+        payload: Option<Content>,
+        variant: &str,
+    ) -> Result<Content, E> {
+        payload
+            .ok_or_else(|| de::Error::custom(format!("variant `{variant}` is missing its payload")))
+    }
+
+    /// Require that a unit variant carries no payload.
+    pub fn expect_unit_variant<E: de::Error>(
+        payload: Option<Content>,
+        variant: &str,
+    ) -> Result<(), E> {
+        match payload {
+            None | Some(Content::Null) => Ok(()),
+            Some(other) => Err(de::Error::custom(format!(
+                "variant `{variant}` carries no data, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Serialize impls for std types
+// ----------------------------------------------------------------------
+
+mod ser_impls {
+    use std::collections::HashMap;
+    use std::hash::{BuildHasher, Hash};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    use crate::ser::{Serialize, SerializeMap, SerializeSeq, Serializer};
+
+    macro_rules! impl_ser_unsigned {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_u64(u64::from(*self))
+                }
+            }
+        )*};
+    }
+    impl_ser_unsigned!(u8, u16, u32, u64);
+
+    impl Serialize for usize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_u64(*self as u64)
+        }
+    }
+
+    macro_rules! impl_ser_signed {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_i64(i64::from(*self))
+                }
+            }
+        )*};
+    }
+    impl_ser_signed!(i8, i16, i32, i64);
+
+    impl Serialize for isize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_i64(*self as i64)
+        }
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bool(*self)
+        }
+    }
+
+    impl Serialize for f32 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(f64::from(*self))
+        }
+    }
+
+    impl Serialize for f64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(*self)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(value) => serializer.serialize_some(value),
+                None => serializer.serialize_none(),
+            }
+        }
+    }
+
+    impl<K: Serialize + Eq + Hash, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut map = serializer.serialize_map(Some(self.len()))?;
+            for (key, value) in self {
+                map.serialize_entry(key, value)?;
+            }
+            map.end()
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deserialize impls for std types
+// ----------------------------------------------------------------------
+
+mod de_impls {
+    use std::collections::HashMap;
+    use std::hash::{BuildHasher, Hash};
+
+    use crate::__private::{self, Content};
+    use crate::de::{Deserialize, Deserializer, Error};
+
+    macro_rules! impl_de_unsigned {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let content = deserializer.deserialize_content()?;
+                    let wide = __private::as_u64(&content).ok_or_else(|| {
+                        D::Error::custom(format!(
+                            "invalid type: {}, expected {}",
+                            content.kind(),
+                            stringify!($t)
+                        ))
+                    })?;
+                    <$t>::try_from(wide).map_err(|_| {
+                        D::Error::custom(concat!("integer out of range for ", stringify!($t)))
+                    })
+                }
+            }
+        )*};
+    }
+    impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_de_signed {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let content = deserializer.deserialize_content()?;
+                    let wide = __private::as_i64(&content).ok_or_else(|| {
+                        D::Error::custom(format!(
+                            "invalid type: {}, expected {}",
+                            content.kind(),
+                            stringify!($t)
+                        ))
+                    })?;
+                    <$t>::try_from(wide).map_err(|_| {
+                        D::Error::custom(concat!("integer out of range for ", stringify!($t)))
+                    })
+                }
+            }
+        )*};
+    }
+    impl_de_signed!(i8, i16, i32, i64, isize);
+
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            match deserializer.deserialize_content()? {
+                Content::Bool(v) => Ok(v),
+                other => Err(D::Error::custom(format!(
+                    "invalid type: {}, expected a boolean",
+                    other.kind()
+                ))),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for f64 {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let content = deserializer.deserialize_content()?;
+            __private::as_f64(&content).ok_or_else(|| {
+                D::Error::custom(format!(
+                    "invalid type: {}, expected a number",
+                    content.kind()
+                ))
+            })
+        }
+    }
+
+    impl<'de> Deserialize<'de> for f32 {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            f64::deserialize(deserializer).map(|v| v as f32)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            match deserializer.deserialize_content()? {
+                Content::Str(s) => Ok(s),
+                other => Err(D::Error::custom(format!(
+                    "invalid type: {}, expected a string",
+                    other.kind()
+                ))),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            match deserializer.deserialize_content()? {
+                Content::Seq(items) => items
+                    .into_iter()
+                    .map(__private::from_content::<T, D::Error>)
+                    .collect(),
+                other => Err(D::Error::custom(format!(
+                    "invalid type: {}, expected a sequence",
+                    other.kind()
+                ))),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let items = Vec::<T>::deserialize(deserializer)?;
+            let len = items.len();
+            <[T; N]>::try_from(items)
+                .map_err(|_| D::Error::invalid_length(len, &format!("an array of {N} elements")))
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            match deserializer.deserialize_content()? {
+                Content::Null => Ok(None),
+                other => __private::from_content::<T, D::Error>(other).map(Some),
+            }
+        }
+    }
+
+    impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+    where
+        K: Deserialize<'de> + Eq + Hash,
+        V: Deserialize<'de>,
+        H: BuildHasher + Default,
+    {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            match deserializer.deserialize_content()? {
+                Content::Map(entries) => {
+                    let mut map = HashMap::with_capacity_and_hasher(entries.len(), H::default());
+                    for (key, value) in entries {
+                        let key = __private::from_content::<K, D::Error>(key)?;
+                        let value = __private::from_content::<V, D::Error>(value)?;
+                        map.insert(key, value);
+                    }
+                    Ok(map)
+                }
+                other => Err(D::Error::custom(format!(
+                    "invalid type: {}, expected a map",
+                    other.kind()
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::fmt;
+
+    use crate::__private::{from_content, to_content, Content};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestError(String);
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for TestError {}
+    impl crate::ser::Error for TestError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+    impl crate::de::Error for TestError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrip_through_content() {
+        let content = to_content::<_, TestError>(&42u64).unwrap();
+        assert_eq!(content, Content::U64(42));
+        let back: u64 = from_content::<_, TestError>(content).unwrap();
+        assert_eq!(back, 42);
+
+        let content = to_content::<_, TestError>(&-7i64).unwrap();
+        let back: i64 = from_content::<_, TestError>(content).unwrap();
+        assert_eq!(back, -7);
+    }
+
+    #[test]
+    fn collection_roundtrip_through_content() {
+        let data = vec![1i64, -2, 3];
+        let back: Vec<i64> =
+            from_content::<_, TestError>(to_content::<_, TestError>(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+
+        let arr = [5u64, 6, 7, 8];
+        let back: [u64; 4] =
+            from_content::<_, TestError>(to_content::<_, TestError>(&arr).unwrap()).unwrap();
+        assert_eq!(back, arr);
+
+        let mut map = HashMap::new();
+        map.insert(5u64, 3u64);
+        map.insert(6u64, 4u64);
+        let back: HashMap<u64, u64> =
+            from_content::<_, TestError>(to_content::<_, TestError>(&map).unwrap()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn integer_map_keys_accept_string_content() {
+        let content = Content::Map(vec![
+            (Content::Str("5".into()), Content::U64(3)),
+            (Content::Str("6".into()), Content::U64(4)),
+        ]);
+        let map: HashMap<u64, u64> = from_content::<_, TestError>(content).unwrap();
+        assert_eq!(map[&5], 3);
+        assert_eq!(map[&6], 4);
+    }
+
+    #[test]
+    fn array_length_mismatch_is_an_error() {
+        let content = Content::Seq(vec![Content::U64(1), Content::U64(2)]);
+        let result: Result<[u64; 4], TestError> = from_content(content);
+        assert!(result.is_err());
+    }
+}

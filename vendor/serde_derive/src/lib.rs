@@ -1,0 +1,434 @@
+//! Vendored offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Derives `Serialize`/`Deserialize` for the shapes this workspace actually
+//! declares: structs with named fields, tuple/newtype structs, unit structs,
+//! and enums whose variants are unit or newtype. Generic type parameters get
+//! the usual per-parameter `T: Serialize` / `T: Deserialize<'de>` bounds,
+//! which makes the repo's `#[serde(bound = "...")]` attributes redundant —
+//! they are accepted and ignored. Parsing is done directly on the
+//! `proc_macro::TokenStream` (no syn/quote available offline); code
+//! generation goes through string formatting and `str::parse`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parts of a `struct`/`enum` declaration the codegen needs.
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// `struct S { a: T, b: U }` — field names in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { A, B(T) }` — `(variant, carries_payload)` in order.
+    Enum(Vec<(String, bool)>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let ty_generics = type_generics(&input.generics);
+    let impl_generics = bounded_generics(&input.generics, "serde::Serialize", None);
+    let name = &input.name;
+
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut lines = String::new();
+            for field in fields {
+                lines.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            format!(
+                "let mut __st = serde::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n\
+                 {lines}\
+                 serde::ser::SerializeStruct::end(__st)",
+                n = fields.len()
+            )
+        }
+        Body::Tuple(1) => format!(
+            "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Body::Tuple(n) => {
+            let mut lines = String::new();
+            for i in 0..*n {
+                lines.push_str(&format!(
+                    "serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{i})?;\n"
+                ));
+            }
+            format!(
+                "let mut __seq = serde::Serializer::serialize_seq(__serializer, ::core::option::Option::Some({n}usize))?;\n\
+                 {lines}\
+                 serde::ser::SerializeSeq::end(__seq)"
+            )
+        }
+        Body::Unit => {
+            format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, (variant, has_payload)) in variants.iter().enumerate() {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{variant}(__value) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", __value),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{variant} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    let output = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_snake_case, unused_variables)]\n\
+         impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    parse_output(&output)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let ty_generics = type_generics(&input.generics);
+    let impl_generics = bounded_generics(&input.generics, "serde::Deserialize<'de>", Some("'de"));
+    let name = &input.name;
+
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut lines = String::new();
+            for field in fields {
+                lines.push_str(&format!(
+                    "{field}: serde::__private::take_field::<_, __D::Error>(&mut __fields, \"{field}\")?,\n"
+                ));
+            }
+            format!(
+                "let mut __fields = serde::__private::content_map::<__D::Error>(\n\
+                     serde::Deserializer::deserialize_content(__deserializer)?, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n{lines}}})"
+            )
+        }
+        Body::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(serde::Deserialize::deserialize(__deserializer)?))"
+        ),
+        Body::Tuple(n) => {
+            let mut elems = String::new();
+            for _ in 0..*n {
+                elems.push_str(
+                    "serde::__private::from_content::<_, __D::Error>(__iter.next().unwrap())?,\n",
+                );
+            }
+            format!(
+                "let __items = serde::__private::content_seq::<__D::Error>(\n\
+                     serde::Deserializer::deserialize_content(__deserializer)?, \"{name}\")?;\n\
+                 if __items.len() != {n}usize {{\n\
+                     return ::core::result::Result::Err(serde::de::Error::invalid_length(__items.len(), &\"{n} elements\"));\n\
+                 }}\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}(\n{elems}))"
+            )
+        }
+        Body::Unit => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let variant_list = variants
+                .iter()
+                .map(|(v, _)| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut arms = String::new();
+            for (variant, has_payload) in variants {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "\"{variant}\" => ::core::result::Result::Ok({name}::{variant}(\n\
+                             serde::__private::from_content::<_, __D::Error>(\n\
+                                 serde::__private::variant_payload::<__D::Error>(__payload, \"{variant}\")?)?)),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "\"{variant}\" => {{\n\
+                             serde::__private::expect_unit_variant::<__D::Error>(__payload, \"{variant}\")?;\n\
+                             ::core::result::Result::Ok({name}::{variant})\n\
+                         }}\n"
+                    ));
+                }
+            }
+            format!(
+                "let (__tag, __payload) = serde::__private::enum_variant::<__D::Error>(\n\
+                     serde::Deserializer::deserialize_content(__deserializer)?, \"{name}\")?;\n\
+                 match __tag.as_str() {{\n\
+                     {arms}\
+                     __other => ::core::result::Result::Err(serde::de::Error::unknown_variant(__other, &[{variant_list}])),\n\
+                 }}"
+            )
+        }
+    };
+
+    let output = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_snake_case, unused_variables, unused_mut)]\n\
+         impl{impl_generics} serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    parse_output(&output)
+}
+
+fn parse_output(source: &str) -> TokenStream {
+    source
+        .parse()
+        .unwrap_or_else(|err| panic!("serde_derive generated invalid Rust: {err}\n{source}"))
+}
+
+/// `<S, B>` for use after the type name, or `""` when non-generic.
+fn type_generics(generics: &[String]) -> String {
+    if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    }
+}
+
+/// `<'de, S: bound, B: bound>`-style impl generics.
+fn bounded_generics(generics: &[String], bound: &str, lifetime: Option<&str>) -> String {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = lifetime {
+        params.push(lt.to_owned());
+    }
+    for g in generics {
+        params.push(format!("{g}: {bound}"));
+    }
+    if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility before the struct/enum keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected a type name, got {other:?}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1u32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    // A lifetime parameter or bound: consume its identifier.
+                    i += 1;
+                    expect_param = false;
+                }
+                Some(TokenTree::Ident(id)) if expect_param && depth == 1 => {
+                    let text = id.to_string();
+                    if text != "const" {
+                        generics.push(text);
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unclosed generic parameter list"),
+            }
+            i += 1;
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => {
+            // Skip over a possible `where` clause to the body (a brace group,
+            // a paren group for tuple structs, or a bare `;` for unit
+            // structs).
+            let mut body = None;
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(Body::Named(parse_named_fields(g.stream())));
+                        break;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        body = Some(Body::Tuple(count_tuple_fields(g.stream())));
+                        break;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        body = Some(Body::Unit);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            body.unwrap_or(Body::Unit)
+        }
+        "enum" => {
+            let group = tokens[i..]
+                .iter()
+                .find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+                    _ => None,
+                })
+                .expect("serde_derive: enum without a body");
+            Body::Enum(parse_variants(group.stream()))
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Per-field attributes and visibility.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // past the name
+        i += 1; // past the ':'
+
+        // Skip the type: commas inside generic arguments don't end the field.
+        let mut depth = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i64;
+    let mut saw_token_since_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                saw_token_since_comma = false;
+                count += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+/// `(variant, carries_payload)` pairs of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        let has_payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct-like enum variant `{variant}` is not supported by the vendored derive");
+            }
+            _ => false,
+        };
+        variants.push((variant, has_payload));
+        // Skip a possible discriminant up to the separating comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}

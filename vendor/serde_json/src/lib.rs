@@ -1,0 +1,499 @@
+//! Vendored offline stand-in for the `serde_json` crate.
+//!
+//! Implements exactly the surface this workspace uses — [`to_string`] and
+//! [`from_str`] — on top of the vendored serde's simplified `Content` data
+//! model. The writer emits compact JSON (no spaces), integer map keys are
+//! stringified the way upstream `serde_json` does, and the reader is a
+//! recursive-descent parser that rejects trailing garbage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::__private::{from_content, to_content, Content};
+use serde::{Deserialize, Serialize};
+
+/// Error raised by [`to_string`] and [`from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = to_content::<T, Error>(value)?;
+    let mut out = String::new();
+    write_content(&content, &mut out)?;
+    Ok(out)
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let content = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    from_content::<T, Error>(content)
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+fn write_content(content: &Content, out: &mut String) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::new("JSON cannot represent a non-finite number"));
+            }
+            // Keep floats recognizable as floats on the way back in.
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                write_content(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (index, (key, value)) in entries.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                // JSON object keys are always strings: integer keys (e.g.
+                // HashMap<u64, _>) are stringified like upstream serde_json.
+                match key {
+                    Content::Str(s) => write_string(s, out),
+                    Content::U64(v) => write_string(&v.to_string(), out),
+                    Content::I64(v) => write_string(&v.to_string(), out),
+                    Content::Bool(v) => write_string(&v.to_string(), out),
+                    other => {
+                        return Err(Error::new(format!(
+                            "map key must be a string or integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                }
+                out.push(':');
+                write_content(value, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------------
+// Reader
+// ----------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.bad_token())
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.bad_token())
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.bad_token())
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') => self.parse_number(),
+            Some(b) if b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.bad_token()),
+        }
+    }
+
+    fn bad_token(&self) -> Error {
+        Error::new(format!("unexpected token at byte {}", self.pos))
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape sequence"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xd800..0xdc00).contains(&code) {
+                                // Surrogate pair.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("unpaired surrogate in string"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape character `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan from the byte we consumed to pick up full UTF-8
+                    // sequences.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(super::to_string(&42u64).unwrap(), "42");
+        assert_eq!(super::to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(super::to_string(&true).unwrap(), "true");
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string("hi").unwrap(), "\"hi\"");
+
+        assert_eq!(super::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(super::from_str::<i64>("-7").unwrap(), -7);
+        assert!(super::from_str::<bool>("true").unwrap());
+        assert_eq!(super::from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(super::from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        let data = vec![1i64, -2, 3];
+        let json = super::to_string(&data).unwrap();
+        assert_eq!(json, "[1,-2,3]");
+        assert_eq!(super::from_str::<Vec<i64>>(&json).unwrap(), data);
+    }
+
+    #[test]
+    fn integer_keyed_maps_use_string_keys() {
+        let mut map = HashMap::new();
+        map.insert(5u64, 3u64);
+        let json = super::to_string(&map).unwrap();
+        assert_eq!(json, "{\"5\":3}");
+        let back: HashMap<u64, u64> = super::from_str("{\"5\": 3, \"6\": 4}").unwrap();
+        assert_eq!(back[&5], 3);
+        assert_eq!(back[&6], 4);
+    }
+
+    #[test]
+    fn whitespace_and_nesting_parse() {
+        let json = " { \"a\" : [ 1 , 2 ] , \"b\" : { \"c\" : null } } ";
+        let value: HashMap<String, Vec<u64>> = super::from_str("{\"a\": [1, 2]}").unwrap();
+        assert_eq!(value["a"], vec![1, 2]);
+        // Nested structure parses as content even when we cannot type it.
+        assert!(super::from_str::<HashMap<String, Vec<u64>>>(json).is_err());
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(super::from_str::<u64>("4x").is_err());
+        assert!(super::from_str::<u64>("").is_err());
+        assert!(super::from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(super::from_str::<String>("\"unterminated").is_err());
+        assert!(super::from_str::<u64>("42 garbage").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\n\"quoted\"\tπ";
+        let json = super::to_string(original).unwrap();
+        assert_eq!(super::from_str::<String>(&json).unwrap(), original);
+        assert_eq!(super::from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let json = super::to_string(&2.0f64).unwrap();
+        assert_eq!(json, "2.0");
+        assert_eq!(super::from_str::<f64>(&json).unwrap(), 2.0);
+    }
+}
