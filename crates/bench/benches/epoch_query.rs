@@ -1,0 +1,52 @@
+//! Query cost of the epoch-combined self-join after a long adaptive run.
+//!
+//! A monitoring loop queries `self_join()` after every batch. Without
+//! compaction the epoch list grows with every rate change and the naive
+//! query pays O(E²) sketch dot products; with same-p compaction plus the
+//! cross-term cache a per-batch query pays O(G) dot products for G
+//! distinct grid rates. The three lines measure one (feed batch + query)
+//! round against the same churn workload ([`epoch_churn`]):
+//!
+//! * `cached` — compacted epochs, incremental cross-term cache (the
+//!   production path),
+//! * `uncached` — compacted epochs, full O(G²) recomputation,
+//! * `reference` — uncompacted epochs (one per rate change), O(E²).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_bench::experiments::epoch_churn;
+use sss_core::sketch::JoinSchema;
+use std::hint::black_box;
+
+const CHANGES: usize = 200;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let schema = JoinSchema::fagms(1, 512, &mut rng);
+    let (mut compact, mut reference, _) = epoch_churn(&schema, CHANGES, 1_000, 8);
+    let batch: Vec<u64> = (0..1_000u64).map(|j| (j * 13) % 1_000).collect();
+    let mut group = c.benchmark_group("epoch_query");
+    group.bench_function(format!("cached/{CHANGES}changes"), |b| {
+        b.iter(|| {
+            compact.feed_batch(black_box(&batch));
+            black_box(compact.self_join().expect("query"))
+        })
+    });
+    group.bench_function(format!("uncached/{CHANGES}changes"), |b| {
+        b.iter(|| {
+            compact.feed_batch(black_box(&batch));
+            black_box(compact.self_join_uncached().expect("query"))
+        })
+    });
+    group.bench_function(format!("reference/{CHANGES}changes"), |b| {
+        b.iter(|| {
+            reference.feed_batch(black_box(&batch));
+            black_box(reference.self_join().expect("query"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(epoch_query, benches);
+criterion_main!(epoch_query);

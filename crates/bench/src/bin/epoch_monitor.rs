@@ -1,0 +1,96 @@
+//! Acceptance measurement for bounded-memory epoch shedding: epoch counts
+//! and per-batch query cost after `--changes` adaptive rate changes.
+//!
+//! Drives the shared [`epoch_churn`] workload (a thrashing two-band load
+//! through the quantized `RateController`), then times a monitoring loop —
+//! one `feed_batch` plus one `self_join()` per iteration — for three query
+//! paths: the compacted shedder's cached query (production), the compacted
+//! shedder's cache-free O(G²) recomputation, and the uncompacted reference
+//! (one epoch per rate change, O(E²)).
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin epoch_monitor \
+//!     [--changes=1000] [--batch=1000] [--buckets=512] [--queries=200] [--seed=8]
+//! ```
+//!
+//! Prints CSV (`path,epochs,queries,ns_per_query`) plus summary lines; the
+//! recorded numbers live in BENCH_epoch_query.json.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_bench::experiments::epoch_churn;
+use sss_bench::{arg, banner};
+use sss_core::sketch::JoinSchema;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_ns_per_iter<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let changes: usize = arg("changes", 1_000);
+    let batch_len: usize = arg("batch", 1_000);
+    let buckets: usize = arg("buckets", 512);
+    let queries: usize = arg("queries", 200);
+    let seed: u64 = arg("seed", 8);
+    banner(
+        "epoch_monitor",
+        "per-batch self-join query cost after adaptive rate churn",
+        &[
+            ("changes", changes.to_string()),
+            ("batch", batch_len.to_string()),
+            ("buckets", buckets.to_string()),
+            ("queries", queries.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = JoinSchema::fagms(1, buckets, &mut rng);
+    let (mut compact, mut reference, bound) = epoch_churn(&schema, changes, batch_len, seed);
+    eprintln!(
+        "# epochs: compacted = {} (grid bound {bound}), reference = {}",
+        compact.epoch_count(),
+        reference.epoch_count()
+    );
+    // Same seed, same sample: the two bookkeepings must answer alike
+    // (compare *before* the timed loops feed them different extra batches).
+    let a = compact.self_join().expect("query");
+    let b = reference.self_join().expect("query");
+    eprintln!(
+        "# estimates after churn: compacted = {a:.6e}, reference = {b:.6e} (rel diff {:.2e})",
+        ((a - b) / b).abs()
+    );
+    let batch: Vec<u64> = (0..batch_len as u64).map(|j| (j * 13) % 1_000).collect();
+    // The reference query is O(E²); keep its iteration count proportionate.
+    let ref_queries = queries.clamp(1, 20);
+
+    println!("path,epochs,queries,ns_per_query");
+    let cached = time_ns_per_iter(queries, || {
+        compact.feed_batch(black_box(&batch));
+        black_box(compact.self_join().expect("query"));
+    });
+    println!("cached,{},{queries},{cached:.1}", compact.epoch_count());
+    let uncached = time_ns_per_iter(queries, || {
+        compact.feed_batch(black_box(&batch));
+        black_box(compact.self_join_uncached().expect("query"));
+    });
+    println!("uncached,{},{queries},{uncached:.1}", compact.epoch_count());
+    let naive = time_ns_per_iter(ref_queries, || {
+        reference.feed_batch(black_box(&batch));
+        black_box(reference.self_join().expect("query"));
+    });
+    println!(
+        "reference,{},{ref_queries},{naive:.1}",
+        reference.epoch_count()
+    );
+    println!(
+        "# speedup: cached vs reference = {:.1}x, cached vs uncached = {:.1}x",
+        naive / cached,
+        uncached / cached
+    );
+}

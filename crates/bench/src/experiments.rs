@@ -9,10 +9,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_core::sketch::JoinSchema;
-use sss_core::{IidStreamSketcher, LoadSheddingSketcher, ScanSketcher};
+use sss_core::{
+    EpochShedder, IidStreamSketcher, LoadSheddingSketcher, RateGrid, ReferenceEpochShedder,
+    ScanSketcher,
+};
 use sss_datagen::{DiscreteAlias, TpchGenerator, ZipfGenerator};
 use sss_moments::FrequencyVector;
 use sss_sampling::without_replacement::PrefixScan;
+use sss_stream::{ControllerConfig, RateController};
 
 /// Common workload parameters of the Bernoulli (Figures 3–4) sweeps.
 #[derive(Debug, Clone)]
@@ -270,6 +274,54 @@ pub fn wor_sjs_sweep(cfg: &WorSweep) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Drive a quantized [`RateController`] with a thrashing two-band load for
+/// `changes` batches, applying each emitted rate to both the compacted
+/// [`EpochShedder`] and the uncompacted [`ReferenceEpochShedder`] (one
+/// epoch per change) and feeding `batch_len` tuples per change. The two
+/// shedders are identically seeded, so they hold the same sample — only
+/// their epoch bookkeeping differs. Returns the shedders plus the
+/// controller's `distinct_rate_bound()`.
+///
+/// Shared by the `epoch_query` Criterion bench and the `epoch_monitor`
+/// acceptance binary so both measure the same workload.
+pub fn epoch_churn(
+    schema: &JoinSchema,
+    changes: usize,
+    batch_len: usize,
+    seed: u64,
+) -> (EpochShedder, ReferenceEpochShedder, usize) {
+    let mut controller = RateController::new(ControllerConfig {
+        capacity_tps: 1e4,
+        smoothing: 0.5,
+        hysteresis: 0.1,
+        min_p: 1e-3,
+        grid: RateGrid::default(),
+    });
+    let bound = controller.distinct_rate_bound();
+    let mut seed_a = StdRng::seed_from_u64(seed);
+    let mut seed_b = StdRng::seed_from_u64(seed);
+    let mut compact = EpochShedder::new(schema, 1.0, &mut seed_a).expect("valid p");
+    let mut reference = ReferenceEpochShedder::new(schema, 1.0, &mut seed_b).expect("valid p");
+    for i in 0..changes {
+        // Two drifting bands 100× apart: the smoothed rate swings past the
+        // hysteresis dead-band on every batch, so p changes each time.
+        let rate = if i % 2 == 0 {
+            10_000 * (1 + (i % 13) as u64)
+        } else {
+            1_000_000 * (1 + (i % 7) as u64)
+        };
+        let p = controller.observe_batch(rate, 1.0);
+        compact.set_probability(p, &mut seed_a).expect("valid p");
+        reference.set_probability(p, &mut seed_b).expect("valid p");
+        let batch: Vec<u64> = (0..batch_len as u64)
+            .map(|j| (j * 13 + i as u64) % 1000)
+            .collect();
+        compact.feed_batch(&batch);
+        reference.feed_batch(&batch);
+    }
+    (compact, reference, bound)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +378,24 @@ mod tests {
             let (tiny, big) = (series[0].1, series[2].1);
             assert!(tiny > big, "error must shrink with the sample: {series:?}");
         }
+    }
+
+    #[test]
+    fn epoch_churn_thrashes_the_reference_but_not_the_compacted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let schema = JoinSchema::agms(4, &mut rng);
+        let (compact, reference, bound) = epoch_churn(&schema, 120, 50, 10);
+        assert!(
+            reference.epoch_count() > 100,
+            "the workload must change rates nearly every batch, got {}",
+            reference.epoch_count()
+        );
+        assert!(compact.epoch_count() <= bound);
+        assert_eq!(compact.kept(), reference.kept(), "identical samples");
+        assert_eq!(
+            compact.self_join().expect("query"),
+            compact.self_join_uncached().expect("query"),
+        );
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Bounded-memory support for epoch-based shedding: the rate-quantization
+//! grid, the cross-term query cache, and the naive reference shedder.
+//!
+//! The three pieces turn [`crate::EpochShedder`] from an O(E)-memory,
+//! O(E²)-query structure (E = number of rate changes) into one bounded by
+//! the number of *distinct* sampling rates G:
+//!
+//! * **Same-`p` compaction** (implemented in `epochs.rs`, justified here):
+//!   two epochs A and B with equal rate `p` merge *exactly*. By sketch
+//!   linearity `(A+B)` self-join expands to `A² + B² + 2AB`, which is
+//!   precisely the two Prop-14 diagonals plus the Prop-13 cross term at
+//!   `p·p`; the kept-tuple corrections add because the kept counts add.
+//!   So the shedder never needs more than one epoch per distinct `p`.
+//! * **[`RateGrid`]**: the adaptive controller snaps its targets onto a
+//!   small logarithmic grid (`steps_per_decade` points per decade between
+//!   1 and `min_p`, with 1 and `min_p` always representable), so the
+//!   number of distinct rates — and with compaction the number of epochs —
+//!   is bounded by [`RateGrid::size`] regardless of stream length.
+//! * **`QueryCache`** (crate-private): a monitoring loop calling
+//!   `self_join()` per batch
+//!   only dirties the *current* epoch between queries, so the cache
+//!   recomputes one diagonal and one row of cross terms (O(G) sketch dot
+//!   products) instead of the full O(G²) table.
+//!
+//! [`ReferenceEpochShedder`] is the original uncompacted implementation —
+//! one epoch per rate change, full O(E²) query — retained verbatim as the
+//! bit-identity and unbiasedness oracle for property tests and benchmarks.
+
+use crate::epochs::{same_p, Epoch};
+use crate::error::{Error, Result};
+use crate::shedding::bernoulli_self_join;
+use crate::sketch::JoinSchema;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sss_sampling::bernoulli::GeometricSkip;
+
+/// A logarithmic grid of admissible sampling rates.
+///
+/// Grid point `k` is `10^(−k/steps_per_decade)`; `k = 0` is exactly `1.0`.
+/// Snapping clamps to a caller-supplied floor `min_p` (returned verbatim,
+/// so the floor itself is always representable). Snapping is idempotent:
+/// a snapped value snaps to itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateGrid {
+    steps_per_decade: u32,
+}
+
+impl Default for RateGrid {
+    /// 40 steps per decade: adjacent rates differ by ≈ 5.9%, finer than
+    /// any useful hysteresis band, yet only 81 points span `[0.01, 1]`.
+    fn default() -> Self {
+        Self {
+            steps_per_decade: 40,
+        }
+    }
+}
+
+impl RateGrid {
+    /// A grid with `steps_per_decade` points per factor-of-10 of `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidGrid`] if `steps_per_decade` is zero.
+    pub fn new(steps_per_decade: u32) -> Result<Self> {
+        if steps_per_decade == 0 {
+            return Err(Error::InvalidGrid { steps_per_decade });
+        }
+        Ok(Self { steps_per_decade })
+    }
+
+    /// The grid resolution.
+    pub fn steps_per_decade(&self) -> u32 {
+        self.steps_per_decade
+    }
+
+    /// The grid step nearest to `p` (0 for `p ≥ 1`; grows as `p` falls).
+    pub fn step_of(&self, p: f64) -> i64 {
+        (-(p.log10()) * self.steps_per_decade as f64).round() as i64
+    }
+
+    /// The rate at grid step `step` (`step ≤ 0` yields exactly 1).
+    pub fn value(&self, step: i64) -> f64 {
+        if step <= 0 {
+            1.0
+        } else {
+            10f64.powf(-(step as f64) / self.steps_per_decade as f64)
+        }
+    }
+
+    /// Snap `p` to the nearest grid point within `[min_p, 1]`. Values at
+    /// or below the floor return `min_p` itself, bit-exactly.
+    pub fn snap(&self, p: f64, min_p: f64) -> f64 {
+        debug_assert!(min_p > 0.0 && min_p <= 1.0, "min_p must be in (0, 1]");
+        if p >= 1.0 {
+            return 1.0;
+        }
+        if p <= min_p {
+            return min_p;
+        }
+        self.value(self.step_of(p)).clamp(min_p, 1.0)
+    }
+
+    /// Upper bound on the number of distinct snapped rates in `[min_p, 1]`
+    /// (grid points plus the `min_p` floor) — and therefore, with same-`p`
+    /// compaction, on the number of epochs a shedder can ever hold.
+    pub fn size(&self, min_p: f64) -> usize {
+        debug_assert!(min_p > 0.0 && min_p <= 1.0, "min_p must be in (0, 1]");
+        let k_max = (-(min_p.log10()) * self.steps_per_decade as f64).floor();
+        k_max as usize + 2
+    }
+}
+
+/// Cached pairwise terms of the epoch self-join decomposition.
+///
+/// `diag[i]` holds `raw_self_join` of epoch `i`'s sketch; `cross[i][j]`
+/// (for `i < j`) holds the raw sketch dot product between epochs `i` and
+/// `j`. Entries are recomputed only for epochs whose `version` moved since
+/// the last query — between monitoring queries only the current epoch
+/// mutates, so a steady-state query costs O(G) dot products, not O(G²).
+#[derive(Debug, Default)]
+pub(crate) struct QueryCache {
+    versions: Vec<Option<u64>>,
+    diag: Vec<f64>,
+    cross: Vec<Vec<f64>>,
+}
+
+impl QueryCache {
+    /// Bring the cache in line with `epochs`, recomputing the diagonal and
+    /// cross row/column of every epoch whose version changed.
+    pub(crate) fn sync(&mut self, epochs: &[Epoch]) -> Result<()> {
+        let n = epochs.len();
+        // The epoch list only grows, except that a never-filled trailing
+        // epoch may be dropped again — truncation handles both directions.
+        self.versions.truncate(n);
+        self.diag.truncate(n);
+        self.cross.truncate(n);
+        while self.versions.len() < n {
+            self.versions.push(None);
+            self.diag.push(0.0);
+            self.cross.push(Vec::new());
+        }
+        for row in &mut self.cross {
+            row.resize(n, 0.0);
+        }
+        for i in 0..n {
+            if self.versions[i] == Some(epochs[i].version) {
+                continue;
+            }
+            self.diag[i] = epochs[i].sketch.raw_self_join();
+            for (j, other) in epochs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let v = epochs[i].sketch.raw_size_of_join(&other.sketch)?;
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                self.cross[a][b] = v;
+            }
+            self.versions[i] = Some(epochs[i].version);
+        }
+        Ok(())
+    }
+
+    /// Combine the cached terms exactly as the uncached loop does (same
+    /// summation order, so the result is bit-identical to recomputing).
+    pub(crate) fn combined_self_join(&self, epochs: &[Epoch]) -> f64 {
+        let mut total = 0.0;
+        for (i, e) in epochs.iter().enumerate() {
+            total += bernoulli_self_join(self.diag[i], e.p, e.kept);
+            for (j, e2) in epochs.iter().enumerate().skip(i + 1) {
+                total += 2.0 * self.cross[i][j] / (e.p * e2.p);
+            }
+        }
+        total
+    }
+}
+
+/// The original, uncompacted epoch shedder: one epoch per rate change,
+/// O(E) memory, O(E²) sketch dot products per `self_join` query.
+///
+/// Retained as the testing oracle: fed the same tuples with the same seed
+/// RNG it makes bit-identical sampling decisions to [`crate::EpochShedder`]
+/// (both draw a fresh geometric skip per effective rate change), so the
+/// compacted estimates can be checked against this one exactly. Production
+/// code should always use [`crate::EpochShedder`].
+#[derive(Debug)]
+pub struct ReferenceEpochShedder {
+    schema: JoinSchema,
+    epochs: Vec<Epoch>,
+    skip: GeometricSkip<StdRng>,
+    gap: u64,
+}
+
+impl ReferenceEpochShedder {
+    /// Start a reference shedder with an initial sampling probability.
+    pub fn new<R: Rng>(schema: &JoinSchema, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let mut skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        let gap = skip.next_gap();
+        Ok(Self {
+            schema: schema.clone(),
+            epochs: vec![Epoch::new(p, schema)],
+            skip,
+            gap,
+        })
+    }
+
+    /// Begin a new epoch at probability `p` (no-op if `p` equals the
+    /// current epoch's rate). Empty current epochs are reused in place.
+    pub fn set_probability<R: Rng>(&mut self, p: f64, seed_rng: &mut R) -> Result<()> {
+        let current = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        if same_p(current.p, p) {
+            return Ok(());
+        }
+        self.skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        self.gap = self.skip.next_gap();
+        if current.seen == 0 {
+            current.p = p;
+        } else {
+            self.epochs.push(Epoch::new(p, &self.schema));
+        }
+        Ok(())
+    }
+
+    /// Offer the next stream tuple; returns whether it was sketched.
+    #[inline]
+    pub fn observe(&mut self, key: u64) -> bool {
+        let epoch = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        epoch.seen += 1;
+        if self.gap > 0 {
+            self.gap -= 1;
+            return false;
+        }
+        epoch.sketch.update(key, 1);
+        epoch.kept += 1;
+        epoch.version += 1;
+        self.gap = self.skip.next_gap();
+        true
+    }
+
+    /// Offer a whole batch of tuples to the current epoch; returns how
+    /// many were kept. Same skip-sampling algorithm as
+    /// [`crate::EpochShedder::feed_batch`], so the two consume their RNGs
+    /// identically.
+    pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
+        const CHUNK: usize = 256;
+        let epoch = self
+            .epochs
+            .last_mut()
+            .expect("at least one epoch always exists");
+        let mut kept_keys = [0u64; CHUNK];
+        let mut fill = 0usize;
+        let mut kept_now = 0u64;
+        let mut pos = 0u64;
+        let n = keys.len() as u64;
+        loop {
+            let remaining = n - pos;
+            if self.gap >= remaining {
+                self.gap -= remaining;
+                break;
+            }
+            pos += self.gap;
+            kept_keys[fill] = keys[pos as usize];
+            fill += 1;
+            kept_now += 1;
+            if fill == CHUNK {
+                epoch.sketch.update_batch(&kept_keys);
+                fill = 0;
+            }
+            self.gap = self.skip.next_gap();
+            pos += 1;
+        }
+        if fill > 0 {
+            epoch.sketch.update_batch(&kept_keys[..fill]);
+        }
+        epoch.seen += n;
+        epoch.kept += kept_now;
+        if kept_now > 0 {
+            epoch.version += 1;
+        }
+        kept_now
+    }
+
+    /// The probability currently in force.
+    pub fn probability(&self) -> f64 {
+        self.epochs
+            .last()
+            .expect("at least one epoch always exists")
+            .p
+    }
+
+    /// Number of epochs — one per effective rate change, unbounded.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Tuples offered across all epochs.
+    pub fn seen(&self) -> u64 {
+        self.epochs.iter().map(|e| e.seen).sum()
+    }
+
+    /// Tuples sketched across all epochs.
+    pub fn kept(&self) -> u64 {
+        self.epochs.iter().map(|e| e.kept).sum()
+    }
+
+    /// Unbiased self-join estimate: Proposition 14 within epochs,
+    /// Proposition 13 across them, recomputed from scratch over all
+    /// E(E−1)/2 epoch pairs.
+    pub fn self_join(&self) -> Result<f64> {
+        let mut total = 0.0;
+        for (i, e) in self.epochs.iter().enumerate() {
+            total += bernoulli_self_join(e.sketch.raw_self_join(), e.p, e.kept);
+            for e2 in &self.epochs[i + 1..] {
+                let cross = e.sketch.raw_size_of_join(&e2.sketch)?;
+                total += 2.0 * cross / (e.p * e2.p);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Unbiased size-of-join estimate against another epoch-shedded
+    /// stream (sharing the sketch schema).
+    pub fn size_of_join(&self, other: &ReferenceEpochShedder) -> Result<f64> {
+        let mut total = 0.0;
+        for e in &self.epochs {
+            for o in &other.epochs {
+                let cross = e.sketch.raw_size_of_join(&o.sketch)?;
+                total += cross / (e.p * o.p);
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_snaps_idempotently_and_keeps_endpoints() {
+        let grid = RateGrid::default();
+        assert_eq!(grid.snap(1.0, 1e-4), 1.0);
+        assert_eq!(grid.snap(2.5, 1e-4), 1.0);
+        assert_eq!(grid.snap(1e-9, 0.01), 0.01);
+        assert_eq!(grid.snap(0.01, 0.01), 0.01);
+        for &p in &[0.7, 0.31, 0.1, 0.033, 0.0011] {
+            let snapped = grid.snap(p, 1e-4);
+            assert_eq!(
+                grid.snap(snapped, 1e-4),
+                snapped,
+                "snap must be idempotent at p = {p}"
+            );
+            // Within one half-step of the requested rate, geometrically.
+            let half_step = 10f64.powf(0.5 / 40.0);
+            assert!(snapped / p < half_step && p / snapped < half_step);
+        }
+    }
+
+    #[test]
+    fn grid_size_bounds_distinct_snaps() {
+        let grid = RateGrid::new(40).unwrap();
+        let min_p = 0.01;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut p = 1.0f64;
+        while p > min_p / 10.0 {
+            seen.insert(grid.snap(p, min_p).to_bits());
+            p *= 0.993;
+        }
+        assert!(
+            seen.len() <= grid.size(min_p),
+            "{} distinct snaps > bound {}",
+            seen.len(),
+            grid.size(min_p)
+        );
+        // Two decades at 40 steps each, plus both endpoints.
+        assert_eq!(grid.size(min_p), 82);
+    }
+
+    #[test]
+    fn zero_step_grid_is_rejected() {
+        assert!(matches!(
+            RateGrid::new(0),
+            Err(Error::InvalidGrid {
+                steps_per_decade: 0
+            })
+        ));
+        assert!(RateGrid::new(1).is_ok());
+    }
+}

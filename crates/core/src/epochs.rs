@@ -1,5 +1,5 @@
 //! Epoch-based shedding: unbiased estimates under a **time-varying**
-//! sampling rate.
+//! sampling rate, in bounded memory.
 //!
 //! An adaptive load shedder changes `p` as the arrival rate drifts, but
 //! the paper's Proposition 14 scaling assumes one fixed `p`. The fix is to
@@ -20,33 +20,86 @@
 //! the single shared sketch schema, so the combination is exact linear
 //! algebra over the same counters.
 //!
+//! Two additions keep long-running pipelines bounded (see
+//! [`crate::compaction`] for the full argument):
+//!
+//! * **Same-`p` compaction.** When a rate recurs, the shedder resumes the
+//!   epoch that already accumulated at that rate instead of opening a new
+//!   one. This is exact: revisiting an epoch just adds more independently
+//!   Bernoulli(`p`)-sampled tuples to the same sketch, and `(A+B)²` expands
+//!   by linearity to the same diagonal + cross terms the separate epochs
+//!   would contribute. Memory is therefore O(#distinct rates), not
+//!   O(#rate changes) — with a quantized controller
+//!   ([`crate::compaction::RateGrid`]), a hard constant.
+//! * **Cross-term caching.** `self_join()` memoizes the pairwise sketch
+//!   dot products and recomputes only the rows of epochs that changed
+//!   since the last query, so a per-batch monitoring loop pays O(G) sketch
+//!   dot products per query instead of O(G²).
+//!
 //! The same decomposition gives the size of join between two epoch-shedded
 //! streams: `Σ_{e,e′} (1/(p_e q_e′))·S_e·T_e′` with no diagonal
 //! correction, since the two relations' samples are always independent.
+//!
+//! The pre-compaction implementation survives as
+//! [`crate::compaction::ReferenceEpochShedder`], the bit-identity oracle
+//! for the property tests.
 
+use crate::compaction::QueryCache;
 use crate::error::{Error, Result};
+use crate::shedding::bernoulli_self_join;
 use crate::sketch::{JoinSchema, JoinSketch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sss_sampling::bernoulli::GeometricSkip;
+use std::cell::RefCell;
 
-/// One constant-`p` segment of the stream.
+/// One constant-`p` stream segment (possibly several non-contiguous
+/// segments after compaction — the union is still a Bernoulli(`p`) sample
+/// of their combined tuples).
 #[derive(Debug, Clone)]
-struct Epoch {
-    p: f64,
-    sketch: JoinSketch,
-    kept: u64,
-    seen: u64,
+pub(crate) struct Epoch {
+    pub(crate) p: f64,
+    pub(crate) sketch: JoinSketch,
+    pub(crate) kept: u64,
+    pub(crate) seen: u64,
+    /// Bumped whenever the sketch content changes; lets the query cache
+    /// skip epochs that are unchanged since the last query.
+    pub(crate) version: u64,
+}
+
+impl Epoch {
+    pub(crate) fn new(p: f64, schema: &JoinSchema) -> Self {
+        Self {
+            p,
+            sketch: schema.sketch(),
+            kept: 0,
+            seen: 0,
+            version: 0,
+        }
+    }
+}
+
+/// Whether two sampling rates are the same epoch rate (relative-epsilon
+/// comparison, shared by the compacted and reference shedders).
+#[inline]
+pub(crate) fn same_p(a: f64, b: f64) -> bool {
+    (a - b).abs() < f64::EPSILON * b.abs()
 }
 
 /// A load shedder whose sampling rate may change between epochs while the
-/// overall estimate stays unbiased.
+/// overall estimate stays unbiased, holding at most one epoch per
+/// distinct rate.
 #[derive(Debug)]
 pub struct EpochShedder {
     schema: JoinSchema,
+    /// Invariant: every epoch except possibly the last has `seen > 0`,
+    /// and no two epochs share a rate (compaction).
     epochs: Vec<Epoch>,
+    /// Index of the epoch currently receiving tuples.
+    current: usize,
     skip: GeometricSkip<StdRng>,
     gap: u64,
+    cache: RefCell<QueryCache>,
 }
 
 impl EpochShedder {
@@ -56,38 +109,40 @@ impl EpochShedder {
         let gap = skip.next_gap();
         Ok(Self {
             schema: schema.clone(),
-            epochs: vec![Epoch {
-                p,
-                sketch: schema.sketch(),
-                kept: 0,
-                seen: 0,
-            }],
+            epochs: vec![Epoch::new(p, schema)],
+            current: 0,
             skip,
             gap,
+            cache: RefCell::new(QueryCache::default()),
         })
     }
 
-    /// Begin a new epoch at probability `p` (no-op if `p` equals the
-    /// current epoch's rate). Empty current epochs are reused in place.
+    /// Switch to probability `p` (no-op if `p` equals the current rate).
+    ///
+    /// If an epoch already accumulated at `p`, it is resumed — the union
+    /// of its segments is still one Bernoulli(`p`) sample, so the estimate
+    /// stays exactly unbiased while the epoch count stays bounded by the
+    /// number of distinct rates. Empty current epochs are reused in place
+    /// (or dropped when the target rate already has an epoch).
     pub fn set_probability<R: Rng>(&mut self, p: f64, seed_rng: &mut R) -> Result<()> {
-        let current = self
-            .epochs
-            .last_mut()
-            .expect("at least one epoch always exists");
-        if (current.p - p).abs() < f64::EPSILON * p.abs() {
+        if same_p(self.epochs[self.current].p, p) {
             return Ok(());
         }
         self.skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
         self.gap = self.skip.next_gap();
-        if current.seen == 0 {
-            current.p = p;
+        if let Some(existing) = self.epochs.iter().position(|e| same_p(e.p, p)) {
+            if self.epochs[self.current].seen == 0 {
+                // A just-created epoch that never saw traffic; it is always
+                // the trailing entry, so dropping it cannot shift `existing`.
+                debug_assert_eq!(self.current, self.epochs.len() - 1);
+                self.epochs.pop();
+            }
+            self.current = existing;
+        } else if self.epochs[self.current].seen == 0 {
+            self.epochs[self.current].p = p;
         } else {
-            self.epochs.push(Epoch {
-                p,
-                sketch: self.schema.sketch(),
-                kept: 0,
-                seen: 0,
-            });
+            self.epochs.push(Epoch::new(p, &self.schema));
+            self.current = self.epochs.len() - 1;
         }
         Ok(())
     }
@@ -95,10 +150,7 @@ impl EpochShedder {
     /// Offer the next stream tuple; returns whether it was sketched.
     #[inline]
     pub fn observe(&mut self, key: u64) -> bool {
-        let epoch = self
-            .epochs
-            .last_mut()
-            .expect("at least one epoch always exists");
+        let epoch = &mut self.epochs[self.current];
         epoch.seen += 1;
         if self.gap > 0 {
             self.gap -= 1;
@@ -106,6 +158,7 @@ impl EpochShedder {
         }
         epoch.sketch.update(key, 1);
         epoch.kept += 1;
+        epoch.version += 1;
         self.gap = self.skip.next_gap();
         true
     }
@@ -121,10 +174,7 @@ impl EpochShedder {
     /// between batches via [`EpochShedder::set_probability`].
     pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
         const CHUNK: usize = 256;
-        let epoch = self
-            .epochs
-            .last_mut()
-            .expect("at least one epoch always exists");
+        let epoch = &mut self.epochs[self.current];
         let mut kept_keys = [0u64; CHUNK];
         let mut fill = 0usize;
         let mut kept_now = 0u64;
@@ -152,18 +202,20 @@ impl EpochShedder {
         }
         epoch.seen += n;
         epoch.kept += kept_now;
+        if kept_now > 0 {
+            epoch.version += 1;
+        }
         kept_now
     }
 
     /// The probability currently in force.
     pub fn probability(&self) -> f64 {
-        self.epochs
-            .last()
-            .expect("at least one epoch always exists")
-            .p
+        self.epochs[self.current].p
     }
 
-    /// Number of epochs (including the current one).
+    /// Number of live epochs — at most one per distinct rate ever used
+    /// (bounded by the rate grid size when rates come from a quantized
+    /// controller), *not* the number of rate changes.
     pub fn epoch_count(&self) -> usize {
         self.epochs.len()
     }
@@ -180,13 +232,25 @@ impl EpochShedder {
 
     /// Unbiased self-join size estimate of the *entire* stream, combining
     /// Proposition 14 within epochs and Proposition 13 across them.
+    ///
+    /// Pairwise cross terms are served from a cache that only recomputes
+    /// the rows of epochs modified since the previous query, so calling
+    /// this per batch from a monitoring loop costs O(G) sketch dot
+    /// products per call (G = number of distinct rates) instead of O(G²).
+    /// The result is bit-identical to [`EpochShedder::self_join_uncached`].
     pub fn self_join(&self) -> Result<f64> {
+        let mut cache = self.cache.borrow_mut();
+        cache.sync(&self.epochs)?;
+        Ok(cache.combined_self_join(&self.epochs))
+    }
+
+    /// The cache-free O(G²) self-join path: recomputes every diagonal and
+    /// cross term from the sketches. Retained as the oracle the cached
+    /// [`EpochShedder::self_join`] is tested (and benchmarked) against.
+    pub fn self_join_uncached(&self) -> Result<f64> {
         let mut total = 0.0;
         for (i, e) in self.epochs.iter().enumerate() {
-            // Diagonal: self-join of the epoch's own contribution.
-            let p2 = e.p * e.p;
-            total += e.sketch.raw_self_join() / p2 - (1.0 - e.p) / p2 * e.kept as f64;
-            // Off-diagonal: joins against every later epoch, doubled.
+            total += bernoulli_self_join(e.sketch.raw_self_join(), e.p, e.kept);
             for e2 in &self.epochs[i + 1..] {
                 let cross = e.sketch.raw_size_of_join(&e2.sketch)?;
                 total += 2.0 * cross / (e.p * e2.p);
@@ -210,6 +274,7 @@ impl EpochShedder {
 
     /// Collapse all epochs into a single merged sketch **only valid when
     /// every epoch used the same `p`** — the fast path for steady load.
+    /// With compaction that means exactly one epoch.
     ///
     /// # Errors
     ///
@@ -236,6 +301,7 @@ impl EpochShedder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compaction::ReferenceEpochShedder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -273,6 +339,35 @@ mod tests {
         assert_eq!(shed.epoch_count(), 1);
         // Different p after traffic: new epoch.
         shed.set_probability(0.5, &mut r).unwrap();
+        assert_eq!(shed.epoch_count(), 2);
+    }
+
+    /// Compaction: revisiting a rate resumes its epoch instead of opening
+    /// a new one, and an untouched trailing epoch is dropped on the way.
+    #[test]
+    fn recurring_rates_are_compacted() {
+        let mut r = rng(20);
+        let schema = JoinSchema::agms(4, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        shed.observe(1);
+        shed.set_probability(0.25, &mut r).unwrap();
+        shed.observe(2);
+        shed.set_probability(0.5, &mut r).unwrap(); // revisit epoch 0
+        assert_eq!(shed.epoch_count(), 2);
+        assert_eq!(shed.probability(), 0.5);
+        shed.observe(3);
+        // A rate change that never sees traffic leaves no epoch behind.
+        shed.set_probability(0.1, &mut r).unwrap();
+        assert_eq!(shed.epoch_count(), 3);
+        shed.set_probability(0.25, &mut r).unwrap(); // empty 0.1 epoch dropped
+        assert_eq!(shed.epoch_count(), 2);
+        assert_eq!(shed.probability(), 0.25);
+        // 1000 alternations never grow past the two distinct rates.
+        for i in 0..1000u64 {
+            let p = if i % 2 == 0 { 0.5 } else { 0.25 };
+            shed.set_probability(p, &mut r).unwrap();
+            shed.observe(i);
+        }
         assert_eq!(shed.epoch_count(), 2);
     }
 
@@ -345,7 +440,8 @@ mod tests {
     }
 
     /// The batched path must replay the scalar path exactly, including
-    /// across epoch changes between batches.
+    /// across epoch changes between batches — and compaction must keep the
+    /// recurring rates (0.1 and 0.4 appear twice) in single epochs.
     #[test]
     fn feed_batch_is_bit_identical_to_observe() {
         let mut r = rng(10);
@@ -364,12 +460,74 @@ mod tests {
             batched.feed_batch(batch);
             assert_eq!(scalar.kept(), batched.kept(), "batch {i}");
         }
+        assert_eq!(scalar.epoch_count(), 3, "three distinct rates");
         assert_eq!(scalar.epoch_count(), batched.epoch_count());
         assert_eq!(scalar.seen(), batched.seen());
         assert_eq!(
             scalar.self_join().unwrap(),
             batched.self_join().unwrap(),
             "identical epochs must give identical estimates"
+        );
+    }
+
+    /// The cached query path must agree with the cache-free recomputation
+    /// exactly, at every point of an interleaved update/query sequence.
+    #[test]
+    fn cached_query_matches_uncached_under_interleaving() {
+        let mut r = rng(30);
+        let schema = JoinSchema::fagms(2, 256, &mut r);
+        let mut shed = EpochShedder::new(&schema, 1.0, &mut r).unwrap();
+        let ps = [1.0, 0.5, 0.25, 0.5, 0.125, 1.0, 0.25];
+        for (round, p) in ps.iter().enumerate() {
+            shed.set_probability(*p, &mut r).unwrap();
+            let batch: Vec<u64> = (0..2_000u64)
+                .map(|i| (i * 31 + round as u64) % 100)
+                .collect();
+            shed.feed_batch(&batch);
+            assert_eq!(
+                shed.self_join().unwrap(),
+                shed.self_join_uncached().unwrap(),
+                "round {round}"
+            );
+            // A second query with nothing dirty must serve from cache and
+            // still agree.
+            assert_eq!(
+                shed.self_join().unwrap(),
+                shed.self_join_uncached().unwrap(),
+                "round {round} (repeat)"
+            );
+        }
+        assert!(shed.epoch_count() <= 4, "four distinct rates used");
+    }
+
+    /// Compacted estimates equal the uncompacted reference bit-for-bit on
+    /// a dyadic-rate schedule (every term exactly representable).
+    #[test]
+    fn compaction_is_bit_identical_to_reference() {
+        let mut r = rng(31);
+        let schema = JoinSchema::agms(8, &mut r);
+        let mut seed_a = rng(32);
+        let mut seed_b = rng(32);
+        let mut compact = EpochShedder::new(&schema, 0.5, &mut seed_a).unwrap();
+        let mut reference = ReferenceEpochShedder::new(&schema, 0.5, &mut seed_b).unwrap();
+        let ps = [0.5, 0.25, 0.5, 1.0, 0.25, 0.5];
+        for (round, p) in ps.iter().enumerate() {
+            compact.set_probability(*p, &mut seed_a).unwrap();
+            reference.set_probability(*p, &mut seed_b).unwrap();
+            for k in 0..3_000u64 {
+                let key = (k * 7 + round as u64) % 50;
+                compact.observe(key);
+                reference.observe(key);
+            }
+        }
+        assert_eq!(reference.epoch_count(), 6, "one epoch per change");
+        assert_eq!(compact.epoch_count(), 3, "one epoch per distinct rate");
+        assert_eq!(compact.kept(), reference.kept());
+        assert_eq!(compact.seen(), reference.seen());
+        assert_eq!(
+            compact.self_join().unwrap(),
+            reference.self_join().unwrap(),
+            "dyadic rates: every term is exact, any grouping agrees"
         );
     }
 

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod compaction;
 pub mod coordinated;
 pub mod cross;
 pub mod epochs;
@@ -61,11 +62,12 @@ pub mod scan;
 pub mod shedding;
 pub mod sketch;
 
+pub use compaction::{RateGrid, ReferenceEpochShedder};
 pub use coordinated::CoordinatedShedder;
 pub use cross::RatedSketch;
 pub use epochs::EpochShedder;
 pub use error::{Error, Result};
 pub use iid::IidStreamSketcher;
 pub use scan::ScanSketcher;
-pub use shedding::LoadSheddingSketcher;
+pub use shedding::{bernoulli_self_join, LoadSheddingSketcher};
 pub use sketch::{JoinSchema, JoinSketch};

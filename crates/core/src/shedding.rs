@@ -21,6 +21,24 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sss_sampling::bernoulli::GeometricSkip;
 
+/// The Proposition 14 self-join correction, shared by every Bernoulli
+/// estimator in the workspace: the unbiased full-stream self-join estimate
+/// from the raw sketch estimate of a Bernoulli(`p`) sample in which `kept`
+/// tuples were retained:
+///
+/// ```text
+/// X = (1/p²)·S² − ((1−p)/p²)·|F′|
+/// ```
+///
+/// Keeping this in one place guarantees the scalar shedder, the epoch
+/// compaction diagonals, and the parallel-shed merge all apply the exact
+/// same formula.
+#[inline]
+pub fn bernoulli_self_join(raw_self_join: f64, p: f64, kept: u64) -> f64 {
+    let p2 = p * p;
+    raw_self_join / p2 - (1.0 - p) / p2 * kept as f64
+}
+
 /// Bernoulli load shedder in front of a join sketch.
 #[derive(Debug)]
 pub struct LoadSheddingSketcher {
@@ -127,8 +145,7 @@ impl LoadSheddingSketcher {
     /// Unbiased self-join size estimate of the *full* stream
     /// (Proposition 14 scaling).
     pub fn self_join(&self) -> f64 {
-        let p2 = self.p * self.p;
-        self.sketch.raw_self_join() / p2 - (1.0 - self.p) / p2 * self.kept as f64
+        bernoulli_self_join(self.sketch.raw_self_join(), self.p, self.kept)
     }
 
     /// Unbiased size-of-join estimate between this shedded stream and

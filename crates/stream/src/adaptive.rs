@@ -9,17 +9,26 @@
 //! * the **arrival rate** `λ` — estimated online with exponential
 //!   smoothing over batch timestamps.
 //!
-//! The controller sets `p = min(1, C/λ)` (with hysteresis so `p` does not
-//! thrash) and can report, through the exact analysis of `sss-moments`,
-//! what the chosen `p` costs in accuracy for a *planned* workload profile.
-//! This closes the loop the paper's introduction sketches: "the formulas
-//! resulting from such an analysis could be used to determine how
-//! aggressive the load shedding can be without a significant loss in the
-//! accuracy".
+//! The controller sets `p = min(1, C/λ)`, **snapped onto a logarithmic
+//! rate grid** ([`RateGrid`], default 40 steps per decade). Quantization
+//! is what makes long-running adaptive shedding bounded: the epoch shedder
+//! compacts same-rate epochs, so the number of epochs — and the memory and
+//! query cost of the combined estimate — can never exceed the grid size,
+//! no matter how long the stream runs or how often the rate drifts.
+//! Hysteresis operates on grid steps: the controller only moves when the
+//! quantized target is more than the dead-band away from the current grid
+//! point, so `p` cannot thrash between adjacent points under load wobble.
+//!
+//! The controller can also report, through the exact analysis of
+//! `sss-moments`, what the chosen `p` costs in accuracy for a *planned*
+//! workload profile. This closes the loop the paper's introduction
+//! sketches: "the formulas resulting from such an analysis could be used
+//! to determine how aggressive the load shedding can be without a
+//! significant loss in the accuracy".
 
 use crate::throughput::Throughput;
 use sss_core::sketch::JoinSchema;
-use sss_core::Result;
+use sss_core::{RateGrid, Result};
 
 /// Configuration of the [`RateController`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,10 +39,16 @@ pub struct ControllerConfig {
     /// 1 = last batch only). Typical: 0.2–0.5.
     pub smoothing: f64,
     /// Relative change of the target `p` required before the controller
-    /// actually moves (hysteresis against thrash). Typical: 0.1–0.3.
+    /// actually moves, applied as a symmetric geometric dead-band in grid
+    /// steps (hysteresis against thrash). Typical: 0.1–0.3.
     pub hysteresis: f64,
-    /// Lower bound on `p` (never shed below this rate).
+    /// Lower bound on `p` (never shed below this rate). Always exactly
+    /// representable by the quantizer.
     pub min_p: f64,
+    /// The logarithmic grid the emitted probabilities snap to. Bounds the
+    /// number of distinct rates — and, through epoch compaction, the
+    /// shedder's memory — by [`RateGrid::size`]`(min_p)`.
+    pub grid: RateGrid,
 }
 
 impl Default for ControllerConfig {
@@ -43,18 +58,23 @@ impl Default for ControllerConfig {
             smoothing: 0.3,
             hysteresis: 0.2,
             min_p: 1e-4,
+            grid: RateGrid::default(),
         }
     }
 }
 
-/// Tracks the arrival rate and recommends a shedding probability.
+/// Tracks the arrival rate and recommends a shedding probability from the
+/// configured rate grid.
 #[derive(Debug, Clone)]
 pub struct RateController {
     config: ControllerConfig,
     /// Smoothed arrival rate, tuples/second (None until the first batch).
     rate: Option<f64>,
-    /// The probability currently in force.
+    /// The probability currently in force — always a grid point (or the
+    /// `min_p` floor).
     current_p: f64,
+    /// Grid step of `current_p`, for the step-space hysteresis test.
+    current_step: i64,
     /// How many times the controller actually changed `p`.
     adjustments: u64,
 }
@@ -82,6 +102,7 @@ impl RateController {
             config,
             rate: None,
             current_p: 1.0,
+            current_step: 0,
             adjustments: 0,
         }
     }
@@ -107,10 +128,26 @@ impl RateController {
         })
     }
 
+    /// The dead-band in grid steps implied by the relative `hysteresis`:
+    /// move only when the quantized target is strictly more than
+    /// `(1 + hysteresis)×` away (in either direction) from the rate in
+    /// force, i.e. at least this many grid steps.
+    fn hysteresis_steps(&self) -> i64 {
+        let steps = self.config.grid.steps_per_decade() as f64;
+        (steps * (1.0 + self.config.hysteresis).log10()).floor() as i64 + 1
+    }
+
     /// Report one observed batch: `tuples` arrived over `seconds`.
     /// Returns the probability now in force.
+    ///
+    /// Degenerate durations (`seconds ≤ 0`, NaN, or infinite) cannot
+    /// update a rate estimate; the batch is ignored and the current `p` is
+    /// returned unchanged, so a zero-duration timestamp on the hot ingest
+    /// path can never panic the pipeline.
     pub fn observe_batch(&mut self, tuples: u64, seconds: f64) -> f64 {
-        assert!(seconds > 0.0, "batch duration must be positive");
+        if !(seconds > 0.0 && seconds.is_finite()) {
+            return self.current_p;
+        }
         let batch_rate = tuples as f64 / seconds;
         let s = self.config.smoothing;
         let rate = match self.rate {
@@ -118,13 +155,15 @@ impl RateController {
             Some(r) => (1.0 - s) * r + s * batch_rate,
         };
         self.rate = Some(rate);
-        let target = (self.config.capacity_tps / rate)
+        let raw_target = (self.config.capacity_tps / rate)
             .min(1.0)
             .max(self.config.min_p);
-        // Hysteresis: only move when the relative change is material.
-        let rel_change = (target - self.current_p).abs() / self.current_p;
-        if rel_change > self.config.hysteresis {
+        let target = self.config.grid.snap(raw_target, self.config.min_p);
+        let target_step = self.config.grid.step_of(target);
+        // Hysteresis in grid steps: only move when the change is material.
+        if (target_step - self.current_step).abs() >= self.hysteresis_steps() {
             self.current_p = target;
+            self.current_step = target_step;
             self.adjustments += 1;
         }
         self.current_p
@@ -143,6 +182,13 @@ impl RateController {
     /// Number of times the controller changed `p`.
     pub fn adjustments(&self) -> u64 {
         self.adjustments
+    }
+
+    /// Upper bound on the number of distinct probabilities this controller
+    /// can ever emit — and therefore on the epochs a compacting
+    /// [`sss_core::EpochShedder`] driven by it can hold.
+    pub fn distinct_rate_bound(&self) -> usize {
+        self.config.grid.size(self.config.min_p)
     }
 
     /// The expected relative standard error of a self-join estimate at the
@@ -172,6 +218,7 @@ mod tests {
             smoothing: 0.5,
             hysteresis: 0.1,
             min_p: 1e-4,
+            grid: RateGrid::default(),
         })
     }
 
@@ -199,6 +246,31 @@ mod tests {
         assert_eq!(c.probability(), 1.0);
     }
 
+    /// Every probability the controller emits is a fixed point of the
+    /// quantizer, so a downstream compacting shedder sees a bounded set.
+    #[test]
+    fn emitted_probabilities_lie_on_the_grid() {
+        let mut c = controller(1e6);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..1_000u64 {
+            // Rate sweeps over two decades and back.
+            let rate = 1e5 * (1.0 + (i % 200) as f64);
+            let p = c.observe_batch(rate as u64, 1.0);
+            assert_eq!(
+                c.config.grid.snap(p, c.config.min_p),
+                p,
+                "emitted p must be snapped"
+            );
+            distinct.insert(p.to_bits());
+        }
+        assert!(
+            distinct.len() <= c.distinct_rate_bound(),
+            "{} distinct rates exceed the grid bound {}",
+            distinct.len(),
+            c.distinct_rate_bound()
+        );
+    }
+
     #[test]
     fn hysteresis_suppresses_thrash() {
         let mut c = RateController::new(ControllerConfig {
@@ -206,8 +278,9 @@ mod tests {
             smoothing: 1.0, // no smoothing: isolate the hysteresis
             hysteresis: 0.3,
             min_p: 1e-4,
+            grid: RateGrid::default(),
         });
-        c.observe_batch(2_000_000, 1.0); // 2× overload → p = 0.5
+        c.observe_batch(2_000_000, 1.0); // 2× overload → p ≈ 0.5
         let adjustments_before = c.adjustments();
         // ±10% load wobble must not move p (relative p change < 30%).
         for i in 0..50 {
@@ -228,6 +301,7 @@ mod tests {
             smoothing: 1.0,
             hysteresis: 0.0,
             min_p: 0.01,
+            grid: RateGrid::default(),
         });
         c.observe_batch(u32::MAX as u64, 1.0);
         assert_eq!(c.probability(), 0.01);
@@ -240,6 +314,7 @@ mod tests {
             smoothing: 0.1,
             hysteresis: 0.0,
             min_p: 1e-4,
+            grid: RateGrid::default(),
         });
         for _ in 0..10 {
             c.observe_batch(1_000_000, 1.0); // exactly at capacity
@@ -251,6 +326,29 @@ mod tests {
             "p = {} after a single spike",
             c.probability()
         );
+    }
+
+    /// Regression: a zero-duration (or negative, or non-finite) batch
+    /// timestamp must not panic the hot ingest path; the controller keeps
+    /// its rate estimate and probability unchanged.
+    #[test]
+    fn degenerate_durations_are_ignored() {
+        let mut c = controller(1e6);
+        for _ in 0..5 {
+            c.observe_batch(10_000_000, 1.0);
+        }
+        let p = c.probability();
+        let rate = c.estimated_rate();
+        assert!(p < 1.0, "controller is shedding");
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(c.observe_batch(1_000_000, bad), p, "seconds = {bad}");
+        }
+        assert_eq!(c.estimated_rate(), rate, "degenerate batches ignored");
+        // And the controller still works afterwards.
+        for _ in 0..20 {
+            c.observe_batch(100, 1.0);
+        }
+        assert_eq!(c.probability(), 1.0);
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!
 //! * Transforms model the query network (selection, key extraction).
 //! * The [`RateController`] watches the *post-transform* rate and adjusts
-//!   the shedding probability.
-//! * The [`EpochShedder`] segments the stream at each rate change so the
-//!   final estimate is unbiased end to end.
+//!   the shedding probability, snapping it to a log-grid so that only a
+//!   bounded set of distinct rates is ever emitted.
+//! * The [`EpochShedder`] segments the stream at each rate change and
+//!   compacts same-rate epochs, so the final estimate is unbiased end to
+//!   end while memory stays bounded by the grid size — not the number of
+//!   rate changes.
 //! * Per-stage statistics expose where tuples went — the observability a
 //!   real engine needs to explain an approximate answer.
 
@@ -210,6 +213,7 @@ mod tests {
             smoothing: 0.5,
             hysteresis: 0.1,
             min_p: 1e-3,
+            grid: sss_core::RateGrid::default(),
         })
     }
 
@@ -313,5 +317,49 @@ mod tests {
             .unwrap();
         p.push_batch(&[], 1.0).unwrap();
         assert_eq!(p.stats().last().unwrap().tuples_in, 0);
+    }
+
+    /// Regression: a batch with a zero, negative, or non-finite duration
+    /// must not panic or poison the controller — the tuples are still
+    /// sketched at the current rate.
+    #[test]
+    fn degenerate_batch_durations_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let mut p = PipelineBuilder::new()
+            .sink(&schema, controller(1e12), &mut rng)
+            .unwrap();
+        let batch: Vec<u64> = (0..500u64).collect();
+        for secs in [0.0, -2.0, f64::NAN, f64::INFINITY, 1.0] {
+            p.push_batch(&batch, secs).unwrap();
+        }
+        assert_eq!(p.controller().probability(), 1.0);
+        assert_eq!(p.stats().last().unwrap().tuples_in, 2500);
+        // No shedding at huge capacity: every tuple of every batch counted.
+        assert_eq!(p.stats().last().unwrap().tuples_out, 2500);
+    }
+
+    /// The pipeline's epoch count stays bounded by the controller's rate
+    /// grid even under a wildly oscillating load.
+    #[test]
+    fn epoch_count_is_bounded_under_oscillating_load() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let schema = JoinSchema::fagms(1, 512, &mut rng);
+        let controller = controller(1e4);
+        let bound = controller.distinct_rate_bound();
+        let mut p = PipelineBuilder::new()
+            .sink(&schema, controller, &mut rng)
+            .unwrap();
+        let batch: Vec<u64> = (0..1000u64).map(|j| j % 100).collect();
+        for i in 0..500u64 {
+            // Arrival rate swings between ~77k and 1M tuples/s.
+            let secs = 1e-3 * (1.0 + (i % 13) as f64);
+            p.push_batch(&batch, secs).unwrap();
+        }
+        assert!(
+            p.shedder().epoch_count() <= bound,
+            "epochs {} exceed grid bound {bound}",
+            p.shedder().epoch_count()
+        );
     }
 }

@@ -13,7 +13,7 @@ use crate::throughput::Throughput;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{LoadSheddingSketcher, Result};
+use sss_core::{bernoulli_self_join, LoadSheddingSketcher, Result};
 
 /// Sketch `stream` with `threads` workers and merge the partial sketches.
 ///
@@ -82,10 +82,10 @@ pub struct ParallelShedResult {
 }
 
 impl ParallelShedResult {
-    /// The unbiased self-join estimate of the full logical stream.
+    /// The unbiased self-join estimate of the full logical stream
+    /// (the shared Proposition 14 correction).
     pub fn self_join(&self) -> f64 {
-        let p2 = self.p * self.p;
-        self.sketch.raw_self_join() / p2 - (1.0 - self.p) / p2 * self.kept as f64
+        bernoulli_self_join(self.sketch.raw_self_join(), self.p, self.kept)
     }
 }
 
@@ -100,11 +100,12 @@ pub fn parallel_shed<R: Rng>(
 ) -> Result<ParallelShedResult> {
     // Validate `p` up front so an empty stream still rejects bad inputs,
     // then handle the empty stream explicitly (nothing to partition).
-    let mut probe_rng = StdRng::seed_from_u64(seed_rng.random());
-    let probe = LoadSheddingSketcher::new(schema, p, &mut probe_rng)?;
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(sss_sampling::Error::InvalidProbability(p).into());
+    }
     if stream.is_empty() {
         return Ok(ParallelShedResult {
-            sketch: probe.sketch().clone(),
+            sketch: schema.sketch(),
             kept: 0,
             throughput: Throughput::measure(0, || {}),
             p,

@@ -3,11 +3,14 @@
 //! A plain sketch summarizes the stream *since the beginning*; stream
 //! monitoring usually wants "the last W tuples". Because sketches are
 //! linear, the standard paned-window construction applies directly: split
-//! the window into `P` panes of `W/P` tuples, keep one sub-sketch per pane
-//! in a ring, and answer queries by merging the live panes. The answer
-//! covers the last `W′` tuples with `W − W/P < W′ ≤ W` — a granularity
-//! (not accuracy) error of at most one pane, traded against `P×` sketch
-//! memory.
+//! the window into `P` panes, keep one sub-sketch per pane in a ring, and
+//! answer queries by merging the live panes. Pane sizes cycle through
+//! `⌈W/P⌉` and `⌊W/P⌋` so that any `P` consecutive panes cover *exactly*
+//! `W` tuples (no silent window shrinkage when `P ∤ W`), and a full pane
+//! is evicted as soon as keeping it would push the covered suffix past
+//! `W`. The answer therefore covers the last `W′` tuples with
+//! `W − ⌈W/P⌉ < W′ ≤ W` — a granularity (not accuracy) error of at most
+//! one pane, traded against `P×` sketch memory.
 //!
 //! Composes with everything else in the workspace: the panes can sit
 //! behind a Bernoulli shedder (scale the final estimate as usual), and the
@@ -23,12 +26,19 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct PanedWindowSketch {
     schema: JoinSchema,
-    /// Completed panes, oldest first; at most `panes` entries.
+    /// Completed panes with their tuple counts, oldest first; at most
+    /// `panes` entries.
     ring: VecDeque<(JoinSketch, u64)>,
+    /// Tuples across the completed panes in `ring`.
+    full_count: u64,
     current: JoinSketch,
     current_count: u64,
-    pane_size: u64,
+    window: u64,
     panes: usize,
+    /// Which pane of the size schedule `current` is filling; pane `i`
+    /// (mod `panes`) targets `⌊W/P⌋ + 1` tuples for `i < W mod P`, else
+    /// `⌊W/P⌋`, so every `panes` consecutive panes sum to exactly `window`.
+    next_pane: usize,
 }
 
 impl PanedWindowSketch {
@@ -47,31 +57,49 @@ impl PanedWindowSketch {
         Self {
             schema: schema.clone(),
             ring: VecDeque::with_capacity(panes),
+            full_count: 0,
             current: schema.sketch(),
             current_count: 0,
-            pane_size: window / panes as u64,
+            window,
             panes,
+            next_pane: 0,
         }
+    }
+
+    /// Tuples the pane at schedule position `idx` must hold.
+    fn pane_target(&self, idx: usize) -> u64 {
+        let base = self.window / self.panes as u64;
+        let remainder = self.window % self.panes as u64;
+        base + u64::from((idx as u64) < remainder)
     }
 
     /// Ingest the next stream tuple.
     pub fn update(&mut self, key: u64) {
+        // Evict before admitting: completed panes plus the growing current
+        // pane never cover more than `window` tuples.
+        while self.full_count + self.current_count + 1 > self.window {
+            let (_, count) = self
+                .ring
+                .pop_front()
+                .expect("overflow implies a completed pane to evict");
+            self.full_count -= count;
+        }
         self.current.update(key, 1);
         self.current_count += 1;
-        if self.current_count == self.pane_size {
+        if self.current_count == self.pane_target(self.next_pane) {
             let full = std::mem::replace(&mut self.current, self.schema.sketch());
-            self.ring.push_back((full, self.pane_size));
+            self.ring.push_back((full, self.current_count));
+            self.full_count += self.current_count;
             self.current_count = 0;
-            if self.ring.len() > self.panes {
-                self.ring.pop_front();
-            }
+            self.next_pane = (self.next_pane + 1) % self.panes;
         }
     }
 
-    /// Tuples currently covered by the window (`≤ window`, and within one
-    /// pane of it once the stream has warmed up).
+    /// Tuples currently covered by the window: always `≤ window`, and
+    /// within one pane of it (`> window − ⌈window/panes⌉`) once the stream
+    /// has warmed up.
     pub fn covered(&self) -> u64 {
-        self.ring.iter().map(|(_, c)| c).sum::<u64>() + self.current_count
+        self.full_count + self.current_count
     }
 
     /// The merged sketch of the covered suffix.
@@ -131,10 +159,7 @@ mod tests {
         }
         // The window covers only phase-2 tuples now.
         let covered = w.covered() as usize;
-        assert!(
-            covered <= 10_000 && covered > 9_000 - 1,
-            "covered = {covered}"
-        );
+        assert!(covered <= 10_000 && covered > 9_000, "covered = {covered}");
         let truth = exact_f2(&stream[stream.len() - covered..]);
         let est = w.self_join().unwrap();
         assert!(
@@ -146,6 +171,8 @@ mod tests {
         assert!(est < full_truth / 2.0);
     }
 
+    /// The documented coverage bound, exactly: never more than `window`,
+    /// and never a full pane behind once warmed up.
     #[test]
     fn memory_is_bounded() {
         let mut rng = StdRng::seed_from_u64(2);
@@ -154,8 +181,41 @@ mod tests {
         for k in 0..100_000u64 {
             w.update(k);
             assert!(w.pane_count() <= 5, "pane count exceeded at tuple {k}");
+            assert!(
+                w.covered() <= 100,
+                "covered {} > window at {k}",
+                w.covered()
+            );
+            if k >= 100 {
+                assert!(
+                    w.covered() > 100 - 25,
+                    "covered {} fell a full pane behind at {k}",
+                    w.covered()
+                );
+            }
         }
-        assert!(w.covered() <= 100 + 25);
+    }
+
+    /// A window that panes don't divide evenly must still cover the full
+    /// `window` tuples, not silently `panes · ⌊window/panes⌋`.
+    #[test]
+    fn uneven_panes_cover_the_whole_window() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let schema = JoinSchema::agms(4, &mut rng);
+        // 10 / 3 truncates to 3 per pane; the schedule must hand the
+        // remainder out so coverage still reaches 10.
+        let mut w = PanedWindowSketch::new(&schema, 10, 3);
+        for k in 0..10u64 {
+            w.update(k);
+        }
+        assert_eq!(w.covered(), 10, "warm window must cover exactly `window`");
+        for k in 10..10_000u64 {
+            w.update(k);
+            let covered = w.covered();
+            assert!(covered <= 10, "covered {covered} > window at {k}");
+            // One (largest) pane of slack: 10 − ⌈10/3⌉ = 6.
+            assert!(covered > 6, "covered {covered} ≤ bound at {k}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::EpochShedder;
+use sketch_sampled_streams::core::{EpochShedder, RateGrid};
 use sketch_sampled_streams::datagen::ZipfGenerator;
 use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::stream::{ControllerConfig, RateController};
@@ -29,6 +29,7 @@ fn main() {
         smoothing: 0.5,
         hysteresis: 0.15,
         min_p: 1e-3,
+        grid: RateGrid::default(),
     });
 
     let schema = JoinSchema::fagms(1, 5000, &mut rng);

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::{CoordinatedShedder, EpochShedder};
+use sketch_sampled_streams::core::{CoordinatedShedder, EpochShedder, RateGrid};
 use sketch_sampled_streams::datagen::ZipfGenerator;
 use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::moments::planning;
@@ -58,6 +58,7 @@ fn pipeline_estimate_matches_exact_under_overload() {
         smoothing: 0.5,
         hysteresis: 0.1,
         min_p: 1e-3,
+        grid: RateGrid::default(),
     });
     let mut pipeline = PipelineBuilder::new()
         .filter("small", keep_small)
@@ -98,6 +99,7 @@ fn controller_plus_epochs_is_unbiased_over_bursts() {
         smoothing: 0.5,
         hysteresis: 0.15,
         min_p: 1e-3,
+        grid: RateGrid::default(),
     });
     let mut shedder = EpochShedder::new(&schema, 1.0, &mut rng).unwrap();
     let mut exact = ExactAggregator::new();

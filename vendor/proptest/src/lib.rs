@@ -233,7 +233,7 @@ pub mod collection {
 
     use crate::strategy::Strategy;
 
-    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// Length specification for [`vec()`]: a fixed length or a half-open
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
