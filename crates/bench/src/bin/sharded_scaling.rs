@@ -1,0 +1,78 @@
+//! Acceptance measurement for the sharded streaming runtime: ingest
+//! throughput at 1/2/4/8 shards.
+//!
+//! Drives the shared [`sharded_scaling`] procedure: the same stream is
+//! pushed through a [`sss_stream::ShardedRuntime`] at each shard count,
+//! once with a plain F-AGMS sink (`cpu_bound`) and once with a
+//! [`PacedSketch`](sss_bench::experiments::PacedSketch) sink paying a
+//! fixed per-batch latency (`latency_bound`). Every merged result is
+//! asserted bit-identical to the sequential sketch before a number is
+//! printed. CPU-bound scaling is capped by the host's cores;
+//! latency-bound scaling is not (worker sleeps overlap), so the second
+//! series shows the runtime's scaling even on a one-core host.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin sharded_scaling \
+//!     [--tuples=2000000] [--batch=4096] [--queue=8] [--buckets=1024] \
+//!     [--pause-us=150] [--seed=12]
+//! ```
+//!
+//! Prints CSV (`workload,shards,tuples_per_sec,speedup`); the recorded
+//! numbers live in BENCH_sharded_runtime.json.
+
+use sss_bench::experiments::{sharded_scaling, ShardedScalingConfig};
+use sss_bench::{arg, banner};
+
+fn main() {
+    let tuples: usize = arg("tuples", 2_000_000);
+    let batch: usize = arg("batch", 4_096);
+    let queue_depth: usize = arg("queue", 8);
+    let buckets: usize = arg("buckets", 1_024);
+    let pause_us: u64 = arg("pause-us", 150);
+    let seed: u64 = arg("seed", 12);
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "sharded_scaling",
+        "sharded-runtime ingest throughput vs shard count (merged result bit-identical)",
+        &[
+            ("tuples", tuples.to_string()),
+            ("batch", batch.to_string()),
+            ("queue", queue_depth.to_string()),
+            ("buckets", buckets.to_string()),
+            ("pause-us", pause_us.to_string()),
+            ("seed", seed.to_string()),
+            ("host_parallelism", parallelism.to_string()),
+        ],
+    );
+    let cfg = ShardedScalingConfig {
+        tuples,
+        domain: 10_000,
+        buckets,
+        batch,
+        queue_depth,
+        shard_counts: vec![1, 2, 4, 8],
+        pause_us,
+        seed,
+    };
+    let points = sharded_scaling(&cfg);
+    println!("workload,shards,tuples_per_sec,speedup");
+    for pt in &points {
+        println!(
+            "{},{},{:.0},{:.3}",
+            pt.workload, pt.shards, pt.tuples_per_sec, pt.speedup
+        );
+    }
+    for workload in ["cpu_bound", "latency_bound"] {
+        let best = points
+            .iter()
+            .filter(|pt| pt.workload == workload)
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .expect("series is non-empty");
+        eprintln!(
+            "# {workload}: best {:.2}x at {} shards",
+            best.speedup, best.shards
+        );
+    }
+}

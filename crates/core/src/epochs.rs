@@ -259,6 +259,34 @@ impl EpochShedder {
         Ok(total)
     }
 
+    /// Unbiased size-of-join estimate against a plain sketch of a
+    /// **disjoint** stream segment that was itself Bernoulli(`q`)-sampled
+    /// (pass `q = 1` for a full-rate sketch), sharing the schema:
+    ///
+    /// ```text
+    /// Σ_e (1/(p_e·q)) · Sₑ·T
+    /// ```
+    ///
+    /// Every epoch's sample is independent of `other`'s sample (disjoint
+    /// segments), so each term is a Proposition 13 estimator and the sum
+    /// is unbiased for `Σᵢ fᵢ·gᵢ`. This is the cross term a concurrent
+    /// engine needs when part of a stream flows full-rate into shard
+    /// sketches while overflow is routed through an epoch shedder.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `q ∉ (0, 1]` and schema mismatches.
+    pub fn size_of_join_sketch(&self, other: &JoinSketch, q: f64) -> Result<f64> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(sss_sampling::Error::InvalidProbability(q).into());
+        }
+        let mut total = 0.0;
+        for e in &self.epochs {
+            total += e.sketch.raw_size_of_join(other)? / (e.p * q);
+        }
+        Ok(total)
+    }
+
     /// Unbiased size-of-join estimate against another epoch-shedded stream
     /// (sharing the sketch schema).
     pub fn size_of_join(&self, other: &EpochShedder) -> Result<f64> {
@@ -529,6 +557,46 @@ mod tests {
             reference.self_join().unwrap(),
             "dyadic rates: every term is exact, any grouping agrees"
         );
+    }
+
+    /// The sketch cross term: a shedded stream joined against a full-rate
+    /// sketch of a disjoint segment is unbiased, and rejects bad `q`.
+    #[test]
+    fn cross_term_against_plain_sketch_is_unbiased() {
+        let mut r = rng(6);
+        // F (shedded, two rates): keys 0..30, 4 copies each.
+        // G (full-rate sketch):   keys 15..45, 10 copies each.
+        let truth = 15.0 * 4.0 * 10.0;
+        let reps = 600;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let schema = JoinSchema::agms(16, &mut r);
+            let mut f = EpochShedder::new(&schema, 0.8, &mut r).unwrap();
+            for (p, copies) in [(0.8, 2u64), (0.4, 2)] {
+                f.set_probability(p, &mut r).unwrap();
+                for k in 0..30u64 {
+                    for _ in 0..copies {
+                        f.observe(k);
+                    }
+                }
+            }
+            let mut g = schema.sketch();
+            for k in 15..45u64 {
+                g.update(k, 10);
+            }
+            acc += f.size_of_join_sketch(&g, 1.0).unwrap();
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean = {mean}, truth = {truth}"
+        );
+        // q outside (0, 1] is rejected up front.
+        let schema = JoinSchema::agms(4, &mut r);
+        let f = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        let g = schema.sketch();
+        assert!(f.size_of_join_sketch(&g, 0.0).is_err());
+        assert!(f.size_of_join_sketch(&g, 1.5).is_err());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The unified estimator interface every join-capable sketch implements.
+//!
+//! Historically each sketch family exposed its own ad-hoc surface
+//! (`AgmsSketch::self_join`, `FagmsSketch::size_of_join`,
+//! `JoinSketch::raw_self_join`, …) and the streaming layer was hard-coded
+//! to [`JoinSketch`]. [`JoinEstimator`] is the one contract the runtime,
+//! the engine, and the parallel helpers are generic over: anything that
+//! can absorb keyed updates, merge with a peer built from the same seeds
+//! (linearity), and answer the two join-size queries of the paper.
+//!
+//! The contract mirrors sketch linearity exactly:
+//!
+//! * [`update_batch`](JoinEstimator::update_batch) must be **bit-identical**
+//!   to the per-key update loop (integer counter updates commute);
+//! * [`merge_from`](JoinEstimator::merge_from) must make the merged state
+//!   identical to sketching the concatenated streams, so a sharded runtime
+//!   can partition tuples arbitrarily and still reproduce the sequential
+//!   sketch bit for bit;
+//! * [`self_join`](JoinEstimator::self_join) /
+//!   [`size_of_join`](JoinEstimator::size_of_join) return the *raw*
+//!   estimates of whatever was sketched — sampling-rate corrections
+//!   (Propositions 13–16) stay in the drivers that know the rates.
+//!
+//! Implementations are provided for the two ±1 families' sketches
+//! ([`AgmsSketch`], [`FagmsSketch`]), the [`CountMinSketch`] baseline, and
+//! the backend-erased [`JoinSketch`] enum the drivers default to.
+
+use crate::error::Result;
+use crate::sketch::JoinSketch;
+use sss_sketch::{AgmsSketch, CountMinSketch, FagmsSketch, Sketch};
+use sss_xi::{BucketFamily, SignFamily};
+
+/// A linear, mergeable join-size estimator over a keyed stream.
+///
+/// `Clone` is required so a concurrent runtime can snapshot shard state
+/// without draining it; `Send + 'static` so shards can live on worker
+/// threads.
+pub trait JoinEstimator: Clone + Send + 'static {
+    /// Add `count` occurrences of `key` (negative counts model deletions).
+    fn update(&mut self, key: u64, count: i64);
+
+    /// Add one occurrence of every key, bit-identically to calling
+    /// [`update`](JoinEstimator::update) once per key.
+    fn update_batch(&mut self, keys: &[u64]);
+
+    /// Entry-wise merge of a peer estimator built from the same schema:
+    /// afterwards `self` summarizes the union of both streams, exactly.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch (different random seeds) — merged counters would be
+    /// meaningless.
+    fn merge_from(&mut self, other: &Self) -> Result<()>;
+
+    /// Raw self-join (second frequency moment) estimate of the sketched
+    /// stream.
+    fn self_join(&self) -> f64;
+
+    /// Raw size-of-join estimate against a peer built from the same
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch, as for [`merge_from`](JoinEstimator::merge_from).
+    fn size_of_join(&self, other: &Self) -> Result<f64>;
+}
+
+impl<F> JoinEstimator for AgmsSketch<F>
+where
+    F: SignFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn self_join(&self) -> f64 {
+        AgmsSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(AgmsSketch::size_of_join(self, other)?)
+    }
+}
+
+impl<S, B> JoinEstimator for FagmsSketch<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn self_join(&self) -> f64 {
+        FagmsSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(FagmsSketch::size_of_join(self, other)?)
+    }
+}
+
+impl<B> JoinEstimator for CountMinSketch<B>
+where
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn self_join(&self) -> f64 {
+        CountMinSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(CountMinSketch::size_of_join(self, other)?)
+    }
+}
+
+impl JoinEstimator for JoinSketch {
+    fn update(&mut self, key: u64, count: i64) {
+        JoinSketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        JoinSketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        self.merge(other)
+    }
+
+    fn self_join(&self) -> f64 {
+        self.raw_self_join()
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        self.raw_size_of_join(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::JoinSchema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_sketch::{AgmsSchema, CountMinSchema, FagmsSchema};
+
+    /// Exercise one implementation generically: batch vs scalar identity,
+    /// merge-equals-union, and a self-join in the right ballpark.
+    fn exercise<E: JoinEstimator>(make: impl Fn() -> E, tolerance: f64) {
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i % 100).collect();
+        let mut scalar = make();
+        for &k in &keys {
+            JoinEstimator::update(&mut scalar, k, 1);
+        }
+        let mut batched = make();
+        JoinEstimator::update_batch(&mut batched, &keys);
+        assert_eq!(
+            JoinEstimator::self_join(&scalar).to_bits(),
+            JoinEstimator::self_join(&batched).to_bits(),
+            "batch must replay the scalar path exactly"
+        );
+        // Merge = union: split the stream in two and merge the halves.
+        let mut left = make();
+        let mut right = make();
+        JoinEstimator::update_batch(&mut left, &keys[..keys.len() / 2]);
+        JoinEstimator::update_batch(&mut right, &keys[keys.len() / 2..]);
+        left.merge_from(&right).unwrap();
+        assert_eq!(
+            JoinEstimator::self_join(&left).to_bits(),
+            JoinEstimator::self_join(&scalar).to_bits(),
+            "merge must equal sketching the union"
+        );
+        let truth = 100.0 * 40.0 * 40.0;
+        let est = JoinEstimator::self_join(&scalar);
+        assert!(
+            (est - truth).abs() / truth < tolerance,
+            "est = {est}, truth = {truth}"
+        );
+        // size_of_join against itself agrees with self_join for the ±1
+        // sketches and the Count-Min inner product alike.
+        let sj = JoinEstimator::size_of_join(&scalar, &scalar).unwrap();
+        assert!((sj - est).abs() <= est.abs() * 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn all_four_backends_satisfy_the_contract() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let agms: AgmsSchema = AgmsSchema::new(256, &mut rng);
+        exercise(move || agms.sketch(), 0.25);
+        let fagms: FagmsSchema = FagmsSchema::new(3, 1024, &mut rng);
+        exercise(move || fagms.sketch(), 0.25);
+        // Count-Min overestimates F₂ by collisions; with width ≫ distinct
+        // keys the bias is tiny.
+        let cm: CountMinSchema = CountMinSchema::new(3, 4096, &mut rng);
+        exercise(move || cm.sketch(), 0.25);
+        let schema = JoinSchema::fagms(2, 1024, &mut rng);
+        exercise(move || schema.sketch(), 0.25);
+    }
+
+    #[test]
+    fn mismatched_schemas_error_through_the_trait() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = JoinSchema::agms(8, &mut rng).sketch();
+        let mut b = JoinSchema::fagms(1, 8, &mut rng).sketch();
+        assert!(b.merge_from(&a).is_err());
+        assert!(JoinEstimator::size_of_join(&a, &b).is_err());
+    }
+}

@@ -57,6 +57,7 @@ pub mod coordinated;
 pub mod cross;
 pub mod epochs;
 pub mod error;
+pub mod estimator;
 pub mod iid;
 pub mod scan;
 pub mod shedding;
@@ -67,6 +68,7 @@ pub use coordinated::CoordinatedShedder;
 pub use cross::RatedSketch;
 pub use epochs::EpochShedder;
 pub use error::{Error, Result};
+pub use estimator::JoinEstimator;
 pub use iid::IidStreamSketcher;
 pub use scan::ScanSketcher;
 pub use shedding::{bernoulli_self_join, LoadSheddingSketcher};

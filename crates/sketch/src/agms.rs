@@ -180,10 +180,21 @@ impl<F: SignFamily> AgmsSchema<F> {
 }
 
 /// An AGMS sketch: `n` atomic counters, each `Σᵢ fᵢ·ξᵢ⁽ᵏ⁾`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AgmsSketch<F = DefaultSign> {
     schema: AgmsSchema<F>,
     counters: Vec<i64>,
+}
+
+// Manual impl, like the schema's: the families sit behind an `Arc`, so a
+// sketch clones without requiring `F: Clone`.
+impl<F> Clone for AgmsSketch<F> {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            counters: self.counters.clone(),
+        }
+    }
 }
 
 impl<F: SignFamily> AgmsSketch<F> {

@@ -154,10 +154,21 @@ impl<B: BucketFamily> CountMinSchema<B> {
 }
 
 /// A Count-Min sketch: `depth × width` non-negative counters.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CountMinSketch<B = DefaultBucket> {
     schema: CountMinSchema<B>,
     counters: Vec<i64>,
+}
+
+// Manual impl, like the schema's: the bucket families sit behind an
+// `Arc`, so a sketch clones without requiring `B: Clone`.
+impl<B> Clone for CountMinSketch<B> {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            counters: self.counters.clone(),
+        }
+    }
 }
 
 impl<B: BucketFamily> CountMinSketch<B> {

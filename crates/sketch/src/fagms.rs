@@ -207,10 +207,21 @@ impl<S: SignFamily, B: BucketFamily> FagmsSchema<S, B> {
 }
 
 /// An F-AGMS sketch: `depth × width` counters.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FagmsSketch<S = DefaultSign, B = DefaultBucket> {
     schema: FagmsSchema<S, B>,
     counters: Vec<i64>,
+}
+
+// Manual impl, like the schema's: the families sit behind `Arc`s, so a
+// sketch clones without requiring `S: Clone` or `B: Clone`.
+impl<S, B> Clone for FagmsSketch<S, B> {
+    fn clone(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            counters: self.counters.clone(),
+        }
+    }
 }
 
 impl<S: SignFamily, B: BucketFamily> FagmsSketch<S, B> {

@@ -51,6 +51,17 @@ pub struct ControllerConfig {
     pub grid: RateGrid,
 }
 
+impl ControllerConfig {
+    /// The default configuration at a given sustainable ingest rate — the
+    /// one knob almost every caller sets.
+    pub fn with_capacity(capacity_tps: f64) -> Self {
+        Self {
+            capacity_tps,
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for ControllerConfig {
     fn default() -> Self {
         Self {

@@ -1,33 +1,44 @@
-//! A miniature data-stream-manager pipeline with QoS load shedding.
+//! The streaming engine: transforms, a sharded runtime, and overload
+//! shedding behind one builder.
 //!
 //! The paper situates sketch-over-samples inside a DSMS: when the arrival
 //! rate exceeds what the query network sustains, a *load shedder* drops
 //! tuples — and if the drops are Bernoulli, every sketch downstream remains
 //! an unbiased (rescalable) summary. This module is the minimal honest
-//! version of that architecture (after Tatbul et al., VLDB'03):
+//! version of that architecture (after Tatbul et al., VLDB'03), now with
+//! the §VI-C multi-core leg under it:
 //!
 //! ```text
-//! source batches ─▶ [transforms: filter/map …] ─▶ [adaptive shedder] ─▶ sketch
-//!                                                        ▲
-//!                                            RateController (capacity vs λ)
+//! source batches ─▶ [transforms] ─▶ ShardedRuntime (bounded queues)
+//!                                        │ overflow (queues full)
+//!                                        ▼
+//!                               [adaptive epoch shedder] ─ unbiased
+//!                                        ▲
+//!                         RateController (capacity vs overflow λ)
 //! ```
 //!
 //! * Transforms model the query network (selection, key extraction).
-//! * The [`RateController`] watches the *post-transform* rate and adjusts
-//!   the shedding probability, snapping it to a log-grid so that only a
-//!   bounded set of distinct rates is ever emitted.
-//! * The [`EpochShedder`] segments the stream at each rate change and
-//!   compacts same-rate epochs, so the final estimate is unbiased end to
-//!   end while memory stays bounded by the grid size — not the number of
-//!   rate changes.
+//! * The [`ShardedRuntime`] absorbs whatever the workers keep up with,
+//!   bit-identically to sequential sketching.
+//! * When a shard queue fills, the overflow is **not dropped on the
+//!   floor**: it flows through an [`EpochShedder`] whose rate is set by a
+//!   [`RateController`] watching the overflow rate, so the combined
+//!   estimate (runtime part + shedded part + cross term) stays unbiased
+//!   under arbitrary overload while memory stays bounded.
 //! * Per-stage statistics expose where tuples went — the observability a
 //!   real engine needs to explain an approximate answer.
+//!
+//! Construction goes through [`EngineBuilder`]; the former single-threaded
+//! [`Pipeline`] remains as a deprecated shim.
 
+pub use crate::adaptive::ControllerConfig;
 use crate::adaptive::RateController;
+use crate::error::{Result as StreamResult, StreamError};
+use crate::runtime::{Partition, RuntimeConfig, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sss_core::sketch::JoinSchema;
-use sss_core::{EpochShedder, Result};
+use sss_core::sketch::{JoinSchema, JoinSketch};
+use sss_core::{EpochShedder, JoinEstimator, Result};
 
 /// A stateless per-tuple transform (function pointers keep the engine
 /// `Debug` and the stages trivially serializable in spirit).
@@ -50,7 +61,376 @@ pub struct StageStats {
     pub tuples_out: u64,
 }
 
+/// The overflow-shedding leg of the engine: controller + epoch shedder +
+/// the RNG driving the Bernoulli coin.
+#[derive(Debug)]
+struct ShedPath {
+    controller: RateController,
+    shedder: EpochShedder,
+    rng: StdRng,
+}
+
+/// Fluent configuration of a [`StreamEngine`].
+///
+/// Generic over the estimator: call
+/// [`estimator`](EngineBuilder::estimator) with any prototype
+/// [`JoinEstimator`], or — for the backend-erased default `JoinSketch` —
+/// [`schema`](EngineBuilder::schema), which additionally unlocks
+/// [`shedding`](EngineBuilder::shedding) (the shedder mathematics lives on
+/// `JoinSketch`).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_core::sketch::JoinSchema;
+/// use sss_stream::EngineBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let schema = JoinSchema::fagms(1, 1024, &mut rng);
+/// let mut engine = EngineBuilder::new()
+///     .filter("evens", |k| k % 2 == 0)
+///     .shards(2)
+///     .queue_depth(16)
+///     .schema(&schema)
+///     .build()
+///     .unwrap();
+/// engine.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0).unwrap();
+/// let est = engine.self_join().unwrap();
+/// assert!(est > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder<E: JoinEstimator = JoinSketch> {
+    transforms: Vec<(String, Transform)>,
+    config: RuntimeConfig,
+    prototype: Option<E>,
+    schema: Option<JoinSchema>,
+    shedding: Option<ControllerConfig>,
+    seed: u64,
+}
+
+impl<E: JoinEstimator> EngineBuilder<E> {
+    /// Start an empty engine description (1 shard, queue depth 64, no
+    /// shedding).
+    pub fn new() -> Self {
+        Self {
+            transforms: Vec::new(),
+            config: RuntimeConfig::default(),
+            prototype: None,
+            schema: None,
+            shedding: None,
+            seed: 0x5353_5f73_6861_7264, // arbitrary fixed default
+        }
+    }
+
+    /// Append a named filter stage.
+    pub fn filter(mut self, name: &str, pred: fn(u64) -> bool) -> Self {
+        self.transforms
+            .push((name.to_string(), Transform::Filter(pred)));
+        self
+    }
+
+    /// Append a named map stage.
+    pub fn map(mut self, name: &str, f: fn(u64) -> u64) -> Self {
+        self.transforms.push((name.to_string(), Transform::Map(f)));
+        self
+    }
+
+    /// Number of shard workers (default 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
+        self
+    }
+
+    /// Bounded per-shard queue depth, in batches (default 64).
+    pub fn queue_depth(mut self, d: usize) -> Self {
+        self.config.queue_depth = d;
+        self
+    }
+
+    /// Tuple-routing policy (default round-robin).
+    pub fn partition(mut self, p: Partition) -> Self {
+        self.config.partition = p;
+        self
+    }
+
+    /// Seed for the shedding coin (defaults to a fixed constant, so runs
+    /// are reproducible unless varied explicitly).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Provide the prototype estimator every shard starts from.
+    pub fn estimator(mut self, prototype: E) -> Self {
+        self.prototype = Some(prototype);
+        self
+    }
+
+    /// Spawn the runtime and finish the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::MissingEstimator`] if neither
+    /// [`estimator`](Self::estimator) nor [`schema`](Self::schema) was
+    /// called; [`StreamError::InvalidConfig`] for degenerate shard/queue
+    /// settings or shedding without a schema.
+    pub fn build(self) -> StreamResult<StreamEngine<E>> {
+        let prototype = self.prototype.ok_or(StreamError::MissingEstimator)?;
+        let mut stats: Vec<StageStats> = self
+            .transforms
+            .iter()
+            .map(|(name, _)| StageStats {
+                name: name.clone(),
+                tuples_in: 0,
+                tuples_out: 0,
+            })
+            .collect();
+        stats.push(StageStats {
+            name: "runtime".into(),
+            tuples_in: 0,
+            tuples_out: 0,
+        });
+        let shed = match self.shedding {
+            None => None,
+            Some(cfg) => {
+                let schema = self.schema.as_ref().ok_or(StreamError::InvalidConfig {
+                    parameter: "shedding",
+                    value: 0,
+                    reason: "requires .schema(…) — the shedder sketches overflow",
+                })?;
+                stats.push(StageStats {
+                    name: "overflow-shedder".into(),
+                    tuples_in: 0,
+                    tuples_out: 0,
+                });
+                let controller = RateController::new(cfg);
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let shedder = EpochShedder::new(schema, controller.probability(), &mut rng)
+                    .map_err(StreamError::Estimator)?;
+                Some(ShedPath {
+                    controller,
+                    shedder,
+                    rng,
+                })
+            }
+        };
+        let runtime = ShardedRuntime::new(self.config, &prototype)?;
+        Ok(StreamEngine {
+            transforms: self.transforms,
+            stats,
+            runtime,
+            shed,
+            scratch: Vec::new(),
+            overflow: Vec::new(),
+        })
+    }
+}
+
+impl EngineBuilder<JoinSketch> {
+    /// Use the backend-erased sketch of `schema` as the estimator. Also
+    /// remembers the schema so [`shedding`](Self::shedding) can build its
+    /// overflow sketch from the same seeds (merged and shedded parts must
+    /// share hash functions for the cross term).
+    pub fn schema(mut self, schema: &JoinSchema) -> Self {
+        self.prototype = Some(schema.sketch());
+        self.schema = Some(schema.clone());
+        self
+    }
+
+    /// Enable the overflow-shedding path: when shard queues are full the
+    /// engine routes the excess through an adaptive [`EpochShedder`]
+    /// instead of blocking, and the estimate stays unbiased.
+    pub fn shedding(mut self, config: ControllerConfig) -> Self {
+        self.shedding = Some(config);
+        self
+    }
+}
+
+impl<E: JoinEstimator> Default for EngineBuilder<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The running engine: transform chain, sharded runtime, optional
+/// overflow shedder. Built by [`EngineBuilder`].
+#[derive(Debug)]
+pub struct StreamEngine<E: JoinEstimator = JoinSketch> {
+    transforms: Vec<(String, Transform)>,
+    stats: Vec<StageStats>,
+    runtime: ShardedRuntime<E>,
+    shed: Option<ShedPath>,
+    scratch: Vec<u64>,
+    overflow: Vec<u64>,
+}
+
+impl<E: JoinEstimator> StreamEngine<E> {
+    /// Feed one batch that arrived over `seconds` of wall-clock time.
+    ///
+    /// Without a shedding path the push **blocks** on full queues
+    /// (backpressure propagates to the caller and nothing is lost). With
+    /// one, the push never blocks: overflow is Bernoulli-shedded into the
+    /// epoch sketch and the combined estimate stays unbiased.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker died, or an
+    /// estimator error from the shedding path.
+    pub fn push_batch(&mut self, keys: &[u64], seconds: f64) -> StreamResult<()> {
+        // Run the transform chain on a scratch buffer.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(keys);
+        for (i, (_, t)) in self.transforms.iter().enumerate() {
+            self.stats[i].tuples_in += self.scratch.len() as u64;
+            match t {
+                Transform::Filter(pred) => self.scratch.retain(|&k| pred(k)),
+                Transform::Map(f) => {
+                    for k in self.scratch.iter_mut() {
+                        *k = f(*k);
+                    }
+                }
+            }
+            self.stats[i].tuples_out += self.scratch.len() as u64;
+        }
+        let n = self.scratch.len() as u64;
+        let runtime_stage = self.transforms.len();
+        self.stats[runtime_stage].tuples_in += n;
+        match &mut self.shed {
+            None => {
+                self.runtime.push(&self.scratch)?;
+                self.stats[runtime_stage].tuples_out += n;
+            }
+            Some(shed) => {
+                self.overflow.clear();
+                let accepted = self.runtime.try_push(&self.scratch, &mut self.overflow)?;
+                self.stats[runtime_stage].tuples_out += accepted;
+                // The controller watches the *overflow* rate: that is the
+                // load the shedding path must absorb.
+                let p = shed
+                    .controller
+                    .observe_batch(self.overflow.len() as u64, seconds);
+                shed.shedder
+                    .set_probability(p, &mut shed.rng)
+                    .map_err(StreamError::Estimator)?;
+                let of_stage = &mut self.stats[runtime_stage + 1];
+                of_stage.tuples_in += self.overflow.len() as u64;
+                of_stage.tuples_out += shed.shedder.feed_batch(&self.overflow);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge the shard estimators as of now (the runtime keeps running).
+    /// Covers only the tuples the runtime accepted; the shedded overflow
+    /// contribution is what [`StreamEngine::self_join`] adds on top.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker died.
+    pub fn merged(&self) -> StreamResult<E> {
+        self.runtime.merged()
+    }
+
+    /// Per-stage statistics (transforms, then `"runtime"`, then —
+    /// if shedding is enabled — `"overflow-shedder"`).
+    pub fn stats(&self) -> &[StageStats] {
+        &self.stats
+    }
+
+    /// The live rate controller, when the shedding path is enabled.
+    pub fn controller(&self) -> Option<&RateController> {
+        self.shed.as_ref().map(|s| &s.controller)
+    }
+
+    /// The live overflow shedder, when the shedding path is enabled.
+    pub fn shedder(&self) -> Option<&EpochShedder> {
+        self.shed.as_ref().map(|s| &s.shedder)
+    }
+
+    /// Highest queue occupancy any shard ever reached (≤ depth + 1).
+    pub fn queue_high_water(&self) -> usize {
+        self.runtime.queue_high_water()
+    }
+
+    /// The number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.runtime.shards()
+    }
+
+    /// Shut down the workers and return the merged runtime estimator
+    /// (the shedded overflow part is dropped — query
+    /// [`StreamEngine::self_join`] first if it matters).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker panicked.
+    pub fn into_merged(self) -> StreamResult<E> {
+        self.runtime.into_merged()
+    }
+}
+
+impl StreamEngine<JoinSketch> {
+    /// Unbiased self-join (F₂) estimate of the full post-transform
+    /// stream, overflow included.
+    ///
+    /// The stream splits disjointly into the runtime part `A` (sketched at
+    /// full rate) and the overflow part `O` (Bernoulli-shedded): `F₂ =
+    /// A·A + O·O + 2·A·O`, each term estimated unbiasedly — `A·A` from
+    /// the merged shard sketch, `O·O` by the shedder's Proposition 14
+    /// estimate, and the cross term by the Proposition 13 product with
+    /// `q = 1` for the full-rate side. Queue-fullness decides the split,
+    /// independently of the sampling and sketch randomness, so the sum is
+    /// unbiased for any overload pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker died, or an
+    /// estimator error from the cross-term computation.
+    pub fn self_join(&self) -> StreamResult<f64> {
+        let merged = self.runtime.merged()?;
+        let mut est = merged.raw_self_join();
+        if let Some(shed) = &self.shed {
+            est += shed.shedder.self_join().map_err(StreamError::Estimator)?;
+            est += 2.0
+                * shed
+                    .shedder
+                    .size_of_join_sketch(&merged, 1.0)
+                    .map_err(StreamError::Estimator)?;
+        }
+        Ok(est)
+    }
+
+    /// Unbiased size-of-join estimate between this engine's stream and
+    /// another engine's, overflow included on both sides.
+    ///
+    /// Expands the product of the two split streams: `(A₁+O₁)·(A₂+O₂)`,
+    /// with each of the four terms estimated by the matching sketch pair.
+    /// Both engines must have been built from the same [`JoinSchema`].
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch between the engines, or
+    /// [`StreamError::ShardDisconnected`].
+    pub fn size_of_join(&self, other: &StreamEngine<JoinSketch>) -> StreamResult<f64> {
+        let m1 = self.runtime.merged()?;
+        let m2 = other.runtime.merged()?;
+        let join = |r: Result<f64>| r.map_err(StreamError::Estimator);
+        let mut est = join(m1.raw_size_of_join(&m2))?;
+        if let Some(s1) = &self.shed {
+            est += join(s1.shedder.size_of_join_sketch(&m2, 1.0))?;
+        }
+        if let Some(s2) = &other.shed {
+            est += join(s2.shedder.size_of_join_sketch(&m1, 1.0))?;
+        }
+        if let (Some(s1), Some(s2)) = (&self.shed, &other.shed) {
+            est += join(s1.shedder.size_of_join(&s2.shedder))?;
+        }
+        Ok(est)
+    }
+}
+
 /// The pipeline: transforms, an adaptive shedder, and a sketch sink.
+#[deprecated(note = "use `EngineBuilder` — the sharded engine subsumes the \
+                     single-threaded pipeline")]
 #[derive(Debug)]
 pub struct Pipeline {
     transforms: Vec<(String, Transform)>,
@@ -62,11 +442,14 @@ pub struct Pipeline {
 }
 
 /// Builder for [`Pipeline`].
+#[deprecated(note = "use `EngineBuilder` — the sharded engine subsumes the \
+                     single-threaded pipeline")]
 #[derive(Debug)]
 pub struct PipelineBuilder {
     transforms: Vec<(String, Transform)>,
 }
 
+#[allow(deprecated)]
 impl PipelineBuilder {
     /// Start an empty pipeline description.
     pub fn new() -> Self {
@@ -122,12 +505,14 @@ impl PipelineBuilder {
     }
 }
 
+#[allow(deprecated)]
 impl Default for PipelineBuilder {
     fn default() -> Self {
         Self::new()
     }
 }
 
+#[allow(deprecated)]
 impl Pipeline {
     /// Feed one batch that arrived over `seconds` of wall-clock time.
     pub fn push_batch(&mut self, keys: &[u64], seconds: f64) -> Result<()> {
@@ -207,14 +592,14 @@ mod tests {
         }
     }
 
-    fn controller(capacity: f64) -> RateController {
-        RateController::new(ControllerConfig {
+    fn controller_config(capacity: f64) -> ControllerConfig {
+        ControllerConfig {
             capacity_tps: capacity,
             smoothing: 0.5,
             hysteresis: 0.1,
             min_p: 1e-3,
             grid: sss_core::RateGrid::default(),
-        })
+        }
     }
 
     fn is_even(k: u64) -> bool {
@@ -229,44 +614,48 @@ mod tests {
     fn transforms_apply_in_order_and_count() {
         let mut rng = StdRng::seed_from_u64(1);
         let schema = JoinSchema::fagms(1, 1024, &mut rng);
-        let mut p = PipelineBuilder::new()
+        let mut e = EngineBuilder::new()
             .filter("evens", is_even)
             .map("halve", halve)
-            .sink(&schema, controller(1e12), &mut rng)
+            .shards(2)
+            .schema(&schema)
+            .build()
             .unwrap();
-        p.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0)
+        e.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0)
             .unwrap();
-        let stats = p.stats();
+        let stats = e.stats();
         assert_eq!(stats[0].tuples_in, 1000);
         assert_eq!(stats[0].tuples_out, 500, "filter halves the batch");
         assert_eq!(stats[1].tuples_in, 500);
         assert_eq!(stats[1].tuples_out, 500, "map preserves cardinality");
-        // Huge capacity: no shedding.
+        // Blocking engine: the runtime accepts everything.
+        assert_eq!(stats[2].name, "runtime");
         assert_eq!(stats[2].tuples_out, 500);
-        assert_eq!(p.controller().probability(), 1.0);
     }
 
     #[test]
     fn estimate_tracks_the_post_transform_stream() {
         let mut rng = StdRng::seed_from_u64(2);
         let schema = JoinSchema::fagms(1, 4096, &mut rng);
-        let mut p = PipelineBuilder::new()
+        let mut e = EngineBuilder::new()
             .filter("evens", is_even)
             .map("halve", halve)
-            .sink(&schema, controller(1e12), &mut rng)
+            .shards(3)
+            .schema(&schema)
+            .build()
             .unwrap();
         let mut exact = Exact::default();
         // keys 0..2000 ×30: after filter+map the stream is 0..1000 ×30.
         for _ in 0..30 {
             let batch: Vec<u64> = (0..2000u64).collect();
-            p.push_batch(&batch, 1.0).unwrap();
+            e.push_batch(&batch, 1.0).unwrap();
             for k in 0..2000u64 {
                 if is_even(k) {
                     exact.add(halve(k));
                 }
             }
         }
-        let est = p.self_join().unwrap();
+        let est = e.self_join().unwrap();
         let truth = exact.self_join();
         assert!(
             (est - truth).abs() / truth < 0.1,
@@ -274,92 +663,295 @@ mod tests {
         );
     }
 
+    /// The engine result is bit-identical to the sequential sketch of the
+    /// post-transform stream, for any shard count (linearity end to end).
     #[test]
-    fn overload_triggers_shedding_but_not_bias() {
+    fn engine_is_bit_identical_to_sequential() {
         let mut rng = StdRng::seed_from_u64(3);
+        let schema = JoinSchema::fagms(2, 512, &mut rng);
+        let keys: Vec<u64> = (0..40_000u64).map(|i| (i * 31) % 3000).collect();
+        let mut seq = schema.sketch();
+        for &k in &keys {
+            if is_even(k) {
+                seq.update(halve(k), 1);
+            }
+        }
+        for shards in [1usize, 4] {
+            let mut e = EngineBuilder::new()
+                .filter("evens", is_even)
+                .map("halve", halve)
+                .shards(shards)
+                .queue_depth(4)
+                .schema(&schema)
+                .build()
+                .unwrap();
+            for chunk in keys.chunks(777) {
+                e.push_batch(chunk, 1e-3).unwrap();
+            }
+            let merged = e.into_merged().unwrap();
+            assert_eq!(
+                merged.raw_self_join().to_bits(),
+                seq.raw_self_join().to_bits(),
+                "shards = {shards}"
+            );
+        }
+    }
+
+    /// A generic estimator (typed F-AGMS, not the erased enum) drives the
+    /// same engine through `.estimator(…)`.
+    #[test]
+    fn engine_is_generic_over_the_estimator() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let schema: sss_sketch::FagmsSchema = sss_sketch::FagmsSchema::new(1, 256, &mut rng);
+        let mut e = EngineBuilder::new()
+            .shards(2)
+            .estimator(schema.sketch())
+            .build()
+            .unwrap();
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i % 50).collect();
+        e.push_batch(&keys, 1.0).unwrap();
+        let merged = e.into_merged().unwrap();
+        let mut seq = schema.sketch();
+        sss_sketch::Sketch::update_batch(&mut seq, &keys);
+        assert_eq!(merged.self_join().to_bits(), seq.self_join().to_bits());
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_or_bad_configs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = JoinSchema::agms(4, &mut rng);
+        assert!(matches!(
+            EngineBuilder::<JoinSketch>::new().build(),
+            Err(StreamError::MissingEstimator)
+        ));
+        assert!(matches!(
+            EngineBuilder::new().schema(&schema).shards(0).build(),
+            Err(StreamError::InvalidConfig { .. })
+        ));
+        // Shedding without a schema has no sketch to shed into.
+        assert!(matches!(
+            EngineBuilder::new()
+                .estimator(schema.sketch())
+                .shedding(ControllerConfig::default())
+                .build(),
+            Err(StreamError::InvalidConfig {
+                parameter: "shedding",
+                ..
+            })
+        ));
+    }
+
+    /// With a saturated tiny queue the overflow path sheds, and the
+    /// combined estimate still lands on the full-stream truth.
+    #[test]
+    fn overflow_sheds_without_bias() {
+        let mut rng = StdRng::seed_from_u64(6);
         let schema = JoinSchema::fagms(1, 4096, &mut rng);
-        // Capacity of 100k tuples/s against a 1M tuples/s stream.
-        let mut p = PipelineBuilder::new()
-            .sink(&schema, controller(1e5), &mut rng)
+        let mut e = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .schema(&schema)
+            .shedding(controller_config(1e5))
+            .build()
             .unwrap();
         let mut exact = Exact::default();
-        for _ in 0..20 {
-            let batch: Vec<u64> = (0..1_000_000u64).map(|i| i % 2000).collect();
-            p.push_batch(&batch, 1.0).unwrap();
-            for i in 0..1_000_000u64 {
+        for _ in 0..200 {
+            let batch: Vec<u64> = (0..10_000u64).map(|i| i % 2000).collect();
+            e.push_batch(&batch, 1e-2).unwrap();
+            for i in 0..10_000u64 {
                 exact.add(i % 2000);
             }
         }
-        // The shedder actually dropped most tuples…
-        let shed = p.stats().last().unwrap();
-        assert!(
-            (shed.tuples_out as f64) < 0.2 * shed.tuples_in as f64,
-            "kept {}/{}",
-            shed.tuples_out,
-            shed.tuples_in
+        let stats = e.stats();
+        let runtime = &stats[0];
+        let shed = &stats[1];
+        assert_eq!(runtime.tuples_in, 200 * 10_000);
+        assert_eq!(
+            runtime.tuples_out + shed.tuples_in,
+            runtime.tuples_in,
+            "every tuple is either accepted or routed to the shedder"
         );
-        assert!(p.controller().probability() < 0.2);
-        // …and the estimate still lands on the full-stream truth.
-        let est = p.self_join().unwrap();
+        assert!(e.queue_high_water() <= 2, "queue memory bounded");
+        let est = e.self_join().unwrap();
         let truth = exact.self_join();
         assert!(
-            (est - truth).abs() / truth < 0.1,
-            "est = {est}, truth = {truth}"
+            (est - truth).abs() / truth < 0.15,
+            "est = {est}, truth = {truth} (overflowed {})",
+            shed.tuples_in
         );
     }
 
     #[test]
     fn empty_batches_are_harmless() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = StdRng::seed_from_u64(7);
         let schema = JoinSchema::agms(4, &mut rng);
-        let mut p = PipelineBuilder::new()
-            .sink(&schema, controller(1e6), &mut rng)
+        let mut e = EngineBuilder::new()
+            .schema(&schema)
+            .shedding(controller_config(1e6))
+            .build()
             .unwrap();
-        p.push_batch(&[], 1.0).unwrap();
-        assert_eq!(p.stats().last().unwrap().tuples_in, 0);
+        e.push_batch(&[], 1.0).unwrap();
+        assert_eq!(e.stats().last().unwrap().tuples_in, 0);
+        assert_eq!(e.self_join().unwrap(), 0.0);
     }
 
-    /// Regression: a batch with a zero, negative, or non-finite duration
-    /// must not panic or poison the controller — the tuples are still
-    /// sketched at the current rate.
+    /// Two engines over the same schema estimate their join size,
+    /// overflow included on both sides.
     #[test]
-    fn degenerate_batch_durations_do_not_panic() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let schema = JoinSchema::fagms(1, 1024, &mut rng);
-        let mut p = PipelineBuilder::new()
-            .sink(&schema, controller(1e12), &mut rng)
+    fn cross_engine_size_of_join() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let schema = JoinSchema::fagms(1, 4096, &mut rng);
+        // Engine 1: keys 0..1000 ×20, no shedding.
+        let mut e1 = EngineBuilder::new()
+            .shards(2)
+            .schema(&schema)
+            .build()
             .unwrap();
-        let batch: Vec<u64> = (0..500u64).collect();
-        for secs in [0.0, -2.0, f64::NAN, f64::INFINITY, 1.0] {
-            p.push_batch(&batch, secs).unwrap();
+        for _ in 0..20 {
+            e1.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0)
+                .unwrap();
         }
-        assert_eq!(p.controller().probability(), 1.0);
-        assert_eq!(p.stats().last().unwrap().tuples_in, 2500);
-        // No shedding at huge capacity: every tuple of every batch counted.
-        assert_eq!(p.stats().last().unwrap().tuples_out, 2500);
-    }
-
-    /// The pipeline's epoch count stays bounded by the controller's rate
-    /// grid even under a wildly oscillating load.
-    #[test]
-    fn epoch_count_is_bounded_under_oscillating_load() {
-        let mut rng = StdRng::seed_from_u64(6);
-        let schema = JoinSchema::fagms(1, 512, &mut rng);
-        let controller = controller(1e4);
-        let bound = controller.distinct_rate_bound();
-        let mut p = PipelineBuilder::new()
-            .sink(&schema, controller, &mut rng)
+        // Engine 2: keys 500..1500 ×10, with a saturating queue.
+        let mut e2 = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .seed(99)
+            .schema(&schema)
+            .shedding(controller_config(1e5))
+            .build()
             .unwrap();
-        let batch: Vec<u64> = (0..1000u64).map(|j| j % 100).collect();
-        for i in 0..500u64 {
-            // Arrival rate swings between ~77k and 1M tuples/s.
-            let secs = 1e-3 * (1.0 + (i % 13) as f64);
-            p.push_batch(&batch, secs).unwrap();
+        for _ in 0..10 {
+            e2.push_batch(&(500..1500u64).collect::<Vec<_>>(), 1e-2)
+                .unwrap();
         }
+        // Overlap 500..1000: 500 keys × 20 × 10.
+        let truth = 500.0 * 20.0 * 10.0;
+        let est = e1.size_of_join(&e2).unwrap();
         assert!(
-            p.shedder().epoch_count() <= bound,
-            "epochs {} exceed grid bound {bound}",
-            p.shedder().epoch_count()
+            (est - truth).abs() / truth < 0.2,
+            "est = {est}, truth = {truth}"
         );
+        // Schema mismatch errors cleanly.
+        let other = JoinSchema::agms(8, &mut rng);
+        let e3 = EngineBuilder::new().schema(&other).build().unwrap();
+        assert!(e1.size_of_join(&e3).is_err());
+    }
+
+    mod deprecated_pipeline {
+        #![allow(deprecated)]
+        use super::*;
+
+        fn controller(capacity: f64) -> RateController {
+            RateController::new(controller_config(capacity))
+        }
+
+        #[test]
+        fn pipeline_shim_still_works() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let schema = JoinSchema::fagms(1, 4096, &mut rng);
+            let mut p = PipelineBuilder::new()
+                .filter("evens", is_even)
+                .map("halve", halve)
+                .sink(&schema, controller(1e12), &mut rng)
+                .unwrap();
+            let mut exact = Exact::default();
+            for _ in 0..30 {
+                let batch: Vec<u64> = (0..2000u64).collect();
+                p.push_batch(&batch, 1.0).unwrap();
+                for k in 0..2000u64 {
+                    if is_even(k) {
+                        exact.add(halve(k));
+                    }
+                }
+            }
+            let est = p.self_join().unwrap();
+            let truth = exact.self_join();
+            assert!(
+                (est - truth).abs() / truth < 0.1,
+                "est = {est}, truth = {truth}"
+            );
+            let stats = p.stats();
+            assert_eq!(stats[0].tuples_in, 30 * 2000);
+            assert_eq!(stats[2].tuples_out, 30 * 1000);
+            assert_eq!(p.controller().probability(), 1.0);
+        }
+
+        #[test]
+        fn pipeline_overload_triggers_shedding_but_not_bias() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let schema = JoinSchema::fagms(1, 4096, &mut rng);
+            // Capacity of 100k tuples/s against a 1M tuples/s stream.
+            let mut p = PipelineBuilder::new()
+                .sink(&schema, controller(1e5), &mut rng)
+                .unwrap();
+            let mut exact = Exact::default();
+            for _ in 0..20 {
+                let batch: Vec<u64> = (0..1_000_000u64).map(|i| i % 2000).collect();
+                p.push_batch(&batch, 1.0).unwrap();
+                for i in 0..1_000_000u64 {
+                    exact.add(i % 2000);
+                }
+            }
+            // The shedder actually dropped most tuples…
+            let shed = p.stats().last().unwrap();
+            assert!(
+                (shed.tuples_out as f64) < 0.2 * shed.tuples_in as f64,
+                "kept {}/{}",
+                shed.tuples_out,
+                shed.tuples_in
+            );
+            assert!(p.controller().probability() < 0.2);
+            // …and the estimate still lands on the full-stream truth.
+            let est = p.self_join().unwrap();
+            let truth = exact.self_join();
+            assert!(
+                (est - truth).abs() / truth < 0.1,
+                "est = {est}, truth = {truth}"
+            );
+        }
+
+        /// Regression: a batch with a zero, negative, or non-finite
+        /// duration must not panic or poison the controller — the tuples
+        /// are still sketched at the current rate.
+        #[test]
+        fn degenerate_batch_durations_do_not_panic() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let schema = JoinSchema::fagms(1, 1024, &mut rng);
+            let mut p = PipelineBuilder::new()
+                .sink(&schema, controller(1e12), &mut rng)
+                .unwrap();
+            let batch: Vec<u64> = (0..500u64).collect();
+            for secs in [0.0, -2.0, f64::NAN, f64::INFINITY, 1.0] {
+                p.push_batch(&batch, secs).unwrap();
+            }
+            assert_eq!(p.controller().probability(), 1.0);
+            assert_eq!(p.stats().last().unwrap().tuples_in, 2500);
+            // No shedding at huge capacity: every tuple counted.
+            assert_eq!(p.stats().last().unwrap().tuples_out, 2500);
+        }
+
+        /// The pipeline's epoch count stays bounded by the controller's
+        /// rate grid even under a wildly oscillating load.
+        #[test]
+        fn epoch_count_is_bounded_under_oscillating_load() {
+            let mut rng = StdRng::seed_from_u64(6);
+            let schema = JoinSchema::fagms(1, 512, &mut rng);
+            let controller = controller(1e4);
+            let bound = controller.distinct_rate_bound();
+            let mut p = PipelineBuilder::new()
+                .sink(&schema, controller, &mut rng)
+                .unwrap();
+            let batch: Vec<u64> = (0..1000u64).map(|j| j % 100).collect();
+            for i in 0..500u64 {
+                // Arrival rate swings between ~77k and 1M tuples/s.
+                let secs = 1e-3 * (1.0 + (i % 13) as f64);
+                p.push_batch(&batch, secs).unwrap();
+            }
+            assert!(
+                p.shedder().epoch_count() <= bound,
+                "epochs {} exceed grid bound {bound}",
+                p.shedder().epoch_count()
+            );
+        }
     }
 }

@@ -4,6 +4,12 @@
 //! estimator mathematics, this crate owns *running streams through them*
 //! and measuring what the paper's Sections VI–VII measure:
 //!
+//! * [`runtime`] — the persistent sharded runtime: a pool of shard
+//!   workers behind bounded queues, merging to the sequential sketch bit
+//!   for bit (the paper's §VI-C multi-core observation, made long-lived);
+//! * [`engine`] — the DSMS engine over that runtime: transform chain,
+//!   backpressure, and an adaptive overflow shedder, built by
+//!   [`EngineBuilder`];
 //! * [`shedder`] — a load-shedding pipeline pairing a full-stream sketch
 //!   with a Bernoulli-shedded sketch and reporting the update-throughput
 //!   **speed-up** (the paper's headline "factor of at least 10");
@@ -20,17 +26,23 @@
 
 pub mod adaptive;
 pub mod engine;
+pub mod error;
 pub mod online;
 pub mod ops;
 pub mod parallel;
+pub mod runtime;
 pub mod shedder;
 pub mod throughput;
 pub mod window;
 
 pub use adaptive::{ControllerConfig, RateController};
-pub use engine::{Pipeline, PipelineBuilder, StageStats, Transform};
+pub use engine::{EngineBuilder, StageStats, StreamEngine, Transform};
+#[allow(deprecated)]
+pub use engine::{Pipeline, PipelineBuilder};
+pub use error::{Result, StreamError};
 pub use online::{OnlineAggregation, OnlineJoinAggregation, Snapshot};
-pub use parallel::{parallel_shed, parallel_sketch, ParallelShedResult};
+pub use parallel::{parallel_shed, parallel_sketch, parallel_sketch_with, ParallelShedResult};
+pub use runtime::{Partition, RuntimeConfig, ShardedRuntime};
 pub use shedder::{ShedderComparison, ShedderReport};
 pub use throughput::Throughput;
 pub use window::PanedWindowSketch;

@@ -7,18 +7,23 @@
 //! essentially for free"). Bernoulli shedding composes the same way: each
 //! tuple of the union is still kept independently with probability `p`.
 //!
-//! Uses `std::thread::scope`; no extra dependencies.
+//! One-shot helpers over the persistent [`ShardedRuntime`]
+//! (`parallel_sketch`, `parallel_sketch_with`) plus the scoped-thread
+//! `parallel_shed`; no extra dependencies.
 
+use crate::error::Result as StreamResult;
+use crate::runtime::{Partition, RuntimeConfig, ShardedRuntime};
 use crate::throughput::Throughput;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{bernoulli_self_join, LoadSheddingSketcher, Result};
+use sss_core::{bernoulli_self_join, JoinEstimator, LoadSheddingSketcher, Result};
 
 /// Sketch `stream` with `threads` workers and merge the partial sketches.
 ///
 /// The partitioning is by contiguous chunks; any partitioning yields the
-/// same result by linearity.
+/// same result by linearity. One-shot front end to the persistent
+/// [`ShardedRuntime`] — spawn, scatter, merge, join.
 ///
 /// ```
 /// use rand::SeedableRng;
@@ -34,37 +39,41 @@ use sss_core::{bernoulli_self_join, LoadSheddingSketcher, Result};
 /// for &k in &stream { seq.update(k, 1); }
 /// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
 /// ```
-pub fn parallel_sketch(schema: &JoinSchema, stream: &[u64], threads: usize) -> Result<JoinSketch> {
-    // An empty stream has nothing to partition: return the zero sketch
-    // without spawning workers (`chunks` would reject a chunk size of 0).
+pub fn parallel_sketch(
+    schema: &JoinSchema,
+    stream: &[u64],
+    threads: usize,
+) -> StreamResult<JoinSketch> {
+    parallel_sketch_with(&schema.sketch(), stream, threads)
+}
+
+/// [`parallel_sketch`] for any [`JoinEstimator`]: sketch `stream` across
+/// `threads` shard workers cloned from `prototype` and merge the shards.
+pub fn parallel_sketch_with<E: JoinEstimator>(
+    prototype: &E,
+    stream: &[u64],
+    threads: usize,
+) -> StreamResult<E> {
+    // An empty stream has nothing to partition: return the zero estimator
+    // without spawning workers.
     if stream.is_empty() {
-        return Ok(schema.sketch());
+        return Ok(prototype.clone());
     }
     // Never more workers than tuples — a short stream yields fewer, busier
     // partitions rather than empty spawns.
     let threads = threads.clamp(1, stream.len());
     let chunk = stream.len().div_ceil(threads);
-    let partials: Vec<JoinSketch> = std::thread::scope(|scope| {
-        let handles: Vec<_> = stream
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut sk = schema.sketch();
-                    sk.update_batch(part);
-                    sk
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sketch worker panicked"))
-            .collect()
-    });
-    let mut merged = schema.sketch();
-    for p in &partials {
-        merged.merge(p)?;
+    let config = RuntimeConfig {
+        shards: threads,
+        // One chunk per shard: depth 1 suffices and bounds the copies.
+        queue_depth: 1,
+        partition: Partition::RoundRobin,
+    };
+    let mut rt = ShardedRuntime::new(config, prototype)?;
+    for part in stream.chunks(chunk) {
+        rt.push(part)?;
     }
-    Ok(merged)
+    rt.into_merged()
 }
 
 /// Result of a parallel shedding run: the merged sketch plus the total
@@ -195,6 +204,19 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    /// The generic front end drives a typed estimator (not the erased
+    /// enum) to the same bit-identical merge.
+    #[test]
+    fn parallel_sketch_with_any_estimator() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let schema: sss_sketch::AgmsSchema = sss_sketch::AgmsSchema::new(64, &mut rng);
+        let s = stream();
+        let mut seq = schema.sketch();
+        sss_sketch::Sketch::update_batch(&mut seq, &s);
+        let par = parallel_sketch_with(&schema.sketch(), &s, 4).unwrap();
+        assert_eq!(par.self_join().to_bits(), seq.self_join().to_bits());
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The persistent sharded streaming runtime.
+//!
+//! The paper's §VI-C observes that by sketch linearity "on the modern
+//! multi-core processors, sketching can be done essentially for free":
+//! partition the stream any way at all, sketch each partition on its own
+//! core, and the merged sketch is *bit-identical* to sequential sketching.
+//! [`parallel_sketch`](crate::parallel_sketch) exploits this for a
+//! pre-materialized slice; this module is the long-lived version — a DSMS
+//! needs a runtime that absorbs batches continuously and answers
+//! at-all-times queries, not a one-shot scatter/gather.
+//!
+//! ```text
+//!              ┌─ bounded queue ─▶ worker 0 ─ owns shard sketch E₀
+//! push_batch ──┼─ bounded queue ─▶ worker 1 ─ owns shard sketch E₁
+//!  (partition) └─ bounded queue ─▶ worker 2 ─ owns shard sketch E₂
+//!                                    …
+//!  merged() ── snapshot barrier ──▶ E₀ ⊕ E₁ ⊕ E₂ (= sequential sketch)
+//! ```
+//!
+//! * Workers are plain [`std::thread`]s fed through
+//!   [`std::sync::mpsc::sync_channel`] — **bounded** queues, so memory is
+//!   `O(shards · queue_depth · batch)` no matter how fast the producer is.
+//! * [`push`](ShardedRuntime::push) blocks when a queue is full
+//!   (backpressure propagates to the source);
+//!   [`try_push`](ShardedRuntime::try_push) never blocks and instead hands
+//!   overflowed tuples back to the caller: the engine routes overload
+//!   into the [`EpochShedder`](sss_core::EpochShedder) path and keeps the
+//!   estimate unbiased under sustained overload.
+//! * [`merged`](ShardedRuntime::merged) enqueues a snapshot command behind
+//!   every batch already accepted, so the merged estimator reflects exactly
+//!   the tuples pushed before the call — the at-all-times query.
+//!
+//! The runtime is generic over any [`JoinEstimator`], not just the
+//! backend-erased `JoinSketch`.
+
+use crate::error::{Result, StreamError};
+use sss_core::JoinEstimator;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How [`ShardedRuntime::push`] routes tuples to shard workers.
+///
+/// By linearity every policy merges to the same (bit-identical) sketch;
+/// the choice only affects load balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Each batch goes, whole, to the next shard in rotation. Cheapest
+    /// (no per-key work) and balanced when batches are similar in size.
+    #[default]
+    RoundRobin,
+    /// Each key is routed by a hash of its value, so a given key always
+    /// lands on the same shard. Balanced even when batch sizes vary
+    /// wildly, at the cost of a per-key hash and scatter.
+    Hash,
+}
+
+/// Configuration for a [`ShardedRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of shard workers (threads) to spawn.
+    pub shards: usize,
+    /// Bounded depth of each shard's command queue, in batches.
+    pub queue_depth: usize,
+    /// Tuple-routing policy.
+    pub partition: Partition,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            queue_depth: 64,
+            partition: Partition::default(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Reject configurations the runtime cannot honour.
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(StreamError::InvalidConfig {
+                parameter: "shards",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(StreamError::InvalidConfig {
+                parameter: "queue_depth",
+                value: 0,
+                reason: "must be at least 1 (0 would rendezvous every batch)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One message on a shard's queue.
+enum Cmd<E> {
+    /// Sketch this batch of keys.
+    Batch(Vec<u64>),
+    /// Reply with a clone of the shard estimator as of this point in the
+    /// queue (all batches enqueued earlier are already applied).
+    Snapshot(Sender<E>),
+}
+
+/// SplitMix64: a full-avalanche mix so adversarially clustered keys still
+/// spread across shards (the sketch hash families are independent of it).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A long-lived pool of shard workers, each owning one estimator.
+///
+/// Created from a *prototype* estimator (a fresh, empty sketch carrying
+/// the schema seeds); every shard clones it, so all shards share the same
+/// hash functions and their sketches merge exactly.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sss_core::sketch::JoinSchema;
+/// use sss_stream::{RuntimeConfig, ShardedRuntime};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let schema = JoinSchema::fagms(1, 512, &mut rng);
+/// let config = RuntimeConfig { shards: 4, ..Default::default() };
+/// let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+/// for chunk in (0..10_000u64).collect::<Vec<_>>().chunks(256) {
+///     rt.push(chunk).unwrap();
+/// }
+/// let merged = rt.into_merged().unwrap();
+/// // Bit-identical to the sequential sketch of the same stream.
+/// let mut seq = schema.sketch();
+/// for k in 0..10_000u64 { seq.update(k, 1); }
+/// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
+/// ```
+#[derive(Debug)]
+pub struct ShardedRuntime<E: JoinEstimator> {
+    config: RuntimeConfig,
+    prototype: E,
+    txs: Vec<SyncSender<Cmd<E>>>,
+    handles: Vec<JoinHandle<E>>,
+    /// Commands currently enqueued-or-in-flight per shard. The producer
+    /// increments after a successful send and the worker decrements after
+    /// applying a batch, so the counter can dip negative transiently
+    /// (worker beat the producer's increment) and can read
+    /// `queue_depth + 1` momentarily (one batch mid-application while the
+    /// queue refills) — the latter is the true memory bound.
+    queued: Vec<Arc<AtomicIsize>>,
+    high_water: Arc<AtomicUsize>,
+    /// Next shard for [`Partition::RoundRobin`].
+    cursor: usize,
+    /// Per-shard scatter buffers for [`Partition::Hash`].
+    scatter: Vec<Vec<u64>>,
+}
+
+impl<E: JoinEstimator> ShardedRuntime<E> {
+    /// Spawn the worker pool. `prototype` must be a fresh estimator; each
+    /// shard starts from a clone of it.
+    pub fn new(config: RuntimeConfig, prototype: &E) -> Result<Self> {
+        config.validate()?;
+        let high_water = Arc::new(AtomicUsize::new(0));
+        let mut txs = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        let mut queued = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth);
+            let in_flight = Arc::new(AtomicIsize::new(0));
+            let worker_est = prototype.clone();
+            let worker_in_flight = Arc::clone(&in_flight);
+            let handle = std::thread::Builder::new()
+                .name(format!("sss-shard-{shard}"))
+                .spawn(move || shard_worker(worker_est, rx, worker_in_flight))
+                .expect("spawning a shard worker thread");
+            txs.push(tx);
+            handles.push(handle);
+            queued.push(in_flight);
+        }
+        Ok(Self {
+            config,
+            prototype: prototype.clone(),
+            txs,
+            handles,
+            queued,
+            high_water,
+            cursor: 0,
+            scatter: vec![Vec::new(); config.shards],
+        })
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The configured per-shard queue depth, in batches.
+    pub fn queue_depth(&self) -> usize {
+        self.config.queue_depth
+    }
+
+    /// The highest number of commands ever enqueued-or-in-flight on any
+    /// single shard — never exceeds `queue_depth + 1` (one batch may be
+    /// mid-application when the queue refills).
+    pub fn queue_high_water(&self) -> usize {
+        self.high_water.load(Ordering::Acquire)
+    }
+
+    /// Record a successful enqueue on `shard` in the memory accounting.
+    fn note_enqueued(&self, shard: usize) {
+        let now = self.queued[shard].fetch_add(1, Ordering::AcqRel) + 1;
+        if now > 0 {
+            self.high_water.fetch_max(now as usize, Ordering::AcqRel);
+        }
+    }
+
+    /// Split `keys` into per-shard batches according to the partition
+    /// policy. Returns `(shard, batch)` pairs; empty batches are skipped.
+    fn route(&mut self, keys: &[u64]) -> Vec<(usize, Vec<u64>)> {
+        match self.config.partition {
+            Partition::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.config.shards;
+                vec![(shard, keys.to_vec())]
+            }
+            Partition::Hash => {
+                let shards = self.config.shards as u64;
+                for buf in &mut self.scatter {
+                    buf.clear();
+                }
+                for &k in keys {
+                    self.scatter[(splitmix64(k) % shards) as usize].push(k);
+                }
+                self.scatter
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, buf)| !buf.is_empty())
+                    .map(|(shard, buf)| (shard, std::mem::take(buf)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Feed one batch, **blocking** while any target shard's queue is
+    /// full. Backpressure propagates to the caller; nothing is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn push(&mut self, keys: &[u64]) -> Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for (shard, batch) in self.route(keys) {
+            self.txs[shard]
+                .send(Cmd::Batch(batch))
+                .map_err(|_| StreamError::ShardDisconnected { shard })?;
+            self.note_enqueued(shard);
+        }
+        Ok(())
+    }
+
+    /// Feed one batch **without blocking**: tuples whose shard queue is
+    /// full are appended to `overflow` instead of enqueued, and the number
+    /// of tuples actually accepted is returned. The caller decides what to
+    /// do with the overflow — the engine routes it through the epoch
+    /// shedder so the combined estimate stays unbiased.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn try_push(&mut self, keys: &[u64], overflow: &mut Vec<u64>) -> Result<u64> {
+        if keys.is_empty() {
+            return Ok(0);
+        }
+        let mut accepted = 0u64;
+        for (shard, batch) in self.route(keys) {
+            let len = batch.len() as u64;
+            match self.txs[shard].try_send(Cmd::Batch(batch)) {
+                Ok(()) => {
+                    accepted += len;
+                    self.note_enqueued(shard);
+                }
+                Err(TrySendError::Full(Cmd::Batch(batch))) => {
+                    overflow.extend_from_slice(&batch);
+                }
+                Err(TrySendError::Full(Cmd::Snapshot(_))) => {
+                    unreachable!("try_push only sends batches")
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(StreamError::ShardDisconnected { shard });
+                }
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Merge the shard estimators as of *now*: every batch accepted by
+    /// [`push`](Self::push)/[`try_push`](Self::try_push) before this call
+    /// is reflected, because the snapshot command queues behind them.
+    ///
+    /// The runtime keeps running; this is the at-all-times query.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn merged(&self) -> Result<E> {
+        // Enqueue every snapshot first so shards quiesce in parallel…
+        let mut replies = Vec::with_capacity(self.txs.len());
+        for (shard, tx) in self.txs.iter().enumerate() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            tx.send(Cmd::Snapshot(reply_tx))
+                .map_err(|_| StreamError::ShardDisconnected { shard })?;
+            replies.push(reply_rx);
+        }
+        // …then collect and merge in shard order (merge order is
+        // irrelevant to the result — integer adds commute — but a fixed
+        // order keeps the walk deterministic).
+        let mut merged = self.prototype.clone();
+        for (shard, reply) in replies.into_iter().enumerate() {
+            let snapshot = reply
+                .recv()
+                .map_err(|_| StreamError::ShardDisconnected { shard })?;
+            merged.merge_from(&snapshot)?;
+        }
+        Ok(merged)
+    }
+
+    /// Shut the pool down and merge the final shard estimators. Cheaper
+    /// than [`merged`](Self::merged) (no clones — workers hand back their
+    /// sketches) and the natural end-of-stream call.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread panicked.
+    pub fn into_merged(mut self) -> Result<E> {
+        // Closing the channels is the shutdown signal…
+        self.txs.clear();
+        // …after which each worker drains its queue and returns its shard.
+        let handles = std::mem::take(&mut self.handles);
+        let mut merged = self.prototype.clone();
+        for (shard, handle) in handles.into_iter().enumerate() {
+            let shard_est = handle
+                .join()
+                .map_err(|_| StreamError::ShardDisconnected { shard })?;
+            merged.merge_from(&shard_est)?;
+        }
+        Ok(merged)
+    }
+}
+
+impl<E: JoinEstimator> Drop for ShardedRuntime<E> {
+    fn drop(&mut self) {
+        // Hang up, then wait: workers drain their queues and exit.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The shard worker loop: apply batches, answer snapshots, return the
+/// final estimator when the runtime hangs up.
+fn shard_worker<E: JoinEstimator>(
+    mut est: E,
+    rx: Receiver<Cmd<E>>,
+    in_flight: Arc<AtomicIsize>,
+) -> E {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Batch(keys) => {
+                est.update_batch(&keys);
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Cmd::Snapshot(reply) => {
+                // A dropped receiver just means the querier gave up.
+                let _ = reply.send(est.clone());
+            }
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_core::sketch::{JoinSchema, JoinSketch};
+
+    fn stream() -> Vec<u64> {
+        (0..50_000u64).map(|i| (i * 2654435761) % 4000).collect()
+    }
+
+    fn sequential(schema: &JoinSchema, keys: &[u64]) -> JoinSketch {
+        let mut sk = schema.sketch();
+        sk.update_batch(keys);
+        sk
+    }
+
+    #[test]
+    fn merged_is_bit_identical_for_both_partitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = JoinSchema::fagms(2, 512, &mut rng);
+        let s = stream();
+        let seq = sequential(&schema, &s);
+        for partition in [Partition::RoundRobin, Partition::Hash] {
+            for shards in [1usize, 2, 4, 7] {
+                let config = RuntimeConfig {
+                    shards,
+                    queue_depth: 8,
+                    partition,
+                };
+                let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+                for chunk in s.chunks(997) {
+                    rt.push(chunk).unwrap();
+                }
+                let merged = rt.into_merged().unwrap();
+                assert_eq!(
+                    merged.raw_self_join().to_bits(),
+                    seq.raw_self_join().to_bits(),
+                    "partition {partition:?}, shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_snapshot_reflects_everything_pushed_so_far() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let schema = JoinSchema::agms(64, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 3,
+            queue_depth: 4,
+            partition: Partition::Hash,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let half = s.len() / 2;
+        for chunk in s[..half].chunks(512) {
+            rt.push(chunk).unwrap();
+        }
+        let mid = rt.merged().unwrap();
+        assert_eq!(
+            mid.raw_self_join().to_bits(),
+            sequential(&schema, &s[..half]).raw_self_join().to_bits(),
+            "mid-stream snapshot"
+        );
+        // The runtime keeps absorbing tuples after the query.
+        for chunk in s[half..].chunks(512) {
+            rt.push(chunk).unwrap();
+        }
+        let end = rt.into_merged().unwrap();
+        assert_eq!(
+            end.raw_self_join().to_bits(),
+            sequential(&schema, &s).raw_self_join().to_bits(),
+            "end-of-stream merge"
+        );
+    }
+
+    #[test]
+    fn try_push_hands_back_overflow_and_bounds_the_queue() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = JoinSchema::fagms(1, 256, &mut rng);
+        let config = RuntimeConfig {
+            shards: 1,
+            queue_depth: 1,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let batch: Vec<u64> = (0..100u64).collect();
+        let mut overflow = Vec::new();
+        let mut accepted = 0u64;
+        // Hammer a depth-1 queue with more batches than one worker can
+        // drain between our sends: some must overflow.
+        for _ in 0..20_000 {
+            accepted += rt.try_push(&batch, &mut overflow).unwrap();
+        }
+        assert!(rt.queue_high_water() <= rt.queue_depth() + 1);
+        assert_eq!(
+            accepted + overflow.len() as u64,
+            20_000 * batch.len() as u64,
+            "every tuple is either accepted or handed back"
+        );
+        // The merged sketch summarizes exactly the accepted tuples: the
+        // accepted multiset is `accepted/100` whole copies of the batch.
+        let merged = rt.into_merged().unwrap();
+        let copies = accepted / batch.len() as u64;
+        let mut expect = schema.sketch();
+        for _ in 0..copies {
+            expect.update_batch(&batch);
+        }
+        assert_eq!(
+            merged.raw_self_join().to_bits(),
+            expect.raw_self_join().to_bits()
+        );
+    }
+
+    #[test]
+    fn blocking_push_never_drops_under_a_tiny_queue() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let schema = JoinSchema::fagms(1, 256, &mut rng);
+        let config = RuntimeConfig {
+            shards: 2,
+            queue_depth: 1,
+            partition: Partition::Hash,
+        };
+        let s = stream();
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        for chunk in s.chunks(4096) {
+            rt.push(chunk).unwrap();
+        }
+        assert!(rt.queue_high_water() <= 2);
+        let merged = rt.into_merged().unwrap();
+        assert_eq!(
+            merged.raw_self_join().to_bits(),
+            sequential(&schema, &s).raw_self_join().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_batches_and_degenerate_configs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = JoinSchema::agms(4, &mut rng);
+        assert!(matches!(
+            ShardedRuntime::new(
+                RuntimeConfig {
+                    shards: 0,
+                    ..Default::default()
+                },
+                &schema.sketch()
+            ),
+            Err(StreamError::InvalidConfig {
+                parameter: "shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedRuntime::new(
+                RuntimeConfig {
+                    queue_depth: 0,
+                    ..Default::default()
+                },
+                &schema.sketch()
+            ),
+            Err(StreamError::InvalidConfig {
+                parameter: "queue_depth",
+                ..
+            })
+        ));
+        let mut rt = ShardedRuntime::new(RuntimeConfig::default(), &schema.sketch()).unwrap();
+        rt.push(&[]).unwrap();
+        let mut overflow = Vec::new();
+        assert_eq!(rt.try_push(&[], &mut overflow).unwrap(), 0);
+        assert!(overflow.is_empty());
+        assert_eq!(rt.into_merged().unwrap().raw_self_join(), 0.0);
+    }
+
+    /// The runtime works for any `JoinEstimator`, not just `JoinSketch` —
+    /// here a concrete typed F-AGMS sketch.
+    #[test]
+    fn generic_over_any_estimator() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let schema: sss_sketch::FagmsSchema = sss_sketch::FagmsSchema::new(2, 128, &mut rng);
+        let config = RuntimeConfig {
+            shards: 3,
+            ..Default::default()
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let s = stream();
+        for chunk in s.chunks(1000) {
+            rt.push(chunk).unwrap();
+        }
+        let merged = rt.into_merged().unwrap();
+        let mut seq = schema.sketch();
+        sss_sketch::Sketch::update_batch(&mut seq, &s);
+        assert_eq!(merged.self_join().to_bits(), seq.self_join().to_bits());
+    }
+}

@@ -32,6 +32,15 @@ impl Throughput {
         self.tuples as f64 / secs
     }
 
+    /// Average wall-clock cost per tuple, in nanoseconds (0 when nothing
+    /// was processed).
+    pub fn per_tuple_ns(&self) -> f64 {
+        if self.tuples == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.tuples as f64
+    }
+
     /// How many times faster this run was than `baseline` at processing
     /// the same logical stream (ratio of per-tuple costs).
     pub fn speedup_over(&self, baseline: &Throughput) -> f64 {
@@ -56,6 +65,19 @@ mod tests {
         });
         assert_eq!(t.tuples, 1000);
         assert!(t.tuples_per_sec() > 0.0);
+        assert!(t.per_tuple_ns() > 0.0);
+        // Consistency: per-tuple cost and throughput are reciprocal.
+        let product = t.per_tuple_ns() * 1e-9 * t.tuples_per_sec();
+        assert!((product - 1.0).abs() < 1e-6, "product = {product}");
+    }
+
+    #[test]
+    fn per_tuple_ns_handles_zero_tuples() {
+        let t = Throughput {
+            tuples: 0,
+            elapsed: Duration::from_millis(5),
+        };
+        assert_eq!(t.per_tuple_ns(), 0.0);
     }
 
     #[test]

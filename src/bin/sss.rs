@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
 use sketch_sampled_streams::core::LoadSheddingSketcher;
 use sketch_sampled_streams::exact::ExactAggregator;
+use sketch_sampled_streams::{Error, Result};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     let prefix = format!("--{name}=");
@@ -35,21 +36,26 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == &format!("--{name}"))
 }
 
-fn read_keys(path: &str) -> Result<Vec<u64>, String> {
+fn read_keys(path: &str) -> Result<Vec<u64>> {
     let mut text = String::new();
     std::fs::File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+        .map_err(|source| Error::Io {
+            path: path.to_string(),
+            source,
+        })?;
     let mut keys = Vec::new();
-    for (lineno, token) in text.split_whitespace().enumerate() {
-        keys.push(
-            token
-                .parse::<u64>()
-                .map_err(|_| format!("{path}: token {} ({token:?}) is not a u64", lineno + 1))?,
-        );
+    for (i, token) in text.split_whitespace().enumerate() {
+        keys.push(token.parse::<u64>().map_err(|_| Error::Parse {
+            path: path.to_string(),
+            token_index: i + 1,
+            token: token.to_string(),
+        })?);
     }
     if keys.is_empty() {
-        return Err(format!("{path}: no keys found"));
+        return Err(Error::NoKeys {
+            path: path.to_string(),
+        });
     }
     Ok(keys)
 }
@@ -70,6 +76,56 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+fn run_selfjoin(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) -> Result<()> {
+    let path = &args[1];
+    let keys = read_keys(path)?;
+    let mut shed = LoadSheddingSketcher::new(schema, p, rng)?;
+    for &k in &keys {
+        shed.observe(k);
+    }
+    let est = shed.self_join();
+    println!("tuples     {}", keys.len());
+    println!("sketched   {}", shed.kept());
+    println!("estimate   {est:.2}");
+    if has_flag(args, "exact") {
+        let truth = exact_self_join(&keys);
+        println!("exact      {truth:.2}");
+        println!(
+            "rel_error  {:.4}%",
+            100.0 * (est - truth).abs() / truth.max(1.0)
+        );
+    }
+    Ok(())
+}
+
+fn run_join(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) -> Result<()> {
+    let (pf, pg) = (&args[1], &args[2]);
+    let q: f64 = arg_value(args, "q", 1.0);
+    let f_keys = read_keys(pf)?;
+    let g_keys = read_keys(pg)?;
+    let mut fs = LoadSheddingSketcher::new(schema, p, rng)?;
+    let mut gs = LoadSheddingSketcher::new(schema, q, rng)?;
+    for &k in &f_keys {
+        fs.observe(k);
+    }
+    for &k in &g_keys {
+        gs.observe(k);
+    }
+    let est = fs.size_of_join(&gs)?;
+    println!("tuples     {} ⋈ {}", f_keys.len(), g_keys.len());
+    println!("sketched   {} + {}", fs.kept(), gs.kept());
+    println!("estimate   {est:.2}");
+    if has_flag(args, "exact") {
+        let truth = exact_join(&f_keys, &g_keys);
+        println!("exact      {truth:.2}");
+        println!(
+            "rel_error  {:.4}%",
+            100.0 * (est - truth).abs() / truth.max(1.0)
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -82,94 +138,18 @@ fn main() -> ExitCode {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = JoinSchema::fagms(depth, width, &mut rng);
 
-    match cmd.as_str() {
-        "selfjoin" => {
-            let Some(path) = args.get(1) else {
-                return usage();
-            };
-            let keys = match read_keys(path) {
-                Ok(k) => k,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut shed = match LoadSheddingSketcher::new(&schema, p, &mut rng) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            for &k in &keys {
-                shed.observe(k);
-            }
-            let est = shed.self_join();
-            println!("tuples     {}", keys.len());
-            println!("sketched   {}", shed.kept());
-            println!("estimate   {est:.2}");
-            if has_flag(&args, "exact") {
-                let truth = exact_self_join(&keys);
-                println!("exact      {truth:.2}");
-                println!(
-                    "rel_error  {:.4}%",
-                    100.0 * (est - truth).abs() / truth.max(1.0)
-                );
-            }
-            ExitCode::SUCCESS
+    // Errors from every layer — I/O, parsing, sampling, sketching — reach
+    // this one match as a single `Error`, never as pre-formatted strings.
+    let result = match cmd.as_str() {
+        "selfjoin" if args.len() >= 2 => run_selfjoin(&args, &schema, p, &mut rng),
+        "join" if args.len() >= 3 => run_join(&args, &schema, p, &mut rng),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
-        "join" => {
-            let (Some(pf), Some(pg)) = (args.get(1), args.get(2)) else {
-                return usage();
-            };
-            let q: f64 = arg_value(&args, "q", 1.0);
-            let (f_keys, g_keys) = match (read_keys(pf), read_keys(pg)) {
-                (Ok(f), Ok(g)) => (f, g),
-                (Err(e), _) | (_, Err(e)) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut fs = match LoadSheddingSketcher::new(&schema, p, &mut rng) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut gs = match LoadSheddingSketcher::new(&schema, q, &mut rng) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            for &k in &f_keys {
-                fs.observe(k);
-            }
-            for &k in &g_keys {
-                gs.observe(k);
-            }
-            let est = match fs.size_of_join(&gs) {
-                Ok(e) => e,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!("tuples     {} ⋈ {}", f_keys.len(), g_keys.len());
-            println!("sketched   {} + {}", fs.kept(), gs.kept());
-            println!("estimate   {est:.2}");
-            if has_flag(&args, "exact") {
-                let truth = exact_join(&f_keys, &g_keys);
-                println!("exact      {truth:.2}");
-                println!(
-                    "rel_error  {:.4}%",
-                    100.0 * (est - truth).abs() / truth.max(1.0)
-                );
-            }
-            ExitCode::SUCCESS
-        }
-        _ => usage(),
     }
 }

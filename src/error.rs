@@ -1,0 +1,117 @@
+//! The workspace-level error type.
+//!
+//! Completes the error hierarchy from the bottom up: `sss_xi` /
+//! `sss_sampling` / `sss_sketch` errors convert into [`sss_core::Error`],
+//! core errors into [`sss_stream::StreamError`], and both into this
+//! facade [`Error`] — plus the I/O and parsing failures an application
+//! (like the `sss` CLI) meets at the edge. Nothing is stringified along
+//! the way; the original error stays reachable through
+//! [`std::error::Error::source`].
+
+use std::fmt;
+
+/// Any failure an application built on the workspace can hit.
+#[derive(Debug)]
+pub enum Error {
+    /// An estimator-layer failure (invalid probability, schema
+    /// mismatch, …).
+    Core(sss_core::Error),
+    /// A streaming-runtime failure (dead shard, bad configuration, …).
+    Stream(sss_stream::StreamError),
+    /// An input file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An input token was not an unsigned integer key.
+    Parse {
+        /// The offending path.
+        path: String,
+        /// 1-based token index within the file.
+        token_index: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An input file contained no keys at all.
+    NoKeys {
+        /// The offending path.
+        path: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Stream(e) => write!(f, "{e}"),
+            Error::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            Error::Parse {
+                path,
+                token_index,
+                token,
+            } => write!(f, "{path}: token {token_index} ({token:?}) is not a u64"),
+            Error::NoKeys { path } => write!(f, "{path}: no keys found"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Stream(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<sss_core::Error> for Error {
+    fn from(e: sss_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<sss_stream::StreamError> for Error {
+    fn from(e: sss_stream::StreamError) -> Self {
+        Error::Stream(e)
+    }
+}
+
+impl From<sss_sketch::Error> for Error {
+    fn from(e: sss_sketch::Error) -> Self {
+        Error::Core(e.into())
+    }
+}
+
+impl From<sss_sampling::Error> for Error {
+    fn from(e: sss_sampling::Error) -> Self {
+        Error::Core(e.into())
+    }
+}
+
+/// Workspace-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_without_stringifying() {
+        let from_sampling: Error = sss_sampling::Error::InvalidProbability(-1.0).into();
+        assert!(matches!(from_sampling, Error::Core(_)));
+        let from_stream: Error = sss_stream::StreamError::ShardDisconnected { shard: 2 }.into();
+        assert!(matches!(from_stream, Error::Stream(_)));
+        // The source chain bottoms out at the originating error.
+        let mut cur: &dyn std::error::Error = &from_stream;
+        let mut leaf = cur.to_string();
+        while let Some(next) = cur.source() {
+            cur = next;
+            leaf = cur.to_string();
+        }
+        assert!(leaf.contains('2'), "leaf error lost its payload: {leaf}");
+    }
+}

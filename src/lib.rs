@@ -37,6 +37,9 @@
 //! assert!((f2 - 2e7).abs() / 2e7 < 0.1);
 //! ```
 
+pub mod error;
+
+pub use error::{Error, Result};
 pub use sss_core as core;
 pub use sss_datagen as datagen;
 pub use sss_exact as exact;

@@ -11,7 +11,7 @@ use sketch_sampled_streams::moments::planning;
 use sketch_sampled_streams::moments::scheme::Bernoulli;
 use sketch_sampled_streams::moments::FrequencyVector;
 use sketch_sampled_streams::sketch::multiway::{chain_join, MultiwaySchema, Side};
-use sketch_sampled_streams::stream::{ControllerConfig, PipelineBuilder, RateController};
+use sketch_sampled_streams::stream::{ControllerConfig, EngineBuilder, RateController};
 use sketch_sampled_streams::xi::Eh3;
 
 /// Coordinated shedding on a turnstile stream agrees with the exact
@@ -41,10 +41,12 @@ fn coordinated_shedding_tracks_the_net_stream() {
     );
 }
 
-/// The DSMS pipeline end to end: filter → map → adaptive shedder, with the
-/// estimate validated against the exact post-transform stream.
+/// The DSMS engine end to end: filter → map → sharded runtime with an
+/// overflow shedder, with the estimate validated against the exact
+/// post-transform stream. A tiny queue guarantees the overflow leg is
+/// actually exercised.
 #[test]
-fn pipeline_estimate_matches_exact_under_overload() {
+fn engine_estimate_matches_exact_under_overload() {
     fn keep_small(k: u64) -> bool {
         k < 1_500
     }
@@ -53,23 +55,27 @@ fn pipeline_estimate_matches_exact_under_overload() {
     }
     let mut rng = StdRng::seed_from_u64(2);
     let schema = JoinSchema::fagms(1, 4096, &mut rng);
-    let controller = RateController::new(ControllerConfig {
-        capacity_tps: 50_000.0,
-        smoothing: 0.5,
-        hysteresis: 0.1,
-        min_p: 1e-3,
-        grid: RateGrid::default(),
-    });
-    let mut pipeline = PipelineBuilder::new()
+    let mut engine = EngineBuilder::new()
         .filter("small", keep_small)
         .map("bucket", bucketize)
-        .sink(&schema, controller, &mut rng)
+        .shards(1)
+        .queue_depth(1)
+        .seed(2)
+        .schema(&schema)
+        .shedding(ControllerConfig {
+            capacity_tps: 50_000.0,
+            smoothing: 0.5,
+            hysteresis: 0.1,
+            min_p: 0.05,
+            grid: RateGrid::default(),
+        })
+        .build()
         .unwrap();
     let mut exact = ExactAggregator::new();
     let gen = ZipfGenerator::new(3_000, 0.5);
-    for _ in 0..10 {
-        let batch = gen.relation(400_000, &mut rng);
-        pipeline.push_batch(&batch, 1.0).unwrap();
+    for _ in 0..40 {
+        let batch = gen.relation(100_000, &mut rng);
+        engine.push_batch(&batch, 1e-2).unwrap();
         for &k in &batch {
             if keep_small(k) {
                 exact.update(bucketize(k), 1);
@@ -77,10 +83,10 @@ fn pipeline_estimate_matches_exact_under_overload() {
         }
     }
     assert!(
-        pipeline.controller().probability() < 0.5,
-        "overload must trigger shedding"
+        engine.queue_high_water() <= 2,
+        "bounded queue must never hold more than depth + 1 batches"
     );
-    let est = pipeline.self_join().unwrap();
+    let est = engine.self_join().unwrap();
     let truth = exact.self_join();
     assert!(
         (est - truth).abs() / truth < 0.1,

@@ -1,0 +1,107 @@
+//! Property-based tests of the sharded runtime: for every shard count,
+//! queue depth, partition policy and batch interleaving, the merged
+//! sketch must be bit-identical to feeding the same stream through one
+//! sequential sketch. This is the linearity argument of the runtime
+//! (counter adds commute) checked end to end through the public facade.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::{JoinSchema, JoinSketch};
+use sketch_sampled_streams::stream::{EngineBuilder, Partition, RuntimeConfig, ShardedRuntime};
+
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..400)
+}
+
+fn partition() -> impl Strategy<Value = Partition> {
+    any::<bool>().prop_map(|hash| {
+        if hash {
+            Partition::Hash
+        } else {
+            Partition::RoundRobin
+        }
+    })
+}
+
+fn sequential(schema: &JoinSchema, keys: &[u64]) -> JoinSketch {
+    let mut s = schema.sketch();
+    s.update_batch(keys);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary chunking × shard count × queue depth × partition: the
+    /// merged result never depends on how the stream was cut up or routed.
+    #[test]
+    fn sharded_merge_is_bit_identical_to_sequential(
+        keys in stream(),
+        shards in 1usize..8,
+        queue_depth in 1usize..16,
+        chunk in 1usize..97,
+        partition in partition(),
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = JoinSchema::fagms(2, 64, &mut rng);
+        let expect = sequential(&schema, &keys);
+
+        let config = RuntimeConfig { shards, queue_depth, partition };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        for chunk in keys.chunks(chunk) {
+            rt.push(chunk).unwrap();
+        }
+        let merged = rt.into_merged().unwrap();
+        prop_assert_eq!(
+            merged.raw_self_join().to_bits(),
+            expect.raw_self_join().to_bits()
+        );
+    }
+
+    /// The same property through the engine: transforms + sharded runtime
+    /// (no shedding) reproduce a sequential sketch of the post-transform
+    /// stream exactly, and a mid-stream snapshot covers every tuple
+    /// pushed before it.
+    #[test]
+    fn engine_snapshot_and_final_merge_are_exact(
+        keys in stream(),
+        shards in 1usize..6,
+        chunk in 1usize..97,
+        seed: u64,
+    ) {
+        fn drop_odd(k: u64) -> bool {
+            k % 2 == 0
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = JoinSchema::fagms(1, 32, &mut rng);
+
+        let mut engine = EngineBuilder::new()
+            .filter("even", drop_odd)
+            .shards(shards)
+            .schema(&schema)
+            .build()
+            .unwrap();
+        let half = keys.len() / 2;
+        for chunk in keys[..half].chunks(chunk) {
+            engine.push_batch(chunk, 1.0).unwrap();
+        }
+        let mid = engine.merged().unwrap();
+        let transformed: Vec<u64> = keys.iter().copied().filter(|&k| drop_odd(k)).collect();
+        let split = keys[..half].iter().filter(|&&k| drop_odd(k)).count();
+        prop_assert_eq!(
+            mid.raw_self_join().to_bits(),
+            sequential(&schema, &transformed[..split]).raw_self_join().to_bits()
+        );
+
+        for chunk in keys[half..].chunks(chunk) {
+            engine.push_batch(chunk, 1.0).unwrap();
+        }
+        let fin = engine.into_merged().unwrap();
+        prop_assert_eq!(
+            fin.raw_self_join().to_bits(),
+            sequential(&schema, &transformed).raw_self_join().to_bits()
+        );
+    }
+}
