@@ -29,6 +29,14 @@ fn benches(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("agms_join", n), |b| {
             b.iter(|| black_box(s.size_of_join(&t).expect("shared schema")))
         });
+        // The typed query: same point estimate plus lane variance and
+        // interval state — measures the error-bar overhead.
+        group.bench_function(BenchmarkId::new("agms_self_join_estimate", n), |b| {
+            b.iter(|| black_box(s.self_join_estimate()))
+        });
+        group.bench_function(BenchmarkId::new("agms_join_estimate", n), |b| {
+            b.iter(|| black_box(s.size_of_join_estimate(&t).expect("shared schema")))
+        });
     }
     for width in [5000usize, 10_000] {
         let schema: FagmsSchema = FagmsSchema::new(3, width, &mut rng);
@@ -43,6 +51,12 @@ fn benches(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("fagms_join", width), |b| {
             b.iter(|| black_box(s.size_of_join(&t).expect("shared schema")))
+        });
+        group.bench_function(BenchmarkId::new("fagms_self_join_estimate", width), |b| {
+            b.iter(|| black_box(s.self_join_estimate()))
+        });
+        group.bench_function(BenchmarkId::new("fagms_join_estimate", width), |b| {
+            b.iter(|| black_box(s.size_of_join_estimate(&t).expect("shared schema")))
         });
     }
     group.finish();

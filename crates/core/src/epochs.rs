@@ -51,6 +51,7 @@ use crate::sketch::{JoinSchema, JoinSketch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sss_sampling::bernoulli::GeometricSkip;
+use sss_sketch::Estimate;
 use std::cell::RefCell;
 
 /// One constant-`p` stream segment (possibly several non-contiguous
@@ -213,6 +214,13 @@ impl EpochShedder {
         self.epochs[self.current].p
     }
 
+    /// The smallest sampling rate any epoch ran at — the dominant
+    /// contributor to the sampling noise of combined estimates, and the
+    /// rate the conservative plug-in variances are evaluated at.
+    pub fn min_probability(&self) -> f64 {
+        self.epochs.iter().map(|e| e.p).fold(1.0, f64::min)
+    }
+
     /// Number of live epochs — at most one per distinct rate ever used
     /// (bounded by the rate grid size when rates come from a quantized
     /// controller), *not* the number of rate changes.
@@ -300,6 +308,169 @@ impl EpochShedder {
         Ok(total)
     }
 
+    /// The per-lane basic estimates of the combined self-join: for each
+    /// independent sketch lane `k`, the Prop.-14-corrected diagonal of
+    /// every epoch plus the `2/(p_e·p_e′)`-scaled pairwise cross terms —
+    /// the same decomposition as [`EpochShedder::self_join_uncached`],
+    /// restricted to lane `k`. Combining the lanes (mean or median by
+    /// backend) recovers an estimate of the full-stream self-join; their
+    /// spread measures the sketch noise of the combined estimator.
+    ///
+    /// O(G²·lanes) sketch work (G = epoch count, bounded by compaction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema mismatches (impossible for internally built
+    /// epochs).
+    pub fn self_join_basics(&self) -> Result<Vec<f64>> {
+        let mut lanes = vec![0.0; self.epochs[0].sketch.self_join_basics().len()];
+        for (i, e) in self.epochs.iter().enumerate() {
+            for (lane, d) in lanes.iter_mut().zip(e.sketch.self_join_basics()) {
+                *lane += bernoulli_self_join(d, e.p, e.kept);
+            }
+            for e2 in &self.epochs[i + 1..] {
+                let scale = 2.0 / (e.p * e2.p);
+                let cross = e.sketch.size_of_join_basics(&e2.sketch)?;
+                for (lane, c) in lanes.iter_mut().zip(cross) {
+                    *lane += scale * c;
+                }
+            }
+        }
+        Ok(lanes)
+    }
+
+    /// The sampling-noise part of the combined self-join variance: the
+    /// Bernoulli plug-in summed per epoch (epoch samples are independent),
+    /// each evaluated at that epoch's rate, seen count, and corrected
+    /// sketch estimate. Cross-epoch terms reuse the same samples as the
+    /// diagonals, so their extra sampling covariance is not modeled — the
+    /// per-epoch plug-ins (F₃ ≤ F₂^{3/2}, clamped) are conservative
+    /// precisely to absorb that.
+    pub fn sampling_variance(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let f2_hat = bernoulli_self_join(e.sketch.raw_self_join(), e.p, e.kept);
+                sss_sampling::bernoulli_self_join_variance_plugin(e.p, e.seen, f2_hat)
+            })
+            .sum()
+    }
+
+    /// Typed combined self-join estimate: value bit-identical to
+    /// [`EpochShedder::self_join`] (the cached path), lanes from
+    /// [`EpochShedder::self_join_basics`], variance = backend-combined
+    /// lane spread plus [`EpochShedder::sampling_variance`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EpochShedder::self_join`].
+    pub fn self_join_estimate(&self) -> Result<Estimate> {
+        let value = self.self_join()?;
+        let lanes = self.self_join_basics()?;
+        let af = self.schema.averaging_factor() as f64;
+        let single = 2.0 * value * value / af;
+        let e = self.epochs[0].sketch.combine_lanes(value, lanes, single);
+        Ok(e.plus_variance(self.sampling_variance()))
+    }
+
+    /// Per-lane basics of [`EpochShedder::size_of_join_sketch`]: the
+    /// `1/(p_e·q)`-scaled cross lanes summed over epochs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `q ∉ (0, 1]` and schema mismatches.
+    pub fn size_of_join_sketch_basics(&self, other: &JoinSketch, q: f64) -> Result<Vec<f64>> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(sss_sampling::Error::InvalidProbability(q).into());
+        }
+        let mut lanes = vec![0.0; other.self_join_basics().len()];
+        for e in &self.epochs {
+            let scale = 1.0 / (e.p * q);
+            for (lane, c) in lanes.iter_mut().zip(e.sketch.size_of_join_basics(other)?) {
+                *lane += scale * c;
+            }
+        }
+        Ok(lanes)
+    }
+
+    /// Typed counterpart of [`EpochShedder::size_of_join_sketch`]: value
+    /// bit-identical to the scalar path; variance = backend-combined lane
+    /// spread plus a two-sided Bernoulli sampling plug-in evaluated at the
+    /// *smallest* epoch rate (the dominant noise contributor — a
+    /// deliberate conservative simplification of the per-epoch mixture)
+    /// with `other`'s F₂ bounded by `raw_self_join()/q²`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `q ∉ (0, 1]` and schema mismatches.
+    pub fn size_of_join_sketch_estimate(&self, other: &JoinSketch, q: f64) -> Result<Estimate> {
+        let value = self.size_of_join_sketch(other, q)?;
+        let lanes = self.size_of_join_sketch_basics(other, q)?;
+        let af = self.schema.averaging_factor() as f64;
+        let f2_self = self.self_join()?.max(0.0);
+        let f2_other = other.raw_self_join().max(0.0) / (q * q);
+        let single = (f2_self * f2_other + value * value) / af;
+        let sampling = sss_sampling::bernoulli_size_of_join_variance_plugin(
+            self.min_probability(),
+            q,
+            f2_self,
+            f2_other,
+            value,
+        );
+        Ok(other
+            .combine_lanes(value, lanes, single)
+            .plus_variance(sampling))
+    }
+
+    /// Per-lane basics of [`EpochShedder::size_of_join`]: all epoch-pair
+    /// cross lanes, each scaled by `1/(p_e·p_o)`.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch between the two shedders' sketches.
+    pub fn size_of_join_basics(&self, other: &EpochShedder) -> Result<Vec<f64>> {
+        let mut lanes = vec![0.0; self.epochs[0].sketch.self_join_basics().len()];
+        for e in &self.epochs {
+            for o in &other.epochs {
+                let scale = 1.0 / (e.p * o.p);
+                for (lane, c) in lanes
+                    .iter_mut()
+                    .zip(e.sketch.size_of_join_basics(&o.sketch)?)
+                {
+                    *lane += scale * c;
+                }
+            }
+        }
+        Ok(lanes)
+    }
+
+    /// Typed counterpart of [`EpochShedder::size_of_join`] against another
+    /// epoch-shedded stream. Value bit-identical to the scalar path;
+    /// sampling plug-in evaluated at both sides' smallest epoch rates.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch between the two shedders' sketches.
+    pub fn size_of_join_estimate(&self, other: &EpochShedder) -> Result<Estimate> {
+        let value = self.size_of_join(other)?;
+        let lanes = self.size_of_join_basics(other)?;
+        let af = self.schema.averaging_factor() as f64;
+        let f2_self = self.self_join()?.max(0.0);
+        let f2_other = other.self_join()?.max(0.0);
+        let single = (f2_self * f2_other + value * value) / af;
+        let sampling = sss_sampling::bernoulli_size_of_join_variance_plugin(
+            self.min_probability(),
+            other.min_probability(),
+            f2_self,
+            f2_other,
+            value,
+        );
+        Ok(self.epochs[0]
+            .sketch
+            .combine_lanes(value, lanes, single)
+            .plus_variance(sampling))
+    }
+
     /// Collapse all epochs into a single merged sketch **only valid when
     /// every epoch used the same `p`** — the fast path for steady load.
     /// With compaction that means exactly one epoch.
@@ -335,6 +506,89 @@ mod tests {
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn estimates_match_scalar_queries_bit_for_bit() {
+        let mut r = rng(42);
+        let schema = JoinSchema::fagms(5, 256, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.8, &mut r).unwrap();
+        for k in 0..20_000u64 {
+            shed.observe(k % 300);
+            if k == 7_000 {
+                shed.set_probability(0.4, &mut r).unwrap();
+            }
+            if k == 14_000 {
+                shed.set_probability(0.6, &mut r).unwrap();
+            }
+        }
+        assert!(shed.epoch_count() > 1);
+        let e = shed.self_join_estimate().unwrap();
+        assert_eq!(e.value.to_bits(), shed.self_join().unwrap().to_bits());
+        assert!(e.variance.is_finite() && e.variance > 0.0);
+        assert_eq!(e.basics.len(), 5);
+
+        let mut other = schema.sketch();
+        for k in 0..5_000u64 {
+            other.update(k % 300, 1);
+        }
+        let es = shed.size_of_join_sketch_estimate(&other, 1.0).unwrap();
+        assert_eq!(
+            es.value.to_bits(),
+            shed.size_of_join_sketch(&other, 1.0).unwrap().to_bits()
+        );
+        assert!(es.variance.is_finite());
+
+        let mut shed2 = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        for k in 0..10_000u64 {
+            shed2.observe(k % 300);
+        }
+        let ee = shed.size_of_join_estimate(&shed2).unwrap();
+        assert_eq!(
+            ee.value.to_bits(),
+            shed.size_of_join(&shed2).unwrap().to_bits()
+        );
+    }
+
+    /// The lane decomposition must re-combine to (approximately — the
+    /// summation order differs) the scalar combined estimate, and the mean
+    /// path exactly distributes over lanes.
+    #[test]
+    fn self_join_basics_recombine_to_the_combined_estimate() {
+        let mut r = rng(43);
+        let schema = JoinSchema::agms(16, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.9, &mut r).unwrap();
+        for k in 0..8_000u64 {
+            shed.observe(k % 100);
+            if k == 4_000 {
+                shed.set_probability(0.5, &mut r).unwrap();
+            }
+        }
+        let lanes = shed.self_join_basics().unwrap();
+        assert_eq!(lanes.len(), 16);
+        let combined: f64 = lanes.iter().sum::<f64>() / lanes.len() as f64;
+        let scalar = shed.self_join().unwrap();
+        assert!(
+            (combined - scalar).abs() <= scalar.abs() * 1e-9 + 1e-6,
+            "lanes {combined} vs scalar {scalar}"
+        );
+    }
+
+    #[test]
+    fn sampling_variance_is_zero_without_shedding() {
+        let mut r = rng(44);
+        let schema = JoinSchema::agms(8, &mut r);
+        let mut shed = EpochShedder::new(&schema, 1.0, &mut r).unwrap();
+        for k in 0..1_000u64 {
+            shed.observe(k % 50);
+        }
+        assert_eq!(shed.sampling_variance(), 0.0);
+        // Shedding makes it strictly positive.
+        let mut lossy = EpochShedder::new(&schema, 0.3, &mut r).unwrap();
+        for k in 0..1_000u64 {
+            lossy.observe(k % 50);
+        }
+        assert!(lossy.sampling_variance() > 0.0);
     }
 
     #[test]

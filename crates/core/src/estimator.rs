@@ -27,7 +27,7 @@
 
 use crate::error::Result;
 use crate::sketch::JoinSketch;
-use sss_sketch::{AgmsSketch, CountMinSketch, FagmsSketch, Sketch};
+use sss_sketch::{AgmsSketch, CountMinSketch, Estimate, FagmsSketch, Sketch};
 use sss_xi::{BucketFamily, SignFamily};
 
 /// A linear, mergeable join-size estimator over a keyed stream.
@@ -63,6 +63,32 @@ pub trait JoinEstimator: Clone + Send + 'static {
     ///
     /// Schema mismatch, as for [`merge_from`](JoinEstimator::merge_from).
     fn size_of_join(&self, other: &Self) -> Result<f64>;
+
+    /// Typed self-join estimate with error state: same value as
+    /// [`self_join`](JoinEstimator::self_join) (bit-identical for the
+    /// provided implementations), plus an empirical variance and the
+    /// per-lane basics it came from.
+    ///
+    /// The default implementation wraps [`self_join`] in
+    /// [`Estimate::point`] — infinite variance, no basics — so external
+    /// estimator implementations keep compiling and honestly report that
+    /// they carry no error state.
+    ///
+    /// [`self_join`]: JoinEstimator::self_join
+    fn self_join_estimate(&self) -> Estimate {
+        Estimate::point(self.self_join())
+    }
+
+    /// Typed size-of-join estimate with error state; defaults to a
+    /// zero-information [`Estimate::point`] like
+    /// [`self_join_estimate`](JoinEstimator::self_join_estimate).
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch, as for [`merge_from`](JoinEstimator::merge_from).
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(Estimate::point(self.size_of_join(other)?))
+    }
 }
 
 impl<F> JoinEstimator for AgmsSketch<F>
@@ -87,6 +113,14 @@ where
 
     fn size_of_join(&self, other: &Self) -> Result<f64> {
         Ok(AgmsSketch::size_of_join(self, other)?)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        AgmsSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(AgmsSketch::size_of_join_estimate(self, other)?)
     }
 }
 
@@ -114,6 +148,14 @@ where
     fn size_of_join(&self, other: &Self) -> Result<f64> {
         Ok(FagmsSketch::size_of_join(self, other)?)
     }
+
+    fn self_join_estimate(&self) -> Estimate {
+        FagmsSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(FagmsSketch::size_of_join_estimate(self, other)?)
+    }
 }
 
 impl<B> JoinEstimator for CountMinSketch<B>
@@ -139,6 +181,14 @@ where
     fn size_of_join(&self, other: &Self) -> Result<f64> {
         Ok(CountMinSketch::size_of_join(self, other)?)
     }
+
+    fn self_join_estimate(&self) -> Estimate {
+        CountMinSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(CountMinSketch::size_of_join_estimate(self, other)?)
+    }
 }
 
 impl JoinEstimator for JoinSketch {
@@ -160,6 +210,14 @@ impl JoinEstimator for JoinSketch {
 
     fn size_of_join(&self, other: &Self) -> Result<f64> {
         self.raw_size_of_join(other)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        self.raw_self_join_estimate()
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        self.raw_size_of_join_estimate(other)
     }
 }
 
@@ -207,6 +265,14 @@ mod tests {
         // sketches and the Count-Min inner product alike.
         let sj = JoinEstimator::size_of_join(&scalar, &scalar).unwrap();
         assert!((sj - est).abs() <= est.abs() * 1e-9 + 1e-9);
+        // The typed estimates return the same values bit for bit, and the
+        // multi-lane backends report a finite, usable error bar.
+        let e = scalar.self_join_estimate();
+        assert_eq!(e.value.to_bits(), est.to_bits());
+        assert!(e.variance.is_finite());
+        assert!(e.chebyshev(0.95).contains(e.value));
+        let ej = scalar.size_of_join_estimate(&scalar).unwrap();
+        assert_eq!(ej.value.to_bits(), sj.to_bits());
     }
 
     #[test]
@@ -222,6 +288,50 @@ mod tests {
         exercise(move || cm.sketch(), 0.25);
         let schema = JoinSchema::fagms(2, 1024, &mut rng);
         exercise(move || schema.sketch(), 0.25);
+    }
+
+    /// A minimal external implementor relying entirely on the default
+    /// methods: the refactor must not force it to change, and its
+    /// estimates must honestly report zero information.
+    #[test]
+    fn trait_defaults_keep_external_implementors_compiling() {
+        #[derive(Clone)]
+        struct ExactCounter(std::collections::HashMap<u64, i64>);
+        impl JoinEstimator for ExactCounter {
+            fn update(&mut self, key: u64, count: i64) {
+                *self.0.entry(key).or_insert(0) += count;
+            }
+            fn update_batch(&mut self, keys: &[u64]) {
+                for &k in keys {
+                    self.update(k, 1);
+                }
+            }
+            fn merge_from(&mut self, other: &Self) -> Result<()> {
+                for (&k, &c) in &other.0 {
+                    self.update(k, c);
+                }
+                Ok(())
+            }
+            fn self_join(&self) -> f64 {
+                self.0.values().map(|&c| (c * c) as f64).sum()
+            }
+            fn size_of_join(&self, other: &Self) -> Result<f64> {
+                Ok(self
+                    .0
+                    .iter()
+                    .map(|(k, &c)| c as f64 * other.0.get(k).copied().unwrap_or(0) as f64)
+                    .sum())
+            }
+        }
+        let mut e = ExactCounter(Default::default());
+        e.update_batch(&[1, 1, 2, 3]);
+        let est = e.self_join_estimate();
+        assert_eq!(est.value, e.self_join());
+        assert!(est.variance.is_infinite());
+        assert!(est.basics.is_empty());
+        let sj = e.size_of_join_estimate(&e).unwrap();
+        assert_eq!(sj.value, e.self_join());
+        assert!(sj.chebyshev(0.99).half_width().is_infinite());
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! intervals) is available through [`analysis`] whenever the true frequency
 //! vector is known — which is how the experiment harness validates the
 //! drivers — and is predicted by the `sss-moments` engine in general.
+//! When the truth is *not* known (the live-query case), every query path
+//! also offers a `*_estimate()` variant returning an [`Estimate`] whose
+//! variance is measured from the sketch's own independent lanes plus a
+//! plug-in for the shared sampling noise, with Chebyshev/CLT intervals via
+//! [`Estimate::interval`].
 //!
 //! ## Quick example: 10× load shedding
 //!
@@ -71,5 +76,6 @@ pub use error::{Error, Result};
 pub use estimator::JoinEstimator;
 pub use iid::IidStreamSketcher;
 pub use scan::ScanSketcher;
-pub use shedding::{bernoulli_self_join, LoadSheddingSketcher};
+pub use shedding::{bernoulli_self_join, bernoulli_self_join_estimate, LoadSheddingSketcher};
 pub use sketch::{JoinSchema, JoinSketch};
+pub use sss_sketch::{Bound, Estimate};

@@ -20,6 +20,7 @@ use crate::sketch::{JoinSchema, JoinSketch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sss_sampling::bernoulli::GeometricSkip;
+use sss_sketch::Estimate;
 
 /// The Proposition 14 self-join correction, shared by every Bernoulli
 /// estimator in the workspace: the unbiased full-stream self-join estimate
@@ -37,6 +38,37 @@ use sss_sampling::bernoulli::GeometricSkip;
 pub fn bernoulli_self_join(raw_self_join: f64, p: f64, kept: u64) -> f64 {
     let p2 = p * p;
     raw_self_join / p2 - (1.0 - p) / p2 * kept as f64
+}
+
+/// Typed self-join estimate of a sketch built over a `Bernoulli(p)` sample,
+/// shared by [`LoadSheddingSketcher`] and the parallel shedder.
+///
+/// * `value` — [`bernoulli_self_join`] applied to the raw combined
+///   estimate, bit-identical to the scalar query path;
+/// * `basics` — the same Prop.-14 affine correction applied to each lane's
+///   raw basic (every lane sees the full sample, so every lane gets the
+///   full `kept` subtraction);
+/// * `variance` — the lanes' empirical sketch variance scaled by `1/p⁴`
+///   (the correction divides each basic by `p²`), **plus** the sampling
+///   variance plug-in, unscaled. All lanes share the one sample, so the
+///   cross-lane spread cannot see the sampling noise and averaging lanes
+///   does not reduce it — the paper's Prop.-13/14 covariance caveat.
+pub fn bernoulli_self_join_estimate(sketch: &JoinSketch, p: f64, kept: u64, seen: u64) -> Estimate {
+    let raw = sketch.raw_self_join_estimate();
+    let value = bernoulli_self_join(raw.value, p, kept);
+    let basics = raw
+        .basics
+        .iter()
+        .map(|&b| bernoulli_self_join(b, p, kept))
+        .collect();
+    let p4 = (p * p) * (p * p);
+    let sketch_variance = raw.variance / p4;
+    let sampling_variance = sss_sampling::bernoulli_self_join_variance_plugin(p, seen, value);
+    Estimate {
+        value,
+        variance: sketch_variance + sampling_variance,
+        basics,
+    }
 }
 
 /// Bernoulli load shedder in front of a join sketch.
@@ -157,6 +189,42 @@ impl LoadSheddingSketcher {
     pub fn size_of_join(&self, other: &LoadSheddingSketcher) -> Result<f64> {
         let raw = self.sketch.raw_size_of_join(&other.sketch)?;
         Ok(raw / (self.p * other.p))
+    }
+
+    /// Typed self-join estimate with error state: value bit-identical to
+    /// [`LoadSheddingSketcher::self_join`], variance combining the lanes'
+    /// empirical sketch spread with the Bernoulli sampling plug-in (see
+    /// [`bernoulli_self_join_estimate`] for the decomposition).
+    pub fn self_join_estimate(&self) -> Estimate {
+        bernoulli_self_join_estimate(&self.sketch, self.p, self.kept, self.seen)
+    }
+
+    /// Typed size-of-join estimate: value bit-identical to
+    /// [`LoadSheddingSketcher::size_of_join`]; the variance adds the
+    /// two-sided Bernoulli sampling plug-in (each side's self-join estimate
+    /// bounding its F₂) to the `1/(p_F·p_G)²`-scaled sketch spread.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Sketch`] if the two sketches do not share a schema.
+    pub fn size_of_join_estimate(&self, other: &LoadSheddingSketcher) -> Result<Estimate> {
+        let raw = self.sketch.raw_size_of_join_estimate(&other.sketch)?;
+        let scale = self.p * other.p;
+        let value = raw.value / scale;
+        let basics = raw.basics.iter().map(|&b| b / scale).collect();
+        let sketch_variance = raw.variance / (scale * scale);
+        let sampling_variance = sss_sampling::bernoulli_size_of_join_variance_plugin(
+            self.p,
+            other.p,
+            self.self_join(),
+            other.self_join(),
+            value,
+        );
+        Ok(Estimate {
+            value,
+            variance: sketch_variance + sampling_variance,
+            basics,
+        })
     }
 
     /// The effective speed-up over sketching every tuple: tuples seen per
@@ -329,5 +397,39 @@ mod tests {
             (mean - truth).abs() / truth < 0.1,
             "mean = {mean}, truth = {truth}"
         );
+    }
+
+    /// The typed estimates return the scalar queries' values bit for bit
+    /// and decompose the variance into sketch + sampling parts.
+    #[test]
+    fn typed_estimates_are_bit_identical_with_coherent_variance() {
+        let mut r = rng(21);
+        let schema = JoinSchema::agms(32, &mut r);
+        let mut shed = LoadSheddingSketcher::new(&schema, 0.4, &mut r).unwrap();
+        let mut full = LoadSheddingSketcher::new(&schema, 1.0, &mut r).unwrap();
+        for k in 0..30_000u64 {
+            shed.observe(k % 200);
+            full.observe(k % 200);
+        }
+        let e = shed.self_join_estimate();
+        assert_eq!(e.value.to_bits(), shed.self_join().to_bits());
+        assert_eq!(e.basics.len(), 32);
+        assert!(e.variance.is_finite() && e.variance > 0.0);
+        // An unshedded estimator has no sampling noise: its variance is
+        // pure sketch spread, strictly below the shedded one's on the same
+        // stream (the 1/p⁴ scaling plus the sampling term).
+        let ef = full.self_join_estimate();
+        assert_eq!(ef.value.to_bits(), full.self_join().to_bits());
+        assert!(ef.variance < e.variance);
+
+        let ej = shed.size_of_join_estimate(&full).unwrap();
+        assert_eq!(
+            ej.value.to_bits(),
+            shed.size_of_join(&full).unwrap().to_bits()
+        );
+        assert!(ej.variance.is_finite());
+        // The interval machinery is reachable end to end.
+        assert!(e.chebyshev(0.95).contains(e.value));
+        assert!(e.clt(0.95).half_width() < e.chebyshev(0.95).half_width());
     }
 }

@@ -22,8 +22,10 @@
 //!
 //! The exact second-moment analysis of these estimators (the variance
 //! formulas of Eqs. 6, 7, 10, 11) lives in the `sss-moments` crate, which
-//! evaluates them on *true* frequency vectors; this crate is only concerned
-//! with producing samples and point estimates.
+//! evaluates them on *true* frequency vectors. [`variance`] provides the
+//! query-time counterpart for the Bernoulli scheme: closed forms of the
+//! sampling-only variance plus conservative plug-ins evaluated from the
+//! estimates themselves, used by the shedders to report error bars.
 //!
 //! ## Example: estimating a self-join size from a 10% Bernoulli sample
 //!
@@ -50,6 +52,7 @@ pub mod coefficients;
 pub mod counts;
 pub mod error;
 pub mod estimators;
+pub mod variance;
 pub mod with_replacement;
 pub mod without_replacement;
 
@@ -57,6 +60,10 @@ pub use bernoulli::{BernoulliSampler, GeometricSkip};
 pub use coefficients::SamplingFractions;
 pub use counts::SampleCounts;
 pub use error::{Error, Result};
+pub use variance::{
+    bernoulli_self_join_variance, bernoulli_self_join_variance_plugin,
+    bernoulli_size_of_join_variance, bernoulli_size_of_join_variance_plugin,
+};
 pub use with_replacement::{sample_with_replacement, MultinomialFrequencies};
 pub use without_replacement::{
     reservoir_sample, reservoir_sample_l, sample_without_replacement, PrefixScan,

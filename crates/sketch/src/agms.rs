@@ -13,7 +13,7 @@
 //! load shedding.
 
 use crate::error::{Error, Result};
-use crate::estimate;
+use crate::estimate::{self, Estimate};
 use crate::Sketch;
 use rand::Rng;
 use sss_xi::{DefaultSign, SignFamily};
@@ -260,6 +260,35 @@ impl<F: SignFamily> AgmsSketch<F> {
             &self.size_of_join_basics(other)?,
             groups,
         ))
+    }
+
+    /// Typed self-join estimate: the value is bit-identical to
+    /// [`AgmsSketch::self_join`], the variance is the empirical sample
+    /// variance across the `n` independent basics divided by `n`.
+    ///
+    /// With a single counter the empirical spread is undefined and the
+    /// Prop.-8 analytic bound `Var ≤ 2·F₂²/n` is plugged in (dropping the
+    /// `−2F₄` term, so it over-covers).
+    pub fn self_join_estimate(&self) -> Estimate {
+        let n = self.counters.len() as f64;
+        let e = Estimate::from_mean(self.self_join_basics());
+        let plugin = 2.0 * e.value * e.value / n;
+        e.or_variance(plugin)
+    }
+
+    /// Typed size-of-join estimate: value bit-identical to
+    /// [`AgmsSketch::size_of_join`], empirical variance across the basics.
+    /// The single-counter fallback is the Prop.-7 bound
+    /// `Var ≤ (F₂(f)·F₂(g) + (Σfg)²)/n` with the self-joins plugged in.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SchemaMismatch`] if `other` was built from another schema.
+    pub fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        let n = self.counters.len() as f64;
+        let e = Estimate::from_mean(self.size_of_join_basics(other)?);
+        let plugin = (self.self_join() * other.self_join() + e.value * e.value) / n;
+        Ok(e.or_variance(plugin))
     }
 }
 

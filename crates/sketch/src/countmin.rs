@@ -11,6 +11,7 @@
 //! are unbiased — the trade-off the paper's choice of F-AGMS reflects.
 
 use crate::error::{Error, Result};
+use crate::estimate::{self, Estimate};
 use crate::Sketch;
 use rand::Rng;
 use sss_xi::{BucketFamily, DefaultBucket};
@@ -253,6 +254,44 @@ impl<B: BucketFamily> CountMinSketch<B> {
     /// Self-join size estimate: the inner product with itself.
     pub fn self_join(&self) -> f64 {
         self.size_of_join(self)
+            .expect("self always shares its own schema")
+    }
+
+    /// Typed size-of-join estimate. Count-Min's minimum is a *biased*
+    /// (upper-bound) estimator, so no unbiased variance exists; the
+    /// reported variance is the sample variance of the per-row inner
+    /// products — a dispersion heuristic that indicates how much collision
+    /// inflation the rows disagree on, not a calibrated error bar. A
+    /// depth-1 sketch reports infinite variance. The value is bit-identical
+    /// to [`CountMinSketch::size_of_join`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SchemaMismatch`] if `other` was built from another schema.
+    pub fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        self.check_schema(other)?;
+        let rows: Vec<f64> = (0..self.schema.depth())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(other.row(r))
+                    .map(|(&s, &t)| s as f64 * t as f64)
+                    .sum::<f64>()
+            })
+            .collect();
+        let value = rows.iter().copied().fold(f64::INFINITY, f64::min);
+        let variance = estimate::sample_variance(&rows);
+        Ok(Estimate {
+            value,
+            variance,
+            basics: rows,
+        })
+    }
+
+    /// Typed self-join estimate — see [`CountMinSketch::size_of_join_estimate`]
+    /// for the bias and variance caveats.
+    pub fn self_join_estimate(&self) -> Estimate {
+        self.size_of_join_estimate(self)
             .expect("self always shares its own schema")
     }
 }

@@ -17,7 +17,7 @@
 //! an effect reproduced by the `fig7` harness.
 
 use crate::error::{Error, Result};
-use crate::estimate;
+use crate::estimate::{self, Estimate};
 use crate::Sketch;
 use rand::Rng;
 use sss_xi::{BucketFamily, DefaultBucket, DefaultSign, SignFamily};
@@ -277,6 +277,33 @@ impl<S: SignFamily, B: BucketFamily> FagmsSketch<S, B> {
     /// Size-of-join estimate: median across rows.
     pub fn size_of_join(&self, other: &Self) -> Result<f64> {
         Ok(estimate::median(&self.size_of_join_rows(other)?))
+    }
+
+    /// Typed self-join estimate: value bit-identical to
+    /// [`FagmsSketch::self_join`]; the variance applies the conservative
+    /// normal-median factor to the rows' sample variance (each row is an
+    /// implicit average over `width` buckets, so rows of a wide sketch are
+    /// near-Gaussian). A depth-1 sketch has no cross-row spread and falls
+    /// back to the analytic per-row bound `2·F₂²/width`.
+    pub fn self_join_estimate(&self) -> Estimate {
+        let width = self.schema.width() as f64;
+        let e = Estimate::from_median(self.self_join_rows());
+        let plugin = 2.0 * e.value * e.value / width;
+        e.or_variance(plugin)
+    }
+
+    /// Typed size-of-join estimate: value bit-identical to
+    /// [`FagmsSketch::size_of_join`]; cross-row empirical variance with the
+    /// depth-1 fallback `(F₂(f)·F₂(g) + (Σfg)²)/width`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SchemaMismatch`] if `other` was built from another schema.
+    pub fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        let width = self.schema.width() as f64;
+        let e = Estimate::from_median(self.size_of_join_rows(other)?);
+        let plugin = (self.self_join() * other.self_join() + e.value * e.value) / width;
+        Ok(e.or_variance(plugin))
     }
 
     /// The estimated `k` most frequent keys among `candidates`, sorted by

@@ -63,6 +63,7 @@ pub(crate) const BATCH_CHUNK: usize = 256;
 pub use agms::{AgmsSchema, AgmsSketch};
 pub use countmin::{CountMinSchema, CountMinSketch};
 pub use error::{Error, Result};
+pub use estimate::{Bound, Estimate};
 pub use fagms::{FagmsSchema, FagmsSketch};
 pub use multiway::{chain_join, BinarySketch, MultiwaySchema, UnarySketch};
 

@@ -28,8 +28,11 @@
 //! * Per-stage statistics expose where tuples went — the observability a
 //!   real engine needs to explain an approximate answer.
 //!
-//! Construction goes through [`EngineBuilder`]; the former single-threaded
-//! [`Pipeline`] remains as a deprecated shim.
+//! Construction goes through [`EngineBuilder`]. Every scalar query has a
+//! typed counterpart ([`StreamEngine::self_join_estimate`],
+//! [`StreamEngine::size_of_join_estimate`]) returning an
+//! [`Estimate`] with the bit-identical value plus
+//! empirical error bars for the *combined* estimator.
 
 pub use crate::adaptive::ControllerConfig;
 use crate::adaptive::RateController;
@@ -38,7 +41,7 @@ use crate::runtime::{Partition, RuntimeConfig, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{EpochShedder, JoinEstimator, Result};
+use sss_core::{EpochShedder, Estimate, JoinEstimator, Result};
 
 /// A stateless per-tuple transform (function pointers keep the engine
 /// `Debug` and the stages trivially serializable in spirit).
@@ -426,143 +429,117 @@ impl StreamEngine<JoinSketch> {
         }
         Ok(est)
     }
-}
 
-/// The pipeline: transforms, an adaptive shedder, and a sketch sink.
-#[deprecated(note = "use `EngineBuilder` — the sharded engine subsumes the \
-                     single-threaded pipeline")]
-#[derive(Debug)]
-pub struct Pipeline {
-    transforms: Vec<(String, Transform)>,
-    stats: Vec<StageStats>,
-    controller: RateController,
-    shedder: EpochShedder,
-    rng: StdRng,
-    scratch: Vec<u64>,
-}
-
-/// Builder for [`Pipeline`].
-#[deprecated(note = "use `EngineBuilder` — the sharded engine subsumes the \
-                     single-threaded pipeline")]
-#[derive(Debug)]
-pub struct PipelineBuilder {
-    transforms: Vec<(String, Transform)>,
-}
-
-#[allow(deprecated)]
-impl PipelineBuilder {
-    /// Start an empty pipeline description.
-    pub fn new() -> Self {
-        Self {
-            transforms: Vec::new(),
+    /// Typed counterpart of [`StreamEngine::self_join`]: the same value
+    /// (bit-identical accumulation order) with empirical error state.
+    ///
+    /// Each independent sketch lane sums its merged-runtime basic, the
+    /// shedder's Proposition-14-corrected basic, and twice the `q = 1`
+    /// cross-term basic — the lane-wise image of the scalar `A·A + O·O +
+    /// 2·A·O` decomposition — so the lane spread measures the sketch
+    /// noise of the *combined* estimator. The shedder's Bernoulli sampling
+    /// plug-in is added unscaled on top (every lane sees the same sampled
+    /// tuples, so averaging lanes does not average that noise away).
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamEngine::self_join`].
+    pub fn self_join_estimate(&self) -> StreamResult<Estimate> {
+        let merged = self.runtime.merged()?;
+        let Some(shed) = &self.shed else {
+            return Ok(merged.raw_self_join_estimate());
+        };
+        // Value: replicate the scalar accumulation order bit for bit.
+        let mut value = merged.raw_self_join();
+        value += shed.shedder.self_join().map_err(StreamError::Estimator)?;
+        value += 2.0
+            * shed
+                .shedder
+                .size_of_join_sketch(&merged, 1.0)
+                .map_err(StreamError::Estimator)?;
+        let basics = |r: Result<Vec<f64>>| r.map_err(StreamError::Estimator);
+        let mut lanes = merged.self_join_basics();
+        let shed_lanes = basics(shed.shedder.self_join_basics())?;
+        let cross = basics(shed.shedder.size_of_join_sketch_basics(&merged, 1.0))?;
+        for ((lane, s), c) in lanes.iter_mut().zip(shed_lanes).zip(cross) {
+            *lane += s + 2.0 * c;
         }
+        let single = 2.0 * value * value / merged.averaging_factor() as f64;
+        Ok(merged
+            .combine_lanes(value, lanes, single)
+            .plus_variance(shed.shedder.sampling_variance()))
     }
 
-    /// Append a named filter stage.
-    pub fn filter(mut self, name: &str, pred: fn(u64) -> bool) -> Self {
-        self.transforms
-            .push((name.to_string(), Transform::Filter(pred)));
-        self
-    }
-
-    /// Append a named map stage.
-    pub fn map(mut self, name: &str, f: fn(u64) -> u64) -> Self {
-        self.transforms.push((name.to_string(), Transform::Map(f)));
-        self
-    }
-
-    /// Finish with the adaptive shedder and sketch sink.
-    pub fn sink<R: rand::Rng>(
-        self,
-        schema: &JoinSchema,
-        controller: RateController,
-        seed_rng: &mut R,
-    ) -> Result<Pipeline> {
-        let mut stats: Vec<StageStats> = self
-            .transforms
-            .iter()
-            .map(|(name, _)| StageStats {
-                name: name.clone(),
-                tuples_in: 0,
-                tuples_out: 0,
-            })
-            .collect();
-        stats.push(StageStats {
-            name: "shedder".into(),
-            tuples_in: 0,
-            tuples_out: 0,
-        });
-        let mut rng = StdRng::seed_from_u64(seed_rng.random());
-        let shedder = EpochShedder::new(schema, controller.probability(), &mut rng)?;
-        Ok(Pipeline {
-            transforms: self.transforms,
-            stats,
-            controller,
-            shedder,
-            rng,
-            scratch: Vec::new(),
-        })
-    }
-}
-
-#[allow(deprecated)]
-impl Default for PipelineBuilder {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[allow(deprecated)]
-impl Pipeline {
-    /// Feed one batch that arrived over `seconds` of wall-clock time.
-    pub fn push_batch(&mut self, keys: &[u64], seconds: f64) -> Result<()> {
-        // Run the transform chain on a scratch buffer.
-        self.scratch.clear();
-        self.scratch.extend_from_slice(keys);
-        for (i, (_, t)) in self.transforms.iter().enumerate() {
-            self.stats[i].tuples_in += self.scratch.len() as u64;
-            match t {
-                Transform::Filter(pred) => self.scratch.retain(|&k| pred(k)),
-                Transform::Map(f) => {
-                    for k in self.scratch.iter_mut() {
-                        *k = f(*k);
-                    }
-                }
+    /// Typed counterpart of [`StreamEngine::size_of_join`]: the same value
+    /// (bit-identical four-term accumulation) with empirical error state.
+    ///
+    /// Lanes sum the four per-lane terms of `(A₁+O₁)·(A₂+O₂)`; the
+    /// Bernoulli sampling plug-in is evaluated at each side's smallest
+    /// epoch rate (`1` for a side without shedding) with the combined
+    /// self-join estimates standing in for the unknown F₂'s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamEngine::size_of_join`].
+    pub fn size_of_join_estimate(
+        &self,
+        other: &StreamEngine<JoinSketch>,
+    ) -> StreamResult<Estimate> {
+        let m1 = self.runtime.merged()?;
+        let m2 = other.runtime.merged()?;
+        let join = |r: Result<f64>| r.map_err(StreamError::Estimator);
+        // Value: replicate the scalar accumulation order bit for bit.
+        let mut value = join(m1.raw_size_of_join(&m2))?;
+        if let Some(s1) = &self.shed {
+            value += join(s1.shedder.size_of_join_sketch(&m2, 1.0))?;
+        }
+        if let Some(s2) = &other.shed {
+            value += join(s2.shedder.size_of_join_sketch(&m1, 1.0))?;
+        }
+        if let (Some(s1), Some(s2)) = (&self.shed, &other.shed) {
+            value += join(s1.shedder.size_of_join(&s2.shedder))?;
+        }
+        let basics = |r: Result<Vec<f64>>| r.map_err(StreamError::Estimator);
+        let add = |lanes: &mut Vec<f64>, extra: Vec<f64>| {
+            for (lane, x) in lanes.iter_mut().zip(extra) {
+                *lane += x;
             }
-            self.stats[i].tuples_out += self.scratch.len() as u64;
+        };
+        let mut lanes = basics(m1.size_of_join_basics(&m2))?;
+        if let Some(s1) = &self.shed {
+            add(
+                &mut lanes,
+                basics(s1.shedder.size_of_join_sketch_basics(&m2, 1.0))?,
+            );
         }
-        // The controller sees the post-transform rate (that is what the
-        // sketch path must sustain).
-        let p = self
-            .controller
-            .observe_batch(self.scratch.len() as u64, seconds);
-        self.shedder.set_probability(p, &mut self.rng)?;
-        let shed_stats = self.stats.last_mut().expect("shedder stage always exists");
-        shed_stats.tuples_in += self.scratch.len() as u64;
-        // Batched skip-sampling: bit-identical to observing each tuple, but
-        // skipped tuples are jumped over and kept tuples sketched in bulk.
-        shed_stats.tuples_out += self.shedder.feed_batch(&self.scratch);
-        Ok(())
-    }
-
-    /// Unbiased self-join estimate of the post-transform stream.
-    pub fn self_join(&self) -> Result<f64> {
-        self.shedder.self_join()
-    }
-
-    /// Per-stage statistics (transforms first, shedder last).
-    pub fn stats(&self) -> &[StageStats] {
-        &self.stats
-    }
-
-    /// The live controller (rate estimate, current p).
-    pub fn controller(&self) -> &RateController {
-        &self.controller
-    }
-
-    /// The live shedder (epochs, kept counts).
-    pub fn shedder(&self) -> &EpochShedder {
-        &self.shedder
+        if let Some(s2) = &other.shed {
+            add(
+                &mut lanes,
+                basics(s2.shedder.size_of_join_sketch_basics(&m1, 1.0))?,
+            );
+        }
+        if let (Some(s1), Some(s2)) = (&self.shed, &other.shed) {
+            add(
+                &mut lanes,
+                basics(s1.shedder.size_of_join_basics(&s2.shedder))?,
+            );
+        }
+        let f2_1 = self.self_join()?.max(0.0);
+        let f2_2 = other.self_join()?.max(0.0);
+        let p1 = self
+            .shed
+            .as_ref()
+            .map_or(1.0, |s| s.shedder.min_probability());
+        let p2 = other
+            .shed
+            .as_ref()
+            .map_or(1.0, |s| s.shedder.min_probability());
+        let sampling =
+            sss_sampling::bernoulli_size_of_join_variance_plugin(p1, p2, f2_1, f2_2, value);
+        let single = (f2_1 * f2_2 + value * value) / m1.averaging_factor() as f64;
+        Ok(m1
+            .combine_lanes(value, lanes, single)
+            .plus_variance(sampling))
     }
 }
 
@@ -837,121 +814,106 @@ mod tests {
         assert!(e1.size_of_join(&e3).is_err());
     }
 
-    mod deprecated_pipeline {
-        #![allow(deprecated)]
-        use super::*;
-
-        fn controller(capacity: f64) -> RateController {
-            RateController::new(controller_config(capacity))
+    /// Regression (formerly on the deprecated `Pipeline`): a batch with a
+    /// zero, negative, or non-finite duration must not panic or poison the
+    /// controller — overflow tuples are still sketched at the current
+    /// rate.
+    #[test]
+    fn degenerate_batch_durations_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let mut e = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .schema(&schema)
+            .shedding(controller_config(1e12))
+            .build()
+            .unwrap();
+        let batch: Vec<u64> = (0..500u64).collect();
+        for secs in [0.0, -2.0, f64::NAN, f64::INFINITY, 1.0] {
+            e.push_batch(&batch, secs).unwrap();
         }
+        assert_eq!(e.controller().unwrap().probability(), 1.0);
+        let stats = e.stats();
+        assert_eq!(stats[0].tuples_in, 2500);
+        // No shedding at huge capacity: every tuple either entered the
+        // runtime or was sketched by the shedder at p = 1.
+        assert_eq!(stats[1].tuples_in, stats[1].tuples_out);
+        assert_eq!(stats[0].tuples_out + stats[1].tuples_out, 2500);
+    }
 
-        #[test]
-        fn pipeline_shim_still_works() {
-            let mut rng = StdRng::seed_from_u64(2);
-            let schema = JoinSchema::fagms(1, 4096, &mut rng);
-            let mut p = PipelineBuilder::new()
-                .filter("evens", is_even)
-                .map("halve", halve)
-                .sink(&schema, controller(1e12), &mut rng)
+    /// The overflow shedder's epoch count stays bounded by the
+    /// controller's rate grid even under a wildly oscillating load
+    /// (formerly a deprecated-`Pipeline` test).
+    #[test]
+    fn epoch_count_is_bounded_under_oscillating_load() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let schema = JoinSchema::fagms(1, 512, &mut rng);
+        let mut e = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .schema(&schema)
+            .shedding(controller_config(1e4))
+            .build()
+            .unwrap();
+        let bound = e.controller().unwrap().distinct_rate_bound();
+        let batch: Vec<u64> = (0..1000u64).map(|j| j % 100).collect();
+        for i in 0..500u64 {
+            // Overflow rate swings between ~77k and 1M tuples/s.
+            let secs = 1e-3 * (1.0 + (i % 13) as f64);
+            e.push_batch(&batch, secs).unwrap();
+        }
+        let shedder = e.shedder().unwrap();
+        assert!(
+            shedder.epoch_count() <= bound,
+            "epochs {} exceed grid bound {bound}",
+            shedder.epoch_count()
+        );
+    }
+
+    /// The typed estimates carry the scalar values bit for bit — with and
+    /// without a shedding leg, self-join and cross-engine join — and
+    /// their error state is coherent.
+    #[test]
+    fn typed_estimates_match_scalar_queries_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let schema = JoinSchema::fagms(3, 512, &mut rng);
+        // e1 sheds under a saturated one-slot queue; e2 stays calm.
+        let mut e1 = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .schema(&schema)
+            .shedding(controller_config(1e5))
+            .build()
+            .unwrap();
+        let mut e2 = EngineBuilder::new()
+            .shards(2)
+            .seed(11)
+            .schema(&schema)
+            .build()
+            .unwrap();
+        for _ in 0..50 {
+            let batch: Vec<u64> = (0..5000u64).map(|i| i % 700).collect();
+            e1.push_batch(&batch, 1e-2).unwrap();
+            e2.push_batch(&(0..1000u64).collect::<Vec<_>>(), 1.0)
                 .unwrap();
-            let mut exact = Exact::default();
-            for _ in 0..30 {
-                let batch: Vec<u64> = (0..2000u64).collect();
-                p.push_batch(&batch, 1.0).unwrap();
-                for k in 0..2000u64 {
-                    if is_even(k) {
-                        exact.add(halve(k));
-                    }
-                }
-            }
-            let est = p.self_join().unwrap();
-            let truth = exact.self_join();
-            assert!(
-                (est - truth).abs() / truth < 0.1,
-                "est = {est}, truth = {truth}"
-            );
-            let stats = p.stats();
-            assert_eq!(stats[0].tuples_in, 30 * 2000);
-            assert_eq!(stats[2].tuples_out, 30 * 1000);
-            assert_eq!(p.controller().probability(), 1.0);
         }
-
-        #[test]
-        fn pipeline_overload_triggers_shedding_but_not_bias() {
-            let mut rng = StdRng::seed_from_u64(3);
-            let schema = JoinSchema::fagms(1, 4096, &mut rng);
-            // Capacity of 100k tuples/s against a 1M tuples/s stream.
-            let mut p = PipelineBuilder::new()
-                .sink(&schema, controller(1e5), &mut rng)
-                .unwrap();
-            let mut exact = Exact::default();
-            for _ in 0..20 {
-                let batch: Vec<u64> = (0..1_000_000u64).map(|i| i % 2000).collect();
-                p.push_batch(&batch, 1.0).unwrap();
-                for i in 0..1_000_000u64 {
-                    exact.add(i % 2000);
-                }
-            }
-            // The shedder actually dropped most tuples…
-            let shed = p.stats().last().unwrap();
-            assert!(
-                (shed.tuples_out as f64) < 0.2 * shed.tuples_in as f64,
-                "kept {}/{}",
-                shed.tuples_out,
-                shed.tuples_in
-            );
-            assert!(p.controller().probability() < 0.2);
-            // …and the estimate still lands on the full-stream truth.
-            let est = p.self_join().unwrap();
-            let truth = exact.self_join();
-            assert!(
-                (est - truth).abs() / truth < 0.1,
-                "est = {est}, truth = {truth}"
-            );
-        }
-
-        /// Regression: a batch with a zero, negative, or non-finite
-        /// duration must not panic or poison the controller — the tuples
-        /// are still sketched at the current rate.
-        #[test]
-        fn degenerate_batch_durations_do_not_panic() {
-            let mut rng = StdRng::seed_from_u64(5);
-            let schema = JoinSchema::fagms(1, 1024, &mut rng);
-            let mut p = PipelineBuilder::new()
-                .sink(&schema, controller(1e12), &mut rng)
-                .unwrap();
-            let batch: Vec<u64> = (0..500u64).collect();
-            for secs in [0.0, -2.0, f64::NAN, f64::INFINITY, 1.0] {
-                p.push_batch(&batch, secs).unwrap();
-            }
-            assert_eq!(p.controller().probability(), 1.0);
-            assert_eq!(p.stats().last().unwrap().tuples_in, 2500);
-            // No shedding at huge capacity: every tuple counted.
-            assert_eq!(p.stats().last().unwrap().tuples_out, 2500);
-        }
-
-        /// The pipeline's epoch count stays bounded by the controller's
-        /// rate grid even under a wildly oscillating load.
-        #[test]
-        fn epoch_count_is_bounded_under_oscillating_load() {
-            let mut rng = StdRng::seed_from_u64(6);
-            let schema = JoinSchema::fagms(1, 512, &mut rng);
-            let controller = controller(1e4);
-            let bound = controller.distinct_rate_bound();
-            let mut p = PipelineBuilder::new()
-                .sink(&schema, controller, &mut rng)
-                .unwrap();
-            let batch: Vec<u64> = (0..1000u64).map(|j| j % 100).collect();
-            for i in 0..500u64 {
-                // Arrival rate swings between ~77k and 1M tuples/s.
-                let secs = 1e-3 * (1.0 + (i % 13) as f64);
-                p.push_batch(&batch, secs).unwrap();
-            }
-            assert!(
-                p.shedder().epoch_count() <= bound,
-                "epochs {} exceed grid bound {bound}",
-                p.shedder().epoch_count()
-            );
-        }
+        let sj = e1.self_join_estimate().unwrap();
+        assert_eq!(sj.value.to_bits(), e1.self_join().unwrap().to_bits());
+        assert_eq!(sj.basics.len(), 3, "one lane per F-AGMS row");
+        assert!(sj.variance.is_finite() && sj.variance > 0.0);
+        assert!(sj.chebyshev(0.95).half_width() > sj.clt(0.95).half_width());
+        let join = e1.size_of_join_estimate(&e2).unwrap();
+        assert_eq!(
+            join.value.to_bits(),
+            e1.size_of_join(&e2).unwrap().to_bits()
+        );
+        assert!(join.variance.is_finite() && join.variance > 0.0);
+        let rev = e2.size_of_join_estimate(&e1).unwrap();
+        assert_eq!(rev.value.to_bits(), e2.size_of_join(&e1).unwrap().to_bits());
+        // Without a shedding leg the estimate is the raw sketch estimate.
+        let calm = e2.self_join_estimate().unwrap();
+        assert_eq!(calm.value.to_bits(), e2.self_join().unwrap().to_bits());
+        assert!(calm.variance.is_finite());
     }
 }

@@ -9,7 +9,8 @@
 //!   for bit (the paper's §VI-C multi-core observation, made long-lived);
 //! * [`engine`] — the DSMS engine over that runtime: transform chain,
 //!   backpressure, and an adaptive overflow shedder, built by
-//!   [`EngineBuilder`];
+//!   [`EngineBuilder`]; every query also has a typed `*_estimate()` form
+//!   returning an [`Estimate`](sss_core::Estimate) with error bars;
 //! * [`shedder`] — a load-shedding pipeline pairing a full-stream sketch
 //!   with a Bernoulli-shedded sketch and reporting the update-throughput
 //!   **speed-up** (the paper's headline "factor of at least 10");
@@ -37,8 +38,6 @@ pub mod window;
 
 pub use adaptive::{ControllerConfig, RateController};
 pub use engine::{EngineBuilder, StageStats, StreamEngine, Transform};
-#[allow(deprecated)]
-pub use engine::{Pipeline, PipelineBuilder};
 pub use error::{Result, StreamError};
 pub use online::{OnlineAggregation, OnlineJoinAggregation, Snapshot};
 pub use parallel::{parallel_shed, parallel_sketch, parallel_sketch_with, ParallelShedResult};

@@ -17,7 +17,10 @@ use crate::throughput::Throughput;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{bernoulli_self_join, JoinEstimator, LoadSheddingSketcher, Result};
+use sss_core::{
+    bernoulli_self_join, bernoulli_self_join_estimate, Estimate, JoinEstimator,
+    LoadSheddingSketcher, Result,
+};
 
 /// Sketch `stream` with `threads` workers and merge the partial sketches.
 ///
@@ -84,6 +87,10 @@ pub struct ParallelShedResult {
     pub sketch: JoinSketch,
     /// Total tuples kept across all workers.
     pub kept: u64,
+    /// Total tuples offered across all workers (the logical stream
+    /// length), needed by the sampling-noise plug-in of the typed
+    /// estimate.
+    pub seen: u64,
     /// Wall-clock measurement of the parallel region.
     pub throughput: Throughput,
     /// The shedding probability, for applying estimates later.
@@ -95,6 +102,13 @@ impl ParallelShedResult {
     /// (the shared Proposition 14 correction).
     pub fn self_join(&self) -> f64 {
         bernoulli_self_join(self.sketch.raw_self_join(), self.p, self.kept)
+    }
+
+    /// Typed counterpart of [`ParallelShedResult::self_join`]: the same
+    /// value bit for bit, with sketch-lane spread (corrected per lane)
+    /// plus the Bernoulli sampling plug-in as the error bar.
+    pub fn self_join_estimate(&self) -> Estimate {
+        bernoulli_self_join_estimate(&self.sketch, self.p, self.kept, self.seen)
     }
 }
 
@@ -116,6 +130,7 @@ pub fn parallel_shed<R: Rng>(
         return Ok(ParallelShedResult {
             sketch: schema.sketch(),
             kept: 0,
+            seen: 0,
             throughput: Throughput::measure(0, || {}),
             p,
         });
@@ -171,6 +186,7 @@ pub fn parallel_shed<R: Rng>(
     Ok(ParallelShedResult {
         sketch,
         kept,
+        seen: stream.len() as u64,
         throughput: t,
         p,
     })
@@ -285,6 +301,22 @@ mod tests {
             (est - truth).abs() / truth < 0.1,
             "est = {est}, truth = {truth}"
         );
+    }
+
+    /// The typed shed estimate carries the scalar value bit for bit, the
+    /// full stream length, and a finite two-part error bar.
+    #[test]
+    fn parallel_shed_typed_estimate_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let schema = JoinSchema::agms(48, &mut rng);
+        let s = stream();
+        let r = parallel_shed(&schema, &s, 0.3, 4, &mut rng).unwrap();
+        assert_eq!(r.seen, s.len() as u64);
+        let e = r.self_join_estimate();
+        assert_eq!(e.value.to_bits(), r.self_join().to_bits());
+        assert_eq!(e.basics.len(), 48);
+        assert!(e.variance.is_finite() && e.variance > 0.0);
+        assert!(e.clt(0.95).half_width() < e.chebyshev(0.95).half_width());
     }
 
     #[test]

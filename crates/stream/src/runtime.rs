@@ -34,7 +34,7 @@
 //! backend-erased `JoinSketch`.
 
 use crate::error::{Result, StreamError};
-use sss_core::JoinEstimator;
+use sss_core::{Estimate, JoinEstimator};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -331,6 +331,34 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
         Ok(merged)
     }
 
+    /// Typed at-all-times self-join query: merge the shards as of now and
+    /// return the merged estimator's [`Estimate`]. The error bar is
+    /// computed on the *combined* sketch — by linearity the merge is
+    /// bit-identical to sequential sketching, so the merged lanes carry
+    /// exactly the sketch noise of the answer (per-shard error bars would
+    /// measure the noise of partial streams instead).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn self_join_estimate(&self) -> Result<Estimate> {
+        Ok(self.merged()?.self_join_estimate())
+    }
+
+    /// Typed at-all-times size-of-join query against another runtime over
+    /// the same schema, with the error bar computed on the two combined
+    /// sketches (see [`ShardedRuntime::self_join_estimate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died, or
+    /// an estimator error (schema mismatch between the runtimes).
+    pub fn size_of_join_estimate(&self, other: &ShardedRuntime<E>) -> Result<Estimate> {
+        self.merged()?
+            .size_of_join_estimate(&other.merged()?)
+            .map_err(StreamError::Estimator)
+    }
+
     /// Shut the pool down and merge the final shard estimators. Cheaper
     /// than [`merged`](Self::merged) (no clones — workers hand back their
     /// sketches) and the natural end-of-stream call.
@@ -559,6 +587,38 @@ mod tests {
         assert_eq!(rt.try_push(&[], &mut overflow).unwrap(), 0);
         assert!(overflow.is_empty());
         assert_eq!(rt.into_merged().unwrap().raw_self_join(), 0.0);
+    }
+
+    /// The typed runtime queries answer on the combined sketch: values
+    /// bit-identical to the sequential sketch's estimates, lanes intact.
+    #[test]
+    fn typed_estimates_answer_on_the_combined_sketch() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let schema = JoinSchema::agms(32, &mut rng);
+        let s = stream();
+        let seq = sequential(&schema, &s);
+        let config = RuntimeConfig {
+            shards: 4,
+            ..Default::default()
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let mut rt2 = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        for chunk in s.chunks(1234) {
+            rt.push(chunk).unwrap();
+            rt2.push(chunk).unwrap();
+        }
+        let est = rt.self_join_estimate().unwrap();
+        let seq_est = seq.raw_self_join_estimate();
+        assert_eq!(est.value.to_bits(), seq_est.value.to_bits());
+        assert_eq!(
+            est.basics, seq_est.basics,
+            "merged lanes = sequential lanes"
+        );
+        assert!(est.variance.is_finite() && est.variance > 0.0);
+        // Identical streams: the join estimate equals each self-join.
+        let join = rt.size_of_join_estimate(&rt2).unwrap();
+        assert_eq!(join.value.to_bits(), est.value.to_bits());
+        assert!(join.chebyshev(0.9).contains(join.value));
     }
 
     /// The runtime works for any `JoinEstimator`, not just `JoinSketch` —

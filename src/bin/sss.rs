@@ -5,14 +5,19 @@
 //! Bernoulli sample:
 //!
 //! ```text
-//! sss selfjoin <file> [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact]
-//! sss join <file_f> <file_g> [--p=0.1] [--q=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact]
+//! sss selfjoin <file> [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
+//! sss join <file_f> <file_g> [--p=0.1] [--q=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
 //! ```
 //!
 //! With `--exact` the true aggregate is also computed (hash map over the
 //! full data) and the relative error reported — useful for calibrating a
 //! sketch configuration against a data sample before deploying it on the
 //! full stream.
+//!
+//! With `--confidence=<level>` (a probability in `(0, 1)`) the typed
+//! estimate's error bars are printed as `value ± half_width` at that
+//! level — the distribution-free Chebyshev interval and the tighter CLT
+//! interval, both centered on the same bit-identical point estimate.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -71,12 +76,35 @@ fn exact_join(f: &[u64], g: &[u64]) -> f64 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact]"
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]"
     );
     ExitCode::from(2)
 }
 
-fn run_selfjoin(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) -> Result<()> {
+/// Print the typed estimate's two intervals at `level`, Chebyshev
+/// (distribution-free) first, CLT (normal) second.
+fn print_intervals(est: &sketch_sampled_streams::core::Estimate, level: f64) {
+    println!(
+        "interval   {:.2} ± {:.2} [chebyshev {:.0}%]",
+        est.value,
+        est.chebyshev(level).half_width(),
+        100.0 * level
+    );
+    println!(
+        "interval   {:.2} ± {:.2} [clt {:.0}%]",
+        est.value,
+        est.clt(level).half_width(),
+        100.0 * level
+    );
+}
+
+fn run_selfjoin(
+    args: &[String],
+    schema: &JoinSchema,
+    p: f64,
+    confidence: Option<f64>,
+    rng: &mut StdRng,
+) -> Result<()> {
     let path = &args[1];
     let keys = read_keys(path)?;
     let mut shed = LoadSheddingSketcher::new(schema, p, rng)?;
@@ -87,6 +115,9 @@ fn run_selfjoin(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) 
     println!("tuples     {}", keys.len());
     println!("sketched   {}", shed.kept());
     println!("estimate   {est:.2}");
+    if let Some(level) = confidence {
+        print_intervals(&shed.self_join_estimate(), level);
+    }
     if has_flag(args, "exact") {
         let truth = exact_self_join(&keys);
         println!("exact      {truth:.2}");
@@ -98,7 +129,13 @@ fn run_selfjoin(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) 
     Ok(())
 }
 
-fn run_join(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) -> Result<()> {
+fn run_join(
+    args: &[String],
+    schema: &JoinSchema,
+    p: f64,
+    confidence: Option<f64>,
+    rng: &mut StdRng,
+) -> Result<()> {
     let (pf, pg) = (&args[1], &args[2]);
     let q: f64 = arg_value(args, "q", 1.0);
     let f_keys = read_keys(pf)?;
@@ -115,6 +152,9 @@ fn run_join(args: &[String], schema: &JoinSchema, p: f64, rng: &mut StdRng) -> R
     println!("tuples     {} ⋈ {}", f_keys.len(), g_keys.len());
     println!("sketched   {} + {}", fs.kept(), gs.kept());
     println!("estimate   {est:.2}");
+    if let Some(level) = confidence {
+        print_intervals(&fs.size_of_join_estimate(&gs)?, level);
+    }
     if has_flag(args, "exact") {
         let truth = exact_join(&f_keys, &g_keys);
         println!("exact      {truth:.2}");
@@ -135,14 +175,26 @@ fn main() -> ExitCode {
     let width: usize = arg_value(&args, "width", 5000);
     let seed: u64 = arg_value(&args, "seed", 1);
     let p: f64 = arg_value(&args, "p", 1.0);
+    // `--confidence` is optional with no default; a malformed or
+    // out-of-range level is a usage error, not a silent fallback.
+    let confidence = match args.iter().find_map(|a| a.strip_prefix("--confidence=")) {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(level) if level > 0.0 && level < 1.0 => Some(level),
+            _ => {
+                eprintln!("error: --confidence must be a probability strictly between 0 and 1");
+                return usage();
+            }
+        },
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = JoinSchema::fagms(depth, width, &mut rng);
 
     // Errors from every layer — I/O, parsing, sampling, sketching — reach
     // this one match as a single `Error`, never as pre-formatted strings.
     let result = match cmd.as_str() {
-        "selfjoin" if args.len() >= 2 => run_selfjoin(&args, &schema, p, &mut rng),
-        "join" if args.len() >= 3 => run_join(&args, &schema, p, &mut rng),
+        "selfjoin" if args.len() >= 2 => run_selfjoin(&args, &schema, p, confidence, &mut rng),
+        "join" if args.len() >= 3 => run_join(&args, &schema, p, confidence, &mut rng),
         _ => return usage(),
     };
     match result {

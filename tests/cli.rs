@@ -72,6 +72,72 @@ fn join_command_runs() {
 }
 
 #[test]
+fn confidence_flag_prints_both_intervals() {
+    let dir = std::env::temp_dir().join("sss-cli-test-confidence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    write_keys(&file, (0..60_000u64).map(|i| i % 300));
+    let out = sss()
+        .args([
+            "selfjoin",
+            file.to_str().unwrap(),
+            "--p=0.5",
+            "--seed=7",
+            "--confidence=0.95",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The point estimate is unchanged by the flag, and each bound gets an
+    // interval line centered on it.
+    let est_line = stdout.lines().find(|l| l.starts_with("estimate")).unwrap();
+    let est = est_line.split_whitespace().nth(1).unwrap();
+    let intervals: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("interval"))
+        .collect();
+    assert_eq!(intervals.len(), 2, "stdout: {stdout}");
+    assert!(intervals[0].contains("[chebyshev 95%]"), "stdout: {stdout}");
+    assert!(intervals[1].contains("[clt 95%]"), "stdout: {stdout}");
+    for line in &intervals {
+        assert!(line.contains(est), "interval not centered: {line}");
+        assert!(line.contains('±'), "no half-width: {line}");
+    }
+
+    // A Chebyshev interval is never tighter than the CLT interval at the
+    // same level.
+    let half = |line: &str| -> f64 {
+        line.split('±')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(half(intervals[0]) >= half(intervals[1]), "stdout: {stdout}");
+
+    // Out-of-range and malformed levels are usage errors.
+    for bad in ["--confidence=1.5", "--confidence=0", "--confidence=maybe"] {
+        let out = sss()
+            .args(["selfjoin", file.to_str().unwrap(), bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bad} should be a usage error");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--confidence"),
+            "{bad}: stderr should explain the flag"
+        );
+    }
+}
+
+#[test]
 fn bad_usage_and_bad_files_fail_cleanly() {
     let out = sss().output().unwrap();
     assert_eq!(out.status.code(), Some(2), "no args → usage");

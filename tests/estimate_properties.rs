@@ -1,0 +1,217 @@
+//! Property tests for the typed [`Estimate`] query path: every public
+//! query surface must report an `Estimate` whose **value is bit-identical**
+//! to the legacy scalar query, whose intervals are centered on that value,
+//! and whose Chebyshev interval is never tighter than the CLT interval at
+//! the same confidence level.
+//!
+//! [`Estimate`]: sketch_sampled_streams::core::Estimate
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::JoinSchema;
+use sketch_sampled_streams::core::{EpochShedder, JoinEstimator, LoadSheddingSketcher};
+use sketch_sampled_streams::sketch::{AgmsSchema, CountMinSchema, Estimate, FagmsSchema};
+use sketch_sampled_streams::stream::{parallel_shed, EngineBuilder, RuntimeConfig, ShardedRuntime};
+
+/// Shared coherence checks: finite-value intervals centered on the point
+/// estimate, Chebyshev at least as wide as CLT.
+fn assert_coherent(e: &Estimate) {
+    assert!(e.value.is_finite());
+    for level in [0.5, 0.9, 0.99] {
+        let cheb = e.chebyshev(level);
+        let clt = e.clt(level);
+        assert!(cheb.contains(e.value));
+        assert!(clt.contains(e.value));
+        assert!(
+            cheb.half_width() >= clt.half_width(),
+            "chebyshev {} < clt {} at level {level}",
+            cheb.half_width(),
+            clt.half_width()
+        );
+    }
+}
+
+/// A small but non-degenerate key stream: `len` keys over `domain` values.
+fn keys(len: usize, domain: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..domain, 1..len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Typed sketch estimates (AGMS mean, F-AGMS median, Count-Min min)
+    /// carry the scalar values bit for bit.
+    #[test]
+    fn sketch_estimates_are_bit_identical(
+        seed in 0u64..1000,
+        f in keys(400, 64),
+        g in keys(400, 64),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agms: AgmsSchema = AgmsSchema::new(16, &mut rng);
+        let fagms: FagmsSchema = FagmsSchema::new(3, 32, &mut rng);
+        let cm: CountMinSchema = CountMinSchema::new(3, 32, &mut rng);
+
+        let (mut af, mut ag) = (agms.sketch(), agms.sketch());
+        let (mut ff, mut fg) = (fagms.sketch(), fagms.sketch());
+        let (mut cf, mut cg) = (cm.sketch(), cm.sketch());
+        for &k in &f {
+            sketch_sampled_streams::sketch::Sketch::update(&mut af, k, 1);
+            sketch_sampled_streams::sketch::Sketch::update(&mut ff, k, 1);
+            sketch_sampled_streams::sketch::Sketch::update(&mut cf, k, 1);
+        }
+        for &k in &g {
+            sketch_sampled_streams::sketch::Sketch::update(&mut ag, k, 1);
+            sketch_sampled_streams::sketch::Sketch::update(&mut fg, k, 1);
+            sketch_sampled_streams::sketch::Sketch::update(&mut cg, k, 1);
+        }
+
+        // Inherent methods.
+        prop_assert_eq!(af.self_join_estimate().value.to_bits(), af.self_join().to_bits());
+        prop_assert_eq!(ff.self_join_estimate().value.to_bits(), ff.self_join().to_bits());
+        prop_assert_eq!(cf.self_join_estimate().value.to_bits(), cf.self_join().to_bits());
+        prop_assert_eq!(
+            af.size_of_join_estimate(&ag).unwrap().value.to_bits(),
+            af.size_of_join(&ag).unwrap().to_bits()
+        );
+        prop_assert_eq!(
+            ff.size_of_join_estimate(&fg).unwrap().value.to_bits(),
+            ff.size_of_join(&fg).unwrap().to_bits()
+        );
+        prop_assert_eq!(
+            cf.size_of_join_estimate(&cg).unwrap().value.to_bits(),
+            cf.size_of_join(&cg).unwrap().to_bits()
+        );
+
+        // Trait methods agree with the inherent ones.
+        prop_assert_eq!(
+            JoinEstimator::self_join_estimate(&af).value.to_bits(),
+            JoinEstimator::self_join(&af).to_bits()
+        );
+        prop_assert_eq!(
+            JoinEstimator::self_join_estimate(&cf).value.to_bits(),
+            JoinEstimator::self_join(&cf).to_bits()
+        );
+
+        assert_coherent(&af.self_join_estimate());
+        assert_coherent(&ff.self_join_estimate());
+        assert_coherent(&af.size_of_join_estimate(&ag).unwrap());
+    }
+
+    /// Shedding drivers: `LoadSheddingSketcher` and `EpochShedder` (with
+    /// rate changes mid-stream) report bit-identical typed values.
+    #[test]
+    fn shedder_estimates_are_bit_identical(
+        seed in 0u64..1000,
+        stream in keys(600, 50),
+        p in 0.2f64..1.0,
+        fagms in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = if fagms {
+            JoinSchema::fagms(2, 64, &mut rng)
+        } else {
+            JoinSchema::agms(24, &mut rng)
+        };
+
+        let mut shed = LoadSheddingSketcher::new(&schema, p, &mut rng).unwrap();
+        let mut other = LoadSheddingSketcher::new(&schema, 1.0, &mut rng).unwrap();
+        for &k in &stream {
+            shed.observe(k);
+            other.observe(k);
+        }
+        let e = shed.self_join_estimate();
+        prop_assert_eq!(e.value.to_bits(), shed.self_join().to_bits());
+        assert_coherent(&e);
+        let ej = shed.size_of_join_estimate(&other).unwrap();
+        prop_assert_eq!(ej.value.to_bits(), shed.size_of_join(&other).unwrap().to_bits());
+        assert_coherent(&ej);
+
+        // Epoch shedder with a mid-stream rate change.
+        let mut epochs = EpochShedder::new(&schema, p, &mut rng).unwrap();
+        let mut epochs2 = EpochShedder::new(&schema, 1.0, &mut rng).unwrap();
+        let half = stream.len() / 2;
+        epochs.feed_batch(&stream[..half]);
+        epochs.set_probability((p * 0.7).max(0.05), &mut rng).unwrap();
+        epochs.feed_batch(&stream[half..]);
+        epochs2.feed_batch(&stream);
+        let ee = epochs.self_join_estimate().unwrap();
+        prop_assert_eq!(ee.value.to_bits(), epochs.self_join().unwrap().to_bits());
+        assert_coherent(&ee);
+        let ej = epochs.size_of_join_estimate(&epochs2).unwrap();
+        prop_assert_eq!(ej.value.to_bits(), epochs.size_of_join(&epochs2).unwrap().to_bits());
+        assert_coherent(&ej);
+        let es = epochs
+            .size_of_join_sketch_estimate(other.sketch(), 1.0)
+            .unwrap();
+        prop_assert_eq!(
+            es.value.to_bits(),
+            epochs.size_of_join_sketch(other.sketch(), 1.0).unwrap().to_bits()
+        );
+    }
+
+    /// The stream layer: sharded runtime and the full engine (with and
+    /// without an overflow-shedding leg) report bit-identical typed
+    /// values, and `parallel_shed` matches its scalar correction.
+    #[test]
+    fn stream_layer_estimates_are_bit_identical(
+        seed in 0u64..1000,
+        stream in keys(800, 80),
+        shards in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = JoinSchema::fagms(2, 128, &mut rng);
+
+        // Sharded runtime: estimate answered on the combined sketch.
+        let config = RuntimeConfig { shards, ..Default::default() };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let mut rt2 = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        for chunk in stream.chunks(97) {
+            rt.push(chunk).unwrap();
+            rt2.push(chunk).unwrap();
+        }
+        let mut seq = schema.sketch();
+        seq.update_batch(&stream);
+        let e = rt.self_join_estimate().unwrap();
+        prop_assert_eq!(e.value.to_bits(), seq.raw_self_join().to_bits());
+        assert_coherent(&e);
+        let ej = rt.size_of_join_estimate(&rt2).unwrap();
+        prop_assert_eq!(ej.value.to_bits(), seq.raw_self_join().to_bits());
+
+        // Engine without shedding: typed value = scalar value.
+        let mut engine = EngineBuilder::new()
+            .shards(shards)
+            .schema(&schema)
+            .build()
+            .unwrap();
+        engine.push_batch(&stream, 1.0).unwrap();
+        let e = engine.self_join_estimate().unwrap();
+        prop_assert_eq!(e.value.to_bits(), engine.self_join().unwrap().to_bits());
+
+        // Engine with a saturated shedding leg.
+        let mut overloaded = EngineBuilder::new()
+            .shards(1)
+            .queue_depth(1)
+            .seed(seed)
+            .schema(&schema)
+            .shedding(Default::default())
+            .build()
+            .unwrap();
+        for chunk in stream.chunks(61) {
+            overloaded.push_batch(chunk, 1e-6).unwrap();
+        }
+        let e = overloaded.self_join_estimate().unwrap();
+        prop_assert_eq!(e.value.to_bits(), overloaded.self_join().unwrap().to_bits());
+        assert_coherent(&e);
+        let ej = overloaded.size_of_join_estimate(&engine).unwrap();
+        prop_assert_eq!(
+            ej.value.to_bits(),
+            overloaded.size_of_join(&engine).unwrap().to_bits()
+        );
+
+        // One-shot parallel shedding.
+        let r = parallel_shed(&schema, &stream, 0.5, shards, &mut rng).unwrap();
+        prop_assert_eq!(r.self_join_estimate().value.to_bits(), r.self_join().to_bits());
+    }
+}
