@@ -17,8 +17,12 @@
 //!     [--pause-us=150] [--seed=12]
 //! ```
 //!
-//! Prints CSV (`workload,shards,tuples_per_sec,speedup`); the recorded
-//! numbers live in BENCH_sharded_runtime.json.
+//! Prints CSV (`workload,shards,tuples_per_sec,speedup,
+//! gauge_tuples_per_sec,queue_high_water`): the end-to-end measurement,
+//! the runtime's own merged ingest gauge
+//! ([`sss_stream::ShardedRuntime::tuples_per_sec`]), and the queue
+//! high-water mark. The recorded numbers live in
+//! BENCH_sharded_runtime.json.
 
 use sss_bench::experiments::{sharded_scaling, ShardedScalingConfig};
 use sss_bench::{arg, banner};
@@ -57,11 +61,16 @@ fn main() {
         seed,
     };
     let points = sharded_scaling(&cfg);
-    println!("workload,shards,tuples_per_sec,speedup");
+    println!("workload,shards,tuples_per_sec,speedup,gauge_tuples_per_sec,queue_high_water");
     for pt in &points {
         println!(
-            "{},{},{:.0},{:.3}",
-            pt.workload, pt.shards, pt.tuples_per_sec, pt.speedup
+            "{},{},{:.0},{:.3},{:.0},{}",
+            pt.workload,
+            pt.shards,
+            pt.tuples_per_sec,
+            pt.speedup,
+            pt.gauge_tuples_per_sec,
+            pt.queue_high_water
         );
     }
     for workload in ["cpu_bound", "latency_bound"] {

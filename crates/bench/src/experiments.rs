@@ -414,25 +414,52 @@ pub struct ScalingPoint {
     pub tuples_per_sec: f64,
     /// Speedup over the series' first shard count.
     pub speedup: f64,
+    /// The runtime's own merged throughput gauge
+    /// ([`ShardedRuntime::tuples_per_sec`]), read after the last push.
+    /// Unlike `tuples_per_sec` it excludes the final merge but includes
+    /// pool spawn, and counts only tuples the workers had *applied* at the
+    /// moment of reading (the last queue's worth may still be draining).
+    pub gauge_tuples_per_sec: f64,
+    /// Highest enqueued-or-in-flight count on any shard
+    /// ([`ShardedRuntime::queue_high_water`]) — the memory bound actually
+    /// touched during the run.
+    pub queue_high_water: usize,
+}
+
+/// Instantaneous runtime-gauge readings taken right before the final
+/// merge (see [`ScalingPoint::gauge_tuples_per_sec`] for the semantics).
+struct RuntimeGauges {
+    tuples_per_sec: f64,
+    queue_high_water: usize,
 }
 
 /// Push `stream` through a fresh sharded runtime and merge at the end,
-/// returning the merged estimator and the wall-clock measurement.
+/// returning the merged estimator, the wall-clock measurement, and the
+/// runtime's own gauges as of just before the merge.
 fn sharded_run<E: JoinEstimator>(
     prototype: &E,
     config: RuntimeConfig,
     stream: &[u64],
     batch: usize,
-) -> (E, Throughput) {
+) -> (E, Throughput, RuntimeGauges) {
     let mut rt = ShardedRuntime::new(config, prototype).expect("valid runtime config");
     let mut merged = None;
+    let mut gauges = None;
     let t = Throughput::measure(stream.len() as u64, || {
         for chunk in stream.chunks(batch) {
             rt.push(chunk).expect("no shard died");
         }
+        gauges = Some(RuntimeGauges {
+            tuples_per_sec: rt.tuples_per_sec(),
+            queue_high_water: rt.queue_high_water(),
+        });
         merged = Some(rt.into_merged().expect("merge after shutdown"));
     });
-    (merged.expect("measured closure ran"), t)
+    (
+        merged.expect("measured closure ran"),
+        t,
+        gauges.expect("measured closure ran"),
+    )
 }
 
 /// The sharded-runtime scaling experiment behind `BENCH_sharded_runtime`:
@@ -463,13 +490,13 @@ pub fn sharded_scaling(cfg: &ShardedScalingConfig) -> Vec<ScalingPoint> {
                 queue_depth: cfg.queue_depth,
                 partition: Partition::RoundRobin,
             };
-            let (estimate_bits, t) = if workload == "cpu_bound" {
-                let (merged, t) = sharded_run(&schema.sketch(), config, &stream, cfg.batch);
-                (merged.raw_self_join().to_bits(), t)
+            let (estimate_bits, t, gauges) = if workload == "cpu_bound" {
+                let (merged, t, g) = sharded_run(&schema.sketch(), config, &stream, cfg.batch);
+                (merged.raw_self_join().to_bits(), t, g)
             } else {
                 let proto = PacedSketch::new(&schema, pause);
-                let (merged, t) = sharded_run(&proto, config, &stream, cfg.batch);
-                (merged.into_inner().raw_self_join().to_bits(), t)
+                let (merged, t, g) = sharded_run(&proto, config, &stream, cfg.batch);
+                (merged.into_inner().raw_self_join().to_bits(), t, g)
             };
             assert_eq!(
                 estimate_bits, expect,
@@ -482,6 +509,8 @@ pub fn sharded_scaling(cfg: &ShardedScalingConfig) -> Vec<ScalingPoint> {
                 shards,
                 tuples_per_sec: tps,
                 speedup: tps / base,
+                gauge_tuples_per_sec: gauges.tuples_per_sec,
+                queue_high_water: gauges.queue_high_water,
             });
         }
     }
@@ -584,6 +613,11 @@ mod tests {
         assert_eq!(points.len(), 4);
         for pt in &points {
             assert!(pt.tuples_per_sec > 0.0 && pt.speedup > 0.0, "{pt:?}");
+            assert!(pt.gauge_tuples_per_sec > 0.0, "{pt:?}");
+            assert!(
+                pt.queue_high_water >= 1 && pt.queue_high_water <= cfg.queue_depth + 1,
+                "{pt:?}"
+            );
         }
         let latency_4 = points
             .iter()

@@ -46,7 +46,7 @@
 
 use crate::compaction::QueryCache;
 use crate::error::{Error, Result};
-use crate::shedding::bernoulli_self_join;
+use crate::shedding::{bernoulli_self_join, skip_sample_batch};
 use crate::sketch::{JoinSchema, JoinSketch};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -169,39 +169,15 @@ impl EpochShedder {
     ///
     /// Bit-identical to calling [`EpochShedder::observe`] per key — same
     /// geometric-gap draw order, same sketch state via the batched update
-    /// kernel — with the skip-sampling fast path of
-    /// [`crate::LoadSheddingSketcher::feed_batch`]. The whole batch lands
-    /// in the epoch in force when the call starts; rate changes take effect
+    /// kernel — through the same skip-sampling kernel as
+    /// [`crate::LoadSheddingSketcher::feed_batch`]
+    /// (`crate::shedding::skip_sample_batch`). The whole batch lands in the
+    /// epoch in force when the call starts; rate changes take effect
     /// between batches via [`EpochShedder::set_probability`].
     pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
-        const CHUNK: usize = 256;
         let epoch = &mut self.epochs[self.current];
-        let mut kept_keys = [0u64; CHUNK];
-        let mut fill = 0usize;
-        let mut kept_now = 0u64;
-        let mut pos = 0u64;
-        let n = keys.len() as u64;
-        loop {
-            let remaining = n - pos;
-            if self.gap >= remaining {
-                self.gap -= remaining;
-                break;
-            }
-            pos += self.gap;
-            kept_keys[fill] = keys[pos as usize];
-            fill += 1;
-            kept_now += 1;
-            if fill == CHUNK {
-                epoch.sketch.update_batch(&kept_keys);
-                fill = 0;
-            }
-            self.gap = self.skip.next_gap();
-            pos += 1;
-        }
-        if fill > 0 {
-            epoch.sketch.update_batch(&kept_keys[..fill]);
-        }
-        epoch.seen += n;
+        let kept_now = skip_sample_batch(&mut epoch.sketch, &mut self.skip, &mut self.gap, keys);
+        epoch.seen += keys.len() as u64;
         epoch.kept += kept_now;
         if kept_now > 0 {
             epoch.version += 1;

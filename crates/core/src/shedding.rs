@@ -71,6 +71,53 @@ pub fn bernoulli_self_join_estimate(sketch: &JoinSketch, p: f64, kept: u64, seen
     }
 }
 
+/// The skip-sampled batch kernel shared by every Bernoulli shedder in the
+/// crate ([`LoadSheddingSketcher::feed_batch`] and
+/// [`crate::EpochShedder::feed_batch`]): walk the batch by geometric gaps,
+/// stack-buffer the kept keys, and flush them through the sketch's batched
+/// update kernel (which routes into the runtime-dispatched `sss_xi`
+/// row kernels). Returns how many keys were kept.
+///
+/// Bit-identical to the per-tuple `observe` loop: gaps are consumed in the
+/// same order (one draw per kept tuple) and `update_batch` shares the
+/// scalar path's counter state exactly. Skipped tuples cost a pointer jump
+/// instead of a per-tuple branch.
+pub(crate) fn skip_sample_batch(
+    sketch: &mut JoinSketch,
+    skip: &mut GeometricSkip<StdRng>,
+    gap: &mut u64,
+    keys: &[u64],
+) -> u64 {
+    const CHUNK: usize = 256;
+    let mut kept_keys = [0u64; CHUNK];
+    let mut fill = 0usize;
+    let mut kept_now = 0u64;
+    let mut pos = 0u64;
+    let n = keys.len() as u64;
+    loop {
+        let remaining = n - pos;
+        if *gap >= remaining {
+            // The rest of the batch is skipped outright.
+            *gap -= remaining;
+            break;
+        }
+        pos += *gap;
+        kept_keys[fill] = keys[pos as usize];
+        fill += 1;
+        kept_now += 1;
+        if fill == CHUNK {
+            sketch.update_batch(&kept_keys);
+            fill = 0;
+        }
+        *gap = skip.next_gap();
+        pos += 1;
+    }
+    if fill > 0 {
+        sketch.update_batch(&kept_keys[..fill]);
+    }
+    kept_now
+}
+
 /// Bernoulli load shedder in front of a join sketch.
 #[derive(Debug)]
 pub struct LoadSheddingSketcher {
@@ -116,40 +163,11 @@ impl LoadSheddingSketcher {
     /// Offer a whole batch of stream tuples; returns how many were kept.
     ///
     /// Bit-identical to calling [`LoadSheddingSketcher::observe`] on each
-    /// key in turn: the geometric gaps are consumed in the same order (one
-    /// draw per kept tuple), and the kept keys reach the sketch through its
-    /// batched kernel, which shares the scalar path's counter state exactly.
-    /// The win is that skipped tuples cost a pointer jump instead of a
-    /// per-tuple branch, and kept tuples are sketched in bulk.
+    /// key in turn — see `skip_sample_batch` (shared with the epoch
+    /// shedder) for the kernel and its contract.
     pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
-        const CHUNK: usize = 256;
-        let mut kept_keys = [0u64; CHUNK];
-        let mut fill = 0usize;
-        let mut kept_now = 0u64;
-        let mut pos = 0u64;
-        let n = keys.len() as u64;
-        loop {
-            let remaining = n - pos;
-            if self.gap >= remaining {
-                // The rest of the batch is skipped outright.
-                self.gap -= remaining;
-                break;
-            }
-            pos += self.gap;
-            kept_keys[fill] = keys[pos as usize];
-            fill += 1;
-            kept_now += 1;
-            if fill == CHUNK {
-                self.sketch.update_batch(&kept_keys);
-                fill = 0;
-            }
-            self.gap = self.skip.next_gap();
-            pos += 1;
-        }
-        if fill > 0 {
-            self.sketch.update_batch(&kept_keys[..fill]);
-        }
-        self.seen += n;
+        let kept_now = skip_sample_batch(&mut self.sketch, &mut self.skip, &mut self.gap, keys);
+        self.seen += keys.len() as u64;
         self.kept += kept_now;
         kept_now
     }

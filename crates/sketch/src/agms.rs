@@ -312,15 +312,12 @@ impl<F: SignFamily> Sketch for AgmsSketch<F> {
         }
     }
 
-    // Row-major batched kernel: the outer loop walks the families so each
-    // family's seed words stay in registers across the whole chunk, and the
-    // per-chunk sign sum hits the counter memory once per family instead of
-    // once per tuple. Bit-identical to per-key updates because integer
-    // counter increments commute.
     // Family-major batched kernel: a whole batch contributes `Σᵢ ξ(kᵢ)` to
     // each counter, so every family makes one fused pass over the keys with
-    // its seed hot and never materializes a per-key sign. Bit-identical to
-    // per-key updates because integer addition commutes.
+    // its seed hot and never materializes a per-key sign. The sums come
+    // from the runtime-dispatched `sss_xi::kernels` sign kernels via the
+    // family's `sign_sum`/`sign_dot` overrides. Bit-identical to per-key
+    // updates because integer addition commutes.
     fn update_batch(&mut self, keys: &[u64]) {
         for (counter, family) in self.counters.iter_mut().zip(self.schema.families.iter()) {
             *counter += family.sign_sum(keys);

@@ -305,51 +305,29 @@ impl<B: BucketFamily> Sketch for CountMinSketch<B> {
         }
     }
 
-    // Row-major batched kernel. Polynomial bucket hashes (the default) go
-    // through the fused `bucket_scatter` kernel — lane-parallel hashing, a
-    // magic-number remainder instead of a hardware divide, and an immediate
-    // scatter; other families take the generic buffered path. Bit-identical
-    // to per-key updates because integer counter increments commute.
+    // Row-major batched kernel. Each row's polynomial-vs-generic dispatch
+    // lives in `crate::rowkernel`: polynomial bucket hashes (the default)
+    // go through the fused `bucket_scatter` kernel — lane-parallel hashing,
+    // a magic-number remainder instead of a hardware divide, an immediate
+    // scatter — and other families take the generic buffered path.
+    // Bit-identical to per-key updates because integer counter increments
+    // commute.
     fn update_batch(&mut self, keys: &[u64]) {
         let w = self.schema.width;
-        let mut buckets = [0usize; crate::BATCH_CHUNK];
         for (r, row) in self.schema.rows.iter().enumerate() {
-            let row_counters = &mut self.counters[r * w..(r + 1) * w];
-            if let Some(bc) = row.poly_coeffs() {
-                sss_xi::bucket_scatter(bc, w, keys, row_counters);
-                continue;
-            }
-            for chunk in keys.chunks(crate::BATCH_CHUNK) {
-                let buckets = &mut buckets[..chunk.len()];
-                row.bucket_batch(chunk, w, buckets);
-                for &b in buckets.iter() {
-                    row_counters[b] += 1;
-                }
-            }
+            crate::rowkernel::bucket_row_keys(row, w, keys, &mut self.counters[r * w..(r + 1) * w]);
         }
     }
 
     fn update_batch_counts(&mut self, items: &[(u64, i64)]) {
         let w = self.schema.width;
-        let mut keys = [0u64; crate::BATCH_CHUNK];
-        let mut buckets = [0usize; crate::BATCH_CHUNK];
         for (r, row) in self.schema.rows.iter().enumerate() {
-            let row_counters = &mut self.counters[r * w..(r + 1) * w];
-            if let Some(bc) = row.poly_coeffs() {
-                sss_xi::bucket_scatter_counts(bc, w, items, row_counters);
-                continue;
-            }
-            for chunk in items.chunks(crate::BATCH_CHUNK) {
-                let keys = &mut keys[..chunk.len()];
-                for (k, &(key, _)) in keys.iter_mut().zip(chunk) {
-                    *k = key;
-                }
-                let buckets = &mut buckets[..chunk.len()];
-                row.bucket_batch(keys, w, buckets);
-                for (&b, &(_, c)) in buckets.iter().zip(chunk.iter()) {
-                    row_counters[b] += c;
-                }
-            }
+            crate::rowkernel::bucket_row_items(
+                row,
+                w,
+                items,
+                &mut self.counters[r * w..(r + 1) * w],
+            );
         }
     }
 

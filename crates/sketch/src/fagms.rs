@@ -356,58 +356,35 @@ impl<S: SignFamily, B: BucketFamily> Sketch for FagmsSketch<S, B> {
         }
     }
 
-    // Row-major batched kernel. When both of a row's families are CW
-    // polynomials (the default configuration), the fused `signed_scatter`
-    // kernel evaluates sign and bucket on shared lanes and scatters in the
-    // same pass — no per-key sign/bucket buffers, no hardware divide. Other
-    // families take the generic buffered path. Both are bit-identical to
-    // per-key updates because integer counter increments commute.
+    // Row-major batched kernel. Each row's polynomial-vs-generic dispatch
+    // lives in `crate::rowkernel`: CW rows (the default configuration) take
+    // the fused `signed_scatter` kernel — shared lane evaluation, runtime
+    // CPU dispatch, immediate scatter — and other families take the generic
+    // buffered path. Both are bit-identical to per-key updates because
+    // integer counter increments commute.
     fn update_batch(&mut self, keys: &[u64]) {
         let w = self.schema.width;
-        let mut signs = [0i64; crate::BATCH_CHUNK];
-        let mut buckets = [0usize; crate::BATCH_CHUNK];
         for (r, row) in self.schema.rows.iter().enumerate() {
-            let row_counters = &mut self.counters[r * w..(r + 1) * w];
-            if let (Some(sc), Some(bc)) = (row.sign.poly_coeffs(), row.bucket.poly_coeffs()) {
-                sss_xi::signed_scatter(sc, bc, w, keys, row_counters);
-                continue;
-            }
-            for chunk in keys.chunks(crate::BATCH_CHUNK) {
-                let signs = &mut signs[..chunk.len()];
-                let buckets = &mut buckets[..chunk.len()];
-                row.sign.sign_batch(chunk, signs);
-                row.bucket.bucket_batch(chunk, w, buckets);
-                for (&b, &s) in buckets.iter().zip(signs.iter()) {
-                    row_counters[b] += s;
-                }
-            }
+            crate::rowkernel::signed_row_keys(
+                &row.sign,
+                &row.bucket,
+                w,
+                keys,
+                &mut self.counters[r * w..(r + 1) * w],
+            );
         }
     }
 
     fn update_batch_counts(&mut self, items: &[(u64, i64)]) {
         let w = self.schema.width;
-        let mut keys = [0u64; crate::BATCH_CHUNK];
-        let mut signs = [0i64; crate::BATCH_CHUNK];
-        let mut buckets = [0usize; crate::BATCH_CHUNK];
         for (r, row) in self.schema.rows.iter().enumerate() {
-            let row_counters = &mut self.counters[r * w..(r + 1) * w];
-            if let (Some(sc), Some(bc)) = (row.sign.poly_coeffs(), row.bucket.poly_coeffs()) {
-                sss_xi::signed_scatter_counts(sc, bc, w, items, row_counters);
-                continue;
-            }
-            for chunk in items.chunks(crate::BATCH_CHUNK) {
-                let keys = &mut keys[..chunk.len()];
-                for (k, &(key, _)) in keys.iter_mut().zip(chunk) {
-                    *k = key;
-                }
-                let signs = &mut signs[..chunk.len()];
-                let buckets = &mut buckets[..chunk.len()];
-                row.sign.sign_batch(keys, signs);
-                row.bucket.bucket_batch(keys, w, buckets);
-                for ((&b, &s), &(_, c)) in buckets.iter().zip(signs.iter()).zip(chunk.iter()) {
-                    row_counters[b] += s * c;
-                }
-            }
+            crate::rowkernel::signed_row_items(
+                &row.sign,
+                &row.bucket,
+                w,
+                items,
+                &mut self.counters[r * w..(r + 1) * w],
+            );
         }
     }
 

@@ -54,6 +54,7 @@ pub mod error;
 pub mod estimate;
 pub mod fagms;
 pub mod multiway;
+pub(crate) mod rowkernel;
 
 /// Keys per stack-buffered chunk of the batched update kernels: large
 /// enough to amortize the per-row ξ setup, small enough that the sign and

@@ -35,10 +35,11 @@
 
 use crate::error::{Result, StreamError};
 use sss_core::{Estimate, JoinEstimator};
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How [`ShardedRuntime::push`] routes tuples to shard workers.
 ///
@@ -154,6 +155,13 @@ pub struct ShardedRuntime<E: JoinEstimator> {
     /// queue refills) — the latter is the true memory bound.
     queued: Vec<Arc<AtomicIsize>>,
     high_water: Arc<AtomicUsize>,
+    /// Tuples each worker has *applied* to its shard sketch (incremented
+    /// by the worker after `update_batch`, not at enqueue time, so the
+    /// gauge counts work done rather than work promised).
+    ingested: Vec<Arc<AtomicU64>>,
+    /// When the pool was spawned — the denominator of
+    /// [`ShardedRuntime::tuples_per_sec`].
+    started: Instant,
     /// Next shard for [`Partition::RoundRobin`].
     cursor: usize,
     /// Per-shard scatter buffers for [`Partition::Hash`].
@@ -169,18 +177,22 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
         let mut txs = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
         let mut queued = Vec::with_capacity(config.shards);
+        let mut ingested = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth);
             let in_flight = Arc::new(AtomicIsize::new(0));
+            let tuples = Arc::new(AtomicU64::new(0));
             let worker_est = prototype.clone();
             let worker_in_flight = Arc::clone(&in_flight);
+            let worker_tuples = Arc::clone(&tuples);
             let handle = std::thread::Builder::new()
                 .name(format!("sss-shard-{shard}"))
-                .spawn(move || shard_worker(worker_est, rx, worker_in_flight))
+                .spawn(move || shard_worker(worker_est, rx, worker_in_flight, worker_tuples))
                 .expect("spawning a shard worker thread");
             txs.push(tx);
             handles.push(handle);
             queued.push(in_flight);
+            ingested.push(tuples);
         }
         Ok(Self {
             config,
@@ -189,6 +201,8 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
             handles,
             queued,
             high_water,
+            ingested,
+            started: Instant::now(),
             cursor: 0,
             scatter: vec![Vec::new(); config.shards],
         })
@@ -209,6 +223,39 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
     /// mid-application when the queue refills).
     pub fn queue_high_water(&self) -> usize {
         self.high_water.load(Ordering::Acquire)
+    }
+
+    /// Tuples applied to shard sketches so far, summed over all workers.
+    ///
+    /// Each worker bumps its counter *after* `update_batch`, so this lags
+    /// [`push`](Self::push) while batches sit in queues. After a
+    /// [`merged`](Self::merged) call returns, the gauge covers every tuple
+    /// accepted before it (the snapshot quiesces each queue).
+    pub fn tuples_ingested(&self) -> u64 {
+        self.ingested
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Tuples applied by one worker (panics if `shard >= shards()`). The
+    /// spread across shards shows how well the partition policy balances
+    /// the load.
+    pub fn shard_tuples_ingested(&self, shard: usize) -> u64 {
+        self.ingested[shard].load(Ordering::Acquire)
+    }
+
+    /// Merged ingest throughput gauge: tuples applied per wall-clock
+    /// second since the pool was spawned. Pair with
+    /// [`queue_high_water`](Self::queue_high_water) when deciding whether
+    /// a pipeline needs more shards or a lower sampling rate.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.tuples_ingested() as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Record a successful enqueue on `shard` in the memory accounting.
@@ -398,11 +445,13 @@ fn shard_worker<E: JoinEstimator>(
     mut est: E,
     rx: Receiver<Cmd<E>>,
     in_flight: Arc<AtomicIsize>,
+    ingested: Arc<AtomicU64>,
 ) -> E {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Batch(keys) => {
                 est.update_batch(&keys);
+                ingested.fetch_add(keys.len() as u64, Ordering::AcqRel);
                 in_flight.fetch_sub(1, Ordering::AcqRel);
             }
             Cmd::Snapshot(reply) => {
@@ -619,6 +668,36 @@ mod tests {
         let join = rt.size_of_join_estimate(&rt2).unwrap();
         assert_eq!(join.value.to_bits(), est.value.to_bits());
         assert!(join.chebyshev(0.9).contains(join.value));
+    }
+
+    /// After a quiescing `merged()` call the ingest gauges are exact: the
+    /// per-worker counters sum to every tuple pushed, and the throughput
+    /// gauge is positive.
+    #[test]
+    fn ingest_counters_are_exact_after_quiesce() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let schema = JoinSchema::fagms(1, 256, &mut rng);
+        let s = stream();
+        for partition in [Partition::RoundRobin, Partition::Hash] {
+            let config = RuntimeConfig {
+                shards: 3,
+                queue_depth: 8,
+                partition,
+            };
+            let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+            assert_eq!(rt.tuples_ingested(), 0);
+            for chunk in s.chunks(777) {
+                rt.push(chunk).unwrap();
+            }
+            // merged() queues a snapshot behind every accepted batch, so by
+            // the time it returns each worker has applied (and counted) all
+            // of them.
+            let _ = rt.merged().unwrap();
+            assert_eq!(rt.tuples_ingested(), s.len() as u64, "{partition:?}");
+            let per_shard: u64 = (0..rt.shards()).map(|i| rt.shard_tuples_ingested(i)).sum();
+            assert_eq!(per_shard, s.len() as u64, "{partition:?}");
+            assert!(rt.tuples_per_sec() > 0.0, "{partition:?}");
+        }
     }
 
     /// The runtime works for any `JoinEstimator`, not just `JoinSketch` —

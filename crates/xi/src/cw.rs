@@ -9,7 +9,8 @@
 //! * a **bucket index** from the value modulo the number of buckets.
 
 use crate::family::{BucketFamily, FourWise, SignFamily};
-use crate::prime::{horner_lanes_reduced, poly_eval, poly_eval_batch, FixedMod, P61, POLY_LANES};
+use crate::kernels::{self, Dispatch};
+use crate::prime::{poly_eval, P61};
 use rand::Rng;
 
 fn random_coeff<R: Rng + ?Sized>(rng: &mut R) -> u64 {
@@ -22,92 +23,13 @@ fn random_coeff<R: Rng + ?Sized>(rng: &mut R) -> u64 {
     }
 }
 
-/// Hash-buffer size of the batched polynomial paths: big enough to amortize
-/// the per-call coefficient setup of [`poly_eval_batch`], small enough to
-/// live on the stack.
-const HASH_CHUNK: usize = 64;
-
-/// Evaluate `coeffs` at every key and map the hashes to ±1 via the low bit
-/// (the batched twin of the scalar `1 - 2·(hash & 1)` sign derivations).
-fn poly_sign_batch(coeffs: &[u64], keys: &[u64], out: &mut [i64]) {
-    assert_eq!(
-        keys.len(),
-        out.len(),
-        "sign_batch needs one output slot per key"
-    );
-    let mut hashes = [0u64; HASH_CHUNK];
-    for (kc, oc) in keys.chunks(HASH_CHUNK).zip(out.chunks_mut(HASH_CHUNK)) {
-        let h = &mut hashes[..kc.len()];
-        poly_eval_batch(coeffs, kc, h);
-        for (o, &v) in oc.iter_mut().zip(h.iter()) {
-            *o = 1 - 2 * ((v & 1) as i64);
-        }
-    }
-}
-
-/// `Σᵢ sign(keys[i])` for a polynomial sign family, with the sum folded
-/// into the lane loop: no per-key sign ever touches memory, which is the
-/// difference between the batched AGMS kernel breaking even and winning.
-/// `coeffs` must be reduced modulo 2⁶¹−1 (family seeds always are).
-fn poly_sign_sum(coeffs: &[u64], keys: &[u64]) -> i64 {
-    let mut odd = 0u64;
-    let mut chunks = keys.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
-        let h = horner_lanes_reduced(coeffs, &xs);
-        for v in h {
-            odd += v & 1;
-        }
-    }
-    for &k in chunks.remainder() {
-        odd += poly_eval(coeffs, k) & 1;
-    }
-    // Each odd hash contributes −1, each even one +1.
-    keys.len() as i64 - 2 * odd as i64
-}
-
-/// `Σᵢ countᵢ·sign(keyᵢ)`: the weighted twin of [`poly_sign_sum`].
-fn poly_sign_dot(coeffs: &[u64], items: &[(u64, i64)]) -> i64 {
-    let mut dot = 0i64;
-    let mut chunks = items.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
-        let h = horner_lanes_reduced(coeffs, &xs);
-        for l in 0..POLY_LANES {
-            dot += (1 - 2 * ((h[l] & 1) as i64)) * c[l].1;
-        }
-    }
-    for &(k, count) in chunks.remainder() {
-        dot += (1 - 2 * ((poly_eval(coeffs, k) & 1) as i64)) * count;
-    }
-    dot
-}
-
-/// Reduce up to 8 coefficients onto the stack; `None` means the degree
-/// exceeds the lane kernels' coefficient budget and the caller should take
-/// its scalar path. No polynomial family in this workspace goes past
-/// degree 3, so the fallback exists for API robustness, not performance.
-#[inline]
-fn reduced_coeffs(coeffs: &[u64], buf: &mut [u64; 8]) -> Option<usize> {
-    if coeffs.len() > buf.len() {
-        return None;
-    }
-    for (r, &c) in buf.iter_mut().zip(coeffs) {
-        *r = c % P61;
-    }
-    Some(coeffs.len())
-}
-
 /// Fused F-AGMS row kernel: for every key, add `sign(key)` (the low bit of
 /// the `sign_coeffs` polynomial) into `counters[hash(key) % width]` (the
-/// `bucket_coeffs` polynomial). One pass over the keys evaluates both
-/// polynomials on shared reduced lanes and scatters immediately — no
-/// intermediate sign/bucket buffers — and the per-key `% width` divide is
-/// replaced by a [`FixedMod`] multiply.
+/// `bucket_coeffs` polynomial), in one pass with no intermediate buffers.
 ///
-/// Bit-identical to the per-key `counters[bucket(k, width)] += sign(k)`
-/// loop: hashes are canonical, `FixedMod` is an exact remainder, and
-/// integer counter increments commute.
+/// Thin wrapper over [`kernels::signed_scatter`] on the runtime-dispatched
+/// fast path; bit-identical to the per-key
+/// `counters[bucket(k, width)] += sign(k)` loop on every path.
 ///
 /// # Panics
 ///
@@ -119,36 +41,14 @@ pub fn signed_scatter(
     keys: &[u64],
     counters: &mut [i64],
 ) {
-    assert!(width > 0, "bucket width must be non-zero");
-    assert!(counters.len() >= width, "counter row narrower than width");
-    let mut sbuf = [0u64; 8];
-    let mut bbuf = [0u64; 8];
-    let (Some(sn), Some(bn)) = (
-        reduced_coeffs(sign_coeffs, &mut sbuf),
-        reduced_coeffs(bucket_coeffs, &mut bbuf),
-    ) else {
-        for &k in keys {
-            let s = 1 - 2 * ((poly_eval(sign_coeffs, k) & 1) as i64);
-            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += s;
-        }
-        return;
-    };
-    let (sc, bc) = (&sbuf[..sn], &bbuf[..bn]);
-    let wm = FixedMod::new(width as u64);
-    let mut chunks = keys.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
-        let hs = horner_lanes_reduced(sc, &xs);
-        let hb = horner_lanes_reduced(bc, &xs);
-        for l in 0..POLY_LANES {
-            let s = 1 - 2 * ((hs[l] & 1) as i64);
-            counters[wm.rem(hb[l]) as usize] += s;
-        }
-    }
-    for &k in chunks.remainder() {
-        let s = 1 - 2 * ((poly_eval(sc, k) & 1) as i64);
-        counters[wm.rem(poly_eval(bc, k)) as usize] += s;
-    }
+    kernels::signed_scatter(
+        Dispatch::get(),
+        sign_coeffs,
+        bucket_coeffs,
+        width,
+        keys,
+        counters,
+    );
 }
 
 /// Count-carrying twin of [`signed_scatter`]:
@@ -164,68 +64,25 @@ pub fn signed_scatter_counts(
     items: &[(u64, i64)],
     counters: &mut [i64],
 ) {
-    assert!(width > 0, "bucket width must be non-zero");
-    assert!(counters.len() >= width, "counter row narrower than width");
-    let mut sbuf = [0u64; 8];
-    let mut bbuf = [0u64; 8];
-    let (Some(sn), Some(bn)) = (
-        reduced_coeffs(sign_coeffs, &mut sbuf),
-        reduced_coeffs(bucket_coeffs, &mut bbuf),
-    ) else {
-        for &(k, count) in items {
-            let s = 1 - 2 * ((poly_eval(sign_coeffs, k) & 1) as i64);
-            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += s * count;
-        }
-        return;
-    };
-    let (sc, bc) = (&sbuf[..sn], &bbuf[..bn]);
-    let wm = FixedMod::new(width as u64);
-    let mut chunks = items.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
-        let hs = horner_lanes_reduced(sc, &xs);
-        let hb = horner_lanes_reduced(bc, &xs);
-        for l in 0..POLY_LANES {
-            let s = 1 - 2 * ((hs[l] & 1) as i64);
-            counters[wm.rem(hb[l]) as usize] += s * c[l].1;
-        }
-    }
-    for &(k, count) in chunks.remainder() {
-        let s = 1 - 2 * ((poly_eval(sc, k) & 1) as i64);
-        counters[wm.rem(poly_eval(bc, k)) as usize] += s * count;
-    }
+    kernels::signed_scatter_counts(
+        Dispatch::get(),
+        sign_coeffs,
+        bucket_coeffs,
+        width,
+        items,
+        counters,
+    );
 }
 
 /// Fused Count-Min row kernel: `counters[hash(key) % width] += 1` per key.
-/// Same lane evaluation and [`FixedMod`] remainder as [`signed_scatter`],
+/// Same lane evaluation and `FixedMod` remainder as [`signed_scatter`],
 /// minus the sign polynomial.
 ///
 /// # Panics
 ///
 /// Panics if `width == 0` or `counters.len() < width`.
 pub fn bucket_scatter(bucket_coeffs: &[u64], width: usize, keys: &[u64], counters: &mut [i64]) {
-    assert!(width > 0, "bucket width must be non-zero");
-    assert!(counters.len() >= width, "counter row narrower than width");
-    let mut bbuf = [0u64; 8];
-    let Some(bn) = reduced_coeffs(bucket_coeffs, &mut bbuf) else {
-        for &k in keys {
-            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += 1;
-        }
-        return;
-    };
-    let bc = &bbuf[..bn];
-    let wm = FixedMod::new(width as u64);
-    let mut chunks = keys.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l] % P61);
-        let hb = horner_lanes_reduced(bc, &xs);
-        for l in 0..POLY_LANES {
-            counters[wm.rem(hb[l]) as usize] += 1;
-        }
-    }
-    for &k in chunks.remainder() {
-        counters[wm.rem(poly_eval(bc, k)) as usize] += 1;
-    }
+    kernels::bucket_scatter(Dispatch::get(), bucket_coeffs, width, keys, counters);
 }
 
 /// Count-carrying twin of [`bucket_scatter`]:
@@ -240,28 +97,7 @@ pub fn bucket_scatter_counts(
     items: &[(u64, i64)],
     counters: &mut [i64],
 ) {
-    assert!(width > 0, "bucket width must be non-zero");
-    assert!(counters.len() >= width, "counter row narrower than width");
-    let mut bbuf = [0u64; 8];
-    let Some(bn) = reduced_coeffs(bucket_coeffs, &mut bbuf) else {
-        for &(k, count) in items {
-            counters[(poly_eval(bucket_coeffs, k) % width as u64) as usize] += count;
-        }
-        return;
-    };
-    let bc = &bbuf[..bn];
-    let wm = FixedMod::new(width as u64);
-    let mut chunks = items.chunks_exact(POLY_LANES);
-    for c in chunks.by_ref() {
-        let xs: [u64; POLY_LANES] = std::array::from_fn(|l| c[l].0 % P61);
-        let hb = horner_lanes_reduced(bc, &xs);
-        for l in 0..POLY_LANES {
-            counters[wm.rem(hb[l]) as usize] += c[l].1;
-        }
-    }
-    for &(k, count) in chunks.remainder() {
-        counters[wm.rem(poly_eval(bc, k)) as usize] += count;
-    }
+    kernels::bucket_scatter_counts(Dispatch::get(), bucket_coeffs, width, items, counters);
 }
 
 /// Pairwise-independent family: `h(x) = a + b·x mod (2⁶¹ − 1)`.
@@ -297,15 +133,15 @@ impl SignFamily for Cw2 {
     }
 
     fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
-        poly_sign_batch(&self.coeffs, keys, out);
+        kernels::sign_batch(Dispatch::get(), &self.coeffs, keys, out);
     }
 
     fn sign_sum(&self, keys: &[u64]) -> i64 {
-        poly_sign_sum(&self.coeffs, keys)
+        kernels::sign_sum(Dispatch::get(), &self.coeffs, keys)
     }
 
     fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
-        poly_sign_dot(&self.coeffs, items)
+        kernels::sign_dot(Dispatch::get(), &self.coeffs, items)
     }
 
     fn poly_coeffs(&self) -> Option<&[u64]> {
@@ -340,21 +176,7 @@ impl BucketFamily for Cw2Bucket {
     }
 
     fn bucket_batch(&self, keys: &[u64], width: usize, out: &mut [usize]) {
-        assert_eq!(
-            keys.len(),
-            out.len(),
-            "bucket_batch needs one output slot per key"
-        );
-        debug_assert!(width > 0, "bucket width must be non-zero");
-        let wm = FixedMod::new(width as u64);
-        let mut hashes = [0u64; HASH_CHUNK];
-        for (kc, oc) in keys.chunks(HASH_CHUNK).zip(out.chunks_mut(HASH_CHUNK)) {
-            let h = &mut hashes[..kc.len()];
-            poly_eval_batch(&self.0.coeffs, kc, h);
-            for (o, &v) in oc.iter_mut().zip(h.iter()) {
-                *o = wm.rem(v) as usize;
-            }
-        }
+        kernels::bucket_batch(Dispatch::get(), &self.0.coeffs, width, keys, out);
     }
 
     fn poly_coeffs(&self) -> Option<&[u64]> {
@@ -399,15 +221,15 @@ impl SignFamily for Cw4 {
     }
 
     fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
-        poly_sign_batch(&self.coeffs, keys, out);
+        kernels::sign_batch(Dispatch::get(), &self.coeffs, keys, out);
     }
 
     fn sign_sum(&self, keys: &[u64]) -> i64 {
-        poly_sign_sum(&self.coeffs, keys)
+        kernels::sign_sum(Dispatch::get(), &self.coeffs, keys)
     }
 
     fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
-        poly_sign_dot(&self.coeffs, items)
+        kernels::sign_dot(Dispatch::get(), &self.coeffs, items)
     }
 
     fn poly_coeffs(&self) -> Option<&[u64]> {

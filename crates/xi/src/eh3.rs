@@ -17,6 +17,7 @@
 //! sketching very fast streams.
 
 use crate::family::SignFamily;
+use crate::kernels::{self, Dispatch, EVEN_BITS};
 use rand::Rng;
 
 /// 3-wise independent ±1 family; see the module docs.
@@ -26,13 +27,16 @@ pub struct Eh3 {
     s: u64,
 }
 
-/// Bit mask selecting the even-indexed bits (bit 0, 2, 4, …).
-const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
-
 impl Eh3 {
     /// Build from an explicit seed.
     pub fn from_seed(s0: bool, s: u64) -> Self {
         Self { s0, s }
+    }
+
+    /// The seed `(s₀, s)` — exposed so benches and identity tests can
+    /// drive the [`crate::kernels`] EH3 entry points directly.
+    pub fn seeds(&self) -> (bool, u64) {
+        (self.s0, self.s)
     }
 
     /// The bit `s₀ ⊕ ⟨s, i⟩ ⊕ q(i)` (0 ⇒ +1, 1 ⇒ −1).
@@ -116,6 +120,18 @@ impl SignFamily for Eh3 {
     #[inline]
     fn sign(&self, key: u64) -> i64 {
         1 - 2 * self.bit(key) as i64
+    }
+
+    fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
+        kernels::eh3_sign_batch(Dispatch::get(), self.s0, self.s, keys, out);
+    }
+
+    fn sign_sum(&self, keys: &[u64]) -> i64 {
+        kernels::eh3_sign_sum(Dispatch::get(), self.s0, self.s, keys)
+    }
+
+    fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
+        kernels::eh3_sign_dot(Dispatch::get(), self.s0, self.s, items)
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {

@@ -13,15 +13,23 @@
 //! table evaluation per update.
 
 use crate::family::{BucketFamily, SignFamily};
+use crate::kernels;
 use rand::Rng;
 
 /// Simple tabulation hash over 8 key bytes; see the module docs.
 #[derive(Debug, Clone)]
 pub struct Tabulation {
-    tables: Box<[[u64; 256]; 8]>,
+    pub(crate) tables: Box<[[u64; 256]; 8]>,
 }
 
 impl Tabulation {
+    /// The eight per-byte lookup tables — exposed so benches and identity
+    /// tests can drive the [`crate::kernels`] tabulation entry points
+    /// directly.
+    pub fn tables(&self) -> &[[u64; 256]; 8] {
+        &self.tables
+    }
+
     /// The full 64-bit hash value.
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
@@ -38,6 +46,18 @@ impl SignFamily for Tabulation {
     #[inline]
     fn sign(&self, key: u64) -> i64 {
         1 - 2 * ((self.hash(key) & 1) as i64)
+    }
+
+    fn sign_batch(&self, keys: &[u64], out: &mut [i64]) {
+        kernels::tab_sign_batch(&self.tables, keys, out);
+    }
+
+    fn sign_sum(&self, keys: &[u64]) -> i64 {
+        kernels::tab_sign_sum(&self.tables, keys)
+    }
+
+    fn sign_dot(&self, items: &[(u64, i64)]) -> i64 {
+        kernels::tab_sign_dot(&self.tables, items)
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
@@ -90,6 +110,10 @@ impl BucketFamily for Tabulation {
     fn bucket(&self, key: u64, width: usize) -> usize {
         debug_assert!(width > 0, "bucket width must be non-zero");
         ((self.hash(key) >> 1) % width as u64) as usize
+    }
+
+    fn bucket_batch(&self, keys: &[u64], width: usize, out: &mut [usize]) {
+        kernels::tab_bucket_batch(&self.tables, width, keys, out);
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
