@@ -21,10 +21,15 @@
 //! gauge_tuples_per_sec,queue_high_water`): the end-to-end measurement,
 //! the runtime's own merged ingest gauge
 //! ([`sss_stream::ShardedRuntime::tuples_per_sec`]), and the queue
-//! high-water mark. The recorded numbers live in
+//! high-water mark. A second `queries_under_ingest` series then compares
+//! repeated at-all-times `merged()` bursts against the pre-cache full
+//! snapshot barrier (every answer asserted bit-identical to the
+//! sequential prefix). The recorded numbers live in
 //! BENCH_sharded_runtime.json.
 
-use sss_bench::experiments::{sharded_scaling, ShardedScalingConfig};
+use sss_bench::experiments::{
+    queries_under_ingest, sharded_scaling, QueriesUnderIngestConfig, ShardedScalingConfig,
+};
 use sss_bench::{arg, banner};
 
 fn main() {
@@ -84,4 +89,50 @@ fn main() {
             best.speedup, best.shards
         );
     }
+
+    let checkpoints: usize = arg("checkpoints", 16);
+    let queries_per_burst: usize = arg("queries-per-burst", 32);
+    let qcfg = QueriesUnderIngestConfig {
+        tuples,
+        domain: 10_000,
+        buckets,
+        batch,
+        queue_depth,
+        shards: 8,
+        checkpoints,
+        queries_per_burst,
+        seed,
+    };
+    let qpoints = queries_under_ingest(&qcfg);
+    println!();
+    println!(
+        "mode,queries,first_query_us,repeat_query_us,mean_query_us,total_query_secs,\
+         ingest_tuples_per_sec,cache_hits,shards_refreshed"
+    );
+    for pt in &qpoints {
+        println!(
+            "{},{},{:.2},{:.2},{:.2},{:.4},{:.0},{},{}",
+            pt.mode,
+            pt.queries,
+            pt.first_query_us,
+            pt.repeat_query_us,
+            pt.mean_query_us,
+            pt.total_query_secs,
+            pt.ingest_tuples_per_sec,
+            pt.cache_hits,
+            pt.shards_refreshed
+        );
+    }
+    let cached = &qpoints[0];
+    let barrier = &qpoints[1];
+    eprintln!(
+        "# queries_under_ingest: repeated merged() {:.1}x cheaper cached than full-barrier \
+         ({:.2}us vs {:.2}us); first query of a burst pays the backlog quiesce in both modes \
+         ({:.0}us vs {:.0}us)",
+        barrier.repeat_query_us / cached.repeat_query_us,
+        cached.repeat_query_us,
+        barrier.repeat_query_us,
+        cached.first_query_us,
+        barrier.first_query_us
+    );
 }

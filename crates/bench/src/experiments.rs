@@ -18,7 +18,7 @@ use sss_moments::FrequencyVector;
 use sss_sampling::without_replacement::PrefixScan;
 use sss_stream::Throughput;
 use sss_stream::{ControllerConfig, Partition, RateController, RuntimeConfig, ShardedRuntime};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Common workload parameters of the Bernoulli (Figures 3–4) sweeps.
 #[derive(Debug, Clone)]
@@ -517,6 +517,154 @@ pub fn sharded_scaling(cfg: &ShardedScalingConfig) -> Vec<ScalingPoint> {
     out
 }
 
+/// Parameters of the queries-under-ingest experiment: at-all-times
+/// `merged()` polling interleaved with a full-rate ingest.
+#[derive(Debug, Clone)]
+pub struct QueriesUnderIngestConfig {
+    /// Total tuples pushed through the runtime per mode.
+    pub tuples: usize,
+    /// Key domain size.
+    pub domain: usize,
+    /// F-AGMS buckets of the shard sketches.
+    pub buckets: usize,
+    /// Tuples per pushed batch.
+    pub batch: usize,
+    /// Bounded per-shard queue depth, in batches.
+    pub queue_depth: usize,
+    /// Shard workers.
+    pub shards: usize,
+    /// Ingest pause points at which query bursts run.
+    pub checkpoints: usize,
+    /// `merged()` calls per burst — the at-all-times poller asking faster
+    /// than data arrives, so all but the first call in a burst repeat an
+    /// unchanged state.
+    pub queries_per_burst: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One measured mode of the queries-under-ingest experiment.
+///
+/// First and repeated queries are reported separately because they
+/// measure different things: the *first* query of a burst must quiesce
+/// the ingest backlog (every queued batch is applied before the snapshot
+/// floor is reached — a cost both modes pay identically, set by the ring
+/// depth and the sketch, not the query path), while *repeated* queries
+/// measure the query mechanism itself — the cached mode serves them from
+/// the snapshot cache without touching a worker, the full barrier
+/// re-clones every shard through a parked-worker round trip each time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueriesPoint {
+    /// `"cached"` ([`ShardedRuntime::merged`], incremental snapshot
+    /// cache) or `"full_barrier"`
+    /// ([`ShardedRuntime::merged_uncached`], the pre-cache behaviour:
+    /// every shard cloned per query).
+    pub mode: &'static str,
+    /// Total queries issued across all bursts.
+    pub queries: u64,
+    /// Mean cost of the first query of each burst, µs (dominated by the
+    /// backlog quiesce; mode-independent).
+    pub first_query_us: f64,
+    /// Mean cost of the repeated queries of each burst, µs — the
+    /// steady-state cost of asking again when little or nothing changed.
+    pub repeat_query_us: f64,
+    /// Mean over all queries, µs.
+    pub mean_query_us: f64,
+    /// Wall-clock spent inside queries, seconds.
+    pub total_query_secs: f64,
+    /// End-to-end ingest rate with the query load riding along.
+    pub ingest_tuples_per_sec: f64,
+    /// Cache hits (zero-dirty queries) — 0 for the full-barrier mode.
+    pub cache_hits: u64,
+    /// Shard clones actually paid, against `queries × shards` for the
+    /// full barrier.
+    pub shards_refreshed: u64,
+}
+
+/// The queries-under-ingest experiment behind the
+/// `queries_under_ingest` series of `BENCH_sharded_runtime.json`:
+/// interleave bursts of at-all-times `merged()` queries with a full-rate
+/// ingest, once through the incremental snapshot cache and once through
+/// the pre-cache full barrier, asserting every answer bit-identical to
+/// the sequential sketch of the prefix pushed so far.
+///
+/// Within a burst the stream does not advance, so the cached mode pays
+/// one dirty-shard delta and then pure cache hits, while the full
+/// barrier re-clones every shard on every call — the continuous-tracking
+/// workload (Huang–Tai–Yi) where per-query recomputation loses.
+pub fn queries_under_ingest(cfg: &QueriesUnderIngestConfig) -> Vec<QueriesPoint> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let schema = JoinSchema::fagms(1, cfg.buckets, &mut rng);
+    let stream: Vec<u64> = (0..cfg.tuples as u64)
+        .map(|i| (i.wrapping_mul(2654435761)) % cfg.domain as u64)
+        .collect();
+    let config = RuntimeConfig {
+        shards: cfg.shards,
+        queue_depth: cfg.queue_depth,
+        partition: Partition::RoundRobin,
+    };
+    let batches = stream.len().div_ceil(cfg.batch);
+    let burst_every = (batches / cfg.checkpoints.max(1)).max(1);
+    let mut out = Vec::new();
+    for mode in ["cached", "full_barrier"] {
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).expect("valid runtime config");
+        // The running sequential sketch each burst is checked against.
+        let mut sequential = schema.sketch();
+        let mut first_time = Duration::ZERO;
+        let mut repeat_time = Duration::ZERO;
+        let mut firsts = 0u64;
+        let mut repeats = 0u64;
+        let t = Throughput::measure(stream.len() as u64, || {
+            for (i, chunk) in stream.chunks(cfg.batch).enumerate() {
+                rt.push(chunk).expect("no shard died");
+                sequential.update_batch(chunk);
+                if (i + 1) % burst_every != 0 {
+                    continue;
+                }
+                let expect = sequential.raw_self_join().to_bits();
+                for q in 0..cfg.queries_per_burst {
+                    let start = Instant::now();
+                    let merged = if mode == "cached" {
+                        rt.merged()
+                    } else {
+                        rt.merged_uncached()
+                    }
+                    .expect("query answered");
+                    let elapsed = start.elapsed();
+                    if q == 0 {
+                        first_time += elapsed;
+                        firsts += 1;
+                    } else {
+                        repeat_time += elapsed;
+                        repeats += 1;
+                    }
+                    assert_eq!(
+                        merged.raw_self_join().to_bits(),
+                        expect,
+                        "{mode}: at-all-times answer must equal the pushed prefix"
+                    );
+                }
+            }
+        });
+        let stats = rt.cache_stats();
+        drop(rt);
+        let queries = firsts + repeats;
+        let total = first_time + repeat_time;
+        out.push(QueriesPoint {
+            mode,
+            queries,
+            first_query_us: first_time.as_secs_f64() * 1e6 / firsts.max(1) as f64,
+            repeat_query_us: repeat_time.as_secs_f64() * 1e6 / repeats.max(1) as f64,
+            mean_query_us: total.as_secs_f64() * 1e6 / queries.max(1) as f64,
+            total_query_secs: total.as_secs_f64(),
+            ingest_tuples_per_sec: t.tuples_per_sec(),
+            cache_hits: stats.hits,
+            shards_refreshed: stats.shards_refreshed,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +775,55 @@ mod tests {
             latency_4.speedup > 1.5,
             "4-shard latency-bound speedup only {:.2}x",
             latency_4.speedup
+        );
+    }
+
+    /// The queries-under-ingest procedure asserts bit-identity of every
+    /// burst answer internally; here we pin the accounting: the cached
+    /// mode turns the repeated calls of each burst into cache hits and
+    /// refreshes far fewer shard clones than the full barrier pays.
+    #[test]
+    fn queries_under_ingest_cached_mode_mostly_hits() {
+        let cfg = QueriesUnderIngestConfig {
+            tuples: 40_000,
+            domain: 2_000,
+            buckets: 256,
+            batch: 1_000,
+            queue_depth: 4,
+            shards: 4,
+            checkpoints: 5,
+            queries_per_burst: 8,
+            seed: 17,
+        };
+        let points = queries_under_ingest(&cfg);
+        assert_eq!(points.len(), 2);
+        let cached = &points[0];
+        let barrier = &points[1];
+        assert_eq!(cached.mode, "cached");
+        assert_eq!(barrier.mode, "full_barrier");
+        assert_eq!(cached.queries, barrier.queries);
+        assert!(cached.queries >= 40);
+        // Each burst pays at most one dirty refresh; the remaining
+        // queries_per_burst - 1 calls repeat an unchanged state.
+        assert!(
+            cached.cache_hits >= cached.queries - cached.queries / cfg.queries_per_burst as u64 - 1,
+            "{cached:?}"
+        );
+        assert_eq!(barrier.cache_hits, 0, "{barrier:?}");
+        assert!(
+            cached.shards_refreshed < cached.queries,
+            "cached mode must clone fewer shards than it has queries: {cached:?}"
+        );
+        assert!(cached.mean_query_us > 0.0 && barrier.mean_query_us > 0.0);
+        // The mechanism under test: repeated queries served from cache
+        // never touch a worker, while the barrier round-trips all of
+        // them. (The exact ratio is the recorded benchmark; here we only
+        // pin the direction so the smoke test stays robust on any host.)
+        assert!(
+            cached.repeat_query_us < barrier.repeat_query_us,
+            "cached repeats {:.2}us vs barrier {:.2}us",
+            cached.repeat_query_us,
+            barrier.repeat_query_us
         );
     }
 

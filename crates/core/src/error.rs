@@ -33,6 +33,12 @@ pub enum Error {
         /// The rejected steps-per-decade value (must be ≥ 1).
         steps_per_decade: u32,
     },
+    /// The estimator does not support exact retraction
+    /// ([`JoinEstimator::retract_from`](crate::JoinEstimator::retract_from)):
+    /// callers needing an incremental merge must fall back to a full
+    /// re-merge (see
+    /// [`JoinEstimator::supports_retract`](crate::JoinEstimator::supports_retract)).
+    RetractUnsupported,
 }
 
 impl fmt::Display for Error {
@@ -63,6 +69,12 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "rate grid needs at least one step per decade, got {steps_per_decade}"
+                )
+            }
+            Error::RetractUnsupported => {
+                write!(
+                    f,
+                    "estimator does not support exact retraction (supports_retract() is false)"
                 )
             }
         }

@@ -25,7 +25,7 @@
 //! ([`AgmsSketch`], [`FagmsSketch`]), the [`CountMinSketch`] baseline, and
 //! the backend-erased [`JoinSketch`] enum the drivers default to.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::sketch::JoinSketch;
 use sss_sketch::{AgmsSketch, CountMinSketch, Estimate, FagmsSketch, Sketch};
 use sss_xi::{BucketFamily, SignFamily};
@@ -51,6 +51,39 @@ pub trait JoinEstimator: Clone + Send + 'static {
     /// Schema mismatch (different random seeds) — merged counters would be
     /// meaningless.
     fn merge_from(&mut self, other: &Self) -> Result<()>;
+
+    /// Whether [`retract_from`](JoinEstimator::retract_from) performs an
+    /// **exact** entry-wise inverse of
+    /// [`merge_from`](JoinEstimator::merge_from).
+    ///
+    /// The provided sketch backends store integer counters, so
+    /// `merge_from(new)` after `retract_from(old)` leaves the estimator
+    /// bit-identical to a fresh merge over the updated parts — this is
+    /// what lets a snapshot cache replace one shard's stale contribution
+    /// in O(sketch) instead of re-merging every shard. Defaults to
+    /// `false` so external implementations (e.g. floating-point or lossy
+    /// summaries, where subtraction would not round-trip) honestly
+    /// opt out and callers fall back to a full re-merge.
+    fn supports_retract(&self) -> bool {
+        false
+    }
+
+    /// Entry-wise retraction of a peer previously merged in: afterwards
+    /// `self` summarizes its stream *minus* `other`'s, exactly — the delta
+    /// counterpart of [`merge_from`](JoinEstimator::merge_from).
+    ///
+    /// Only meaningful when
+    /// [`supports_retract`](JoinEstimator::supports_retract) returns
+    /// `true`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RetractUnsupported`] by default; schema mismatch for the
+    /// provided sketch backends.
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        let _ = other;
+        Err(Error::RetractUnsupported)
+    }
 
     /// Raw self-join (second frequency moment) estimate of the sketched
     /// stream.
@@ -107,6 +140,14 @@ where
         Ok(self.merge(other)?)
     }
 
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
+    }
+
     fn self_join(&self) -> f64 {
         AgmsSketch::self_join(self)
     }
@@ -139,6 +180,14 @@ where
 
     fn merge_from(&mut self, other: &Self) -> Result<()> {
         Ok(self.merge(other)?)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
     }
 
     fn self_join(&self) -> f64 {
@@ -174,6 +223,14 @@ where
         Ok(self.merge(other)?)
     }
 
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
+    }
+
     fn self_join(&self) -> f64 {
         CountMinSketch::self_join(self)
     }
@@ -202,6 +259,14 @@ impl JoinEstimator for JoinSketch {
 
     fn merge_from(&mut self, other: &Self) -> Result<()> {
         self.merge(other)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        self.subtract(other)
     }
 
     fn self_join(&self) -> f64 {
@@ -273,6 +338,25 @@ mod tests {
         assert!(e.chebyshev(0.95).contains(e.value));
         let ej = scalar.size_of_join_estimate(&scalar).unwrap();
         assert_eq!(ej.value.to_bits(), sj.to_bits());
+        // Retraction is the exact inverse of merge for every provided
+        // backend: retract(old) then merge(new) lands bit-identically on
+        // the fresh merge — the delta-rebuild contract the sharded
+        // runtime's snapshot cache relies on.
+        assert!(scalar.supports_retract());
+        let mut merged = make();
+        merged.merge_from(&left).unwrap(); // left already holds the union
+        let mut grown = make();
+        JoinEstimator::update_batch(&mut grown, &keys);
+        JoinEstimator::update_batch(&mut grown, &[1, 2, 3]);
+        merged.retract_from(&left).unwrap();
+        merged.merge_from(&grown).unwrap();
+        let mut fresh = make();
+        fresh.merge_from(&grown).unwrap();
+        assert_eq!(
+            JoinEstimator::self_join(&merged).to_bits(),
+            JoinEstimator::self_join(&fresh).to_bits(),
+            "retract + merge must equal a fresh merge exactly"
+        );
     }
 
     #[test]
@@ -325,6 +409,13 @@ mod tests {
         }
         let mut e = ExactCounter(Default::default());
         e.update_batch(&[1, 1, 2, 3]);
+        // The delta-merge defaults: external implementors honestly report
+        // that retraction is unsupported and the method errors.
+        assert!(!e.supports_retract());
+        assert!(matches!(
+            e.clone().retract_from(&e),
+            Err(crate::Error::RetractUnsupported)
+        ));
         let est = e.self_join_estimate();
         assert_eq!(est.value, e.self_join());
         assert!(est.variance.is_infinite());

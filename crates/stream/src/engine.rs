@@ -354,6 +354,26 @@ impl<E: JoinEstimator> StreamEngine<E> {
         self.runtime.queue_high_water()
     }
 
+    /// Point-in-time queue occupancy of the most loaded shard (0 when the
+    /// workers have caught up) — the live companion of the
+    /// [`queue_high_water`](Self::queue_high_water) watermark.
+    pub fn queue_occupancy(&self) -> usize {
+        self.runtime.queue_occupancy()
+    }
+
+    /// Snapshot-cache counters for the runtime's at-all-times queries —
+    /// see [`sss_stream::CacheStats`](crate::CacheStats).
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.runtime.cache_stats()
+    }
+
+    /// A cloneable handle answering runtime queries (merged sketch only —
+    /// without the shedded overflow leg) from other threads, concurrently
+    /// with this engine's ingest.
+    pub fn query_handle(&self) -> crate::QueryHandle<E> {
+        self.runtime.query_handle()
+    }
+
     /// The number of shard workers.
     pub fn shards(&self) -> usize {
         self.runtime.shards()

@@ -7,6 +7,11 @@
 //! * [`runtime`] — the persistent sharded runtime: a pool of shard
 //!   workers behind bounded queues, merging to the sequential sketch bit
 //!   for bit (the paper's §VI-C multi-core observation, made long-lived);
+//! * [`ring`] — the lock-free SPSC ring buffers and the out-of-band
+//!   control queue the runtime's ingest lanes are built from;
+//! * [`snapshot`] — the versioned incremental snapshot cache behind
+//!   `merged()`: repeated at-all-times queries re-clone only shards
+//!   dirtied since the previous query;
 //! * [`engine`] — the DSMS engine over that runtime: transform chain,
 //!   backpressure, and an adaptive overflow shedder, built by
 //!   [`EngineBuilder`]; every query also has a typed `*_estimate()` form
@@ -22,7 +27,10 @@
 //! * [`ops`] — small composable stream operators (tagging, key
 //!   extraction, multiplexing a stream into several consumers).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SPSC ring transport ([`ring`]) is the
+// one audited module allowed to use `unsafe`, mirroring the SIMD kernel
+// policy of `sss-xi`. Everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
@@ -31,8 +39,10 @@ pub mod error;
 pub mod online;
 pub mod ops;
 pub mod parallel;
+pub mod ring;
 pub mod runtime;
 pub mod shedder;
+pub mod snapshot;
 pub mod throughput;
 pub mod window;
 
@@ -41,7 +51,8 @@ pub use engine::{EngineBuilder, StageStats, StreamEngine, Transform};
 pub use error::{Result, StreamError};
 pub use online::{OnlineAggregation, OnlineJoinAggregation, Snapshot};
 pub use parallel::{parallel_shed, parallel_sketch, parallel_sketch_with, ParallelShedResult};
-pub use runtime::{Partition, RuntimeConfig, ShardedRuntime};
+pub use runtime::{Partition, PoolStats, QueryHandle, RuntimeConfig, ShardedRuntime};
 pub use shedder::{ShedderComparison, ShedderReport};
+pub use snapshot::CacheStats;
 pub use throughput::Throughput;
 pub use window::PanedWindowSketch;

@@ -10,36 +10,64 @@
 //! at-all-times queries, not a one-shot scatter/gather.
 //!
 //! ```text
-//!              ┌─ bounded queue ─▶ worker 0 ─ owns shard sketch E₀
-//! push_batch ──┼─ bounded queue ─▶ worker 1 ─ owns shard sketch E₁
-//!  (partition) └─ bounded queue ─▶ worker 2 ─ owns shard sketch E₂
-//!                                    …
-//!  merged() ── snapshot barrier ──▶ E₀ ⊕ E₁ ⊕ E₂ (= sequential sketch)
+//!              ┌─ data ring ─▶ worker 0 ─ owns shard sketch E₀
+//! push_batch ──┼─ data ring ─▶ worker 1 ─ owns shard sketch E₁   ⇠ recycle
+//!  (partition) └─ data ring ─▶ worker 2 ─ owns shard sketch E₂     rings
+//!                      ▲ control queue (snapshot requests)
+//!  merged() ── dirty shards only ──▶ snapshot cache ──▶ E₀ ⊕ E₁ ⊕ E₂
 //! ```
 //!
-//! * Workers are plain [`std::thread`]s fed through
-//!   [`std::sync::mpsc::sync_channel`] — **bounded** queues, so memory is
+//! Two perf-critical design decisions (see `DESIGN.md` §4h and
+//! `BENCH_sharded_runtime.json` for the before/after numbers):
+//!
+//! * **Transport** — each shard lane is a pair of lock-free SPSC
+//!   [`ring`] buffers: a *data* ring carrying batch buffers
+//!   (`Vec<u64>`, no command enum) to the worker, and a reverse *recycle*
+//!   ring returning emptied buffers to the producer. Steady-state ingest
+//!   therefore performs **zero heap allocations per batch**
+//!   ([`ShardedRuntime::pool_stats`] proves it) and a push is a handful
+//!   of atomics, not a `sync_channel` futex round-trip. The rings are
+//!   still **bounded** (`queue_depth` batches), so memory stays
 //!   `O(shards · queue_depth · batch)` no matter how fast the producer is.
-//! * [`push`](ShardedRuntime::push) blocks when a queue is full
+//! * **Queries** — snapshot requests travel on a separate per-shard
+//!   control queue, so a query can *never* be routed through the data
+//!   ring's overflow leg (the old transport had a dead
+//!   `Full(Cmd::Snapshot)` match arm to that effect; the split makes the
+//!   confusion unrepresentable at the type level). Each worker bumps a
+//!   per-shard **dirty epoch** after every applied batch, and
+//!   [`merged`](ShardedRuntime::merged) re-clones only shards whose epoch
+//!   moved since the previous query, folding them into a cached merge by
+//!   exact retract + merge deltas ([`snapshot`](crate::snapshot)). A
+//!   repeated at-all-times query with no intervening ingest costs one
+//!   clone — O(sketch bytes), independent of the shard count.
+//!
+//! * [`push`](ShardedRuntime::push) blocks when a ring is full
 //!   (backpressure propagates to the source);
 //!   [`try_push`](ShardedRuntime::try_push) never blocks and instead hands
 //!   overflowed tuples back to the caller: the engine routes overload
 //!   into the [`EpochShedder`](sss_core::EpochShedder) path and keeps the
 //!   estimate unbiased under sustained overload.
-//! * [`merged`](ShardedRuntime::merged) enqueues a snapshot command behind
-//!   every batch already accepted, so the merged estimator reflects exactly
-//!   the tuples pushed before the call — the at-all-times query.
+//! * [`merged`](ShardedRuntime::merged) reflects exactly the tuples
+//!   accepted before the call: each snapshot request carries the shard's
+//!   accepted-batch count and the worker answers only once it has applied
+//!   at least that many — the at-all-times query, without a full barrier.
+//! * [`query_handle`](ShardedRuntime::query_handle) returns a cloneable
+//!   [`QueryHandle`] so queries can run from other threads *while* the
+//!   owner keeps pushing — the read-path/write-path separation SF-sketch
+//!   (arXiv 1701.04148) argues for, with Huang–Tai–Yi (arXiv 1412.1763)
+//!   continuous-tracking polling as the motivating workload.
 //!
 //! The runtime is generic over any [`JoinEstimator`], not just the
 //! backend-erased `JoinSketch`.
 
 use crate::error::{Result, StreamError};
+use crate::ring::{self, Backoff, ControlQueue, PushError};
+use crate::snapshot::{CacheStats, SnapshotCache};
 use sss_core::{Estimate, JoinEstimator};
-use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How [`ShardedRuntime::push`] routes tuples to shard workers.
 ///
@@ -62,7 +90,7 @@ pub enum Partition {
 pub struct RuntimeConfig {
     /// Number of shard workers (threads) to spawn.
     pub shards: usize,
-    /// Bounded depth of each shard's command queue, in batches.
+    /// Bounded depth of each shard's data ring, in batches.
     pub queue_depth: usize,
     /// Tuple-routing policy.
     pub partition: Partition,
@@ -99,13 +127,16 @@ impl RuntimeConfig {
     }
 }
 
-/// One message on a shard's queue.
-enum Cmd<E> {
-    /// Sketch this batch of keys.
-    Batch(Vec<u64>),
-    /// Reply with a clone of the shard estimator as of this point in the
-    /// queue (all batches enqueued earlier are already applied).
-    Snapshot(Sender<E>),
+/// A snapshot request on a shard's control queue: "reply with your
+/// estimator once you have applied at least `min` batches". Carrying the
+/// floor instead of queueing behind data gives the same exactness as the
+/// old in-band barrier — every batch accepted before the query is
+/// reflected — without a `Cmd` enum sharing the data path.
+struct SnapshotReq<E> {
+    /// The shard's accepted-batch count at request time.
+    min: u64,
+    /// Where to send `(applied_epoch, clone)` once `applied ≥ min`.
+    reply: mpsc::Sender<(u64, E)>,
 }
 
 /// SplitMix64: a full-avalanche mix so adversarially clustered keys still
@@ -115,6 +146,176 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Per-shard state shared between the producer, the worker, and queriers.
+struct ShardState<E> {
+    /// Batches successfully enqueued on this shard's data ring
+    /// (producer-bumped, immediately after the ring push).
+    accepted: AtomicU64,
+    /// Batches the worker has applied to its sketch — the shard's **dirty
+    /// epoch**: a cached snapshot stamped with an equal-or-newer value
+    /// needs no refresh.
+    applied: AtomicU64,
+    /// Tuples the worker has applied (bumped after `update_batch`, so the
+    /// gauge counts work done rather than work promised).
+    ingested: AtomicU64,
+    /// Cleared when the worker exits (normally or by panic), so queriers
+    /// waiting on a snapshot reply can fail over to
+    /// [`StreamError::ShardDisconnected`] instead of waiting forever.
+    live: AtomicBool,
+    /// The out-of-band snapshot lane, waking the worker through its
+    /// data-ring parker.
+    ctrl: ControlQueue<SnapshotReq<E>>,
+}
+
+/// State shared by the runtime, its workers, and every [`QueryHandle`].
+struct RuntimeShared<E> {
+    config: RuntimeConfig,
+    /// The empty estimator every shard started from (schema seeds). Under
+    /// a mutex so only `E: Send` is required of the estimator.
+    prototype: Mutex<E>,
+    shards: Vec<ShardState<E>>,
+    /// The incremental snapshot cache; its mutex also serializes
+    /// concurrent queries from multiple handles.
+    cache: Mutex<SnapshotCache<E>>,
+    /// Highest `accepted − applied` any shard ever reached (≤ depth + 1).
+    high_water: AtomicUsize,
+    /// Monotonic construction timestamp — the denominator of
+    /// [`ShardedRuntime::tuples_per_sec`].
+    started: Instant,
+}
+
+impl<E: JoinEstimator> RuntimeShared<E> {
+    fn tuples_ingested(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.ingested.load(Ordering::Acquire))
+            .sum()
+    }
+
+    fn tuples_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.tuples_ingested() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn queue_occupancy(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.accepted
+                    .load(Ordering::Acquire)
+                    .saturating_sub(s.applied.load(Ordering::Acquire)) as usize
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The incremental at-all-times query. See the module docs: only
+    /// shards whose dirty epoch moved past the cached stamp are asked for
+    /// a fresh clone; the cache folds them in by exact retract + merge.
+    fn merged(&self) -> Result<E> {
+        // Holding the cache lock for the whole query serializes
+        // concurrent handles (each still pays only its own dirty delta).
+        let mut cache = self.cache.lock().expect("snapshot cache lock");
+        let mut fetches = Vec::new();
+        for (shard, state) in self.shards.iter().enumerate() {
+            let target = state.accepted.load(Ordering::Acquire);
+            let clean = cache
+                .shard_version(shard)
+                .map_or(target == 0, |v| v >= target);
+            if clean {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            state.ctrl.send(SnapshotReq {
+                min: target,
+                reply: tx,
+            });
+            fetches.push((shard, rx));
+        }
+        let mut fresh = Vec::with_capacity(fetches.len());
+        for (shard, rx) in fetches {
+            let (version, clone) = self.fetch_snapshot(shard, &rx)?;
+            fresh.push((shard, version, clone));
+        }
+        let prototype = self.prototype.lock().expect("prototype lock").clone();
+        cache
+            .refresh(&prototype, fresh)
+            .map_err(StreamError::Estimator)
+    }
+
+    /// The pre-cache full barrier: clone every shard, merge in shard
+    /// order. Kept as the benchmark baseline and a cross-check.
+    fn merged_uncached(&self) -> Result<E> {
+        let mut fetches = Vec::with_capacity(self.shards.len());
+        for (shard, state) in self.shards.iter().enumerate() {
+            let target = state.accepted.load(Ordering::Acquire);
+            let (tx, rx) = mpsc::channel();
+            state.ctrl.send(SnapshotReq {
+                min: target,
+                reply: tx,
+            });
+            fetches.push((shard, rx));
+        }
+        let mut merged = self.prototype.lock().expect("prototype lock").clone();
+        for (shard, rx) in fetches {
+            let (_, clone) = self.fetch_snapshot(shard, &rx)?;
+            merged.merge_from(&clone)?;
+        }
+        Ok(merged)
+    }
+
+    /// Wait for a shard's snapshot reply, failing over to
+    /// [`StreamError::ShardDisconnected`] if the worker dies.
+    fn fetch_snapshot(&self, shard: usize, rx: &mpsc::Receiver<(u64, E)>) -> Result<(u64, E)> {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(reply) => return Ok(reply),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !self.shards[shard].live.load(Ordering::SeqCst) {
+                        // The worker may have replied in its dying
+                        // breath; one last non-blocking look.
+                        return rx
+                            .try_recv()
+                            .map_err(|_| StreamError::ShardDisconnected { shard });
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(StreamError::ShardDisconnected { shard });
+                }
+            }
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("snapshot cache lock").stats()
+    }
+}
+
+/// The producer side of one shard lane: the data ring in, the recycle
+/// ring back, and a stack of spare (cleared) batch buffers.
+struct IngestLane {
+    data: ring::Producer<Vec<u64>>,
+    recycle: ring::Consumer<Vec<u64>>,
+    spare: Vec<Vec<u64>>,
+}
+
+/// Batch-buffer pool accounting ([`ShardedRuntime::pool_stats`]): in
+/// steady state `reuses` grows with every batch while `allocations`
+/// stays at its warm-up value — the observable form of the zero
+/// allocations / batch claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers allocated fresh (pool was empty — warm-up, or the worker
+    /// fell so far behind that the recycle ring starved).
+    pub allocations: u64,
+    /// Buffers taken from the spare stack or the recycle ring.
+    pub reuses: u64,
 }
 
 /// A long-lived pool of shard workers, each owning one estimator.
@@ -141,31 +342,17 @@ fn splitmix64(mut x: u64) -> u64 {
 /// for k in 0..10_000u64 { seq.update(k, 1); }
 /// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
 /// ```
-#[derive(Debug)]
 pub struct ShardedRuntime<E: JoinEstimator> {
-    config: RuntimeConfig,
-    prototype: E,
-    txs: Vec<SyncSender<Cmd<E>>>,
+    shared: Arc<RuntimeShared<E>>,
+    lanes: Vec<IngestLane>,
     handles: Vec<JoinHandle<E>>,
-    /// Commands currently enqueued-or-in-flight per shard. The producer
-    /// increments after a successful send and the worker decrements after
-    /// applying a batch, so the counter can dip negative transiently
-    /// (worker beat the producer's increment) and can read
-    /// `queue_depth + 1` momentarily (one batch mid-application while the
-    /// queue refills) — the latter is the true memory bound.
-    queued: Vec<Arc<AtomicIsize>>,
-    high_water: Arc<AtomicUsize>,
-    /// Tuples each worker has *applied* to its shard sketch (incremented
-    /// by the worker after `update_batch`, not at enqueue time, so the
-    /// gauge counts work done rather than work promised).
-    ingested: Vec<Arc<AtomicU64>>,
-    /// When the pool was spawned — the denominator of
-    /// [`ShardedRuntime::tuples_per_sec`].
-    started: Instant,
     /// Next shard for [`Partition::RoundRobin`].
     cursor: usize,
-    /// Per-shard scatter buffers for [`Partition::Hash`].
+    /// Per-shard scatter buffers for [`Partition::Hash`]; these circulate
+    /// through the pool too (a filled one is pushed as-is and replaced by
+    /// a recycled buffer).
     scatter: Vec<Vec<u64>>,
+    pool: PoolStats,
 }
 
 impl<E: JoinEstimator> ShardedRuntime<E> {
@@ -173,127 +360,201 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
     /// shard starts from a clone of it.
     pub fn new(config: RuntimeConfig, prototype: &E) -> Result<Self> {
         config.validate()?;
-        let high_water = Arc::new(AtomicUsize::new(0));
-        let mut txs = Vec::with_capacity(config.shards);
+        let mut lanes = Vec::with_capacity(config.shards);
+        let mut consumers = Vec::with_capacity(config.shards);
+        let mut states = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (data_tx, data_rx) = ring::ring::<Vec<u64>>(config.queue_depth);
+            // The recycle ring holds every buffer that can circulate:
+            // `queue_depth` in the data ring + one in the worker's hands
+            // + one being filled by the producer, with headroom so the
+            // worker never has to drop a buffer on a full recycle ring.
+            let (recycle_tx, recycle_rx) = ring::ring::<Vec<u64>>(config.queue_depth + 4);
+            states.push(ShardState {
+                accepted: AtomicU64::new(0),
+                applied: AtomicU64::new(0),
+                ingested: AtomicU64::new(0),
+                live: AtomicBool::new(true),
+                // Control messages wake the worker through the same
+                // parker it uses when the data ring runs empty.
+                ctrl: ControlQueue::new(data_rx.parker()),
+            });
+            lanes.push(IngestLane {
+                data: data_tx,
+                recycle: recycle_rx,
+                spare: Vec::new(),
+            });
+            consumers.push((data_rx, recycle_tx));
+        }
+        let shared = Arc::new(RuntimeShared {
+            config,
+            prototype: Mutex::new(prototype.clone()),
+            shards: states,
+            cache: Mutex::new(SnapshotCache::new(config.shards)),
+            high_water: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
         let mut handles = Vec::with_capacity(config.shards);
-        let mut queued = Vec::with_capacity(config.shards);
-        let mut ingested = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth);
-            let in_flight = Arc::new(AtomicIsize::new(0));
-            let tuples = Arc::new(AtomicU64::new(0));
+        for (shard, (data_rx, recycle_tx)) in consumers.into_iter().enumerate() {
             let worker_est = prototype.clone();
-            let worker_in_flight = Arc::clone(&in_flight);
-            let worker_tuples = Arc::clone(&tuples);
+            let worker_shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("sss-shard-{shard}"))
-                .spawn(move || shard_worker(worker_est, rx, worker_in_flight, worker_tuples))
+                .spawn(move || shard_worker(shard, worker_est, data_rx, recycle_tx, worker_shared))
                 .expect("spawning a shard worker thread");
-            txs.push(tx);
             handles.push(handle);
-            queued.push(in_flight);
-            ingested.push(tuples);
         }
         Ok(Self {
-            config,
-            prototype: prototype.clone(),
-            txs,
+            shared,
+            lanes,
             handles,
-            queued,
-            high_water,
-            ingested,
-            started: Instant::now(),
             cursor: 0,
             scatter: vec![Vec::new(); config.shards],
+            pool: PoolStats::default(),
         })
     }
 
     /// The configured shard count.
     pub fn shards(&self) -> usize {
-        self.config.shards
+        self.shared.config.shards
     }
 
-    /// The configured per-shard queue depth, in batches.
+    /// The configured per-shard data-ring depth, in batches.
     pub fn queue_depth(&self) -> usize {
-        self.config.queue_depth
+        self.shared.config.queue_depth
     }
 
-    /// The highest number of commands ever enqueued-or-in-flight on any
+    /// The highest number of batches ever enqueued-or-in-flight on any
     /// single shard — never exceeds `queue_depth + 1` (one batch may be
-    /// mid-application when the queue refills).
+    /// mid-application when the ring refills).
     pub fn queue_high_water(&self) -> usize {
-        self.high_water.load(Ordering::Acquire)
+        self.shared.high_water.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time occupancy gauge beside the
+    /// [`queue_high_water`](Self::queue_high_water) watermark: batches
+    /// currently enqueued-or-in-flight on the *most loaded* shard. Zero
+    /// after a quiescing [`merged`](Self::merged) call returns.
+    pub fn queue_occupancy(&self) -> usize {
+        self.shared.queue_occupancy()
     }
 
     /// Tuples applied to shard sketches so far, summed over all workers.
     ///
     /// Each worker bumps its counter *after* `update_batch`, so this lags
-    /// [`push`](Self::push) while batches sit in queues. After a
+    /// [`push`](Self::push) while batches sit in rings. After a
     /// [`merged`](Self::merged) call returns, the gauge covers every tuple
-    /// accepted before it (the snapshot quiesces each queue).
+    /// accepted before it (the snapshot floor quiesces each shard).
     pub fn tuples_ingested(&self) -> u64 {
-        self.ingested
-            .iter()
-            .map(|c| c.load(Ordering::Acquire))
-            .sum()
+        self.shared.tuples_ingested()
     }
 
     /// Tuples applied by one worker (panics if `shard >= shards()`). The
     /// spread across shards shows how well the partition policy balances
     /// the load.
     pub fn shard_tuples_ingested(&self, shard: usize) -> u64 {
-        self.ingested[shard].load(Ordering::Acquire)
+        self.shared.shards[shard].ingested.load(Ordering::Acquire)
     }
 
-    /// Merged ingest throughput gauge: tuples applied per wall-clock
-    /// second since the pool was spawned. Pair with
-    /// [`queue_high_water`](Self::queue_high_water) when deciding whether
-    /// a pipeline needs more shards or a lower sampling rate.
+    /// Merged ingest throughput gauge: tuples applied per second of
+    /// monotonic wall-clock time since the pool was constructed
+    /// ([`Instant`] captured in `new`, so system clock adjustments never
+    /// skew it). Pair with [`queue_high_water`](Self::queue_high_water)
+    /// when deciding whether a pipeline needs more shards or a lower
+    /// sampling rate.
     pub fn tuples_per_sec(&self) -> f64 {
-        let secs = self.started.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            self.tuples_ingested() as f64 / secs
+        self.shared.tuples_per_sec()
+    }
+
+    /// Snapshot-cache counters: how many queries were served from cache,
+    /// by partial delta rebuild, or by full re-merge.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache_stats()
+    }
+
+    /// Batch-buffer pool counters — the zero-allocations-per-batch
+    /// evidence (see [`PoolStats`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool
+    }
+
+    /// A cloneable handle answering queries concurrently with ingest —
+    /// valid (for cache-served queries) even after the runtime itself is
+    /// gone.
+    pub fn query_handle(&self) -> QueryHandle<E> {
+        QueryHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Take a cleared batch buffer: spare stack, then the recycle ring,
+    /// then (warm-up only) a fresh allocation.
+    fn take_buf(&mut self, shard: usize, hint: usize) -> Vec<u64> {
+        let lane = &mut self.lanes[shard];
+        if let Some(buf) = lane.spare.pop().or_else(|| lane.recycle.try_pop()) {
+            self.pool.reuses += 1;
+            buf
         } else {
-            0.0
+            self.pool.allocations += 1;
+            Vec::with_capacity(hint)
         }
     }
 
-    /// Record a successful enqueue on `shard` in the memory accounting.
+    /// Record a successful enqueue on `shard` in the occupancy gauges.
     fn note_enqueued(&self, shard: usize) {
-        let now = self.queued[shard].fetch_add(1, Ordering::AcqRel) + 1;
-        if now > 0 {
-            self.high_water.fetch_max(now as usize, Ordering::AcqRel);
+        let state = &self.shared.shards[shard];
+        let accepted = state.accepted.fetch_add(1, Ordering::AcqRel) + 1;
+        let occupancy = accepted.saturating_sub(state.applied.load(Ordering::Acquire)) as usize;
+        self.shared
+            .high_water
+            .fetch_max(occupancy, Ordering::AcqRel);
+    }
+
+    /// Scatter `keys` into the per-shard hash buffers (which must be, and
+    /// are left, managed by the push paths).
+    fn scatter_keys(&mut self, keys: &[u64]) {
+        let shards = self.shared.config.shards as u64;
+        for &k in keys {
+            self.scatter[(splitmix64(k) % shards) as usize].push(k);
         }
     }
 
-    /// Split `keys` into per-shard batches according to the partition
-    /// policy. Returns `(shard, batch)` pairs; empty batches are skipped.
-    fn route(&mut self, keys: &[u64]) -> Vec<(usize, Vec<u64>)> {
-        match self.config.partition {
-            Partition::RoundRobin => {
-                let shard = self.cursor;
-                self.cursor = (self.cursor + 1) % self.config.shards;
-                vec![(shard, keys.to_vec())]
+    /// Blocking enqueue of a finished batch buffer on `shard`.
+    fn send_blocking(&mut self, shard: usize, batch: Vec<u64>) -> Result<()> {
+        match self.lanes[shard].data.push(batch) {
+            Ok(()) => {
+                self.note_enqueued(shard);
+                Ok(())
             }
-            Partition::Hash => {
-                let shards = self.config.shards as u64;
-                for buf in &mut self.scatter {
-                    buf.clear();
-                }
-                for &k in keys {
-                    self.scatter[(splitmix64(k) % shards) as usize].push(k);
-                }
-                self.scatter
-                    .iter_mut()
-                    .enumerate()
-                    .filter(|(_, buf)| !buf.is_empty())
-                    .map(|(shard, buf)| (shard, std::mem::take(buf)))
-                    .collect()
-            }
+            Err(_) => Err(StreamError::ShardDisconnected { shard }),
         }
     }
 
-    /// Feed one batch, **blocking** while any target shard's queue is
+    /// Non-blocking enqueue: on a full ring the tuples go to `overflow`
+    /// and the buffer returns to the pool. Returns tuples accepted.
+    fn send_nonblocking(
+        &mut self,
+        shard: usize,
+        batch: Vec<u64>,
+        overflow: &mut Vec<u64>,
+    ) -> Result<u64> {
+        let len = batch.len() as u64;
+        match self.lanes[shard].data.try_push(batch) {
+            Ok(()) => {
+                self.note_enqueued(shard);
+                Ok(len)
+            }
+            Err(PushError::Full(mut batch)) => {
+                overflow.extend_from_slice(&batch);
+                batch.clear();
+                self.lanes[shard].spare.push(batch);
+                Ok(0)
+            }
+            Err(PushError::Closed(_)) => Err(StreamError::ShardDisconnected { shard }),
+        }
+    }
+
+    /// Feed one batch, **blocking** while any target shard's ring is
     /// full. Backpressure propagates to the caller; nothing is dropped.
     ///
     /// # Errors
@@ -303,20 +564,38 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
         if keys.is_empty() {
             return Ok(());
         }
-        for (shard, batch) in self.route(keys) {
-            self.txs[shard]
-                .send(Cmd::Batch(batch))
-                .map_err(|_| StreamError::ShardDisconnected { shard })?;
-            self.note_enqueued(shard);
+        match self.shared.config.partition {
+            Partition::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards();
+                let mut batch = self.take_buf(shard, keys.len());
+                batch.extend_from_slice(keys);
+                self.send_blocking(shard, batch)
+            }
+            Partition::Hash => {
+                self.scatter_keys(keys);
+                for shard in 0..self.shards() {
+                    if self.scatter[shard].is_empty() {
+                        continue;
+                    }
+                    // Ship the filled scatter buffer itself (one copy
+                    // total) and put a pooled buffer in its place.
+                    let batch = std::mem::take(&mut self.scatter[shard]);
+                    self.send_blocking(shard, batch)?;
+                    self.scatter[shard] = self.take_buf(shard, keys.len());
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
-    /// Feed one batch **without blocking**: tuples whose shard queue is
+    /// Feed one batch **without blocking**: tuples whose shard ring is
     /// full are appended to `overflow` instead of enqueued, and the number
     /// of tuples actually accepted is returned. The caller decides what to
     /// do with the overflow — the engine routes it through the epoch
-    /// shedder so the combined estimate stays unbiased.
+    /// shedder so the combined estimate stays unbiased. (Snapshot traffic
+    /// rides a separate control queue and can never land here — see the
+    /// module docs.)
     ///
     /// # Errors
     ///
@@ -325,57 +604,57 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
         if keys.is_empty() {
             return Ok(0);
         }
-        let mut accepted = 0u64;
-        for (shard, batch) in self.route(keys) {
-            let len = batch.len() as u64;
-            match self.txs[shard].try_send(Cmd::Batch(batch)) {
-                Ok(()) => {
-                    accepted += len;
-                    self.note_enqueued(shard);
+        match self.shared.config.partition {
+            Partition::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards();
+                let mut batch = self.take_buf(shard, keys.len());
+                batch.extend_from_slice(keys);
+                self.send_nonblocking(shard, batch, overflow)
+            }
+            Partition::Hash => {
+                self.scatter_keys(keys);
+                let mut accepted = 0u64;
+                for shard in 0..self.shards() {
+                    if self.scatter[shard].is_empty() {
+                        continue;
+                    }
+                    let batch = std::mem::take(&mut self.scatter[shard]);
+                    accepted += self.send_nonblocking(shard, batch, overflow)?;
+                    self.scatter[shard] = self.take_buf(shard, keys.len());
                 }
-                Err(TrySendError::Full(Cmd::Batch(batch))) => {
-                    overflow.extend_from_slice(&batch);
-                }
-                Err(TrySendError::Full(Cmd::Snapshot(_))) => {
-                    unreachable!("try_push only sends batches")
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    return Err(StreamError::ShardDisconnected { shard });
-                }
+                Ok(accepted)
             }
         }
-        Ok(accepted)
     }
 
     /// Merge the shard estimators as of *now*: every batch accepted by
     /// [`push`](Self::push)/[`try_push`](Self::try_push) before this call
-    /// is reflected, because the snapshot command queues behind them.
+    /// is reflected, because each snapshot request carries the shard's
+    /// accepted-batch floor.
     ///
-    /// The runtime keeps running; this is the at-all-times query.
+    /// The runtime keeps running; this is the at-all-times query, served
+    /// through the incremental snapshot cache (shards untouched since the
+    /// previous query cost nothing — [`cache_stats`](Self::cache_stats)).
     ///
     /// # Errors
     ///
     /// [`StreamError::ShardDisconnected`] if a worker thread has died.
     pub fn merged(&self) -> Result<E> {
-        // Enqueue every snapshot first so shards quiesce in parallel…
-        let mut replies = Vec::with_capacity(self.txs.len());
-        for (shard, tx) in self.txs.iter().enumerate() {
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            tx.send(Cmd::Snapshot(reply_tx))
-                .map_err(|_| StreamError::ShardDisconnected { shard })?;
-            replies.push(reply_rx);
-        }
-        // …then collect and merge in shard order (merge order is
-        // irrelevant to the result — integer adds commute — but a fixed
-        // order keeps the walk deterministic).
-        let mut merged = self.prototype.clone();
-        for (shard, reply) in replies.into_iter().enumerate() {
-            let snapshot = reply
-                .recv()
-                .map_err(|_| StreamError::ShardDisconnected { shard })?;
-            merged.merge_from(&snapshot)?;
-        }
-        Ok(merged)
+        self.shared.merged()
+    }
+
+    /// The same at-all-times query *without* the snapshot cache: every
+    /// shard is cloned and merged, exactly like the pre-cache full
+    /// barrier. Kept as the benchmark baseline
+    /// (`queries_under_ingest` in `BENCH_sharded_runtime.json`) and as a
+    /// correctness cross-check against [`merged`](Self::merged).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn merged_uncached(&self) -> Result<E> {
+        self.shared.merged_uncached()
     }
 
     /// Typed at-all-times self-join query: merge the shards as of now and
@@ -414,11 +693,16 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
     ///
     /// [`StreamError::ShardDisconnected`] if a worker thread panicked.
     pub fn into_merged(mut self) -> Result<E> {
-        // Closing the channels is the shutdown signal…
-        self.txs.clear();
-        // …after which each worker drains its queue and returns its shard.
+        // Dropping the lanes closes the data rings — the shutdown signal…
+        self.lanes.clear();
+        // …after which each worker drains its ring and returns its shard.
         let handles = std::mem::take(&mut self.handles);
-        let mut merged = self.prototype.clone();
+        let mut merged = self
+            .shared
+            .prototype
+            .lock()
+            .expect("prototype lock")
+            .clone();
         for (shard, handle) in handles.into_iter().enumerate() {
             let shard_est = handle
                 .join()
@@ -431,36 +715,183 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
 
 impl<E: JoinEstimator> Drop for ShardedRuntime<E> {
     fn drop(&mut self) {
-        // Hang up, then wait: workers drain their queues and exit.
-        self.txs.clear();
+        // Hang up, then wait: workers drain their rings and exit.
+        self.lanes.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// The shard worker loop: apply batches, answer snapshots, return the
-/// final estimator when the runtime hangs up.
+impl<E: JoinEstimator> std::fmt::Debug for ShardedRuntime<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("config", &self.shared.config)
+            .field("tuples_ingested", &self.tuples_ingested())
+            .field("queue_high_water", &self.queue_high_water())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+/// A cloneable read-side handle on a [`ShardedRuntime`]: answers
+/// at-all-times queries through the same incremental snapshot cache,
+/// concurrently with the owner's ingest (queries from multiple handles
+/// serialize on the cache, each paying only its own dirty delta).
+///
+/// A handle outlives the runtime: after
+/// [`into_merged`](ShardedRuntime::into_merged) (or drop) it still serves
+/// queries whose cached snapshot is current, and reports
+/// [`StreamError::ShardDisconnected`] when a fresh shard clone would be
+/// needed.
+pub struct QueryHandle<E: JoinEstimator> {
+    shared: Arc<RuntimeShared<E>>,
+}
+
+impl<E: JoinEstimator> QueryHandle<E> {
+    /// The at-all-times query — see [`ShardedRuntime::merged`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a fresh shard snapshot is
+    /// needed and that worker is gone.
+    pub fn merged(&self) -> Result<E> {
+        self.shared.merged()
+    }
+
+    /// Typed self-join query — see
+    /// [`ShardedRuntime::self_join_estimate`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryHandle::merged`].
+    pub fn self_join_estimate(&self) -> Result<Estimate> {
+        Ok(self.merged()?.self_join_estimate())
+    }
+
+    /// Snapshot-cache counters — see [`ShardedRuntime::cache_stats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache_stats()
+    }
+
+    /// Tuples applied so far — see [`ShardedRuntime::tuples_ingested`].
+    pub fn tuples_ingested(&self) -> u64 {
+        self.shared.tuples_ingested()
+    }
+
+    /// Throughput gauge — see [`ShardedRuntime::tuples_per_sec`].
+    pub fn tuples_per_sec(&self) -> f64 {
+        self.shared.tuples_per_sec()
+    }
+
+    /// Point-in-time occupancy — see
+    /// [`ShardedRuntime::queue_occupancy`].
+    pub fn queue_occupancy(&self) -> usize {
+        self.shared.queue_occupancy()
+    }
+}
+
+impl<E: JoinEstimator> Clone for QueryHandle<E> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<E: JoinEstimator> std::fmt::Debug for QueryHandle<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("tuples_ingested", &self.tuples_ingested())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+/// The shard worker loop: apply batches from the data ring (recycling
+/// their buffers), answer control-queue snapshot requests once the
+/// requested floor is reached, and return the final estimator when the
+/// producer hangs up.
 fn shard_worker<E: JoinEstimator>(
+    shard: usize,
     mut est: E,
-    rx: Receiver<Cmd<E>>,
-    in_flight: Arc<AtomicIsize>,
-    ingested: Arc<AtomicU64>,
+    mut data: ring::Consumer<Vec<u64>>,
+    mut recycle: ring::Producer<Vec<u64>>,
+    shared: Arc<RuntimeShared<E>>,
 ) -> E {
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Cmd::Batch(keys) => {
-                est.update_batch(&keys);
-                ingested.fetch_add(keys.len() as u64, Ordering::AcqRel);
-                in_flight.fetch_sub(1, Ordering::AcqRel);
-            }
-            Cmd::Snapshot(reply) => {
+    /// Clears the shard's `live` flag on every exit path, panics
+    /// included, so queriers never wait on a ghost.
+    struct LiveGuard<'a>(&'a AtomicBool);
+    impl Drop for LiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Answer every pending request whose floor is reached. Requests are
+    /// served in arrival order but never block one another: a request
+    /// with a lower floor is not stuck behind an unsatisfiable one.
+    fn serve<E: JoinEstimator>(pending: &mut Vec<SnapshotReq<E>>, applied: u64, est: &E) {
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].min <= applied {
+                let req = pending.swap_remove(i);
                 // A dropped receiver just means the querier gave up.
-                let _ = reply.send(est.clone());
+                let _ = req.reply.send((applied, est.clone()));
+            } else {
+                i += 1;
             }
         }
     }
-    est
+
+    let state = &shared.shards[shard];
+    let _live = LiveGuard(&state.live);
+    let parker = data.parker();
+    let mut pending: Vec<SnapshotReq<E>> = Vec::new();
+    let mut applied = 0u64;
+    let mut backoff = Backoff::new();
+
+    let mut apply = |est: &mut E, mut buf: Vec<u64>, applied: &mut u64| {
+        est.update_batch(&buf);
+        *applied += 1;
+        state.ingested.fetch_add(buf.len() as u64, Ordering::AcqRel);
+        state.applied.store(*applied, Ordering::Release);
+        buf.clear();
+        // A full recycle ring (only possible if the producer stopped
+        // taking buffers back) just drops the buffer.
+        let _ = recycle.try_push(buf);
+    };
+
+    loop {
+        while let Some(req) = state.ctrl.try_recv() {
+            pending.push(req);
+        }
+        serve(&mut pending, applied, &est);
+        match data.try_pop() {
+            Some(buf) => {
+                apply(&mut est, buf, &mut applied);
+                backoff.reset();
+            }
+            None if data.is_closed() => {
+                // The producer hung up: drain what it pushed before
+                // closing, then answer any last requests (every floor is
+                // reachable now — nothing more can be accepted).
+                while let Some(buf) = data.try_pop() {
+                    apply(&mut est, buf, &mut applied);
+                }
+                while let Some(req) = state.ctrl.try_recv() {
+                    pending.push(req);
+                }
+                serve(&mut pending, applied, &est);
+                return est;
+            }
+            None => {
+                backoff.snooze(&parker, || {
+                    state.ctrl.is_ready() || !data.is_empty() || data.is_closed()
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -553,7 +984,7 @@ mod tests {
         let batch: Vec<u64> = (0..100u64).collect();
         let mut overflow = Vec::new();
         let mut accepted = 0u64;
-        // Hammer a depth-1 queue with more batches than one worker can
+        // Hammer a depth-1 ring with more batches than one worker can
         // drain between our sends: some must overflow.
         for _ in 0..20_000 {
             accepted += rt.try_push(&batch, &mut overflow).unwrap();
@@ -671,8 +1102,8 @@ mod tests {
     }
 
     /// After a quiescing `merged()` call the ingest gauges are exact: the
-    /// per-worker counters sum to every tuple pushed, and the throughput
-    /// gauge is positive.
+    /// per-worker counters sum to every tuple pushed, the throughput
+    /// gauge is positive, and the point-in-time occupancy is back to 0.
     #[test]
     fn ingest_counters_are_exact_after_quiesce() {
         let mut rng = StdRng::seed_from_u64(8);
@@ -686,17 +1117,19 @@ mod tests {
             };
             let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
             assert_eq!(rt.tuples_ingested(), 0);
+            assert_eq!(rt.queue_occupancy(), 0);
             for chunk in s.chunks(777) {
                 rt.push(chunk).unwrap();
             }
-            // merged() queues a snapshot behind every accepted batch, so by
-            // the time it returns each worker has applied (and counted) all
-            // of them.
+            // merged() waits for each shard to reach its accepted-batch
+            // floor, so by the time it returns each worker has applied
+            // (and counted) everything pushed before the call.
             let _ = rt.merged().unwrap();
             assert_eq!(rt.tuples_ingested(), s.len() as u64, "{partition:?}");
             let per_shard: u64 = (0..rt.shards()).map(|i| rt.shard_tuples_ingested(i)).sum();
             assert_eq!(per_shard, s.len() as u64, "{partition:?}");
             assert!(rt.tuples_per_sec() > 0.0, "{partition:?}");
+            assert_eq!(rt.queue_occupancy(), 0, "{partition:?}: quiesced");
         }
     }
 
@@ -719,5 +1152,261 @@ mod tests {
         let mut seq = schema.sketch();
         sss_sketch::Sketch::update_batch(&mut seq, &s);
         assert_eq!(merged.self_join().to_bits(), seq.self_join().to_bits());
+    }
+
+    /// An estimator that sleeps per batch and opts out of retraction:
+    /// deterministically saturates tiny rings, and exercises the snapshot
+    /// cache's full-rebuild fallback inside the real runtime.
+    #[derive(Clone)]
+    struct SlowSketch {
+        inner: JoinSketch,
+        delay: Duration,
+    }
+
+    impl JoinEstimator for SlowSketch {
+        fn update(&mut self, key: u64, count: i64) {
+            self.inner.update(key, count);
+        }
+        fn update_batch(&mut self, keys: &[u64]) {
+            std::thread::sleep(self.delay);
+            self.inner.update_batch(keys);
+        }
+        fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
+            self.inner.merge_from(&other.inner)
+        }
+        fn self_join(&self) -> f64 {
+            self.inner.raw_self_join()
+        }
+        fn size_of_join(&self, other: &Self) -> sss_core::Result<f64> {
+            self.inner.raw_size_of_join(&other.inner)
+        }
+    }
+
+    /// Regression for the old transport's dead `Full(Cmd::Snapshot)` arm:
+    /// snapshots ride a control queue that shares nothing with the data
+    /// ring, so a query succeeds — exactly and promptly — while the data
+    /// ring is full and `try_push` is shedding overflow.
+    #[test]
+    fn snapshots_never_ride_the_data_queue() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let schema = JoinSchema::fagms(1, 64, &mut rng);
+        let proto = SlowSketch {
+            inner: schema.sketch(),
+            delay: Duration::from_millis(2),
+        };
+        let config = RuntimeConfig {
+            shards: 1,
+            queue_depth: 1,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &proto).unwrap();
+        let batch: Vec<u64> = (0..64u64).collect();
+        let mut overflow = Vec::new();
+        let mut accepted = 0u64;
+        // The worker sleeps 2 ms per batch: hammering it back-to-back
+        // must fill the depth-1 ring and overflow.
+        for _ in 0..40 {
+            accepted += rt.try_push(&batch, &mut overflow).unwrap();
+        }
+        assert!(!overflow.is_empty(), "the data ring did saturate");
+        // A query through the full data ring: answered (not shed, not
+        // stuck behind the overflow leg), covering exactly the accepted
+        // tuples.
+        let merged = rt.merged().unwrap();
+        let copies = accepted / batch.len() as u64;
+        let mut expect = schema.sketch();
+        for _ in 0..copies {
+            expect.update_batch(&batch);
+        }
+        assert_eq!(
+            merged.self_join().to_bits(),
+            expect.raw_self_join().to_bits()
+        );
+        // SlowSketch opts out of retraction, so the cache fell back to
+        // full rebuilds — still exact, never cached-stale.
+        assert_eq!(rt.cache_stats().full_rebuilds, 1);
+        assert_eq!(rt.queue_occupancy(), 0, "query quiesced the shard");
+    }
+
+    /// merged() with zero batches pushed is the empty (prototype) sketch,
+    /// and asking again is a pure cache hit.
+    #[test]
+    fn merged_with_zero_batches_is_the_empty_sketch() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let schema = JoinSchema::fagms(2, 128, &mut rng);
+        let rt = ShardedRuntime::new(
+            RuntimeConfig {
+                shards: 4,
+                ..Default::default()
+            },
+            &schema.sketch(),
+        )
+        .unwrap();
+        let empty = rt.merged().unwrap();
+        assert_eq!(
+            empty.raw_self_join().to_bits(),
+            schema.sketch().raw_self_join().to_bits()
+        );
+        let again = rt.merged().unwrap();
+        assert_eq!(
+            again.raw_self_join().to_bits(),
+            empty.raw_self_join().to_bits()
+        );
+        let stats = rt.cache_stats();
+        assert_eq!(stats.full_rebuilds, 1, "first query built the cache");
+        assert_eq!(stats.hits, 1, "second query was served from it");
+        assert_eq!(stats.shards_refreshed, 0, "no shard was ever cloned");
+    }
+
+    /// Repeated queries with no intervening ingest are cache hits,
+    /// bit-identical to the first answer; new ingest dirties only the
+    /// shards it touched.
+    #[test]
+    fn repeated_queries_hit_the_cache_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = JoinSchema::fagms(1, 256, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 4,
+            queue_depth: 8,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let half = s.len() / 2;
+        for chunk in s[..half].chunks(512) {
+            rt.push(chunk).unwrap();
+        }
+        let first = rt.merged().unwrap();
+        for _ in 0..10 {
+            let again = rt.merged().unwrap();
+            assert_eq!(
+                again.raw_self_join().to_bits(),
+                first.raw_self_join().to_bits()
+            );
+        }
+        let stats = rt.cache_stats();
+        assert_eq!(stats.hits, 10, "all repeats served from cache");
+        // The cache-bypassing full barrier agrees with the cached answer.
+        let barrier = rt.merged_uncached().unwrap();
+        assert_eq!(
+            barrier.raw_self_join().to_bits(),
+            first.raw_self_join().to_bits()
+        );
+        // One more round-robin batch dirties exactly one shard; the
+        // delta rebuild still matches the sequential sketch bit for bit.
+        rt.push(&s[half..half + 512]).unwrap();
+        let after = rt.merged().unwrap();
+        assert_eq!(
+            after.raw_self_join().to_bits(),
+            sequential(&schema, &s[..half + 512])
+                .raw_self_join()
+                .to_bits()
+        );
+        let stats = rt.cache_stats();
+        assert_eq!(stats.partial_rebuilds, 1);
+        assert_eq!(
+            stats.shards_refreshed,
+            config.shards as u64 + 1,
+            "first query cloned every shard, the delta cloned one"
+        );
+    }
+
+    /// A sibling QueryHandle works during ingest, and after
+    /// `into_merged()` consumed the runtime it still serves cache-clean
+    /// queries (bit-identical to the final merge) while honestly failing
+    /// queries that would need a dead worker.
+    #[test]
+    fn query_handle_outlives_into_merged() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let schema = JoinSchema::fagms(1, 256, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 3,
+            queue_depth: 8,
+            partition: Partition::Hash,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let handle = rt.query_handle();
+        let sibling = handle.clone();
+        for chunk in s.chunks(1024) {
+            rt.push(chunk).unwrap();
+        }
+        // Live query through the handle, concurrent with the runtime.
+        let mid = handle.merged().unwrap();
+        assert_eq!(
+            mid.raw_self_join().to_bits(),
+            sequential(&schema, &s).raw_self_join().to_bits()
+        );
+        assert_eq!(handle.tuples_ingested(), s.len() as u64);
+        // No ingest since the last query: the final merge and a
+        // post-shutdown handle query agree with it bit for bit.
+        let fin = rt.into_merged().unwrap();
+        assert_eq!(fin.raw_self_join().to_bits(), mid.raw_self_join().to_bits());
+        let after = sibling.merged().unwrap();
+        assert_eq!(
+            after.raw_self_join().to_bits(),
+            fin.raw_self_join().to_bits()
+        );
+        assert!(sibling.cache_stats().hits >= 1);
+
+        // A handle whose cache is stale at shutdown reports the dead
+        // shard instead of answering from thin air.
+        let mut rt2 = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        let stale = rt2.query_handle();
+        rt2.push(&s[..4096]).unwrap();
+        let _ = rt2.into_merged().unwrap();
+        assert!(matches!(
+            stale.merged(),
+            Err(StreamError::ShardDisconnected { .. })
+        ));
+    }
+
+    /// The zero-allocations-per-batch claim, in accounting form: over a
+    /// long steady-state run the pool allocates at most its warm-up
+    /// complement (bounded by ring capacities, independent of batch
+    /// count) and every other batch reuses a recycled buffer.
+    #[test]
+    fn steady_state_ingest_reuses_pooled_buffers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let schema = JoinSchema::fagms(1, 128, &mut rng);
+        for partition in [Partition::RoundRobin, Partition::Hash] {
+            let config = RuntimeConfig {
+                shards: 2,
+                queue_depth: 4,
+                partition,
+            };
+            let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+            let batch: Vec<u64> = (0..256u64).collect();
+            let pushes = 2_000u64;
+            for _ in 0..pushes {
+                rt.push(&batch).unwrap();
+            }
+            let stats = rt.pool_stats();
+            // Warm-up bound: every buffer that can be in flight at once —
+            // ring slots + one in the worker + one per scatter/compose
+            // slot — and not a buffer more, no matter how many batches ran.
+            let cap = (config.shards * (config.queue_depth + 3)) as u64;
+            assert!(
+                stats.allocations <= cap,
+                "{partition:?}: {} allocations exceed warm-up bound {cap}",
+                stats.allocations
+            );
+            assert!(
+                stats.reuses >= pushes - cap,
+                "{partition:?}: steady state must reuse (reuses = {}, pushes = {pushes})",
+                stats.reuses
+            );
+            // And the accounting didn't cost correctness.
+            let merged = rt.into_merged().unwrap();
+            let mut expect = schema.sketch();
+            for _ in 0..pushes {
+                expect.update_batch(&batch);
+            }
+            assert_eq!(
+                merged.raw_self_join().to_bits(),
+                expect.raw_self_join().to_bits(),
+                "{partition:?}"
+            );
+        }
     }
 }
