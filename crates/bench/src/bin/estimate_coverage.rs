@@ -49,17 +49,17 @@ fn summarize(
     let runs = estimates.len() as f64;
     let clt = estimates
         .iter()
-        .filter(|e| e.clt(level).contains(truth))
+        .filter(|e| e.clt(level).unwrap().contains(truth))
         .count() as f64
         / runs;
     let chebyshev = estimates
         .iter()
-        .filter(|e| e.chebyshev(level).contains(truth))
+        .filter(|e| e.chebyshev(level).unwrap().contains(truth))
         .count() as f64
         / runs;
     let rel_width = estimates
         .iter()
-        .map(|e| e.clt(level).half_width())
+        .map(|e| e.clt(level).unwrap().half_width())
         .sum::<f64>()
         / runs
         / truth;

@@ -1,0 +1,151 @@
+//! Acceptance measurement for the heavy-hitters layer: top-k precision
+//! and recall from a Bernoulli-sampled Zipf stream, for both summary
+//! backends, across sampling rates — plus the memory the summary held.
+//!
+//! The issue's gate: on Zipf(1.2) over a 100k-key domain, the sampled
+//! Count-Sketch tracker at `p = 0.1` must recover at least 90% of the
+//! exact top-50 while holding O(k + sketch) counters. The process exits
+//! nonzero if that row misses the floor, making the binary a CI
+//! acceptance gate, not just a report.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin heavy_hitters \
+//!     [--tuples=2000000] [--domain=100000] [--skew=1.2] [--k=50] [--seed=9]
+//! ```
+//!
+//! Prints CSV (`backend,p,k,recall,precision,mean_rel_err,counters`);
+//! precision and recall coincide when both sets have exactly `k` members,
+//! but are reported separately because `MisraGries` can return fewer than
+//! `k` candidates at harsh sampling rates.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_bench::{arg, banner};
+use sss_core::{Estimate, SampledTopK};
+use sss_datagen::ZipfGenerator;
+use sss_sketch::{FagmsSchema, HeavyHitters};
+
+/// The sketch geometry every Count-Sketch row uses: 5 rows (median) of
+/// 4096 buckets, the same shape as the library example.
+const DEPTH: usize = 5;
+const WIDTH: usize = 4096;
+
+struct Row {
+    backend: &'static str,
+    p: f64,
+    recall: f64,
+    precision: f64,
+    mean_rel_err: f64,
+    counters: usize,
+}
+
+fn score(
+    backend: &'static str,
+    p: f64,
+    top: &[(u64, Estimate)],
+    exact: &[(u64, i64)],
+    counters: usize,
+) -> Row {
+    let true_top: HashSet<u64> = exact.iter().map(|&(key, _)| key).collect();
+    let truth: std::collections::HashMap<u64, i64> = exact.iter().copied().collect();
+    let hits = top.iter().filter(|(key, _)| true_top.contains(key)).count();
+    let errs: Vec<f64> = top
+        .iter()
+        .filter_map(|(key, est)| {
+            truth
+                .get(key)
+                .map(|&t| ((est.value - t as f64) / t as f64).abs())
+        })
+        .collect();
+    Row {
+        backend,
+        p,
+        recall: hits as f64 / true_top.len().max(1) as f64,
+        precision: hits as f64 / top.len().max(1) as f64,
+        mean_rel_err: errs.iter().sum::<f64>() / errs.len().max(1) as f64,
+        counters,
+    }
+}
+
+fn main() {
+    let tuples: usize = arg("tuples", 2_000_000);
+    let domain: usize = arg("domain", 100_000);
+    let skew: f64 = arg("skew", 1.2);
+    let k: usize = arg("k", 50);
+    let seed: u64 = arg("seed", 9);
+    banner(
+        "heavy_hitters",
+        "sampled top-k precision/recall vs sampling rate (acceptance: count_sketch p=0.1 recall >= 0.9)",
+        &[
+            ("tuples", tuples.to_string()),
+            ("domain", domain.to_string()),
+            ("skew", skew.to_string()),
+            ("k", k.to_string()),
+            ("sketch", format!("{DEPTH}x{WIDTH}")),
+            ("capacity", (4 * k).to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stream = ZipfGenerator::new(domain, skew).relation(tuples, &mut rng);
+    let exact = sss_exact_top(&stream, k);
+
+    println!("backend,p,k,recall,precision,mean_rel_err,counters");
+    let mut rows = Vec::new();
+    for p in [1.0, 0.5, 0.1, 0.01] {
+        let schema: FagmsSchema = FagmsSchema::new(DEPTH, WIDTH, &mut rng);
+        let mut cs = SampledTopK::count_sketch(&schema, 4 * k, p, &mut rng).unwrap();
+        cs.feed_batch(&stream);
+        rows.push(score(
+            "count_sketch",
+            p,
+            &cs.top_k(k),
+            &exact,
+            cs.summary().counters(),
+        ));
+
+        let mut mg = SampledTopK::misra_gries(4 * k, p, &mut rng).unwrap();
+        mg.feed_batch(&stream);
+        rows.push(score(
+            "misra_gries",
+            p,
+            &mg.top_k(k),
+            &exact,
+            mg.summary().counters(),
+        ));
+    }
+
+    let mut failed = false;
+    for r in &rows {
+        println!(
+            "{},{},{k},{:.4},{:.4},{:.4},{}",
+            r.backend, r.p, r.recall, r.precision, r.mean_rel_err, r.counters
+        );
+        if r.backend == "count_sketch" && (r.p - 0.1).abs() < 1e-9 && r.recall < 0.9 {
+            eprintln!(
+                "FAIL count_sketch p=0.1: top-{k} recall {:.4} < 0.9",
+                r.recall
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("# count_sketch p=0.1 recall at or above the 0.9 acceptance floor");
+}
+
+/// Exact top-`k` (count-descending, key-ascending ties) via one hash pass.
+fn sss_exact_top(stream: &[u64], k: usize) -> Vec<(u64, i64)> {
+    let mut counts = std::collections::HashMap::new();
+    for &key in stream {
+        *counts.entry(key).or_insert(0i64) += 1;
+    }
+    let mut all: Vec<(u64, i64)> = counts.into_iter().collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use sss_core::sketch::{JoinSchema, JoinSketch};
 use sss_core::{
     EpochShedder, IidStreamSketcher, JoinEstimator, LoadSheddingSketcher, RateGrid,
-    ReferenceEpochShedder, ScanSketcher,
+    ReferenceEpochShedder, ScanSketcher, StreamSummary,
 };
 use sss_datagen::{DiscreteAlias, TpchGenerator, ZipfGenerator};
 use sss_moments::FrequencyVector;
@@ -356,7 +356,7 @@ impl PacedSketch {
     }
 }
 
-impl JoinEstimator for PacedSketch {
+impl StreamSummary for PacedSketch {
     fn update(&mut self, key: u64, count: i64) {
         self.inner.update(key, count);
     }
@@ -371,7 +371,9 @@ impl JoinEstimator for PacedSketch {
     fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
         self.inner.merge(&other.inner)
     }
+}
 
+impl JoinEstimator for PacedSketch {
     fn self_join(&self) -> f64 {
         self.inner.raw_self_join()
     }

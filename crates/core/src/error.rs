@@ -34,10 +34,10 @@ pub enum Error {
         steps_per_decade: u32,
     },
     /// The estimator does not support exact retraction
-    /// ([`JoinEstimator::retract_from`](crate::JoinEstimator::retract_from)):
+    /// ([`StreamSummary::retract_from`](crate::StreamSummary::retract_from)):
     /// callers needing an incremental merge must fall back to a full
     /// re-merge (see
-    /// [`JoinEstimator::supports_retract`](crate::JoinEstimator::supports_retract)).
+    /// [`StreamSummary::supports_retract`](crate::StreamSummary::supports_retract)).
     RetractUnsupported,
 }
 

@@ -3,58 +3,75 @@
 //! Historically each sketch family exposed its own ad-hoc surface
 //! (`AgmsSketch::self_join`, `FagmsSketch::size_of_join`,
 //! `JoinSketch::raw_self_join`, …) and the streaming layer was hard-coded
-//! to [`JoinSketch`]. [`JoinEstimator`] is the one contract the runtime,
-//! the engine, and the parallel helpers are generic over: anything that
-//! can absorb keyed updates, merge with a peer built from the same seeds
-//! (linearity), and answer the two join-size queries of the paper.
+//! to [`JoinSketch`]. The contract is split in two:
+//!
+//! * [`StreamSummary`] is the *ingestion* contract the sharded runtime and
+//!   the snapshot cache are generic over: anything that can absorb keyed
+//!   updates and merge with a peer built from the same seeds (linearity).
+//!   Join sketches satisfy it, and so do the heavy-hitter summaries of
+//!   `sss_sketch::topk` — which can be sharded but cannot answer join
+//!   queries.
+//! * [`JoinEstimator`] extends it with the two join-size queries of the
+//!   paper; the engine's `self_join`/`size_of_join` query surface requires
+//!   this subtrait.
 //!
 //! The contract mirrors sketch linearity exactly:
 //!
-//! * [`update_batch`](JoinEstimator::update_batch) must be **bit-identical**
+//! * [`update_batch`](StreamSummary::update_batch) must be **bit-identical**
 //!   to the per-key update loop (integer counter updates commute);
-//! * [`merge_from`](JoinEstimator::merge_from) must make the merged state
-//!   identical to sketching the concatenated streams, so a sharded runtime
-//!   can partition tuples arbitrarily and still reproduce the sequential
-//!   sketch bit for bit;
+//! * [`merge_from`](StreamSummary::merge_from) must make the merged state
+//!   equivalent to summarizing the concatenated streams — bit-identical
+//!   for the linear sketches, guarantee-preserving for the (order-lossy)
+//!   heavy-hitter summaries — so a sharded runtime can partition tuples
+//!   arbitrarily;
 //! * [`self_join`](JoinEstimator::self_join) /
 //!   [`size_of_join`](JoinEstimator::size_of_join) return the *raw*
 //!   estimates of whatever was sketched — sampling-rate corrections
 //!   (Propositions 13–16) stay in the drivers that know the rates.
 //!
-//! Implementations are provided for the two ±1 families' sketches
-//! ([`AgmsSketch`], [`FagmsSketch`]), the [`CountMinSketch`] baseline, and
-//! the backend-erased [`JoinSketch`] enum the drivers default to.
+//! [`JoinEstimator`] implementations are provided for the two ±1 families'
+//! sketches ([`AgmsSketch`], [`FagmsSketch`]), the [`CountMinSketch`]
+//! baseline, and the backend-erased [`JoinSketch`] enum the drivers
+//! default to; [`StreamSummary`]-only implementations for
+//! [`MisraGries`] and [`CountSketchTopK`].
 
 use crate::error::{Error, Result};
 use crate::sketch::JoinSketch;
-use sss_sketch::{AgmsSketch, CountMinSketch, Estimate, FagmsSketch, Sketch};
+use sss_sketch::topk::HeavyHitters;
+use sss_sketch::{
+    AgmsSketch, CountMinSketch, CountSketchTopK, Estimate, FagmsSketch, MisraGries, Sketch,
+};
 use sss_xi::{BucketFamily, SignFamily};
 
-/// A linear, mergeable join-size estimator over a keyed stream.
+/// A linear, mergeable summary of a keyed stream — the ingestion half of
+/// the estimator contract, shared by join sketches and heavy-hitter
+/// summaries alike.
 ///
 /// `Clone` is required so a concurrent runtime can snapshot shard state
 /// without draining it; `Send + 'static` so shards can live on worker
 /// threads.
-pub trait JoinEstimator: Clone + Send + 'static {
-    /// Add `count` occurrences of `key` (negative counts model deletions).
+pub trait StreamSummary: Clone + Send + 'static {
+    /// Add `count` occurrences of `key` (negative counts model deletions
+    /// for turnstile-capable summaries; insert-only summaries may ignore
+    /// them — see the implementor's docs).
     fn update(&mut self, key: u64, count: i64);
 
     /// Add one occurrence of every key, bit-identically to calling
-    /// [`update`](JoinEstimator::update) once per key.
+    /// [`update`](StreamSummary::update) once per key.
     fn update_batch(&mut self, keys: &[u64]);
 
-    /// Entry-wise merge of a peer estimator built from the same schema:
-    /// afterwards `self` summarizes the union of both streams, exactly.
+    /// Merge a peer summary built from the same schema: afterwards `self`
+    /// summarizes the union of both streams.
     ///
     /// # Errors
     ///
-    /// Schema mismatch (different random seeds) — merged counters would be
-    /// meaningless.
+    /// Schema mismatch (different random seeds, or structurally
+    /// incompatible summaries) — merged state would be meaningless.
     fn merge_from(&mut self, other: &Self) -> Result<()>;
 
-    /// Whether [`retract_from`](JoinEstimator::retract_from) performs an
+    /// Whether [`retract_from`](StreamSummary::retract_from) performs an
     /// **exact** entry-wise inverse of
-    /// [`merge_from`](JoinEstimator::merge_from).
+    /// [`merge_from`](StreamSummary::merge_from).
     ///
     /// The provided sketch backends store integer counters, so
     /// `merge_from(new)` after `retract_from(old)` leaves the estimator
@@ -70,10 +87,10 @@ pub trait JoinEstimator: Clone + Send + 'static {
 
     /// Entry-wise retraction of a peer previously merged in: afterwards
     /// `self` summarizes its stream *minus* `other`'s, exactly — the delta
-    /// counterpart of [`merge_from`](JoinEstimator::merge_from).
+    /// counterpart of [`merge_from`](StreamSummary::merge_from).
     ///
     /// Only meaningful when
-    /// [`supports_retract`](JoinEstimator::supports_retract) returns
+    /// [`supports_retract`](StreamSummary::supports_retract) returns
     /// `true`.
     ///
     /// # Errors
@@ -84,7 +101,11 @@ pub trait JoinEstimator: Clone + Send + 'static {
         let _ = other;
         Err(Error::RetractUnsupported)
     }
+}
 
+/// A [`StreamSummary`] that can additionally answer the paper's join-size
+/// queries.
+pub trait JoinEstimator: StreamSummary {
     /// Raw self-join (second frequency moment) estimate of the sketched
     /// stream.
     fn self_join(&self) -> f64;
@@ -94,7 +115,7 @@ pub trait JoinEstimator: Clone + Send + 'static {
     ///
     /// # Errors
     ///
-    /// Schema mismatch, as for [`merge_from`](JoinEstimator::merge_from).
+    /// Schema mismatch, as for [`merge_from`](StreamSummary::merge_from).
     fn size_of_join(&self, other: &Self) -> Result<f64>;
 
     /// Typed self-join estimate with error state: same value as
@@ -118,13 +139,13 @@ pub trait JoinEstimator: Clone + Send + 'static {
     ///
     /// # Errors
     ///
-    /// Schema mismatch, as for [`merge_from`](JoinEstimator::merge_from).
+    /// Schema mismatch, as for [`merge_from`](StreamSummary::merge_from).
     fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
         Ok(Estimate::point(self.size_of_join(other)?))
     }
 }
 
-impl<F> JoinEstimator for AgmsSketch<F>
+impl<F> StreamSummary for AgmsSketch<F>
 where
     F: SignFamily + Send + Sync + 'static,
 {
@@ -147,7 +168,12 @@ where
     fn retract_from(&mut self, other: &Self) -> Result<()> {
         Ok(self.subtract(other)?)
     }
+}
 
+impl<F> JoinEstimator for AgmsSketch<F>
+where
+    F: SignFamily + Send + Sync + 'static,
+{
     fn self_join(&self) -> f64 {
         AgmsSketch::self_join(self)
     }
@@ -165,7 +191,7 @@ where
     }
 }
 
-impl<S, B> JoinEstimator for FagmsSketch<S, B>
+impl<S, B> StreamSummary for FagmsSketch<S, B>
 where
     S: SignFamily + Send + Sync + 'static,
     B: BucketFamily + Send + Sync + 'static,
@@ -189,7 +215,13 @@ where
     fn retract_from(&mut self, other: &Self) -> Result<()> {
         Ok(self.subtract(other)?)
     }
+}
 
+impl<S, B> JoinEstimator for FagmsSketch<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
     fn self_join(&self) -> f64 {
         FagmsSketch::self_join(self)
     }
@@ -207,7 +239,7 @@ where
     }
 }
 
-impl<B> JoinEstimator for CountMinSketch<B>
+impl<B> StreamSummary for CountMinSketch<B>
 where
     B: BucketFamily + Send + Sync + 'static,
 {
@@ -230,7 +262,12 @@ where
     fn retract_from(&mut self, other: &Self) -> Result<()> {
         Ok(self.subtract(other)?)
     }
+}
 
+impl<B> JoinEstimator for CountMinSketch<B>
+where
+    B: BucketFamily + Send + Sync + 'static,
+{
     fn self_join(&self) -> f64 {
         CountMinSketch::self_join(self)
     }
@@ -248,7 +285,7 @@ where
     }
 }
 
-impl JoinEstimator for JoinSketch {
+impl StreamSummary for JoinSketch {
     fn update(&mut self, key: u64, count: i64) {
         JoinSketch::update(self, key, count);
     }
@@ -268,7 +305,9 @@ impl JoinEstimator for JoinSketch {
     fn retract_from(&mut self, other: &Self) -> Result<()> {
         self.subtract(other)
     }
+}
 
+impl JoinEstimator for JoinSketch {
     fn self_join(&self) -> f64 {
         self.raw_self_join()
     }
@@ -286,6 +325,42 @@ impl JoinEstimator for JoinSketch {
     }
 }
 
+/// Heavy-hitter summaries shard like sketches do — merge via the
+/// Agarwal-et-al. summary merge — but answer top-k queries, not joins,
+/// so they implement only the base trait. Insert-only: non-positive
+/// counts are dropped by [`MisraGries`] (see its docs).
+impl StreamSummary for MisraGries {
+    fn update(&mut self, key: u64, count: i64) {
+        self.offer(key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.offer_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
+impl<S, B> StreamSummary for CountSketchTopK<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        self.offer(key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.offer_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,10 +375,10 @@ mod tests {
         let keys: Vec<u64> = (0..4_000u64).map(|i| i % 100).collect();
         let mut scalar = make();
         for &k in &keys {
-            JoinEstimator::update(&mut scalar, k, 1);
+            StreamSummary::update(&mut scalar, k, 1);
         }
         let mut batched = make();
-        JoinEstimator::update_batch(&mut batched, &keys);
+        StreamSummary::update_batch(&mut batched, &keys);
         assert_eq!(
             JoinEstimator::self_join(&scalar).to_bits(),
             JoinEstimator::self_join(&batched).to_bits(),
@@ -312,8 +387,8 @@ mod tests {
         // Merge = union: split the stream in two and merge the halves.
         let mut left = make();
         let mut right = make();
-        JoinEstimator::update_batch(&mut left, &keys[..keys.len() / 2]);
-        JoinEstimator::update_batch(&mut right, &keys[keys.len() / 2..]);
+        StreamSummary::update_batch(&mut left, &keys[..keys.len() / 2]);
+        StreamSummary::update_batch(&mut right, &keys[keys.len() / 2..]);
         left.merge_from(&right).unwrap();
         assert_eq!(
             JoinEstimator::self_join(&left).to_bits(),
@@ -335,7 +410,7 @@ mod tests {
         let e = scalar.self_join_estimate();
         assert_eq!(e.value.to_bits(), est.to_bits());
         assert!(e.variance.is_finite());
-        assert!(e.chebyshev(0.95).contains(e.value));
+        assert!(e.chebyshev(0.95).unwrap().contains(e.value));
         let ej = scalar.size_of_join_estimate(&scalar).unwrap();
         assert_eq!(ej.value.to_bits(), sj.to_bits());
         // Retraction is the exact inverse of merge for every provided
@@ -346,8 +421,8 @@ mod tests {
         let mut merged = make();
         merged.merge_from(&left).unwrap(); // left already holds the union
         let mut grown = make();
-        JoinEstimator::update_batch(&mut grown, &keys);
-        JoinEstimator::update_batch(&mut grown, &[1, 2, 3]);
+        StreamSummary::update_batch(&mut grown, &keys);
+        StreamSummary::update_batch(&mut grown, &[1, 2, 3]);
         merged.retract_from(&left).unwrap();
         merged.merge_from(&grown).unwrap();
         let mut fresh = make();
@@ -381,7 +456,7 @@ mod tests {
     fn trait_defaults_keep_external_implementors_compiling() {
         #[derive(Clone)]
         struct ExactCounter(std::collections::HashMap<u64, i64>);
-        impl JoinEstimator for ExactCounter {
+        impl StreamSummary for ExactCounter {
             fn update(&mut self, key: u64, count: i64) {
                 *self.0.entry(key).or_insert(0) += count;
             }
@@ -396,6 +471,8 @@ mod tests {
                 }
                 Ok(())
             }
+        }
+        impl JoinEstimator for ExactCounter {
             fn self_join(&self) -> f64 {
                 self.0.values().map(|&c| (c * c) as f64).sum()
             }
@@ -422,7 +499,7 @@ mod tests {
         assert!(est.basics.is_empty());
         let sj = e.size_of_join_estimate(&e).unwrap();
         assert_eq!(sj.value, e.self_join());
-        assert!(sj.chebyshev(0.99).half_width().is_infinite());
+        assert!(sj.chebyshev(0.99).unwrap().half_width().is_infinite());
     }
 
     #[test]

@@ -67,15 +67,17 @@ pub mod iid;
 pub mod scan;
 pub mod shedding;
 pub mod sketch;
+pub mod topk;
 
 pub use compaction::{RateGrid, ReferenceEpochShedder};
 pub use coordinated::CoordinatedShedder;
 pub use cross::RatedSketch;
 pub use epochs::EpochShedder;
 pub use error::{Error, Result};
-pub use estimator::JoinEstimator;
+pub use estimator::{JoinEstimator, StreamSummary};
 pub use iid::IidStreamSketcher;
 pub use scan::ScanSketcher;
 pub use shedding::{bernoulli_self_join, bernoulli_self_join_estimate, LoadSheddingSketcher};
 pub use sketch::{JoinSchema, JoinSketch};
 pub use sss_sketch::{Bound, Estimate};
+pub use topk::SampledTopK;

@@ -35,7 +35,7 @@ impl ConfidenceInterval {
 /// `P(|X − μ| ≥ k·σ) ≤ 1/k²`, so `k = 1/√(1−confidence)`.
 pub fn chebyshev(center: f64, moments: &Moments, confidence: f64) -> ConfidenceInterval {
     assert!(
-        (0.0..1.0).contains(&confidence),
+        confidence > 0.0 && confidence < 1.0,
         "confidence must be in (0,1)"
     );
     let k = (1.0 / (1.0 - confidence)).sqrt();
@@ -51,7 +51,7 @@ pub fn chebyshev(center: f64, moments: &Moments, confidence: f64) -> ConfidenceI
 /// variance (justified when many basics are averaged).
 pub fn normal(center: f64, moments: &Moments, confidence: f64) -> ConfidenceInterval {
     assert!(
-        (0.0..1.0).contains(&confidence),
+        confidence > 0.0 && confidence < 1.0,
         "confidence must be in (0,1)"
     );
     let z = normal_quantile(0.5 + confidence / 2.0);
@@ -241,5 +241,37 @@ mod tests {
             variance: 1.0,
         };
         let _ = chebyshev(0.0, &m, 1.0);
+    }
+
+    // The range is strict: 0.0 is *not* a valid level (Chebyshev at 0.0
+    // would silently yield k = 1), and NaN fails the comparison chain.
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn zero_confidence_panics() {
+        let m = Moments {
+            mean: 0.0,
+            variance: 1.0,
+        };
+        let _ = chebyshev(0.0, &m, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn nan_confidence_panics() {
+        let m = Moments {
+            mean: 0.0,
+            variance: 1.0,
+        };
+        let _ = normal(0.0, &m, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn zero_confidence_panics_for_normal() {
+        let m = Moments {
+            mean: 0.0,
+            variance: 1.0,
+        };
+        let _ = normal(0.0, &m, 0.0);
     }
 }

@@ -27,13 +27,17 @@ pub struct BernoulliSampler<R = rand::rngs::StdRng> {
 }
 
 impl<R: Rng> BernoulliSampler<R> {
-    /// Create a sampler with inclusion probability `p ∈ [0, 1]`, seeding its
+    /// Create a sampler with inclusion probability `p ∈ (0, 1]`, seeding its
     /// internal RNG from `seed_rng`.
+    ///
+    /// `p = 0` is rejected along with everything else outside `(0, 1]`:
+    /// a zero-probability sample carries no information, and every
+    /// `1/p`-scaled estimator downstream would silently produce inf/NaN.
     pub fn new<S: Rng>(p: f64, seed_rng: &mut S) -> Result<Self>
     where
         R: rand::SeedableRng,
     {
-        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        if !(p > 0.0 && p <= 1.0) {
             return Err(Error::InvalidProbability(p));
         }
         Ok(Self {
@@ -42,9 +46,10 @@ impl<R: Rng> BernoulliSampler<R> {
         })
     }
 
-    /// Create from an explicit RNG.
+    /// Create from an explicit RNG. Same `p ∈ (0, 1]` contract as
+    /// [`new`](Self::new).
     pub fn with_rng(p: f64, rng: R) -> Result<Self> {
-        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        if !(p > 0.0 && p <= 1.0) {
             return Err(Error::InvalidProbability(p));
         }
         Ok(Self { p, rng })
@@ -59,14 +64,12 @@ impl<R: Rng> BernoulliSampler<R> {
     /// Toss the coin for the next tuple.
     #[inline]
     pub fn keep(&mut self) -> bool {
-        // Fast paths for the degenerate probabilities keep p=1.0 exactly
-        // lossless (random() < 1.0 would already be always-true, but being
-        // explicit documents the contract).
+        // Fast path for p = 1.0 keeps the unsampled case exactly lossless
+        // (random() < 1.0 would already be always-true, but being explicit
+        // documents the contract). p = 0 cannot occur: the constructors
+        // reject it.
         if self.p >= 1.0 {
             return true;
-        }
-        if self.p <= 0.0 {
-            return false;
         }
         self.rng.random::<f64>() < self.p
     }
@@ -182,6 +185,12 @@ mod tests {
         assert!(BernoulliSampler::<StdRng>::new(-0.1, &mut r).is_err());
         assert!(BernoulliSampler::<StdRng>::new(1.1, &mut r).is_err());
         assert!(BernoulliSampler::<StdRng>::new(f64::NAN, &mut r).is_err());
+        // p = 0 is rejected: downstream 1/p corrections would be inf/NaN.
+        assert!(matches!(
+            BernoulliSampler::<StdRng>::new(0.0, &mut r),
+            Err(Error::InvalidProbability(p)) if p == 0.0
+        ));
+        assert!(BernoulliSampler::with_rng(0.0, rng(1)).is_err());
         assert!(GeometricSkip::<StdRng>::new(0.0, &mut r).is_err());
         assert!(GeometricSkip::<StdRng>::new(-1.0, &mut r).is_err());
         assert!(GeometricSkip::<StdRng>::new(1.5, &mut r).is_err());
@@ -191,8 +200,6 @@ mod tests {
     fn degenerate_probabilities() {
         let mut s = BernoulliSampler::<StdRng>::new(1.0, &mut rng(1)).unwrap();
         assert!((0..100).all(|_| s.keep()));
-        let mut s = BernoulliSampler::<StdRng>::new(0.0, &mut rng(2)).unwrap();
-        assert!((0..100).all(|_| !s.keep()));
         let mut g = GeometricSkip::<StdRng>::new(1.0, &mut rng(3)).unwrap();
         assert!((0..100).all(|_| g.next_gap() == 0));
     }

@@ -61,6 +61,7 @@ pub use coefficients::SamplingFractions;
 pub use counts::SampleCounts;
 pub use error::{Error, Result};
 pub use variance::{
+    bernoulli_frequency_variance, bernoulli_frequency_variance_plugin,
     bernoulli_self_join_variance, bernoulli_self_join_variance_plugin,
     bernoulli_size_of_join_variance, bernoulli_size_of_join_variance_plugin,
 };

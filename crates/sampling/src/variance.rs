@@ -54,6 +54,32 @@ pub fn bernoulli_self_join_variance_plugin(p: f64, seen: u64, f2_hat: f64) -> f6
     bernoulli_self_join_variance(p, seen as f64, f2, f3).max(0.0)
 }
 
+/// Exact sampling-only variance of the per-key frequency estimator
+/// `f̂ = f′/p` under `Bernoulli(p)` sampling of a key with true frequency
+/// `f`.
+///
+/// `f′ ~ Binomial(f, p)`, so `Var(f′) = f·p·(1−p)` and
+///
+/// ```text
+/// Var(f̂) = Var(f′)/p² = f·(1−p)/p
+/// ```
+///
+/// This is the sampling term the heavy-hitter summaries add on top of
+/// their own sketch/counter error when reporting a `topk` answer over a
+/// shedded stream. At `p = 1` the sample is the stream and the variance
+/// is 0.
+pub fn bernoulli_frequency_variance(p: f64, f: f64) -> f64 {
+    f * (1.0 - p) / p
+}
+
+/// Plug-in for [`bernoulli_frequency_variance`] from the query-time
+/// observable: the corrected frequency estimate `f_hat` (= f̂ = f′/p)
+/// itself, which is unbiased for the unknown `f`. Clamped at 0 so a
+/// negative Count-Sketch estimate cannot produce a negative variance.
+pub fn bernoulli_frequency_variance_plugin(p: f64, f_hat: f64) -> f64 {
+    bernoulli_frequency_variance(p, f_hat.max(0.0)).max(0.0)
+}
+
 /// Exact sampling-only variance of the Prop.-13 size-of-join estimator
 /// `Σfᵢ′gᵢ′/(p_f·p_g)` for independent `Bernoulli(p_f)` / `Bernoulli(p_g)`
 /// samples of streams with frequencies `f`, `g`:
@@ -212,6 +238,39 @@ mod tests {
             (var - exact).abs() / exact < 0.15,
             "variance {var} vs exact {exact}"
         );
+    }
+
+    /// Monte-Carlo check of the frequency variance: sample a key with a
+    /// known frequency repeatedly; `f′/p` must be unbiased with empirical
+    /// variance matching `f(1−p)/p`.
+    #[test]
+    fn frequency_variance_matches_monte_carlo() {
+        let f = 200u64;
+        let p = 0.3;
+        let exact = bernoulli_frequency_variance(p, f as f64);
+        let mut rng = StdRng::seed_from_u64(23);
+        let reps = 20_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..reps {
+            let kept = (0..f).filter(|_| rng.random::<f64>() < p).count() as f64;
+            let est = kept / p;
+            s += est;
+            s2 += est * est;
+        }
+        let mean = s / reps as f64;
+        let var = s2 / reps as f64 - mean * mean;
+        assert!(
+            (mean - f as f64).abs() / (f as f64) < 0.01,
+            "biased: {mean}"
+        );
+        assert!(
+            (var - exact).abs() / exact < 0.1,
+            "variance {var} vs exact {exact}"
+        );
+        // No sampling, no sampling noise.
+        assert_eq!(bernoulli_frequency_variance(1.0, 1e6), 0.0);
+        // Plug-in clamps negative sketch estimates.
+        assert_eq!(bernoulli_frequency_variance_plugin(0.5, -3.0), 0.0);
     }
 
     #[test]

@@ -3,13 +3,17 @@
 use std::fmt;
 
 /// Errors produced by sketch operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No `Eq`: `InvalidConfidence` carries the offending `f64` level.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Error {
     /// Two sketches from different schemas (different random seeds) were
     /// combined; their counters are not comparable.
     SchemaMismatch,
     /// A sketch dimension (counter count, depth, or width) was zero.
     InvalidDimensions,
+    /// A confidence level outside the open interval `(0, 1)` (or NaN) was
+    /// passed to an interval query.
+    InvalidConfidence(f64),
 }
 
 impl fmt::Display for Error {
@@ -19,6 +23,9 @@ impl fmt::Display for Error {
                 write!(f, "sketches were built from different schemas (seed sets)")
             }
             Error::InvalidDimensions => write!(f, "sketch dimensions must be non-zero"),
+            Error::InvalidConfidence(level) => {
+                write!(f, "confidence level {level} is outside (0, 1)")
+            }
         }
     }
 }

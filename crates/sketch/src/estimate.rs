@@ -238,25 +238,38 @@ impl Estimate {
     /// Confidence interval around `value` at the given confidence level in
     /// `(0, 1)`, using the requested tail bound.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `confidence` is outside `(0, 1)` (the underlying
-    /// `sss_moments::bounds` functions assert it).
-    pub fn interval(&self, confidence: f64, bound: Bound) -> ConfidenceInterval {
+    /// [`Error::InvalidConfidence`](crate::Error::InvalidConfidence) if
+    /// `confidence` is outside the open interval `(0, 1)` or NaN — this is
+    /// the public query path, so out-of-range levels are a typed error,
+    /// not a panic.
+    pub fn interval(&self, confidence: f64, bound: Bound) -> crate::Result<ConfidenceInterval> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(crate::Error::InvalidConfidence(confidence));
+        }
         let m = self.moments();
-        match bound {
+        Ok(match bound {
             Bound::Chebyshev => bounds::chebyshev(self.value, &m, confidence),
             Bound::Clt => bounds::normal(self.value, &m, confidence),
-        }
+        })
     }
 
     /// Shorthand for [`Estimate::interval`] with [`Bound::Chebyshev`].
-    pub fn chebyshev(&self, confidence: f64) -> ConfidenceInterval {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Estimate::interval`].
+    pub fn chebyshev(&self, confidence: f64) -> crate::Result<ConfidenceInterval> {
         self.interval(confidence, Bound::Chebyshev)
     }
 
     /// Shorthand for [`Estimate::interval`] with [`Bound::Clt`].
-    pub fn clt(&self, confidence: f64) -> ConfidenceInterval {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Estimate::interval`].
+    pub fn clt(&self, confidence: f64) -> crate::Result<ConfidenceInterval> {
         self.interval(confidence, Bound::Clt)
     }
 }
@@ -371,8 +384,8 @@ mod tests {
             basics: vec![],
         };
         assert_eq!(e.std_error(), 5.0);
-        let clt = e.clt(0.95);
-        let cheb = e.chebyshev(0.95);
+        let clt = e.clt(0.95).unwrap();
+        let cheb = e.chebyshev(0.95).unwrap();
         assert!(clt.contains(100.0) && cheb.contains(100.0));
         // z(95%) ≈ 1.96 vs k = 1/√0.05 ≈ 4.47 standard errors.
         assert!((clt.half_width() - 1.96 * 5.0).abs() < 0.05);
@@ -386,7 +399,22 @@ mod tests {
         assert_eq!(e.value, 42.0);
         assert!(e.variance.is_infinite());
         assert!(e.basics.is_empty());
-        assert!(e.chebyshev(0.95).half_width().is_infinite());
+        assert!(e.chebyshev(0.95).unwrap().half_width().is_infinite());
+    }
+
+    #[test]
+    fn out_of_range_levels_are_typed_errors_not_panics() {
+        let e = Estimate {
+            value: 1.0,
+            variance: 1.0,
+            basics: vec![],
+        };
+        for bad in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
+            let err = e.interval(bad, Bound::Chebyshev).unwrap_err();
+            assert!(matches!(err, crate::Error::InvalidConfidence(_)), "{bad}");
+            assert!(e.clt(bad).is_err(), "{bad}");
+        }
+        assert!(e.interval(0.5, Bound::Clt).is_ok());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod estimate;
 pub mod fagms;
 pub mod multiway;
 pub(crate) mod rowkernel;
+pub mod topk;
 
 /// Keys per stack-buffered chunk of the batched update kernels: large
 /// enough to amortize the per-row ξ setup, small enough that the sign and
@@ -67,6 +68,7 @@ pub use error::{Error, Result};
 pub use estimate::{Bound, Estimate};
 pub use fagms::{FagmsSchema, FagmsSketch};
 pub use multiway::{chain_join, BinarySketch, MultiwaySchema, UnarySketch};
+pub use topk::{CountSketchTopK, HeavyHitters, MisraGries};
 
 /// Common behaviour of all linear sketches in this crate.
 ///

@@ -1,0 +1,603 @@
+//! Mergeable heavy-hitter (top-k) summaries.
+//!
+//! Two classic structures behind one [`HeavyHitters`] trait:
+//!
+//! * [`MisraGries`] — the deterministic counter summary of Misra & Gries
+//!   (the SpaceSaving family). With `capacity` counters over a stream of
+//!   `n` tuples, every reported count undershoots the true frequency by at
+//!   most `n/(capacity+1)`; keys above that bar are guaranteed present.
+//!   Summaries are mergeable in the sense of Agarwal et al. (*Mergeable
+//!   Summaries*, PODS 2012): add counters pointwise, subtract the
+//!   `(capacity+1)`-th largest, drop the non-positive remainder — the
+//!   merged error bounds add.
+//! * [`CountSketchTopK`] — Charikar–Chen–Farach-Colton top-k over an
+//!   [`FagmsSketch`] (Count-Sketch): the sketch answers
+//!   [`point_query`](FagmsSketch::point_query) for *any* key with additive
+//!   error `≈ √(F₂/width)`, and a bounded candidate set tracks the keys
+//!   whose running estimates are largest. Memory is `O(capacity + depth ×
+//!   width)` — no per-domain state, unlike the dictionary pass the sketch
+//!   alone would need to enumerate keys.
+//!
+//! Both summaries report **raw** (sample-universe) estimates; the
+//! `1/p`-unbiasing for Bernoulli-sampled streams lives one layer up in
+//! `sss-core::SampledTopK`, next to the paper's Prop. 13/14 corrections
+//! for the join estimators.
+//!
+//! Top-k answers are a *pure function* of the summary state and its
+//! candidate set: [`HeavyHitters::raw_top_k`] re-scores every candidate at
+//! query time and sorts with the same descending-estimate /
+//! ascending-key tie-break as [`FagmsSketch::top_k`]. That is what makes
+//! shard-merged answers reproducible — whenever the merged candidate sets
+//! and counters match the sequential ones (always, when `capacity` covers
+//! the distinct keys), the merged top-k is bit-identical to the
+//! sequential top-k.
+
+use crate::error::{Error, Result};
+use crate::fagms::{FagmsSchema, FagmsSketch};
+use crate::Sketch;
+use sss_xi::{BucketFamily, DefaultBucket, DefaultSign, SignFamily};
+use std::collections::HashMap;
+
+/// A mergeable summary answering approximate frequent-item queries over
+/// the stream it has seen (its *sample universe* — corrections for
+/// sampled streams are applied by the caller).
+pub trait HeavyHitters: Clone {
+    /// Record `count` occurrences of `key`. Non-positive counts are
+    /// ignored by insert-only summaries (see the implementors' docs).
+    fn offer(&mut self, key: u64, count: i64);
+
+    /// Record one occurrence of every key in the batch — semantically
+    /// `for &k in keys { self.offer(k, 1) }`, and implementations must
+    /// leave state identical to that loop.
+    fn offer_batch(&mut self, keys: &[u64]) {
+        for &key in keys {
+            self.offer(key, 1);
+        }
+    }
+
+    /// Fold in a summary of another stream fragment.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SchemaMismatch`] if the summaries are not structurally
+    /// compatible (different capacities, or sketch schemas).
+    fn merge(&mut self, other: &Self) -> Result<()>;
+
+    /// Estimated frequency of `key` in the offered stream.
+    fn raw_estimate(&self, key: u64) -> f64;
+
+    /// Scale of the per-key estimation error: a deterministic undercount
+    /// bound for counter summaries, one standard error for sketch-backed
+    /// ones.
+    fn raw_error_bound(&self) -> f64;
+
+    /// Variance proxy for a single [`raw_estimate`](Self::raw_estimate),
+    /// feeding the typed `Estimate` path. The default treats
+    /// [`raw_error_bound`](Self::raw_error_bound) as two standard errors;
+    /// sketch-backed summaries override it with their analytic plug-in.
+    fn raw_estimate_variance(&self) -> f64 {
+        let half = self.raw_error_bound() / 2.0;
+        half * half
+    }
+
+    /// The keys currently tracked — the candidate set a top-k query is
+    /// answered from. At most `capacity` keys.
+    fn candidates(&self) -> Vec<u64>;
+
+    /// The estimated `k` most frequent keys: every candidate re-scored
+    /// via [`raw_estimate`](Self::raw_estimate), sorted by estimate
+    /// descending with ties broken by ascending key (the
+    /// [`FagmsSketch::top_k`] convention), truncated to `k`.
+    fn raw_top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = self
+            .candidates()
+            .into_iter()
+            .map(|key| (key, self.raw_estimate(key)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("estimates are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Total weight offered so far (the `n` of the `n/(capacity+1)`
+    /// guarantee).
+    fn items_offered(&self) -> u64;
+
+    /// Memory footprint in counters (sketch cells + candidate slots).
+    fn counters(&self) -> usize;
+}
+
+/// The Misra–Gries deterministic heavy-hitter summary.
+///
+/// Keeps at most `capacity` `(key, count)` pairs. Offering a key already
+/// tracked (or while a slot is free) increments its counter; otherwise the
+/// summary *compacts*: the smallest counter value is subtracted from every
+/// counter and the zeros are dropped. The cumulative subtracted amount —
+/// [`error_bound`](Self::error_bound) — bounds every key's undercount and
+/// never exceeds `n/(capacity+1)`.
+///
+/// This summary is insert-only: non-positive offer counts are ignored
+/// (deletions would break the deterministic guarantee).
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: HashMap<u64, u64>,
+    capacity: usize,
+    /// Cumulative amount subtracted by compactions and merges — the
+    /// deterministic per-key undercount bound.
+    offset: u64,
+    offered: u64,
+}
+
+impl MisraGries {
+    /// Create a summary with `capacity` counters.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDimensions`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(Error::InvalidDimensions);
+        }
+        Ok(Self {
+            counters: HashMap::with_capacity(capacity + 1),
+            capacity,
+            offset: 0,
+            offered: 0,
+        })
+    }
+
+    /// The configured counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The deterministic undercount bound: for every key,
+    /// `true frequency − raw_estimate ∈ [0, error_bound]`. Bounded by
+    /// `items_offered / (capacity + 1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.offset
+    }
+
+    /// Subtract the `(capacity+1)`-th largest counter value from every
+    /// counter and drop the non-positive ones. Leaves at most `capacity`
+    /// counters (everything at or below the cut dies).
+    fn compact(&mut self) {
+        if self.counters.len() <= self.capacity {
+            return;
+        }
+        let mut values: Vec<u64> = self.counters.values().copied().collect();
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let cut = values[self.capacity];
+        self.counters.retain(|_, v| {
+            if *v > cut {
+                *v -= cut;
+                true
+            } else {
+                false
+            }
+        });
+        self.offset += cut;
+    }
+}
+
+impl HeavyHitters for MisraGries {
+    fn offer(&mut self, key: u64, count: i64) {
+        if count <= 0 {
+            return;
+        }
+        let count = count as u64;
+        self.offered += count;
+        *self.counters.entry(key).or_insert(0) += count;
+        self.compact();
+    }
+
+    /// Pointwise counter addition followed by one compaction — the
+    /// Agarwal et al. merge; the undercount bounds (`offset`s) add.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.capacity != other.capacity {
+            return Err(Error::SchemaMismatch);
+        }
+        for (&key, &count) in &other.counters {
+            *self.counters.entry(key).or_insert(0) += count;
+        }
+        self.offered += other.offered;
+        self.offset += other.offset;
+        self.compact();
+        Ok(())
+    }
+
+    fn raw_estimate(&self, key: u64) -> f64 {
+        self.counters.get(&key).copied().unwrap_or(0) as f64
+    }
+
+    fn raw_error_bound(&self) -> f64 {
+        self.offset as f64
+    }
+
+    fn candidates(&self) -> Vec<u64> {
+        self.counters.keys().copied().collect()
+    }
+
+    fn items_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn counters(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Count-Sketch-backed top-k: an [`FagmsSketch`] plus a bounded candidate
+/// set (Charikar et al.'s heavy-hitter algorithm).
+///
+/// Every offer updates the sketch; the candidate set admits a new key when
+/// its [`point_query`](FagmsSketch::point_query) estimate beats the
+/// current weakest candidate, which is then evicted. Candidate membership
+/// is a stream-order heuristic, but the *answer* is not: `raw_top_k`
+/// re-scores all candidates from the sketch at query time, so the result
+/// is a pure function of (sketch state, candidate set).
+///
+/// Unlike [`MisraGries`] this summary is turnstile-capable in its
+/// estimates (the sketch handles negative counts), but eviction decisions
+/// only happen on positive offers.
+#[derive(Debug)]
+pub struct CountSketchTopK<S = DefaultSign, B = DefaultBucket> {
+    sketch: FagmsSketch<S, B>,
+    /// Candidate → running estimate (cheap bump on re-offer; refreshed
+    /// from the sketch on admission and at query time).
+    candidates: HashMap<u64, f64>,
+    capacity: usize,
+    /// Cached weakest candidate, rebuilt lazily when stale.
+    min_key: u64,
+    min_est: f64,
+    min_dirty: bool,
+    offered: u64,
+}
+
+// Manual impl, like the sketch's: the families sit behind the schema's
+// `Arc`, so `S: Clone`/`B: Clone` are not required.
+impl<S, B> Clone for CountSketchTopK<S, B> {
+    fn clone(&self) -> Self {
+        Self {
+            sketch: self.sketch.clone(),
+            candidates: self.candidates.clone(),
+            capacity: self.capacity,
+            min_key: self.min_key,
+            min_est: self.min_est,
+            min_dirty: self.min_dirty,
+            offered: self.offered,
+        }
+    }
+}
+
+impl<S: SignFamily, B: BucketFamily> CountSketchTopK<S, B> {
+    /// Create a top-k summary over `schema` tracking at most `capacity`
+    /// candidate keys.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidDimensions`] if `capacity` is zero.
+    pub fn new(schema: &FagmsSchema<S, B>, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(Error::InvalidDimensions);
+        }
+        Ok(Self {
+            sketch: schema.sketch(),
+            candidates: HashMap::with_capacity(capacity),
+            capacity,
+            min_key: 0,
+            min_est: f64::INFINITY,
+            min_dirty: true,
+            offered: 0,
+        })
+    }
+
+    /// The configured candidate budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying Count-Sketch (point queries for arbitrary keys).
+    pub fn sketch(&self) -> &FagmsSketch<S, B> {
+        &self.sketch
+    }
+
+    /// Recompute the weakest candidate: smallest estimate, ties broken
+    /// toward the *larger* key (so the smaller key survives eviction,
+    /// matching the top-k tie-break).
+    fn recompute_min(&mut self) {
+        self.min_est = f64::INFINITY;
+        self.min_key = 0;
+        for (&key, &est) in &self.candidates {
+            if est < self.min_est || (est == self.min_est && key > self.min_key) {
+                self.min_est = est;
+                self.min_key = key;
+            }
+        }
+        self.min_dirty = false;
+    }
+}
+
+impl<S: SignFamily, B: BucketFamily> HeavyHitters for CountSketchTopK<S, B> {
+    fn offer(&mut self, key: u64, count: i64) {
+        self.sketch.update(key, count);
+        if count <= 0 {
+            // The sketch absorbed the deletion; candidates are re-scored
+            // at query time, so no bookkeeping is needed here.
+            return;
+        }
+        self.offered += count as u64;
+        if let Some(est) = self.candidates.get_mut(&key) {
+            *est += count as f64;
+            if key == self.min_key {
+                // The cached min grew; another candidate may now be
+                // weakest. Rebuild lazily on the next admission test.
+                self.min_dirty = true;
+            }
+            return;
+        }
+        if self.candidates.len() < self.capacity {
+            let est = self.sketch.point_query(key);
+            self.candidates.insert(key, est);
+            self.min_dirty = true;
+            return;
+        }
+        let est = self.sketch.point_query(key);
+        if self.min_dirty {
+            self.recompute_min();
+        }
+        if est > self.min_est {
+            self.candidates.remove(&self.min_key);
+            self.candidates.insert(key, est);
+            self.recompute_min();
+        }
+    }
+
+    /// Sketch counters add entry-wise (linearity); candidate sets union,
+    /// are re-scored against the *merged* sketch, and the strongest
+    /// `capacity` survive. When `capacity` covers the union the merged
+    /// summary answers bit-identically to the sequential one.
+    fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.capacity != other.capacity {
+            return Err(Error::SchemaMismatch);
+        }
+        self.sketch.merge(&other.sketch)?;
+        let mut union: Vec<u64> = self
+            .candidates
+            .keys()
+            .chain(other.candidates.keys())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let mut scored: Vec<(u64, f64)> = union
+            .into_iter()
+            .map(|key| (key, self.sketch.point_query(key)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("point queries are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(self.capacity);
+        self.candidates = scored.into_iter().collect();
+        self.offered += other.offered;
+        self.min_dirty = true;
+        Ok(())
+    }
+
+    fn raw_estimate(&self, key: u64) -> f64 {
+        self.sketch.point_query(key)
+    }
+
+    /// One standard error of a point query: `√(F₂/width)` with `F₂` read
+    /// from the sketch itself (clamped at 0 — the F₂ estimate is noisy).
+    fn raw_error_bound(&self) -> f64 {
+        self.raw_estimate_variance().sqrt()
+    }
+
+    /// Analytic plug-in for the point-query variance: a single row's
+    /// bucket collides with frequency mass of variance `F₂/width`; the
+    /// median over rows only concentrates further, so this is
+    /// conservative.
+    fn raw_estimate_variance(&self) -> f64 {
+        self.sketch.self_join().max(0.0) / self.sketch.schema().width() as f64
+    }
+
+    fn candidates(&self) -> Vec<u64> {
+        self.candidates.keys().copied().collect()
+    }
+
+    fn items_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn counters(&self) -> usize {
+        self.sketch.counters() + self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small skewed stream: key k appears 2^(9-k) times, k = 0..10.
+    fn skewed_stream() -> Vec<u64> {
+        let mut s = Vec::new();
+        for k in 0..10u64 {
+            for _ in 0..(1u64 << (9 - k)) {
+                s.push(k);
+            }
+        }
+        // Deterministic shuffle so arrival order interleaves keys.
+        let mut state = 42u64;
+        for i in (1..s.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        s
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert_eq!(MisraGries::new(0).unwrap_err(), Error::InvalidDimensions);
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema: FagmsSchema = FagmsSchema::new(3, 64, &mut rng);
+        assert!(CountSketchTopK::new(&schema, 0).is_err());
+    }
+
+    #[test]
+    fn misra_gries_is_exact_at_full_capacity() {
+        let stream = skewed_stream();
+        let mut mg = MisraGries::new(16).unwrap();
+        mg.offer_batch(&stream);
+        assert_eq!(mg.error_bound(), 0, "no compaction at capacity ≥ distinct");
+        for k in 0..10u64 {
+            assert_eq!(mg.raw_estimate(k), (1u64 << (9 - k)) as f64);
+        }
+        let top = mg.raw_top_k(3);
+        assert_eq!(
+            top,
+            vec![(0, 512.0), (1, 256.0), (2, 128.0)],
+            "exact counts in rank order"
+        );
+    }
+
+    #[test]
+    fn misra_gries_undercount_respects_the_deterministic_bound() {
+        let stream = skewed_stream();
+        let n = stream.len() as u64;
+        let mut mg = MisraGries::new(3).unwrap();
+        mg.offer_batch(&stream);
+        assert_eq!(mg.items_offered(), n);
+        assert!(mg.error_bound() > 0, "capacity 3 over 10 keys must compact");
+        assert!(
+            mg.error_bound() <= n / 4,
+            "offset {} exceeds n/(c+1) = {}",
+            mg.error_bound(),
+            n / 4
+        );
+        // Every estimate is an undercount within the bound.
+        for k in 0..10u64 {
+            let truth = (1u64 << (9 - k)) as f64;
+            let est = mg.raw_estimate(k);
+            assert!(est <= truth, "key {k}: over-estimate {est} > {truth}");
+            assert!(
+                truth - est <= mg.error_bound() as f64,
+                "key {k}: undercount {} > bound {}",
+                truth - est,
+                mg.error_bound()
+            );
+        }
+        // The head (frequency 512 ≫ bound) is guaranteed present.
+        assert!(mg.candidates().contains(&0));
+    }
+
+    #[test]
+    fn misra_gries_merge_matches_sequential_at_full_capacity() {
+        let stream = skewed_stream();
+        let (a, b) = stream.split_at(stream.len() / 3);
+        let mut left = MisraGries::new(32).unwrap();
+        left.offer_batch(a);
+        let mut right = MisraGries::new(32).unwrap();
+        right.offer_batch(b);
+        left.merge(&right).unwrap();
+
+        let mut seq = MisraGries::new(32).unwrap();
+        seq.offer_batch(&stream);
+        assert_eq!(left.raw_top_k(10), seq.raw_top_k(10));
+        assert_eq!(left.items_offered(), seq.items_offered());
+        assert_eq!(left.error_bound(), 0);
+    }
+
+    #[test]
+    fn misra_gries_merge_requires_equal_capacities() {
+        let mut a = MisraGries::new(4).unwrap();
+        let b = MisraGries::new(8).unwrap();
+        assert_eq!(a.merge(&b).unwrap_err(), Error::SchemaMismatch);
+    }
+
+    #[test]
+    fn count_sketch_topk_recovers_the_skewed_head() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let schema: FagmsSchema = FagmsSchema::new(5, 512, &mut rng);
+        let mut tk = CountSketchTopK::new(&schema, 8).unwrap();
+        tk.offer_batch(&skewed_stream());
+        let top = tk.raw_top_k(3);
+        assert_eq!(
+            top.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "head keys in rank order: {top:?}"
+        );
+        // Estimates are close to the truth at this width (error scale
+        // √(F₂/width) ≈ 25 ≪ the head frequencies).
+        for (rank, &(_, est)) in top.iter().enumerate() {
+            let truth = (1u64 << (9 - rank)) as f64;
+            assert!(
+                (est - truth).abs() <= 4.0 * tk.raw_error_bound(),
+                "rank {rank}: {est} vs {truth} (bound {})",
+                tk.raw_error_bound()
+            );
+        }
+        assert!(tk.raw_estimate_variance() > 0.0);
+    }
+
+    #[test]
+    fn count_sketch_topk_merge_matches_sequential_at_full_capacity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let schema: FagmsSchema = FagmsSchema::new(5, 256, &mut rng);
+        let stream = skewed_stream();
+        let (a, b) = stream.split_at(stream.len() / 2);
+
+        let mut left = CountSketchTopK::new(&schema, 16).unwrap();
+        left.offer_batch(a);
+        let mut right = CountSketchTopK::new(&schema, 16).unwrap();
+        right.offer_batch(b);
+        left.merge(&right).unwrap();
+
+        let mut seq = CountSketchTopK::new(&schema, 16).unwrap();
+        seq.offer_batch(&stream);
+
+        let merged_top = left.raw_top_k(10);
+        let seq_top = seq.raw_top_k(10);
+        assert_eq!(merged_top.len(), seq_top.len());
+        for (m, s) in merged_top.iter().zip(&seq_top) {
+            assert_eq!(m.0, s.0);
+            assert_eq!(m.1.to_bits(), s.1.to_bits(), "key {}", m.0);
+        }
+    }
+
+    #[test]
+    fn count_sketch_topk_merge_rejects_mismatched_schemas() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s1: FagmsSchema = FagmsSchema::new(3, 64, &mut rng);
+        let s2: FagmsSchema = FagmsSchema::new(3, 64, &mut rng);
+        let mut a = CountSketchTopK::new(&s1, 4).unwrap();
+        let b = CountSketchTopK::new(&s2, 4).unwrap();
+        assert_eq!(a.merge(&b).unwrap_err(), Error::SchemaMismatch);
+        // Capacity mismatch is structural too.
+        let c = CountSketchTopK::new(&s1, 8).unwrap();
+        assert_eq!(a.merge(&c).unwrap_err(), Error::SchemaMismatch);
+    }
+
+    #[test]
+    fn candidate_set_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let schema: FagmsSchema = FagmsSchema::new(4, 128, &mut rng);
+        let mut tk = CountSketchTopK::new(&schema, 8).unwrap();
+        // 1000 distinct keys, one occurrence each.
+        let keys: Vec<u64> = (0..1000u64).collect();
+        tk.offer_batch(&keys);
+        assert!(tk.candidates().len() <= 8);
+        assert_eq!(tk.counters(), 4 * 128 + 8);
+        let mut mg = MisraGries::new(8).unwrap();
+        mg.offer_batch(&keys);
+        assert!(mg.candidates().len() <= 8);
+    }
+}

@@ -41,7 +41,8 @@ use crate::runtime::{Partition, RuntimeConfig, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{EpochShedder, Estimate, JoinEstimator, Result};
+use sss_core::{EpochShedder, Estimate, JoinEstimator, Result, SampledTopK};
+use sss_sketch::{CountSketchTopK, FagmsSchema};
 
 /// A stateless per-tuple transform (function pointers keep the engine
 /// `Debug` and the stages trivially serializable in spirit).
@@ -107,6 +108,7 @@ pub struct EngineBuilder<E: JoinEstimator = JoinSketch> {
     prototype: Option<E>,
     schema: Option<JoinSchema>,
     shedding: Option<ControllerConfig>,
+    top_k: Option<usize>,
     seed: u64,
 }
 
@@ -120,6 +122,7 @@ impl<E: JoinEstimator> EngineBuilder<E> {
             prototype: None,
             schema: None,
             shedding: None,
+            top_k: None,
             seed: 0x5353_5f73_6861_7264, // arbitrary fixed default
         }
     }
@@ -165,6 +168,21 @@ impl<E: JoinEstimator> EngineBuilder<E> {
     /// Provide the prototype estimator every shard starts from.
     pub fn estimator(mut self, prototype: E) -> Self {
         self.prototype = Some(prototype);
+        self
+    }
+
+    /// Maintain a Count-Sketch heavy-hitter summary alongside the join
+    /// estimator, unlocking [`StreamEngine::top_k`]. `k` is the number of
+    /// heavy keys the engine must be able to report; the summary tracks a
+    /// larger candidate set (4·k, at least 64) over its own 5×2048
+    /// Count-Sketch so near-boundary keys are not evicted prematurely.
+    ///
+    /// The summary sees the full post-transform stream — including tuples
+    /// the overflow shedder would down-sample for the *join* estimate —
+    /// so top-k answers are exact-stream summaries with sketch error bars
+    /// (memory stays O(k + sketch), independent of the stream).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
         self
     }
 
@@ -216,12 +234,36 @@ impl<E: JoinEstimator> EngineBuilder<E> {
                 })
             }
         };
+        let topk = match self.top_k {
+            None => None,
+            Some(0) => {
+                return Err(StreamError::InvalidConfig {
+                    parameter: "top_k",
+                    value: 0,
+                    reason: "must be at least 1",
+                })
+            }
+            Some(k) => {
+                // The heavy-hitter summary is an independent query over
+                // the same stream: its Count-Sketch draws its own seeds
+                // (derived from the engine seed, so runs reproduce) and
+                // does not need to share the join schema's.
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x746f_706b);
+                let schema = FagmsSchema::new(5, 2048, &mut rng);
+                let summary = CountSketchTopK::new(&schema, (4 * k).max(64))
+                    .map_err(|e| StreamError::Estimator(e.into()))?;
+                // p = 1: the engine feeds every post-transform tuple; the
+                // SampledTopK wrapper only supplies the typed query path.
+                Some(SampledTopK::new(summary, 1.0, &mut rng).map_err(StreamError::Estimator)?)
+            }
+        };
         let runtime = ShardedRuntime::new(self.config, &prototype)?;
         Ok(StreamEngine {
             transforms: self.transforms,
             stats,
             runtime,
             shed,
+            topk,
             scratch: Vec::new(),
             overflow: Vec::new(),
         })
@@ -262,6 +304,7 @@ pub struct StreamEngine<E: JoinEstimator = JoinSketch> {
     stats: Vec<StageStats>,
     runtime: ShardedRuntime<E>,
     shed: Option<ShedPath>,
+    topk: Option<SampledTopK<CountSketchTopK>>,
     scratch: Vec<u64>,
     overflow: Vec<u64>,
 }
@@ -295,6 +338,12 @@ impl<E: JoinEstimator> StreamEngine<E> {
             self.stats[i].tuples_out += self.scratch.len() as u64;
         }
         let n = self.scratch.len() as u64;
+        // The heavy-hitter summary sees the whole post-transform stream —
+        // both the tuples the runtime accepts and any overflow the
+        // shedder will down-sample for the join estimate.
+        if let Some(topk) = &mut self.topk {
+            topk.feed_batch(&self.scratch);
+        }
         let runtime_stage = self.transforms.len();
         self.stats[runtime_stage].tuples_in += n;
         match &mut self.shed {
@@ -377,6 +426,37 @@ impl<E: JoinEstimator> StreamEngine<E> {
     /// The number of shard workers.
     pub fn shards(&self) -> usize {
         self.runtime.shards()
+    }
+
+    /// The `k` heaviest post-transform keys with typed frequency
+    /// estimates, heaviest first (ties toward the smaller key). The error
+    /// bars carry the Count-Sketch point-query noise; the engine feeds
+    /// the summary at full rate, so there is no sampling term.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::TopKDisabled`] if the engine was built without
+    /// [`EngineBuilder::top_k`].
+    pub fn top_k(&self, k: usize) -> StreamResult<Vec<(u64, Estimate)>> {
+        self.topk
+            .as_ref()
+            .map(|t| t.top_k(k))
+            .ok_or(StreamError::TopKDisabled)
+    }
+
+    /// Typed frequency estimate for one post-transform key (any key, not
+    /// only the current candidates), from the same summary as
+    /// [`StreamEngine::top_k`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::TopKDisabled`] if the engine was built without
+    /// [`EngineBuilder::top_k`].
+    pub fn key_frequency(&self, key: u64) -> StreamResult<Estimate> {
+        self.topk
+            .as_ref()
+            .map(|t| t.point_estimate(key))
+            .ok_or(StreamError::TopKDisabled)
     }
 
     /// Shut down the workers and return the merged runtime estimator
@@ -891,6 +971,67 @@ mod tests {
         );
     }
 
+    /// The engine's top-k surface: heavy keys of the post-transform
+    /// stream come back ranked with coherent error bars, any-key point
+    /// queries work, and engines built without `.top_k(…)` answer with
+    /// the typed `TopKDisabled` error instead of a panic.
+    #[test]
+    fn top_k_reports_post_transform_heavy_hitters() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let mut e = EngineBuilder::new()
+            .filter("evens", is_even)
+            .map("halve", halve)
+            .shards(2)
+            .schema(&schema)
+            .top_k(5)
+            .build()
+            .unwrap();
+        // Post-transform frequencies: key k (0..8) appears 2^(8-k) · 32
+        // times; odd pre-images are filtered out.
+        let mut batch = Vec::new();
+        for k in 0..8u64 {
+            for _ in 0..(1u64 << (8 - k)) * 32 {
+                batch.push(2 * k); // even pre-image, halves to k
+                batch.push(2 * k + 1); // odd pre-image, filtered
+            }
+        }
+        for chunk in batch.chunks(997) {
+            e.push_batch(chunk, 1e-3).unwrap();
+        }
+        let top = e.top_k(3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 0, "heaviest post-transform key");
+        assert_eq!(top[1].0, 1);
+        let truth = (1u64 << 8) as f64 * 32.0;
+        let est = &top[0].1;
+        assert!(
+            (est.value - truth).abs() / truth < 0.1,
+            "est {} truth {truth}",
+            est.value
+        );
+        assert!(est.variance.is_finite() && est.variance >= 0.0);
+        assert!(est.chebyshev(0.95).unwrap().contains(est.value));
+        // Point query for a non-candidate key still answers.
+        let light = e.key_frequency(7).unwrap();
+        assert!((light.value - 32.0).abs() < 5.0 * light.variance.sqrt().max(1.0));
+        // Without `.top_k(…)` the query is a typed error.
+        let plain = EngineBuilder::new().schema(&schema).build().unwrap();
+        assert!(matches!(plain.top_k(3), Err(StreamError::TopKDisabled)));
+        assert!(matches!(
+            plain.key_frequency(0),
+            Err(StreamError::TopKDisabled)
+        ));
+        // And k = 0 is rejected at build time.
+        assert!(matches!(
+            EngineBuilder::new().schema(&schema).top_k(0).build(),
+            Err(StreamError::InvalidConfig {
+                parameter: "top_k",
+                ..
+            })
+        ));
+    }
+
     /// The typed estimates carry the scalar values bit for bit — with and
     /// without a shedding leg, self-join and cross-engine join — and
     /// their error state is coherent.
@@ -922,7 +1063,7 @@ mod tests {
         assert_eq!(sj.value.to_bits(), e1.self_join().unwrap().to_bits());
         assert_eq!(sj.basics.len(), 3, "one lane per F-AGMS row");
         assert!(sj.variance.is_finite() && sj.variance > 0.0);
-        assert!(sj.chebyshev(0.95).half_width() > sj.clt(0.95).half_width());
+        assert!(sj.chebyshev(0.95).unwrap().half_width() > sj.clt(0.95).unwrap().half_width());
         let join = e1.size_of_join_estimate(&e2).unwrap();
         assert_eq!(
             join.value.to_bits(),

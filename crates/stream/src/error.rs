@@ -34,6 +34,9 @@ pub enum StreamError {
         /// Index of the dead shard.
         shard: usize,
     },
+    /// A top-k query was issued but the engine was built without
+    /// `.top_k(…)`, so no heavy-hitter summary was maintained.
+    TopKDisabled,
 }
 
 impl fmt::Display for StreamError {
@@ -53,6 +56,13 @@ impl fmt::Display for StreamError {
             ),
             StreamError::ShardDisconnected { shard } => {
                 write!(f, "shard worker {shard} disconnected")
+            }
+            StreamError::TopKDisabled => {
+                write!(
+                    f,
+                    "top-k query on an engine built without .top_k(…) — no \
+                     heavy-hitter summary was maintained"
+                )
             }
         }
     }

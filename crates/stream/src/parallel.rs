@@ -316,7 +316,7 @@ mod tests {
         assert_eq!(e.value.to_bits(), r.self_join().to_bits());
         assert_eq!(e.basics.len(), 48);
         assert!(e.variance.is_finite() && e.variance > 0.0);
-        assert!(e.clt(0.95).half_width() < e.chebyshev(0.95).half_width());
+        assert!(e.clt(0.95).unwrap().half_width() < e.chebyshev(0.95).unwrap().half_width());
     }
 
     #[test]

@@ -57,15 +57,16 @@
 //!   (arXiv 1701.04148) argues for, with Huang–Tai–Yi (arXiv 1412.1763)
 //!   continuous-tracking polling as the motivating workload.
 //!
-//! The runtime is generic over any [`JoinEstimator`], not just the
-//! backend-erased `JoinSketch`.
+//! The runtime is generic over any [`StreamSummary`] — join sketches and
+//! heavy-hitter summaries alike, not just the backend-erased `JoinSketch`;
+//! the join-query conveniences additionally require a [`JoinEstimator`].
 
 use crate::error::{Result, StreamError};
 use crate::ring::{self, Backoff, ControlQueue, PushError};
 use crate::snapshot::{CacheStats, SnapshotCache};
-use sss_core::{Estimate, JoinEstimator};
+use sss_core::{Estimate, JoinEstimator, StreamSummary};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -186,7 +187,33 @@ struct RuntimeShared<E> {
     started: Instant,
 }
 
-impl<E: JoinEstimator> RuntimeShared<E> {
+impl<E: StreamSummary> RuntimeShared<E> {
+    /// Lock the snapshot cache, recovering from poison. A querier thread
+    /// can panic while holding this lock (estimator `Clone`/`merge_from`
+    /// run user code), possibly leaving a half-refreshed cache behind.
+    /// The cache is pure derived state, so recovery is to reset it and
+    /// let the next query rebuild from the live shards — subsequent
+    /// queries must degrade to a full re-merge, never to a panic.
+    fn lock_cache(&self) -> MutexGuard<'_, SnapshotCache<E>> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = SnapshotCache::new(self.config.shards);
+                guard
+            }
+        }
+    }
+
+    /// Lock the prototype, recovering from poison. The prototype is only
+    /// ever *cloned* under this lock, never mutated, so a poisoned guard
+    /// still holds the pristine schema-bearing estimator.
+    fn lock_prototype(&self) -> MutexGuard<'_, E> {
+        self.prototype
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn tuples_ingested(&self) -> u64 {
         self.shards
             .iter()
@@ -221,7 +248,7 @@ impl<E: JoinEstimator> RuntimeShared<E> {
     fn merged(&self) -> Result<E> {
         // Holding the cache lock for the whole query serializes
         // concurrent handles (each still pays only its own dirty delta).
-        let mut cache = self.cache.lock().expect("snapshot cache lock");
+        let mut cache = self.lock_cache();
         let mut fetches = Vec::new();
         for (shard, state) in self.shards.iter().enumerate() {
             let target = state.accepted.load(Ordering::Acquire);
@@ -243,7 +270,7 @@ impl<E: JoinEstimator> RuntimeShared<E> {
             let (version, clone) = self.fetch_snapshot(shard, &rx)?;
             fresh.push((shard, version, clone));
         }
-        let prototype = self.prototype.lock().expect("prototype lock").clone();
+        let prototype = self.lock_prototype().clone();
         cache
             .refresh(&prototype, fresh)
             .map_err(StreamError::Estimator)
@@ -262,7 +289,7 @@ impl<E: JoinEstimator> RuntimeShared<E> {
             });
             fetches.push((shard, rx));
         }
-        let mut merged = self.prototype.lock().expect("prototype lock").clone();
+        let mut merged = self.lock_prototype().clone();
         for (shard, rx) in fetches {
             let (_, clone) = self.fetch_snapshot(shard, &rx)?;
             merged.merge_from(&clone)?;
@@ -293,7 +320,7 @@ impl<E: JoinEstimator> RuntimeShared<E> {
     }
 
     fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("snapshot cache lock").stats()
+        self.lock_cache().stats()
     }
 }
 
@@ -342,7 +369,7 @@ pub struct PoolStats {
 /// for k in 0..10_000u64 { seq.update(k, 1); }
 /// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
 /// ```
-pub struct ShardedRuntime<E: JoinEstimator> {
+pub struct ShardedRuntime<E: StreamSummary> {
     shared: Arc<RuntimeShared<E>>,
     lanes: Vec<IngestLane>,
     handles: Vec<JoinHandle<E>>,
@@ -355,7 +382,7 @@ pub struct ShardedRuntime<E: JoinEstimator> {
     pool: PoolStats,
 }
 
-impl<E: JoinEstimator> ShardedRuntime<E> {
+impl<E: StreamSummary> ShardedRuntime<E> {
     /// Spawn the worker pool. `prototype` must be a fresh estimator; each
     /// shard starts from a clone of it.
     pub fn new(config: RuntimeConfig, prototype: &E) -> Result<Self> {
@@ -657,6 +684,30 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
         self.shared.merged_uncached()
     }
 
+    /// Shut the pool down and merge the final shard estimators. Cheaper
+    /// than [`merged`](Self::merged) (no clones — workers hand back their
+    /// sketches) and the natural end-of-stream call.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread panicked.
+    pub fn into_merged(mut self) -> Result<E> {
+        // Dropping the lanes closes the data rings — the shutdown signal…
+        self.lanes.clear();
+        // …after which each worker drains its ring and returns its shard.
+        let handles = std::mem::take(&mut self.handles);
+        let mut merged = self.shared.lock_prototype().clone();
+        for (shard, handle) in handles.into_iter().enumerate() {
+            let shard_est = handle
+                .join()
+                .map_err(|_| StreamError::ShardDisconnected { shard })?;
+            merged.merge_from(&shard_est)?;
+        }
+        Ok(merged)
+    }
+}
+
+impl<E: JoinEstimator> ShardedRuntime<E> {
     /// Typed at-all-times self-join query: merge the shards as of now and
     /// return the merged estimator's [`Estimate`]. The error bar is
     /// computed on the *combined* sketch — by linearity the merge is
@@ -684,36 +735,9 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
             .size_of_join_estimate(&other.merged()?)
             .map_err(StreamError::Estimator)
     }
-
-    /// Shut the pool down and merge the final shard estimators. Cheaper
-    /// than [`merged`](Self::merged) (no clones — workers hand back their
-    /// sketches) and the natural end-of-stream call.
-    ///
-    /// # Errors
-    ///
-    /// [`StreamError::ShardDisconnected`] if a worker thread panicked.
-    pub fn into_merged(mut self) -> Result<E> {
-        // Dropping the lanes closes the data rings — the shutdown signal…
-        self.lanes.clear();
-        // …after which each worker drains its ring and returns its shard.
-        let handles = std::mem::take(&mut self.handles);
-        let mut merged = self
-            .shared
-            .prototype
-            .lock()
-            .expect("prototype lock")
-            .clone();
-        for (shard, handle) in handles.into_iter().enumerate() {
-            let shard_est = handle
-                .join()
-                .map_err(|_| StreamError::ShardDisconnected { shard })?;
-            merged.merge_from(&shard_est)?;
-        }
-        Ok(merged)
-    }
 }
 
-impl<E: JoinEstimator> Drop for ShardedRuntime<E> {
+impl<E: StreamSummary> Drop for ShardedRuntime<E> {
     fn drop(&mut self) {
         // Hang up, then wait: workers drain their rings and exit.
         self.lanes.clear();
@@ -723,7 +747,7 @@ impl<E: JoinEstimator> Drop for ShardedRuntime<E> {
     }
 }
 
-impl<E: JoinEstimator> std::fmt::Debug for ShardedRuntime<E> {
+impl<E: StreamSummary> std::fmt::Debug for ShardedRuntime<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedRuntime")
             .field("config", &self.shared.config)
@@ -744,11 +768,11 @@ impl<E: JoinEstimator> std::fmt::Debug for ShardedRuntime<E> {
 /// queries whose cached snapshot is current, and reports
 /// [`StreamError::ShardDisconnected`] when a fresh shard clone would be
 /// needed.
-pub struct QueryHandle<E: JoinEstimator> {
+pub struct QueryHandle<E: StreamSummary> {
     shared: Arc<RuntimeShared<E>>,
 }
 
-impl<E: JoinEstimator> QueryHandle<E> {
+impl<E: StreamSummary> QueryHandle<E> {
     /// The at-all-times query — see [`ShardedRuntime::merged`].
     ///
     /// # Errors
@@ -757,16 +781,6 @@ impl<E: JoinEstimator> QueryHandle<E> {
     /// needed and that worker is gone.
     pub fn merged(&self) -> Result<E> {
         self.shared.merged()
-    }
-
-    /// Typed self-join query — see
-    /// [`ShardedRuntime::self_join_estimate`].
-    ///
-    /// # Errors
-    ///
-    /// As for [`QueryHandle::merged`].
-    pub fn self_join_estimate(&self) -> Result<Estimate> {
-        Ok(self.merged()?.self_join_estimate())
     }
 
     /// Snapshot-cache counters — see [`ShardedRuntime::cache_stats`].
@@ -791,7 +805,19 @@ impl<E: JoinEstimator> QueryHandle<E> {
     }
 }
 
-impl<E: JoinEstimator> Clone for QueryHandle<E> {
+impl<E: JoinEstimator> QueryHandle<E> {
+    /// Typed self-join query — see
+    /// [`ShardedRuntime::self_join_estimate`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryHandle::merged`].
+    pub fn self_join_estimate(&self) -> Result<Estimate> {
+        Ok(self.merged()?.self_join_estimate())
+    }
+}
+
+impl<E: StreamSummary> Clone for QueryHandle<E> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
@@ -799,7 +825,7 @@ impl<E: JoinEstimator> Clone for QueryHandle<E> {
     }
 }
 
-impl<E: JoinEstimator> std::fmt::Debug for QueryHandle<E> {
+impl<E: StreamSummary> std::fmt::Debug for QueryHandle<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryHandle")
             .field("tuples_ingested", &self.tuples_ingested())
@@ -812,7 +838,7 @@ impl<E: JoinEstimator> std::fmt::Debug for QueryHandle<E> {
 /// their buffers), answer control-queue snapshot requests once the
 /// requested floor is reached, and return the final estimator when the
 /// producer hangs up.
-fn shard_worker<E: JoinEstimator>(
+fn shard_worker<E: StreamSummary>(
     shard: usize,
     mut est: E,
     mut data: ring::Consumer<Vec<u64>>,
@@ -831,7 +857,7 @@ fn shard_worker<E: JoinEstimator>(
     /// Answer every pending request whose floor is reached. Requests are
     /// served in arrival order but never block one another: a request
     /// with a lower floor is not stuck behind an unsatisfiable one.
-    fn serve<E: JoinEstimator>(pending: &mut Vec<SnapshotReq<E>>, applied: u64, est: &E) {
+    fn serve<E: StreamSummary>(pending: &mut Vec<SnapshotReq<E>>, applied: u64, est: &E) {
         let mut i = 0;
         while i < pending.len() {
             if pending[i].min <= applied {
@@ -1098,7 +1124,7 @@ mod tests {
         // Identical streams: the join estimate equals each self-join.
         let join = rt.size_of_join_estimate(&rt2).unwrap();
         assert_eq!(join.value.to_bits(), est.value.to_bits());
-        assert!(join.chebyshev(0.9).contains(join.value));
+        assert!(join.chebyshev(0.9).unwrap().contains(join.value));
     }
 
     /// After a quiescing `merged()` call the ingest gauges are exact: the
@@ -1163,7 +1189,7 @@ mod tests {
         delay: Duration,
     }
 
-    impl JoinEstimator for SlowSketch {
+    impl StreamSummary for SlowSketch {
         fn update(&mut self, key: u64, count: i64) {
             self.inner.update(key, count);
         }
@@ -1174,6 +1200,9 @@ mod tests {
         fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
             self.inner.merge_from(&other.inner)
         }
+    }
+
+    impl JoinEstimator for SlowSketch {
         fn self_join(&self) -> f64 {
             self.inner.raw_self_join()
         }
@@ -1359,6 +1388,158 @@ mod tests {
             stale.merged(),
             Err(StreamError::ShardDisconnected { .. })
         ));
+    }
+
+    /// The runtime hosts heavy-hitter summaries too (any
+    /// [`StreamSummary`], not only join estimators): with candidate
+    /// capacity ≥ distinct keys the sharded merge is bit-identical to the
+    /// sequential summary — same top-k keys, same raw estimates.
+    #[test]
+    fn hosts_heavy_hitter_summaries() {
+        use sss_sketch::{CountSketchTopK, FagmsSchema, HeavyHitters};
+        let mut rng = StdRng::seed_from_u64(22);
+        let schema: FagmsSchema = FagmsSchema::new(3, 256, &mut rng);
+        let proto = CountSketchTopK::new(&schema, 64).unwrap();
+        let s: Vec<u64> = (0..40_000u64).map(|i| (i * 2654435761) % 60).collect();
+        let config = RuntimeConfig {
+            shards: 4,
+            queue_depth: 8,
+            partition: Partition::Hash,
+        };
+        let mut rt = ShardedRuntime::new(config, &proto).unwrap();
+        for chunk in s.chunks(997) {
+            rt.push(chunk).unwrap();
+        }
+        // A live snapshot merge and the shutdown merge both match the
+        // sequential summary exactly.
+        let mid = rt.merged().unwrap();
+        let merged = rt.into_merged().unwrap();
+        let mut seq = CountSketchTopK::new(&schema, 64).unwrap();
+        seq.offer_batch(&s);
+        assert_eq!(mid.raw_top_k(10), seq.raw_top_k(10));
+        assert_eq!(merged.raw_top_k(10), seq.raw_top_k(10));
+    }
+
+    /// A worker that panics mid-batch: the shard dies, and every
+    /// subsequent query reports [`StreamError::ShardDisconnected`] as a
+    /// typed error — never a panic, never a hang.
+    #[test]
+    fn dead_worker_yields_typed_errors_not_panics() {
+        #[derive(Clone)]
+        struct BombSketch(JoinSketch);
+        impl StreamSummary for BombSketch {
+            fn update(&mut self, key: u64, count: i64) {
+                assert_ne!(key, u64::MAX, "injected worker panic");
+                self.0.update(key, count);
+            }
+            fn update_batch(&mut self, keys: &[u64]) {
+                for &k in keys {
+                    self.update(k, 1);
+                }
+            }
+            fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
+                self.0.merge_from(&other.0)
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        let schema = JoinSchema::fagms(1, 64, &mut rng);
+        let config = RuntimeConfig {
+            shards: 1,
+            queue_depth: 4,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &BombSketch(schema.sketch())).unwrap();
+        rt.push(&[1, 2, 3]).unwrap();
+        rt.push(&[u64::MAX]).unwrap();
+        assert!(matches!(
+            rt.merged(),
+            Err(StreamError::ShardDisconnected { shard: 0 })
+        ));
+        // The failure is sticky but stays typed on every later query.
+        assert!(matches!(
+            rt.merged(),
+            Err(StreamError::ShardDisconnected { shard: 0 })
+        ));
+        assert!(matches!(
+            rt.into_merged(),
+            Err(StreamError::ShardDisconnected { shard: 0 })
+        ));
+    }
+
+    /// A panic on the *querier* thread — estimator `Clone` runs user code
+    /// inside the snapshot-cache critical section — used to poison the
+    /// cache and prototype mutexes, turning every later query into a
+    /// `PoisonError` panic. Regression: the query path recovers (poison
+    /// swallowed, cache reset, answer rebuilt from the live shards).
+    #[test]
+    fn poisoned_query_path_recovers_after_querier_panic() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        struct PanickyClone {
+            inner: JoinSketch,
+            bomb: Arc<AtomicBool>,
+        }
+        impl Clone for PanickyClone {
+            fn clone(&self) -> Self {
+                assert!(!self.bomb.load(Ordering::SeqCst), "injected clone panic");
+                Self {
+                    inner: self.inner.clone(),
+                    bomb: Arc::clone(&self.bomb),
+                }
+            }
+        }
+        impl StreamSummary for PanickyClone {
+            fn update(&mut self, key: u64, count: i64) {
+                self.inner.update(key, count);
+            }
+            fn update_batch(&mut self, keys: &[u64]) {
+                self.inner.update_batch(keys);
+            }
+            fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
+                self.inner.merge_from(&other.inner)
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(24);
+        let schema = JoinSchema::fagms(1, 128, &mut rng);
+        let bomb = Arc::new(AtomicBool::new(false));
+        let proto = PanickyClone {
+            inner: schema.sketch(),
+            bomb: Arc::clone(&bomb),
+        };
+        let config = RuntimeConfig {
+            shards: 2,
+            queue_depth: 4,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &proto).unwrap();
+        let keys: Vec<u64> = (0..4096u64).map(|i| i % 97).collect();
+        for chunk in keys.chunks(512) {
+            rt.push(chunk).unwrap();
+        }
+        // Populate the cache so the armed query needs no fresh worker
+        // clones — the panic must land on the querier, not a worker.
+        let first = rt.merged().unwrap();
+        bomb.store(true, Ordering::SeqCst);
+        assert!(
+            catch_unwind(AssertUnwindSafe(|| rt.merged())).is_err(),
+            "the armed query panics on the querier thread"
+        );
+        bomb.store(false, Ordering::SeqCst);
+        // Recovery: no poison panic, and the rebuilt answer matches the
+        // pre-panic snapshot bit for bit (no ingest in between).
+        let after = rt.merged().unwrap();
+        assert_eq!(
+            after.inner.raw_self_join().to_bits(),
+            first.inner.raw_self_join().to_bits()
+        );
+        // The read-only stats path survives too.
+        let _ = rt.cache_stats();
+        let fin = rt.into_merged().unwrap();
+        assert_eq!(
+            fin.inner.raw_self_join().to_bits(),
+            first.inner.raw_self_join().to_bits()
+        );
     }
 
     /// The zero-allocations-per-batch claim, in accounting form: over a

@@ -7,7 +7,13 @@
 //! ```text
 //! sss selfjoin <file> [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
 //! sss join <file_f> <file_g> [--p=0.1] [--q=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
+//! sss topk <file> [--k=10] [--p=0.1] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]
 //! ```
+//!
+//! `topk` reports the `k` heaviest keys from a Count-Sketch heavy-hitter
+//! summary over the (optionally Bernoulli-sampled) stream, each with its
+//! `1/p`-corrected full-stream frequency estimate; memory stays
+//! O(capacity + depth·width) regardless of the file size.
 //!
 //! With `--exact` the true aggregate is also computed (hash map over the
 //! full data) and the relative error reported — useful for calibrating a
@@ -25,8 +31,9 @@ use std::process::ExitCode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::LoadSheddingSketcher;
+use sketch_sampled_streams::core::{LoadSheddingSketcher, SampledTopK};
 use sketch_sampled_streams::exact::ExactAggregator;
+use sketch_sampled_streams::sketch::FagmsSchema;
 use sketch_sampled_streams::{Error, Result};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -76,7 +83,7 @@ fn exact_join(f: &[u64], g: &[u64]) -> f64 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]"
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]"
     );
     ExitCode::from(2)
 }
@@ -87,13 +94,17 @@ fn print_intervals(est: &sketch_sampled_streams::core::Estimate, level: f64) {
     println!(
         "interval   {:.2} ± {:.2} [chebyshev {:.0}%]",
         est.value,
-        est.chebyshev(level).half_width(),
+        est.chebyshev(level)
+            .expect("level validated in (0,1)")
+            .half_width(),
         100.0 * level
     );
     println!(
         "interval   {:.2} ± {:.2} [clt {:.0}%]",
         est.value,
-        est.clt(level).half_width(),
+        est.clt(level)
+            .expect("level validated in (0,1)")
+            .half_width(),
         100.0 * level
     );
 }
@@ -166,6 +177,52 @@ fn run_join(
     Ok(())
 }
 
+fn run_topk(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Result<()> {
+    let path = &args[1];
+    let keys = read_keys(path)?;
+    let k: usize = arg_value(args, "k", 10);
+    // The top-k summary has its own sketch geometry: point queries want
+    // more rows (median) and fewer buckets than the join estimators.
+    let depth: usize = arg_value(args, "depth", 5);
+    let width: usize = arg_value(args, "width", 2048);
+    let capacity: usize = arg_value(args, "capacity", (4 * k).max(64));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = FagmsSchema::new(depth, width, &mut rng);
+    let mut tracker = SampledTopK::count_sketch(&schema, capacity, p, &mut rng)?;
+    tracker.feed_batch(&keys);
+    println!("tuples     {}", keys.len());
+    println!("sketched   {}", tracker.kept());
+    let exact = has_flag(args, "exact").then(|| ExactAggregator::from_keys(keys.iter().copied()));
+    let top = tracker.top_k(k);
+    for (rank, (key, est)) in top.iter().enumerate() {
+        let mut line = format!("top{:<3}     key {key}: {:.2}", rank + 1, est.value);
+        if let Some(level) = confidence {
+            line.push_str(&format!(
+                " ± {:.2} [clt {:.0}%]",
+                est.clt(level)
+                    .expect("level validated in (0,1)")
+                    .half_width(),
+                100.0 * level
+            ));
+        }
+        if let Some(truth) = &exact {
+            line.push_str(&format!(" (exact {})", truth.get(*key)));
+        }
+        println!("{line}");
+    }
+    if let Some(truth) = &exact {
+        let true_top: std::collections::HashSet<u64> =
+            truth.top_k(k).into_iter().map(|(key, _)| key).collect();
+        let hits = top.iter().filter(|(key, _)| true_top.contains(key)).count();
+        println!(
+            "recall     {:.4} ({hits}/{} of the exact top-{k})",
+            hits as f64 / true_top.len().max(1) as f64,
+            true_top.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -195,6 +252,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "selfjoin" if args.len() >= 2 => run_selfjoin(&args, &schema, p, confidence, &mut rng),
         "join" if args.len() >= 3 => run_join(&args, &schema, p, confidence, &mut rng),
+        "topk" if args.len() >= 2 => run_topk(&args, p, seed, confidence),
         _ => return usage(),
     };
     match result {

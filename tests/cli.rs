@@ -162,3 +162,69 @@ fn bad_usage_and_bad_files_fail_cleanly() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("three"));
 }
+
+#[test]
+fn topk_reports_heavy_keys_with_recall() {
+    let dir = std::env::temp_dir().join("sss-cli-test-topk");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    // Key k (0..10) appears 2^(9-k)·50 times: a sharply skewed stream.
+    write_keys(
+        &file,
+        (0..10u64).flat_map(|k| std::iter::repeat(k).take((1usize << (9 - k)) * 50)),
+    );
+    let out = sss()
+        .args([
+            "topk",
+            file.to_str().unwrap(),
+            "--k=3",
+            "--p=0.5",
+            "--seed=7",
+            "--exact",
+            "--confidence=0.95",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The heaviest key leads the ranking with its exact count beside it.
+    let top1 = stdout.lines().find(|l| l.starts_with("top1")).unwrap();
+    assert!(top1.contains("key 0:"), "stdout: {stdout}");
+    assert!(stdout.contains("(exact 25600)"), "stdout: {stdout}");
+    assert!(stdout.contains("[clt 95%]"), "stdout: {stdout}");
+    // On a 2× separated spectrum the sampled top-3 is exact.
+    assert!(
+        stdout.contains("recall     1.0000 (3/3 of the exact top-3)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn topk_rejects_p_zero_loudly() {
+    let dir = std::env::temp_dir().join("sss-cli-test-topk-p0");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    write_keys(&file, 0..100u64);
+    // p = 0 must be a loud runtime failure (nothing could ever be
+    // sampled), not a silent all-zero answer.
+    let out = sss()
+        .args(["topk", file.to_str().unwrap(), "--p=0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "p = 0 → runtime failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("probability") && stderr.contains('0'),
+        "stderr should name the bad probability: {stderr}"
+    );
+    // The join paths reject it identically.
+    let out = sss()
+        .args(["selfjoin", file.to_str().unwrap(), "--p=0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

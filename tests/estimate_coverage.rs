@@ -53,11 +53,11 @@ struct Tally {
 fn tally(estimates: &[Estimate], truth: f64) -> Tally {
     let clt_hits = estimates
         .iter()
-        .filter(|e| e.clt(LEVEL).contains(truth))
+        .filter(|e| e.clt(LEVEL).unwrap().contains(truth))
         .count();
     let chebyshev_hits = estimates
         .iter()
-        .filter(|e| e.chebyshev(LEVEL).contains(truth))
+        .filter(|e| e.chebyshev(LEVEL).unwrap().contains(truth))
         .count();
     let mean_variance = estimates.iter().map(|e| e.variance).sum::<f64>() / estimates.len() as f64;
     Tally {

@@ -19,8 +19,8 @@ use sketch_sampled_streams::stream::{parallel_shed, EngineBuilder, RuntimeConfig
 fn assert_coherent(e: &Estimate) {
     assert!(e.value.is_finite());
     for level in [0.5, 0.9, 0.99] {
-        let cheb = e.chebyshev(level);
-        let clt = e.clt(level);
+        let cheb = e.chebyshev(level).unwrap();
+        let clt = e.clt(level).unwrap();
         assert!(cheb.contains(e.value));
         assert!(clt.contains(e.value));
         assert!(
