@@ -4,7 +4,7 @@
 //!
 //! * `offer/misra_gries` — deterministic counters, branchy min-eviction;
 //! * `offer/count_sketch` — sketch row updates + candidate re-scoring;
-//! * `sampled/p0.1` — the `SampledTopK` front end at a 10% Bernoulli
+//! * `sampled/p0.1` — the `Sampled` front end at a 10% Bernoulli
 //!   rate, where geometric skips turn most tuples into a counter bump.
 //!
 //! Plus the query side: `top_k/50` re-scores every candidate against the
@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sss_core::SampledTopK;
+use sss_core::Sampled;
 use sss_datagen::ZipfGenerator;
 use sss_sketch::{CountSketchTopK, FagmsSchema, HeavyHitters, MisraGries};
 use std::hint::black_box;
@@ -46,7 +46,7 @@ fn benches(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("sampled", "p0.1"), |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
-            let mut tracker = SampledTopK::count_sketch(&schema, 4 * K, 0.1, &mut rng).unwrap();
+            let mut tracker = Sampled::count_sketch(&schema, 4 * K, 0.1, &mut rng).unwrap();
             tracker.feed_batch(&stream);
             black_box(tracker.kept())
         })

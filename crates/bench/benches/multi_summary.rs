@@ -1,0 +1,74 @@
+//! Ingestion cost of the composite `MultiSummary` vs feeding its four
+//! constituents separately — the microbench behind the `multi_summary`
+//! acceptance bin.
+//!
+//! At `p = 1` the composite and the four separate summaries do identical
+//! sketch work, so `one_pass/full` vs `four_passes/full` isolates the
+//! fan-out overhead (expected: none — the same batch kernels run either
+//! way). At `p = 0.1` the composite skip-samples the batch once where
+//! four separate `Sampled` lenses scan it four times, which is the
+//! mechanism the 2× acceptance gate rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_core::sketch::JoinSchema;
+use sss_core::{MultiSpec, Sampled, Summary};
+use sss_datagen::ZipfGenerator;
+use sss_sketch::{CountSketchTopK, FagmsSchema, HyperLogLog, KllSketch};
+use std::hint::black_box;
+
+const TUPLES: usize = 16_384;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let keys = ZipfGenerator::new(100_000, 1.2).relation(TUPLES, &mut rng);
+    let mut group = c.benchmark_group("multi_summary");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+
+    let join_schema = JoinSchema::fagms(3, 4096, &mut rng);
+    let topk_schema: FagmsSchema = FagmsSchema::new(3, 4096, &mut rng);
+    let spec = MultiSpec::new(join_schema.clone(), &mut rng).top_k(topk_schema.clone(), 256);
+
+    // Full-rate ingestion: composite fan-out vs four separate summaries.
+    group.bench_function(BenchmarkId::new("one_pass/full", 1.0), |b| {
+        let mut multi = spec.summary().expect("spec");
+        b.iter(|| multi.update_batch(black_box(&keys)))
+    });
+    group.bench_function(BenchmarkId::new("four_passes/full", 1.0), |b| {
+        let mut join = join_schema.sketch();
+        let mut topk = CountSketchTopK::new(&topk_schema, 256).expect("topk");
+        let mut hll = HyperLogLog::with_seed(12, 1).expect("hll");
+        let mut kll = KllSketch::with_seed(200, 2).expect("kll");
+        b.iter(|| {
+            Summary::update_batch(&mut join, black_box(&keys));
+            Summary::update_batch(&mut topk, black_box(&keys));
+            Summary::update_batch(&mut hll, black_box(&keys));
+            Summary::update_batch(&mut kll, black_box(&keys));
+        })
+    });
+
+    // Sampled ingestion: one skip-scan of the batch vs four.
+    for p in [0.1, 0.05] {
+        group.bench_function(BenchmarkId::new("one_pass/sampled", p), |b| {
+            let mut multi = spec.sampled(p, &mut rng).expect("spec");
+            b.iter(|| multi.feed_batch(black_box(&keys)))
+        });
+        group.bench_function(BenchmarkId::new("four_passes/sampled", p), |b| {
+            let mut join = Sampled::new(join_schema.sketch(), p, &mut rng).expect("join");
+            let mut topk = Sampled::count_sketch(&topk_schema, 256, p, &mut rng).expect("topk");
+            let mut hll = Sampled::hyperloglog(12, p, &mut rng).expect("hll");
+            let mut kll = Sampled::kll(200, p, &mut rng).expect("kll");
+            b.iter(|| {
+                join.feed_batch(black_box(&keys));
+                topk.feed_batch(black_box(&keys));
+                hll.feed_batch(black_box(&keys));
+                kll.feed_batch(black_box(&keys));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(multi_summary, benches);
+criterion_main!(multi_summary);

@@ -23,7 +23,7 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_bench::{arg, banner};
-use sss_core::{Estimate, SampledTopK};
+use sss_core::{Estimate, Sampled};
 use sss_datagen::ZipfGenerator;
 use sss_sketch::{FagmsSchema, HeavyHitters};
 
@@ -97,7 +97,7 @@ fn main() {
     let mut rows = Vec::new();
     for p in [1.0, 0.5, 0.1, 0.01] {
         let schema: FagmsSchema = FagmsSchema::new(DEPTH, WIDTH, &mut rng);
-        let mut cs = SampledTopK::count_sketch(&schema, 4 * k, p, &mut rng).unwrap();
+        let mut cs = Sampled::count_sketch(&schema, 4 * k, p, &mut rng).unwrap();
         cs.feed_batch(&stream);
         rows.push(score(
             "count_sketch",
@@ -107,7 +107,7 @@ fn main() {
             cs.summary().counters(),
         ));
 
-        let mut mg = SampledTopK::misra_gries(4 * k, p, &mut rng).unwrap();
+        let mut mg = Sampled::misra_gries(4 * k, p, &mut rng).unwrap();
         mg.feed_batch(&stream);
         rows.push(score(
             "misra_gries",

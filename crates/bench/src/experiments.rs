@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_core::sketch::{JoinSchema, JoinSketch};
 use sss_core::{
-    EpochShedder, IidStreamSketcher, JoinEstimator, LoadSheddingSketcher, RateGrid,
-    ReferenceEpochShedder, ScanSketcher, StreamSummary,
+    EpochShedder, IidStreamSketcher, JoinQuery, LoadSheddingSketcher, RateGrid,
+    ReferenceEpochShedder, ScanSketcher, Summary,
 };
 use sss_datagen::{DiscreteAlias, TpchGenerator, ZipfGenerator};
 use sss_moments::FrequencyVector;
@@ -324,7 +324,7 @@ pub fn epoch_churn(
     (compact, reference, bound)
 }
 
-/// A [`JoinEstimator`] that models a *latency-bound* sink: every batch
+/// A [`JoinQuery`] that models a *latency-bound* sink: every batch
 /// pays a fixed pause (a downstream commit, a synchronous write, a remote
 /// round-trip) before the in-memory sketch update.
 ///
@@ -356,7 +356,7 @@ impl PacedSketch {
     }
 }
 
-impl StreamSummary for PacedSketch {
+impl Summary for PacedSketch {
     fn update(&mut self, key: u64, count: i64) {
         self.inner.update(key, count);
     }
@@ -373,7 +373,7 @@ impl StreamSummary for PacedSketch {
     }
 }
 
-impl JoinEstimator for PacedSketch {
+impl JoinQuery for PacedSketch {
     fn self_join(&self) -> f64 {
         self.inner.raw_self_join()
     }
@@ -438,24 +438,30 @@ struct RuntimeGauges {
 /// Push `stream` through a fresh sharded runtime and merge at the end,
 /// returning the merged estimator, the wall-clock measurement, and the
 /// runtime's own gauges as of just before the merge.
-fn sharded_run<E: JoinEstimator>(
+fn sharded_run<E: JoinQuery>(
     prototype: &E,
     config: RuntimeConfig,
     stream: &[u64],
     batch: usize,
 ) -> (E, Throughput, RuntimeGauges) {
     let mut rt = ShardedRuntime::new(config, prototype).expect("valid runtime config");
+    let handle = rt.query_handle();
     let mut merged = None;
     let mut gauges = None;
     let t = Throughput::measure(stream.len() as u64, || {
         for chunk in stream.chunks(batch) {
             rt.push(chunk).expect("no shard died");
         }
-        gauges = Some(RuntimeGauges {
-            tuples_per_sec: rt.tuples_per_sec(),
-            queue_high_water: rt.queue_high_water(),
-        });
         merged = Some(rt.into_merged().expect("merge after shutdown"));
+        // Read the gauges through the handle *after* the merge: the
+        // snapshot floor quiesces every shard, so `tuples_ingested`
+        // covers the whole stream. Reading before the merge raced the
+        // workers — coalesced applies can still be in flight when the
+        // producer finishes pushing.
+        gauges = Some(RuntimeGauges {
+            tuples_per_sec: handle.tuples_per_sec(),
+            queue_high_water: handle.queue_high_water(),
+        });
     });
     (
         merged.expect("measured closure ran"),

@@ -12,7 +12,7 @@
 //! These are the *exact* counterparts to the empirical error bars of the
 //! typed query path: when the frequencies are **not** known, the
 //! `*_estimate()` methods (e.g.
-//! [`crate::JoinEstimator::self_join_estimate`]) return an
+//! [`crate::JoinQuery::self_join_estimate`]) return an
 //! [`crate::Estimate`] whose variance is measured from the estimator's own
 //! independent lanes plus a conservative sampling plug-in — see
 //! `docs/THEORY.md` §"Empirical error bars".

@@ -33,11 +33,11 @@ pub enum Error {
         /// The rejected steps-per-decade value (must be ≥ 1).
         steps_per_decade: u32,
     },
-    /// The estimator does not support exact retraction
-    /// ([`StreamSummary::retract_from`](crate::StreamSummary::retract_from)):
+    /// The summary does not support exact retraction
+    /// ([`Summary::retract_from`](crate::Summary::retract_from)):
     /// callers needing an incremental merge must fall back to a full
     /// re-merge (see
-    /// [`StreamSummary::supports_retract`](crate::StreamSummary::supports_retract)).
+    /// [`Summary::supports_retract`](crate::Summary::supports_retract)).
     RetractUnsupported,
 }
 

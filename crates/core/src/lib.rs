@@ -64,9 +64,12 @@ pub mod epochs;
 pub mod error;
 pub mod estimator;
 pub mod iid;
+pub mod multi;
+pub mod sampled;
 pub mod scan;
 pub mod shedding;
 pub mod sketch;
+pub mod summary;
 pub mod topk;
 
 pub use compaction::{RateGrid, ReferenceEpochShedder};
@@ -74,10 +77,15 @@ pub use coordinated::CoordinatedShedder;
 pub use cross::RatedSketch;
 pub use epochs::EpochShedder;
 pub use error::{Error, Result};
+#[allow(deprecated)]
 pub use estimator::{JoinEstimator, StreamSummary};
 pub use iid::IidStreamSketcher;
+pub use multi::{MultiSpec, MultiSummary, SampledMultiSummary};
+pub use sampled::{bernoulli_distinct_estimate, Sampled};
 pub use scan::ScanSketcher;
 pub use shedding::{bernoulli_self_join, bernoulli_self_join_estimate, LoadSheddingSketcher};
 pub use sketch::{JoinSchema, JoinSketch};
 pub use sss_sketch::{Bound, Estimate};
+pub use summary::{DistinctQuery, JoinQuery, QuantileQuery, Summary, TopKQuery};
+#[allow(deprecated)]
 pub use topk::SampledTopK;

@@ -1,0 +1,729 @@
+//! `Sampled<S>` — the Bernoulli sampling front end, generic over any
+//! [`Summary`] capability.
+//!
+//! The paper's central idea is that a sketch over a `Bernoulli(p)` sample
+//! still answers full-stream queries once the right `1/p` correction is
+//! applied on the way out. Pre-redesign, each driver hard-coded one
+//! summary kind (`LoadSheddingSketcher` for join sketches, `SampledTopK`
+//! for heavy hitters). `Sampled<S>` factors the sampling machinery out
+//! once: a geometric-skip Bernoulli sampler in front of *any* summary,
+//! with query corrections unlocked per capability of `S`:
+//!
+//! | `S` implements | corrected queries | correction |
+//! |---|---|---|
+//! | [`JoinQuery`] | [`self_join`](Sampled::self_join), [`size_of_join`](Sampled::size_of_join) | Props 13–14: `S²/p² − (1−p)/p²·|F′|`, `S·T/(p·q)` |
+//! | [`TopKQuery`] | [`point_estimate`](Sampled::point_estimate), [`top_k`](Sampled::top_k) | `f̂ = f′/p`, binomial thinning variance |
+//! | [`DistinctQuery`] | [`distinct_estimate`](Sampled::distinct_estimate) | frequency-domain plug-in (see below) |
+//! | [`QuantileQuery`] | [`quantile`](Sampled::quantile), [`quantile_bounds`](Sampled::quantile_bounds) | identity, with widened rank error |
+//!
+//! Because `Sampled<S>` itself implements [`Summary`], it rides the
+//! sharded runtime like any other summary: sampling happens *inside the
+//! shard workers*, so one delivery of the full stream pays one transport
+//! cost while every summary sees only its kept tuples. Cloning preserves
+//! the sampler state bit-for-bit — fine for snapshots (query clones never
+//! advance the RNG), but shards that should sample *independently* must be
+//! built via [`reseed`](Sampled::reseed) / per-shard prototypes, otherwise
+//! identical skip sequences correlate the shards' inclusion decisions and
+//! the cross-shard F₂ terms lose their `p²` scaling (the estimates would
+//! be biased upward). `ShardedRuntime::new_per_shard` exists for exactly
+//! this.
+//!
+//! ## F₀ under sampling: what is (and isn't) correctable
+//!
+//! A Bernoulli sample thins each key's frequency `fᵢ` binomially, so a key
+//! survives into the sample with probability `1 − (1−p)^{fᵢ}` and
+//! `E[D′] = Σᵢ (1 − (1−p)^{fᵢ})`. Inverting this **requires the full
+//! frequency histogram**, which neither the sample nor any one-pass
+//! summary retains — an *exact* unbiased F₀ correction from a Bernoulli
+//! sample is impossible in one pass. [`Sampled::distinct_estimate`]
+//! therefore applies the homogeneous-frequency plug-in: treat every key
+//! as carrying the mean full-stream frequency `f̄ = (kept/p)/D` and solve
+//! the self-consistency equation `D = D′/(1 − (1−p)^{f̄})` for `D` by
+//! fixed-point iteration (see [`bernoulli_distinct_estimate`] for why the
+//! one-step version is biased low). The unmodelled histogram spread is
+//! acknowledged by inflating the variance with the full correction
+//! magnitude (treated as one standard deviation of model error), so the
+//! interval is honest: negligible when frequencies are high enough that
+//! almost every key survives (`(1−p)^{f̄} ≈ 0`), and wide when the
+//! correction actually matters.
+//!
+//! ## Quantiles under sampling
+//!
+//! Bernoulli sampling is **rank-invariant in expectation**: the sample
+//! rank of any fixed value concentrates on its stream rank (each tuple is
+//! kept independently with the same `p`), so the point correction is the
+//! identity — the sample's `q`-quantile estimates the stream's. What
+//! sampling does cost is rank precision: the sampled rank of a value with
+//! true rank `q` has standard deviation `≈ √(q(1−q)(1−p)/kept)`, which
+//! [`Sampled::quantile_bounds`] adds (at 3σ) to the backend's own rank
+//! error before converting ranks back to value bounds. The *value-domain*
+//! variance is unknowable without a density model, so
+//! [`Sampled::quantile_estimate`] returns an honest [`Estimate::point`]
+//! and callers are pointed at the rank-based bounds.
+
+use crate::error::{Error, Result};
+use crate::shedding::{bernoulli_self_join, skip_sample_batch};
+use crate::summary::{DistinctQuery, JoinQuery, QuantileQuery, Summary, TopKQuery};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sss_sampling::bernoulli::GeometricSkip;
+use sss_sampling::{
+    bernoulli_frequency_variance_plugin, bernoulli_self_join_variance_plugin,
+    bernoulli_size_of_join_variance_plugin,
+};
+use sss_sketch::{CountSketchTopK, Estimate, FagmsSchema, HyperLogLog, KllSketch, MisraGries};
+
+/// Bernoulli load shedder in front of any mergeable summary; query
+/// corrections are unlocked by the capabilities of `S` (see the module
+/// docs).
+#[derive(Debug, Clone)]
+pub struct Sampled<S: Summary> {
+    summary: S,
+    skip: GeometricSkip<StdRng>,
+    /// Tuples to silently drop before the next kept tuple.
+    gap: u64,
+    p: f64,
+    seen: u64,
+    kept: u64,
+}
+
+impl Sampled<MisraGries> {
+    /// A Misra–Gries summary of `capacity` counters behind a
+    /// `Bernoulli(p)` sample: deterministic `ε·n′` undercount bound on the
+    /// kept substream, `1/p`-corrected on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error`] if `p ∉ (0, 1]` or `capacity == 0`.
+    pub fn misra_gries<R: Rng>(capacity: usize, p: f64, seed_rng: &mut R) -> Result<Self> {
+        Self::new(MisraGries::new(capacity)?, p, seed_rng)
+    }
+}
+
+impl Sampled<CountSketchTopK> {
+    /// A Count-Sketch top-k tracker (candidate heap over a
+    /// [`FagmsSchema`]) behind a `Bernoulli(p)` sample.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error`] if `p ∉ (0, 1]` or `capacity == 0`.
+    pub fn count_sketch<R: Rng>(
+        schema: &FagmsSchema,
+        capacity: usize,
+        p: f64,
+        seed_rng: &mut R,
+    ) -> Result<Self> {
+        Self::new(CountSketchTopK::new(schema, capacity)?, p, seed_rng)
+    }
+}
+
+impl Sampled<HyperLogLog> {
+    /// A HyperLogLog distinct counter behind a `Bernoulli(p)` sample.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error`] if `p ∉ (0, 1]` or the precision is out of range.
+    pub fn hyperloglog<R: Rng>(precision: u8, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let hll = HyperLogLog::new(precision, seed_rng)?;
+        Self::new(hll, p, seed_rng)
+    }
+}
+
+impl Sampled<KllSketch> {
+    /// A KLL quantile summary behind a `Bernoulli(p)` sample.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error`] if `p ∉ (0, 1]` or `k` is too small.
+    pub fn kll<R: Rng>(k: usize, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let kll = KllSketch::new(k, seed_rng)?;
+        Self::new(kll, p, seed_rng)
+    }
+}
+
+impl<S: Summary> Sampled<S> {
+    /// Wrap an empty summary with inclusion probability `p ∈ (0, 1]`.
+    ///
+    /// `p = 1` degenerates to feeding the summary directly (every tuple
+    /// kept, sampling variance identically zero), which is how the
+    /// unsampled engine paths reuse this type.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Sampling`] if `p ∉ (0, 1]`.
+    pub fn new<R: Rng>(summary: S, p: f64, seed_rng: &mut R) -> Result<Self> {
+        let mut skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
+        let gap = skip.next_gap();
+        Ok(Self {
+            summary,
+            skip,
+            gap,
+            p,
+            seen: 0,
+            kept: 0,
+        })
+    }
+
+    /// Replace the sampler's RNG with a freshly seeded one (and redraw the
+    /// pending gap). Use this to decorrelate clones: a cloned `Sampled`
+    /// replays the *same* skip sequence as its source, which is correct
+    /// for snapshots but biases multi-shard deployments where each shard
+    /// must sample independently.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid existing `p`; kept fallible for signature
+    /// stability with [`new`](Sampled::new).
+    pub fn reseed<R: Rng>(&mut self, seed_rng: &mut R) -> Result<()> {
+        self.skip = GeometricSkip::<StdRng>::new(self.p, seed_rng)?;
+        self.gap = self.skip.next_gap();
+        Ok(())
+    }
+
+    /// Offer the next stream tuple; returns whether it was kept.
+    #[inline]
+    pub fn observe(&mut self, key: u64) -> bool {
+        self.seen += 1;
+        if self.gap > 0 {
+            self.gap -= 1;
+            return false;
+        }
+        self.summary.update(key, 1);
+        self.kept += 1;
+        self.gap = self.skip.next_gap();
+        true
+    }
+
+    /// Offer a whole batch of stream tuples; returns how many were kept.
+    ///
+    /// Bit-identical to calling [`Sampled::observe`] on each key in turn —
+    /// shares the geometric-gap kernel with the join shedders.
+    pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
+        let kept_now = skip_sample_batch(&mut self.summary, &mut self.skip, &mut self.gap, keys);
+        self.seen += keys.len() as u64;
+        self.kept += kept_now;
+        kept_now
+    }
+
+    /// The inclusion probability `p`.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Tuples offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Tuples kept (summarized) so far.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+
+    /// The underlying summary (e.g. to merge partial streams or reach raw
+    /// sample-domain queries).
+    pub fn summary(&self) -> &S {
+        &self.summary
+    }
+}
+
+/// `Sampled<S>` is itself a [`Summary`], so it rides the sharded runtime:
+/// the sampler travels *with* the summary into the shard workers, and the
+/// merged snapshot's corrected queries describe the full offered stream.
+///
+/// Insert-only: `update(key, count)` offers `count` independent tuples
+/// (each with its own inclusion draw) and ignores non-positive counts —
+/// retracting tuples that were never sampled is not meaningful.
+/// Merging requires equal inclusion probabilities (the union of
+/// independent `Bernoulli(p)` samples of disjoint streams is a
+/// `Bernoulli(p)` sample of their concatenation); retraction is honestly
+/// unsupported, so snapshot caches fall back to full re-merges.
+impl<S: Summary> Summary for Sampled<S> {
+    fn update(&mut self, key: u64, count: i64) {
+        for _ in 0..count.max(0) {
+            self.observe(key);
+        }
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.feed_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.p != other.p {
+            return Err(Error::IncompatibleEstimators);
+        }
+        self.summary.merge_from(&other.summary)?;
+        self.seen += other.seen;
+        self.kept += other.kept;
+        Ok(())
+    }
+}
+
+impl<S: JoinQuery> Sampled<S> {
+    /// Bernoulli-corrected self-join (F₂) estimate of the full offered
+    /// stream (paper Proposition 14): `X = S²/p² − (1−p)/p² · |F′|`.
+    pub fn self_join(&self) -> f64 {
+        bernoulli_self_join(self.summary.self_join(), self.p, self.kept)
+    }
+
+    /// Typed corrected self-join estimate: the summary's own lane variance
+    /// scaled by `1/p⁴` plus the sampling variance plug-in of the paper's
+    /// Section VI-A, both stacked into one [`Estimate`].
+    pub fn self_join_estimate(&self) -> Estimate {
+        let raw = self.summary.self_join_estimate();
+        let value = bernoulli_self_join(raw.value, self.p, self.kept);
+        let basics = raw
+            .basics
+            .iter()
+            .map(|&b| bernoulli_self_join(b, self.p, self.kept))
+            .collect();
+        let p4 = (self.p * self.p) * (self.p * self.p);
+        let sketch_variance = raw.variance / p4;
+        let sampling_variance = bernoulli_self_join_variance_plugin(self.p, self.seen, value);
+        Estimate {
+            value,
+            variance: sketch_variance + sampling_variance,
+            basics,
+        }
+    }
+
+    /// Bernoulli-corrected size-of-join estimate against another sampled
+    /// summary (paper Proposition 13): `X = S·T/(p·q)`. The two sides may
+    /// use different inclusion probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch between the underlying summaries.
+    pub fn size_of_join(&self, other: &Sampled<S>) -> Result<f64> {
+        Ok(self.summary.size_of_join(&other.summary)? / (self.p * other.p))
+    }
+
+    /// Typed corrected size-of-join estimate with both sketch and sampling
+    /// variance terms.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch between the underlying summaries.
+    pub fn size_of_join_estimate(&self, other: &Sampled<S>) -> Result<Estimate> {
+        let raw = self.summary.size_of_join_estimate(&other.summary)?;
+        let scale = self.p * other.p;
+        let value = raw.value / scale;
+        let basics = raw.basics.iter().map(|&b| b / scale).collect();
+        let sketch_variance = raw.variance / (scale * scale);
+        let sampling_variance = bernoulli_size_of_join_variance_plugin(
+            self.p,
+            other.p,
+            self.self_join(),
+            other.self_join(),
+            value,
+        );
+        Ok(Estimate {
+            value,
+            variance: sketch_variance + sampling_variance,
+            basics,
+        })
+    }
+}
+
+impl<S: TopKQuery> Sampled<S> {
+    /// Typed full-stream frequency estimate for one key: the summary's raw
+    /// sample-frequency estimate scaled by `1/p`, with the summary noise
+    /// (`/p²`) and the binomial thinning plug-in stacked into the variance.
+    pub fn point_estimate(&self, key: u64) -> Estimate {
+        self.correct_frequency(self.summary.frequency(key))
+    }
+
+    /// The `k` heaviest keys with typed full-stream frequency estimates,
+    /// heaviest first (ties broken toward the smaller key).
+    ///
+    /// The `1/p` correction is monotone, so the ranking is exactly the
+    /// summary's raw ranking over the kept sample; only the magnitudes and
+    /// error bars are rescaled.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, Estimate)> {
+        self.summary
+            .top_k(k)
+            .into_iter()
+            .map(|(key, raw)| (key, self.correct_frequency(raw)))
+            .collect()
+    }
+
+    fn correct_frequency(&self, raw: f64) -> Estimate {
+        let value = raw / self.p;
+        let summary_variance = self.summary.frequency_variance() / (self.p * self.p);
+        let sampling_variance = bernoulli_frequency_variance_plugin(self.p, value);
+        Estimate {
+            value,
+            variance: summary_variance + sampling_variance,
+            basics: Vec::new(),
+        }
+    }
+}
+
+impl<S: DistinctQuery> Sampled<S> {
+    /// Corrected full-stream distinct-count (F₀) estimate — the point
+    /// value of [`distinct_estimate`](Sampled::distinct_estimate).
+    pub fn distinct(&self) -> f64 {
+        self.distinct_estimate().value
+    }
+
+    /// Typed corrected F₀ estimate via the homogeneous-frequency plug-in
+    /// (see the module docs for why an exact one-pass correction is
+    /// impossible and how the model error is priced into the variance).
+    pub fn distinct_estimate(&self) -> Estimate {
+        bernoulli_distinct_estimate(self.summary.distinct_estimate(), self.p, self.kept)
+    }
+}
+
+impl<S: QuantileQuery> Sampled<S> {
+    /// The full-stream `q`-quantile estimate: the sample's `q`-quantile,
+    /// unchanged — Bernoulli sampling is rank-invariant (module docs).
+    ///
+    /// # Errors
+    ///
+    /// Invalid `q`, or nothing sampled yet.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        self.summary.quantile(q)
+    }
+
+    /// Typed quantile estimate. The value-domain variance of a quantile is
+    /// unknowable without a density model, so this is an honest
+    /// [`Estimate::point`] (infinite variance); use
+    /// [`quantile_bounds`](Sampled::quantile_bounds) for the rank-based
+    /// error bar.
+    ///
+    /// # Errors
+    ///
+    /// Invalid `q`, or nothing sampled yet.
+    pub fn quantile_estimate(&self, q: f64) -> Result<Estimate> {
+        Ok(Estimate::point(self.quantile(q)?))
+    }
+
+    /// The summary's rank error widened by the sampling noise: backend ε
+    /// plus `3·√(q(1−q)(1−p)/kept)` — the 3σ binomial rank jitter of the
+    /// sample itself (zero at `p = 1`).
+    pub fn rank_error(&self, q: f64) -> f64 {
+        let backend = self.summary.rank_error();
+        if self.p >= 1.0 || self.kept == 0 {
+            return backend;
+        }
+        let jitter = (q * (1.0 - q) * (1.0 - self.p) / self.kept as f64).sqrt();
+        backend + 3.0 * jitter
+    }
+
+    /// Conservative full-stream value bounds for the `q`-quantile: the
+    /// sample values at ranks `q ∓` [`rank_error`](Sampled::rank_error),
+    /// clamped to `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid `q`, or nothing sampled yet.
+    pub fn quantile_bounds(&self, q: f64) -> Result<(f64, f64)> {
+        let eps = self.rank_error(q);
+        Ok((
+            self.summary.quantile((q - eps).max(0.0))?,
+            self.summary.quantile((q + eps).min(1.0))?,
+        ))
+    }
+}
+
+/// The homogeneous-frequency F₀ correction shared by
+/// [`Sampled::distinct_estimate`] and the multi-summary drivers.
+///
+/// `raw` is the backend's typed estimate of the *sample's* distinct count
+/// `D′`; `kept` the number of sampled tuples. The homogeneous model says a
+/// stream of `N̂ = kept/p` tuples over `D` equally frequent keys loses a
+/// key with probability `(1−p)^{N̂/D}`, so `D` must satisfy the
+/// self-consistency equation
+///
+/// ```text
+/// D = D′ / (1 − (1−p)^{N̂/D})
+/// ```
+///
+/// solved here by fixed-point iteration from `D₀ = D′`. (The one-step
+/// plug-in that evaluates the mean frequency at `D′` instead of `D` is
+/// biased low — `D′ < D` overstates the mean frequency, understating the
+/// correction — by ~20% in low-frequency regimes. The iteration map is
+/// increasing and a contraction at the fixed point, so starting below it
+/// converges monotonically upward.) The survival probability is floored
+/// (at 1%) to keep the estimate finite in the degenerate
+/// all-frequencies-tiny regime, and the correction magnitude `D̂ − D′` is
+/// added to the standard deviation as model error — see the module docs
+/// for why no one-pass estimator can do better without the full frequency
+/// histogram.
+pub fn bernoulli_distinct_estimate(raw: Estimate, p: f64, kept: u64) -> Estimate {
+    if p >= 1.0 {
+        return raw;
+    }
+    let d_sample = raw.value.max(0.0);
+    if d_sample == 0.0 || kept == 0 {
+        return raw;
+    }
+    let scaled_len = kept as f64 / p;
+    let mut value = d_sample;
+    for _ in 0..64 {
+        let mean_frequency = scaled_len / value;
+        let survival = (1.0 - (1.0 - p).powf(mean_frequency)).max(0.01);
+        let next = d_sample / survival;
+        if (next - value).abs() <= 1e-9 * value {
+            value = next;
+            break;
+        }
+        value = next;
+    }
+    // The survival probability implied by the fixed point itself.
+    let survival = (d_sample / value).clamp(0.01, 1.0);
+    let model_error = value - d_sample;
+    Estimate {
+        value,
+        variance: raw.variance / (survival * survival) + model_error * model_error,
+        basics: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_sketch::topk::HeavyHitters;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A fixed skewed stream: key k (0..10) appears 2^(9−k) · 64 times,
+    /// shuffled deterministically.
+    fn skewed_stream() -> Vec<u64> {
+        let mut keys = Vec::new();
+        for k in 0..10u64 {
+            for _ in 0..(1u64 << (9 - k)) * 64 {
+                keys.push(k);
+            }
+        }
+        // LCG shuffle for a deterministic interleaving.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        keys
+    }
+
+    #[test]
+    fn p_one_is_the_raw_summary() {
+        let mut r = rng(1);
+        let mut t = Sampled::misra_gries(16, 1.0, &mut r).unwrap();
+        let keys = skewed_stream();
+        for &k in &keys {
+            assert!(t.observe(k));
+        }
+        assert_eq!(t.kept(), keys.len() as u64);
+        let top = t.top_k(3);
+        let raw = t.summary().raw_top_k(3);
+        for ((k, e), (rk, rv)) in top.iter().zip(raw.iter()) {
+            assert_eq!(k, rk);
+            assert_eq!(e.value.to_bits(), rv.to_bits());
+        }
+        // No sampling at p = 1 and MG is exact at this capacity: the top
+        // key's variance is exactly zero.
+        assert_eq!(top[0].1.variance, 0.0);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let mut r = rng(2);
+        assert!(Sampled::misra_gries(16, 0.0, &mut r).is_err());
+        assert!(Sampled::misra_gries(16, 1.5, &mut r).is_err());
+        assert!(Sampled::misra_gries(0, 0.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn sampled_estimates_recover_the_heavy_keys() {
+        let mut r = rng(3);
+        let mut t = Sampled::misra_gries(16, 0.25, &mut r).unwrap();
+        let keys = skewed_stream();
+        t.feed_batch(&keys);
+        assert!(t.kept() < keys.len() as u64 / 2, "kept {}", t.kept());
+        let top = t.top_k(3);
+        assert_eq!(top[0].0, 0, "heaviest key is 0");
+        // Key 0 appears 2^9·64 = 32768 times; the 1/p-corrected estimate
+        // should land within a few sampling standard deviations.
+        let truth = 32768.0;
+        let e = &top[0].1;
+        let sd = e.variance.sqrt();
+        assert!(
+            (e.value - truth).abs() < 5.0 * sd.max(1.0),
+            "est {} truth {truth} sd {sd}",
+            e.value
+        );
+        assert!(e.chebyshev(0.99).unwrap().half_width() > 0.0);
+    }
+
+    /// The batched path must replay the scalar path exactly, as for the
+    /// join shedders.
+    #[test]
+    fn feed_batch_is_bit_identical_to_observe() {
+        for p in [0.03, 0.5, 1.0] {
+            let mut seed_a = rng(11);
+            let mut seed_b = rng(11);
+            let mut scalar = Sampled::misra_gries(8, p, &mut seed_a).unwrap();
+            let mut batched = Sampled::misra_gries(8, p, &mut seed_b).unwrap();
+            let keys: Vec<u64> = (0..30_000u64).map(|i| (i * 2_654_435_761) % 50).collect();
+            for &k in &keys {
+                scalar.observe(k);
+            }
+            batched.feed_batch(&[]);
+            let mut rest = keys.as_slice();
+            for size in [1usize, 7, 255, 256, 257, 1000].iter().cycle() {
+                if rest.is_empty() {
+                    break;
+                }
+                let take = (*size).min(rest.len());
+                batched.feed_batch(&rest[..take]);
+                rest = &rest[take..];
+            }
+            assert_eq!(scalar.seen(), batched.seen(), "p = {p}");
+            assert_eq!(scalar.kept(), batched.kept(), "p = {p}");
+            assert_eq!(
+                scalar.summary().raw_top_k(8),
+                batched.summary().raw_top_k(8),
+                "p = {p}"
+            );
+        }
+    }
+
+    /// Monte-Carlo unbiasedness of the 1/p correction: the mean estimate
+    /// of a fixed key's frequency over many independent samples matches
+    /// the true frequency.
+    #[test]
+    fn sampled_frequency_is_unbiased() {
+        let mut r = rng(7);
+        let truth = 400.0;
+        let reps = 300;
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let mut t = Sampled::misra_gries(4, 0.3, &mut r).unwrap();
+            for _ in 0..400u64 {
+                t.observe(42);
+            }
+            acc += t.point_estimate(42).value;
+        }
+        let mean = acc / reps as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean = {mean}, truth = {truth}"
+        );
+    }
+
+    /// The generic join corrections agree bit-for-bit with the dedicated
+    /// `LoadSheddingSketcher` driver on the same sample (same kernel, same
+    /// formulas — the lens is a pure generalization).
+    #[test]
+    fn join_corrections_match_the_dedicated_shedder() {
+        use crate::sketch::JoinSchema;
+        let mut r1 = rng(21);
+        let mut r2 = rng(21);
+        let schema = JoinSchema::fagms(3, 512, &mut StdRng::seed_from_u64(5));
+        let mut lens = Sampled::new(schema.sketch(), 0.2, &mut r1).unwrap();
+        let mut shed = crate::LoadSheddingSketcher::new(&schema, 0.2, &mut r2).unwrap();
+        let keys = skewed_stream();
+        lens.feed_batch(&keys);
+        shed.feed_batch(&keys);
+        assert_eq!(lens.kept(), shed.kept());
+        assert_eq!(lens.self_join().to_bits(), shed.self_join().to_bits());
+        let a = lens.self_join_estimate();
+        let b = shed.self_join_estimate();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+    }
+
+    #[test]
+    fn distinct_correction_recovers_truth_in_the_valid_regime() {
+        // 2000 distinct keys, each with frequency 100 — at p = 0.1 the
+        // homogeneous plug-in's miss term (0.9)^100 ≈ 3e-5 is negligible.
+        let keys: Vec<u64> = (0..200_000u64).map(|i| i % 2_000).collect();
+        let mut r = rng(31);
+        let mut d = Sampled::hyperloglog(12, 0.1, &mut r).unwrap();
+        d.feed_batch(&keys);
+        let est = d.distinct_estimate();
+        let rel = (est.value - 2_000.0).abs() / 2_000.0;
+        assert!(rel < 0.1, "est {} rel {rel}", est.value);
+        assert!(est.variance.is_finite() && est.variance > 0.0);
+        // Sanity: the interval covers the truth.
+        assert!(est.chebyshev(0.99).unwrap().contains(2_000.0));
+    }
+
+    #[test]
+    fn distinct_correction_widens_when_keys_are_rare() {
+        // Every key appears once: at p = 0.25 the sample misses ~75% of
+        // keys; the plug-in corrects upward and the model-error term keeps
+        // the interval honest (very wide).
+        let keys: Vec<u64> = (0..10_000u64).collect();
+        let mut r = rng(33);
+        let mut d = Sampled::hyperloglog(12, 0.25, &mut r).unwrap();
+        d.feed_batch(&keys);
+        let est = d.distinct_estimate();
+        assert!(
+            est.value > d.summary().raw_distinct(),
+            "correction must scale up"
+        );
+        // Model error dominates: σ at least the correction magnitude.
+        assert!(est.variance.sqrt() >= est.value - d.summary().raw_distinct() - 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_rank_invariant_under_sampling() {
+        let n = 100_000u64;
+        let mut r = rng(41);
+        let mut q = Sampled::kll(200, 0.1, &mut r).unwrap();
+        let mut v = 3u64;
+        for _ in 0..n {
+            v = v.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+            q.observe(v % n);
+        }
+        for target in [0.5, 0.99] {
+            let est = q.quantile(target).unwrap();
+            let true_rank = est / n as f64;
+            let eps = q.rank_error(target);
+            assert!(
+                (true_rank - target).abs() <= eps,
+                "q={target}: rank {true_rank}, ε={eps}"
+            );
+            let (lo, hi) = q.quantile_bounds(target).unwrap();
+            assert!(lo <= est && est <= hi);
+            // The honest point estimate: no density model, no variance.
+            let typed = q.quantile_estimate(target).unwrap();
+            assert!(typed.variance.is_infinite());
+        }
+        // Sampling widens the rank error beyond the backend's own ε.
+        assert!(q.rank_error(0.5) > q.summary().rank_error());
+    }
+
+    /// Sampled summaries merge when probabilities agree (union of
+    /// independent samples) and refuse otherwise.
+    #[test]
+    fn merge_requires_equal_probability() {
+        let mut r = rng(51);
+        let mut a = Sampled::hyperloglog(10, 0.5, &mut r).unwrap();
+        let mut b = Sampled::new(a.summary().clone(), 0.5, &mut r).unwrap();
+        b.reseed(&mut r).unwrap();
+        let keys: Vec<u64> = (0..4_000u64).collect();
+        a.feed_batch(&keys[..2_000]);
+        b.feed_batch(&keys[2_000..]);
+        let seen = a.seen() + b.seen();
+        let kept = a.kept() + b.kept();
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.seen(), seen);
+        assert_eq!(a.kept(), kept);
+        let c = Sampled::hyperloglog(10, 0.25, &mut r).unwrap();
+        assert!(matches!(
+            a.merge_from(&c),
+            Err(Error::IncompatibleEstimators) | Err(Error::Sketch(_))
+        ));
+        // Retraction is honestly unsupported (sample state is not
+        // subtractable), so snapshot caches must full-rebuild.
+        assert!(!Summary::supports_retract(&a));
+    }
+}

@@ -83,7 +83,7 @@ pub fn bernoulli_self_join_estimate(sketch: &JoinSketch, p: f64, kept: u64, seen
 /// same order (one draw per kept tuple) and `update_batch` shares the
 /// scalar path's counter state exactly. Skipped tuples cost a pointer jump
 /// instead of a per-tuple branch.
-pub(crate) fn skip_sample_batch<S: crate::estimator::StreamSummary>(
+pub(crate) fn skip_sample_batch<S: crate::summary::Summary>(
     sketch: &mut S,
     skip: &mut GeometricSkip<StdRng>,
     gap: &mut u64,

@@ -1,0 +1,782 @@
+//! The layered `Summary` hierarchy — one ingestion contract, four query
+//! capabilities.
+//!
+//! Historically each sketch family exposed its own ad-hoc surface
+//! (`AgmsSketch::self_join`, `FagmsSketch::size_of_join`,
+//! `JoinSketch::raw_self_join`, …), the streaming layer was hard-coded to
+//! [`JoinSketch`], and the only query capability beyond joins (top-k) was
+//! bolted on through `sss_sketch::topk::HeavyHitters`. The redesign splits
+//! the contract into one base trait and capability subtraits:
+//!
+//! * [`Summary`] is the *ingestion* contract the sharded runtime and the
+//!   snapshot cache are generic over: anything that can absorb keyed
+//!   updates and merge with a peer built from the same seeds.
+//! * [`JoinQuery`] adds the paper's two join-size queries (F₂ /
+//!   size-of-join) — the former `JoinEstimator`.
+//! * [`TopKQuery`] adds heavy-hitter point and top-k queries, absorbing
+//!   the `HeavyHitters` plumbing behind a typed surface.
+//! * [`DistinctQuery`] adds distinct-count (F₀) queries, served by
+//!   [`HyperLogLog`].
+//! * [`QuantileQuery`] adds rank/quantile queries, served by
+//!   [`KllSketch`].
+//!
+//! A summary implements whichever capabilities it can actually answer;
+//! [`crate::MultiSummary`] implements all four by fanning one
+//! `update_batch` into a join sketch, a Count-Sketch top-k tracker, a
+//! HyperLogLog, and a KLL sketch, which is how a single pass through the
+//! sharded runtime serves every query type at once.
+//!
+//! Every query here is **raw**: it describes whatever stream the summary
+//! actually absorbed. Bernoulli-sampling corrections (Propositions 13–16
+//! of the paper, and their F₀/quantile analogues) live in one place — the
+//! [`crate::Sampled`] front end that knows the inclusion probability.
+//!
+//! The ingestion contract mirrors sketch linearity exactly:
+//!
+//! * [`update_batch`](Summary::update_batch) must be **bit-identical** to
+//!   the per-key update loop (integer counter updates commute);
+//! * [`merge_from`](Summary::merge_from) must make the merged state
+//!   equivalent to summarizing the concatenated streams — bit-identical
+//!   for the linear sketches, guarantee-preserving for the (order-lossy)
+//!   heavy-hitter/quantile summaries — so a sharded runtime can partition
+//!   tuples arbitrarily;
+//! * [`supports_retract`](Summary::supports_retract) gates the snapshot
+//!   cache's delta rebuilds: linear sketches retract exactly, while
+//!   monotone or lossy summaries (HyperLogLog, KLL, Misra–Gries) honestly
+//!   return `false` and the cache falls back to a full re-merge.
+//!
+//! Why bit-identity is load-bearing: every pre-redesign query path
+//! (scalar vs typed, scalar vs batched, merged vs single-stream) is pinned
+//! by property tests that compare `f64::to_bits`. The hierarchy is a pure
+//! re-layering — the same code runs under new names — so those pins keep
+//! holding through the migration, which is what makes the refactor safe to
+//! land in one PR.
+
+use crate::error::{Error, Result};
+use crate::sketch::JoinSketch;
+use sss_sketch::topk::HeavyHitters;
+use sss_sketch::{
+    AgmsSketch, CountMinSketch, CountSketchTopK, Estimate, FagmsSketch, HyperLogLog, KllSketch,
+    MisraGries, Sketch,
+};
+use sss_xi::{BucketFamily, SignFamily};
+
+/// A mergeable summary of a keyed stream — the ingestion half of the
+/// estimator contract, shared by join sketches, heavy-hitter summaries,
+/// distinct counters and quantile sketches alike.
+///
+/// `Clone` is required so a concurrent runtime can snapshot shard state
+/// without draining it; `Send + 'static` so shards can live on worker
+/// threads.
+pub trait Summary: Clone + Send + 'static {
+    /// Add `count` occurrences of `key` (negative counts model deletions
+    /// for turnstile-capable summaries; insert-only summaries may ignore
+    /// them — see the implementor's docs).
+    fn update(&mut self, key: u64, count: i64);
+
+    /// Add one occurrence of every key, bit-identically to calling
+    /// [`update`](Summary::update) once per key.
+    fn update_batch(&mut self, keys: &[u64]);
+
+    /// Merge a peer summary built from the same schema: afterwards `self`
+    /// summarizes the union of both streams.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch (different random seeds, or structurally
+    /// incompatible summaries) — merged state would be meaningless.
+    fn merge_from(&mut self, other: &Self) -> Result<()>;
+
+    /// Whether [`retract_from`](Summary::retract_from) performs an
+    /// **exact** entry-wise inverse of [`merge_from`](Summary::merge_from).
+    ///
+    /// The linear sketch backends store integer counters, so
+    /// `merge_from(new)` after `retract_from(old)` leaves the estimator
+    /// bit-identical to a fresh merge over the updated parts — this is
+    /// what lets a snapshot cache replace one shard's stale contribution
+    /// in O(sketch) instead of re-merging every shard. Defaults to
+    /// `false` so monotone/lossy summaries (HyperLogLog, KLL,
+    /// Misra–Gries) and external implementations honestly opt out and
+    /// callers fall back to a full re-merge.
+    fn supports_retract(&self) -> bool {
+        false
+    }
+
+    /// Entry-wise retraction of a peer previously merged in: afterwards
+    /// `self` summarizes its stream *minus* `other`'s, exactly — the delta
+    /// counterpart of [`merge_from`](Summary::merge_from).
+    ///
+    /// Only meaningful when [`supports_retract`](Summary::supports_retract)
+    /// returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RetractUnsupported`] by default; schema mismatch for the
+    /// linear sketch backends.
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        let _ = other;
+        Err(Error::RetractUnsupported)
+    }
+}
+
+/// A [`Summary`] that can answer the paper's join-size queries.
+///
+/// (The pre-redesign name `JoinEstimator` remains available as a
+/// deprecated alias.)
+pub trait JoinQuery: Summary {
+    /// Raw self-join (second frequency moment) estimate of the summarized
+    /// stream.
+    fn self_join(&self) -> f64;
+
+    /// Raw size-of-join estimate against a peer built from the same
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch, as for [`merge_from`](Summary::merge_from).
+    fn size_of_join(&self, other: &Self) -> Result<f64>;
+
+    /// Typed self-join estimate with error state: same value as
+    /// [`self_join`](JoinQuery::self_join) (bit-identical for the provided
+    /// implementations), plus an empirical variance and the per-lane
+    /// basics it came from.
+    ///
+    /// The default implementation wraps [`self_join`] in
+    /// [`Estimate::point`] — infinite variance, no basics — so external
+    /// implementations keep compiling and honestly report that they carry
+    /// no error state.
+    ///
+    /// [`self_join`]: JoinQuery::self_join
+    fn self_join_estimate(&self) -> Estimate {
+        Estimate::point(self.self_join())
+    }
+
+    /// Typed size-of-join estimate with error state; defaults to a
+    /// zero-information [`Estimate::point`] like
+    /// [`self_join_estimate`](JoinQuery::self_join_estimate).
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatch, as for [`merge_from`](Summary::merge_from).
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(Estimate::point(self.size_of_join(other)?))
+    }
+}
+
+/// A [`Summary`] that can answer heavy-hitter queries: per-key frequency
+/// point estimates and a top-k ranking over tracked candidates.
+pub trait TopKQuery: Summary {
+    /// Raw frequency estimate for one key in the summarized stream.
+    fn frequency(&self, key: u64) -> f64;
+
+    /// The `k` heaviest tracked keys with raw frequency estimates,
+    /// heaviest first (ties broken toward the smaller key).
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)>;
+
+    /// The estimation variance of [`frequency`](TopKQuery::frequency)
+    /// (e.g. `F₂/width` per Count-Sketch row). Defaults to infinity so
+    /// implementations without an error model honestly report zero
+    /// information.
+    fn frequency_variance(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Typed frequency estimate: the raw point value with
+    /// [`frequency_variance`](TopKQuery::frequency_variance) attached.
+    fn frequency_estimate(&self, key: u64) -> Estimate {
+        Estimate {
+            value: self.frequency(key),
+            variance: self.frequency_variance(),
+            basics: Vec::new(),
+        }
+    }
+}
+
+/// A [`Summary`] that can estimate the number of distinct keys (F₀) in the
+/// summarized stream.
+pub trait DistinctQuery: Summary {
+    /// Raw distinct-count estimate of the summarized stream.
+    fn distinct(&self) -> f64;
+
+    /// Typed distinct-count estimate; defaults to a zero-information
+    /// [`Estimate::point`], overridden by backends with an analytic error
+    /// model (HyperLogLog's `1.04/√m`).
+    fn distinct_estimate(&self) -> Estimate {
+        Estimate::point(self.distinct())
+    }
+}
+
+/// A [`Summary`] that can answer rank/quantile queries over the key
+/// *values* of the summarized stream.
+///
+/// Values are reported as `f64` (exact for keys below 2⁵³) so they can
+/// ride the typed [`Estimate`] path next to every other query.
+pub trait QuantileQuery: Summary {
+    /// The value at normalized rank `q ∈ [0, 1]` (`0` = minimum,
+    /// `1` = maximum).
+    ///
+    /// # Errors
+    ///
+    /// Invalid `q`, or an empty summary (no value to report).
+    fn quantile(&self, q: f64) -> Result<f64>;
+
+    /// The normalized rank of `value` — the fraction of summarized weight
+    /// strictly below it, in `[0, 1]`.
+    fn rank(&self, value: u64) -> f64;
+
+    /// The summary's normalized rank-error bound ε: a reported quantile's
+    /// true rank lies within `±ε` of the requested one with high
+    /// probability.
+    fn rank_error(&self) -> f64;
+
+    /// Total stream weight summarized (the `n` that normalizes ranks).
+    fn stream_len(&self) -> u64;
+
+    /// A conservative value interval for the `q`-quantile: the values at
+    /// ranks `q ∓ ε` (clamped to `[0, 1]`). The true quantile lies between
+    /// them with the backend's high-probability guarantee — this is the
+    /// honest error bar for a query whose *value-domain* variance is
+    /// unknowable without a density model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`quantile`](QuantileQuery::quantile).
+    fn quantile_bounds(&self, q: f64) -> Result<(f64, f64)> {
+        let eps = self.rank_error();
+        Ok((
+            self.quantile((q - eps).max(0.0))?,
+            self.quantile((q + eps).min(1.0))?,
+        ))
+    }
+}
+
+impl<F> Summary for AgmsSketch<F>
+where
+    F: SignFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
+    }
+}
+
+impl<F> JoinQuery for AgmsSketch<F>
+where
+    F: SignFamily + Send + Sync + 'static,
+{
+    fn self_join(&self) -> f64 {
+        AgmsSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(AgmsSketch::size_of_join(self, other)?)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        AgmsSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(AgmsSketch::size_of_join_estimate(self, other)?)
+    }
+}
+
+impl<S, B> Summary for FagmsSketch<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
+    }
+}
+
+impl<S, B> JoinQuery for FagmsSketch<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn self_join(&self) -> f64 {
+        FagmsSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(FagmsSketch::size_of_join(self, other)?)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        FagmsSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(FagmsSketch::size_of_join_estimate(self, other)?)
+    }
+}
+
+impl<B> Summary for CountMinSketch<B>
+where
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        Sketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        Sketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.subtract(other)?)
+    }
+}
+
+impl<B> JoinQuery for CountMinSketch<B>
+where
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn self_join(&self) -> f64 {
+        CountMinSketch::self_join(self)
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        Ok(CountMinSketch::size_of_join(self, other)?)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        CountMinSketch::self_join_estimate(self)
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        Ok(CountMinSketch::size_of_join_estimate(self, other)?)
+    }
+}
+
+impl Summary for JoinSketch {
+    fn update(&mut self, key: u64, count: i64) {
+        JoinSketch::update(self, key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        JoinSketch::update_batch(self, keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        self.merge(other)
+    }
+
+    fn supports_retract(&self) -> bool {
+        true
+    }
+
+    fn retract_from(&mut self, other: &Self) -> Result<()> {
+        self.subtract(other)
+    }
+}
+
+impl JoinQuery for JoinSketch {
+    fn self_join(&self) -> f64 {
+        self.raw_self_join()
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        self.raw_size_of_join(other)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        self.raw_self_join_estimate()
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        self.raw_size_of_join_estimate(other)
+    }
+}
+
+/// Heavy-hitter summaries shard like sketches do — merge via the
+/// Agarwal-et-al. summary merge — but answer top-k queries, not joins.
+/// Insert-only: non-positive counts are dropped by [`MisraGries`] (see its
+/// docs). Merging subtracts candidate mass irreversibly, so retraction is
+/// honestly unsupported.
+impl Summary for MisraGries {
+    fn update(&mut self, key: u64, count: i64) {
+        self.offer(key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.offer_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
+impl TopKQuery for MisraGries {
+    fn frequency(&self, key: u64) -> f64 {
+        self.raw_estimate(key)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.raw_top_k(k)
+    }
+
+    fn frequency_variance(&self) -> f64 {
+        self.raw_estimate_variance()
+    }
+}
+
+impl<S, B> Summary for CountSketchTopK<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn update(&mut self, key: u64, count: i64) {
+        self.offer(key, count);
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.offer_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
+impl<S, B> TopKQuery for CountSketchTopK<S, B>
+where
+    S: SignFamily + Send + Sync + 'static,
+    B: BucketFamily + Send + Sync + 'static,
+{
+    fn frequency(&self, key: u64) -> f64 {
+        self.raw_estimate(key)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.raw_top_k(k)
+    }
+
+    fn frequency_variance(&self) -> f64 {
+        self.raw_estimate_variance()
+    }
+}
+
+/// Distinct counting is duplicate-insensitive, so `update` treats any
+/// positive count as one occurrence of the key and ignores deletions —
+/// registers only ever grow (which is also why retraction is honestly
+/// unsupported and sharded snapshots fall back to full re-merges).
+impl Summary for HyperLogLog {
+    fn update(&mut self, key: u64, count: i64) {
+        if count > 0 {
+            self.insert(key);
+        }
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.insert_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
+impl DistinctQuery for HyperLogLog {
+    fn distinct(&self) -> f64 {
+        self.raw_distinct()
+    }
+
+    fn distinct_estimate(&self) -> Estimate {
+        let value = self.raw_distinct();
+        let std = self.relative_std_error() * value;
+        Estimate {
+            value,
+            variance: std * std,
+            basics: Vec::new(),
+        }
+    }
+}
+
+/// Quantile summaries weight a key by its multiplicity, so `update` with
+/// `count > 1` inserts the key that many times; deletions are ignored
+/// (compaction discards items irreversibly — no retraction).
+impl Summary for KllSketch {
+    fn update(&mut self, key: u64, count: i64) {
+        for _ in 0..count.max(0) {
+            self.insert(key);
+        }
+    }
+
+    fn update_batch(&mut self, keys: &[u64]) {
+        self.insert_batch(keys);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        Ok(self.merge(other)?)
+    }
+}
+
+impl QuantileQuery for KllSketch {
+    fn quantile(&self, q: f64) -> Result<f64> {
+        Ok(self.raw_quantile(q)? as f64)
+    }
+
+    fn rank(&self, value: u64) -> f64 {
+        self.raw_rank(value)
+    }
+
+    fn rank_error(&self) -> f64 {
+        KllSketch::rank_error(self)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::JoinSchema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_sketch::{AgmsSchema, CountMinSchema, FagmsSchema};
+
+    /// Exercise one implementation generically: batch vs scalar identity,
+    /// merge-equals-union, and a self-join in the right ballpark.
+    fn exercise<E: JoinQuery>(make: impl Fn() -> E, tolerance: f64) {
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i % 100).collect();
+        let mut scalar = make();
+        for &k in &keys {
+            Summary::update(&mut scalar, k, 1);
+        }
+        let mut batched = make();
+        Summary::update_batch(&mut batched, &keys);
+        assert_eq!(
+            JoinQuery::self_join(&scalar).to_bits(),
+            JoinQuery::self_join(&batched).to_bits(),
+            "batch must replay the scalar path exactly"
+        );
+        // Merge = union: split the stream in two and merge the halves.
+        let mut left = make();
+        let mut right = make();
+        Summary::update_batch(&mut left, &keys[..keys.len() / 2]);
+        Summary::update_batch(&mut right, &keys[keys.len() / 2..]);
+        left.merge_from(&right).unwrap();
+        assert_eq!(
+            JoinQuery::self_join(&left).to_bits(),
+            JoinQuery::self_join(&scalar).to_bits(),
+            "merge must equal sketching the union"
+        );
+        let truth = 100.0 * 40.0 * 40.0;
+        let est = JoinQuery::self_join(&scalar);
+        assert!(
+            (est - truth).abs() / truth < tolerance,
+            "est = {est}, truth = {truth}"
+        );
+        // size_of_join against itself agrees with self_join for the ±1
+        // sketches and the Count-Min inner product alike.
+        let sj = JoinQuery::size_of_join(&scalar, &scalar).unwrap();
+        assert!((sj - est).abs() <= est.abs() * 1e-9 + 1e-9);
+        // The typed estimates return the same values bit for bit, and the
+        // multi-lane backends report a finite, usable error bar.
+        let e = scalar.self_join_estimate();
+        assert_eq!(e.value.to_bits(), est.to_bits());
+        assert!(e.variance.is_finite());
+        assert!(e.chebyshev(0.95).unwrap().contains(e.value));
+        let ej = scalar.size_of_join_estimate(&scalar).unwrap();
+        assert_eq!(ej.value.to_bits(), sj.to_bits());
+        // Retraction is the exact inverse of merge for every linear
+        // backend: retract(old) then merge(new) lands bit-identically on
+        // the fresh merge — the delta-rebuild contract the sharded
+        // runtime's snapshot cache relies on.
+        assert!(scalar.supports_retract());
+        let mut merged = make();
+        merged.merge_from(&left).unwrap(); // left already holds the union
+        let mut grown = make();
+        Summary::update_batch(&mut grown, &keys);
+        Summary::update_batch(&mut grown, &[1, 2, 3]);
+        merged.retract_from(&left).unwrap();
+        merged.merge_from(&grown).unwrap();
+        let mut fresh = make();
+        fresh.merge_from(&grown).unwrap();
+        assert_eq!(
+            JoinQuery::self_join(&merged).to_bits(),
+            JoinQuery::self_join(&fresh).to_bits(),
+            "retract + merge must equal a fresh merge exactly"
+        );
+    }
+
+    #[test]
+    fn all_four_join_backends_satisfy_the_contract() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let agms: AgmsSchema = AgmsSchema::new(256, &mut rng);
+        exercise(move || agms.sketch(), 0.25);
+        let fagms: FagmsSchema = FagmsSchema::new(3, 1024, &mut rng);
+        exercise(move || fagms.sketch(), 0.25);
+        // Count-Min overestimates F₂ by collisions; with width ≫ distinct
+        // keys the bias is tiny.
+        let cm: CountMinSchema = CountMinSchema::new(3, 4096, &mut rng);
+        exercise(move || cm.sketch(), 0.25);
+        let schema = JoinSchema::fagms(2, 1024, &mut rng);
+        exercise(move || schema.sketch(), 0.25);
+    }
+
+    /// A minimal external implementor relying entirely on the default
+    /// methods: the redesign must not force it to change, and its
+    /// estimates must honestly report zero information.
+    #[test]
+    fn trait_defaults_keep_external_implementors_compiling() {
+        #[derive(Clone)]
+        struct ExactCounter(std::collections::HashMap<u64, i64>);
+        impl Summary for ExactCounter {
+            fn update(&mut self, key: u64, count: i64) {
+                *self.0.entry(key).or_insert(0) += count;
+            }
+            fn update_batch(&mut self, keys: &[u64]) {
+                for &k in keys {
+                    self.update(k, 1);
+                }
+            }
+            fn merge_from(&mut self, other: &Self) -> Result<()> {
+                for (&k, &c) in &other.0 {
+                    self.update(k, c);
+                }
+                Ok(())
+            }
+        }
+        impl JoinQuery for ExactCounter {
+            fn self_join(&self) -> f64 {
+                self.0.values().map(|&c| (c * c) as f64).sum()
+            }
+            fn size_of_join(&self, other: &Self) -> Result<f64> {
+                Ok(self
+                    .0
+                    .iter()
+                    .map(|(k, &c)| c as f64 * other.0.get(k).copied().unwrap_or(0) as f64)
+                    .sum())
+            }
+        }
+        let mut e = ExactCounter(Default::default());
+        e.update_batch(&[1, 1, 2, 3]);
+        // The delta-merge defaults: external implementors honestly report
+        // that retraction is unsupported and the method errors.
+        assert!(!e.supports_retract());
+        assert!(matches!(
+            e.clone().retract_from(&e),
+            Err(crate::Error::RetractUnsupported)
+        ));
+        let est = e.self_join_estimate();
+        assert_eq!(est.value, e.self_join());
+        assert!(est.variance.is_infinite());
+        assert!(est.basics.is_empty());
+        let sj = e.size_of_join_estimate(&e).unwrap();
+        assert_eq!(sj.value, e.self_join());
+        assert!(sj.chebyshev(0.99).unwrap().half_width().is_infinite());
+    }
+
+    #[test]
+    fn mismatched_schemas_error_through_the_trait() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = JoinSchema::agms(8, &mut rng).sketch();
+        let mut b = JoinSchema::fagms(1, 8, &mut rng).sketch();
+        assert!(b.merge_from(&a).is_err());
+        assert!(JoinQuery::size_of_join(&a, &b).is_err());
+    }
+
+    /// The top-k capability surfaces the raw heavy-hitter queries with a
+    /// typed variance, bit-identical to the underlying summary.
+    #[test]
+    fn topk_capability_matches_raw_summary() {
+        let mut mg = MisraGries::new(8).unwrap();
+        let keys: Vec<u64> = (0..1000u64).map(|i| i % 10).collect();
+        Summary::update_batch(&mut mg, &keys);
+        assert_eq!(
+            TopKQuery::frequency(&mg, 3).to_bits(),
+            mg.raw_estimate(3).to_bits()
+        );
+        assert_eq!(TopKQuery::top_k(&mg, 4), mg.raw_top_k(4));
+        let est = mg.frequency_estimate(3);
+        assert_eq!(est.value.to_bits(), mg.raw_estimate(3).to_bits());
+        assert_eq!(est.variance, mg.raw_estimate_variance());
+    }
+
+    /// HyperLogLog rides the ingestion contract: duplicate-insensitive
+    /// updates, union merges, honest retraction refusal, analytic error.
+    #[test]
+    fn distinct_capability_over_hyperloglog() {
+        let mut h = HyperLogLog::with_seed(12, 99).unwrap();
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i % 5_000).collect();
+        Summary::update_batch(&mut h, &keys);
+        Summary::update(&mut h, 17, 50); // duplicates are free
+        Summary::update(&mut h, 17, -3); // deletions ignored
+        let est = h.distinct_estimate();
+        assert_eq!(est.value.to_bits(), h.raw_distinct().to_bits());
+        assert!((est.value - 5_000.0).abs() / 5_000.0 < 5.0 * h.relative_std_error());
+        assert!(est.variance.is_finite() && est.variance > 0.0);
+        // No retraction: honest refusal, so delta rebuilds cannot lie.
+        assert!(!Summary::supports_retract(&h));
+        assert!(matches!(
+            Summary::retract_from(&mut h.clone(), &h),
+            Err(Error::RetractUnsupported)
+        ));
+    }
+
+    /// KLL rides the ingestion contract with weight-aware updates, and its
+    /// quantile bounds bracket the requested rank.
+    #[test]
+    fn quantile_capability_over_kll() {
+        let mut s = KllSketch::with_seed(200, 5).unwrap();
+        let keys: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(48271) % 50_000)
+            .collect();
+        Summary::update_batch(&mut s, &keys);
+        Summary::update(&mut s, 7, 3); // weight-3 update
+        assert_eq!(QuantileQuery::stream_len(&s), 50_003);
+        let median = QuantileQuery::quantile(&s, 0.5).unwrap();
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo <= median && median <= hi);
+        let true_rank = QuantileQuery::rank(&s, median as u64);
+        assert!((true_rank - 0.5).abs() < 2.0 * QuantileQuery::rank_error(&s));
+        assert!(!Summary::supports_retract(&s));
+        assert!(QuantileQuery::quantile(&s, 1.4).is_err());
+    }
+}

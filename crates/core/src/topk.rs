@@ -1,336 +1,20 @@
-//! Heavy hitters over a Bernoulli-sampled stream (paper Section VI-A
-//! applied to point queries instead of join sizes).
+//! Deprecated pre-redesign home of the sampled heavy-hitter driver.
 //!
-//! [`SampledTopK`] puts the crate's geometric-skip Bernoulli driver in
-//! front of any mergeable heavy-hitter summary from `sss-sketch`
-//! ([`MisraGries`] or [`CountSketchTopK`]) and answers *full-stream*
-//! frequency queries from the sample:
-//!
-//! ```text
-//! f̂ = f′/p            (unbiased: E[f′] = p·f)
-//! Var[f̂] = Var_summary[f′]/p² + f·(1−p)/p
-//! ```
-//!
-//! The first variance term is the summary's own estimation noise (zero for
-//! Misra–Gries up to its deterministic bound, `F₂/width` per Count-Sketch
-//! row); the second is the binomial thinning noise of the sample itself,
-//! plugged in with `f̂` in place of the unknown `f` (clamped at zero).
-//! Both reach the caller through the typed [`Estimate`] path, so `top_k`
-//! answers carry error bars exactly like the join estimators do.
+//! `SampledTopK<H>` was the Bernoulli front end for heavy-hitter
+//! summaries only. The redesign generalized it into
+//! [`Sampled<S>`](crate::Sampled), which wraps *any* [`crate::Summary`]
+//! and unlocks corrected queries per capability — the top-k constructors
+//! ([`Sampled::misra_gries`](crate::Sampled::misra_gries),
+//! [`Sampled::count_sketch`](crate::Sampled::count_sketch)) and the
+//! `observe`/`feed_batch`/`top_k`/`point_estimate` surface carried over
+//! unchanged, bit-identical.
 
-use crate::error::Result;
-use crate::estimator::StreamSummary;
-use crate::shedding::skip_sample_batch;
-use rand::rngs::StdRng;
-use rand::Rng;
-use sss_sampling::bernoulli::GeometricSkip;
-use sss_sampling::bernoulli_frequency_variance_plugin;
-use sss_sketch::topk::HeavyHitters;
-use sss_sketch::{CountSketchTopK, Estimate, FagmsSchema, MisraGries};
+use crate::sampled::Sampled;
 
-/// Bernoulli load shedder in front of a heavy-hitter summary: the top-k
-/// analogue of [`crate::LoadSheddingSketcher`].
-///
-/// Works with any summary that is both a [`HeavyHitters`] (point estimates
-/// and candidate tracking) and a [`StreamSummary`] (mergeable stream state,
-/// which is what lets the same summary type ride the sharded runtime).
-#[derive(Debug, Clone)]
-pub struct SampledTopK<H: HeavyHitters + StreamSummary> {
-    summary: H,
-    skip: GeometricSkip<StdRng>,
-    /// Tuples to silently drop before the next kept tuple.
-    gap: u64,
-    p: f64,
-    seen: u64,
-    kept: u64,
-}
-
-impl SampledTopK<MisraGries> {
-    /// A Misra–Gries summary of `capacity` counters behind a
-    /// `Bernoulli(p)` sample: deterministic `ε·n′` undercount bound on the
-    /// kept substream, `1/p`-corrected on the way out.
-    ///
-    /// # Errors
-    ///
-    /// [`crate::Error`] if `p ∉ (0, 1]` or `capacity == 0`.
-    pub fn misra_gries<R: Rng>(capacity: usize, p: f64, seed_rng: &mut R) -> Result<Self> {
-        Self::new(MisraGries::new(capacity)?, p, seed_rng)
-    }
-}
-
-impl SampledTopK<CountSketchTopK> {
-    /// A Count-Sketch top-k tracker (candidate heap over a
-    /// [`FagmsSchema`]) behind a `Bernoulli(p)` sample.
-    ///
-    /// # Errors
-    ///
-    /// [`crate::Error`] if `p ∉ (0, 1]` or `capacity == 0`.
-    pub fn count_sketch<R: Rng>(
-        schema: &FagmsSchema,
-        capacity: usize,
-        p: f64,
-        seed_rng: &mut R,
-    ) -> Result<Self> {
-        Self::new(CountSketchTopK::new(schema, capacity)?, p, seed_rng)
-    }
-}
-
-impl<H: HeavyHitters + StreamSummary> SampledTopK<H> {
-    /// Wrap an empty summary with inclusion probability `p ∈ (0, 1]`.
-    ///
-    /// `p = 1` degenerates to feeding the summary directly (every tuple
-    /// kept, sampling variance identically zero), which is how the
-    /// unsampled engine path reuses this type.
-    ///
-    /// # Errors
-    ///
-    /// [`crate::Error::Sampling`] if `p ∉ (0, 1]`.
-    pub fn new<R: Rng>(summary: H, p: f64, seed_rng: &mut R) -> Result<Self> {
-        let mut skip = GeometricSkip::<StdRng>::new(p, seed_rng)?;
-        let gap = skip.next_gap();
-        Ok(Self {
-            summary,
-            skip,
-            gap,
-            p,
-            seen: 0,
-            kept: 0,
-        })
-    }
-
-    /// Offer the next stream tuple; returns whether it was kept.
-    #[inline]
-    pub fn observe(&mut self, key: u64) -> bool {
-        self.seen += 1;
-        if self.gap > 0 {
-            self.gap -= 1;
-            return false;
-        }
-        self.summary.update(key, 1);
-        self.kept += 1;
-        self.gap = self.skip.next_gap();
-        true
-    }
-
-    /// Offer a whole batch of stream tuples; returns how many were kept.
-    ///
-    /// Bit-identical to calling [`SampledTopK::observe`] on each key in
-    /// turn — shares the geometric-gap kernel with the join shedders.
-    pub fn feed_batch(&mut self, keys: &[u64]) -> u64 {
-        let kept_now = skip_sample_batch(&mut self.summary, &mut self.skip, &mut self.gap, keys);
-        self.seen += keys.len() as u64;
-        self.kept += kept_now;
-        kept_now
-    }
-
-    /// The inclusion probability `p`.
-    pub fn probability(&self) -> f64 {
-        self.p
-    }
-
-    /// Tuples offered so far.
-    pub fn seen(&self) -> u64 {
-        self.seen
-    }
-
-    /// Tuples kept (summarized) so far.
-    pub fn kept(&self) -> u64 {
-        self.kept
-    }
-
-    /// The underlying summary (e.g. to merge partial streams).
-    pub fn summary(&self) -> &H {
-        &self.summary
-    }
-
-    /// Typed full-stream frequency estimate for one key: the summary's raw
-    /// sample-frequency estimate scaled by `1/p`, with the summary noise
-    /// (`/p²`) and the binomial thinning plug-in stacked into the variance.
-    pub fn point_estimate(&self, key: u64) -> Estimate {
-        self.correct(self.summary.raw_estimate(key))
-    }
-
-    /// The `k` heaviest keys with typed full-stream frequency estimates,
-    /// heaviest first (ties broken toward the smaller key).
-    ///
-    /// The `1/p` correction is monotone, so the ranking is exactly the
-    /// summary's raw ranking over the kept sample; only the magnitudes and
-    /// error bars are rescaled.
-    pub fn top_k(&self, k: usize) -> Vec<(u64, Estimate)> {
-        self.summary
-            .raw_top_k(k)
-            .into_iter()
-            .map(|(key, raw)| (key, self.correct(raw)))
-            .collect()
-    }
-
-    fn correct(&self, raw: f64) -> Estimate {
-        let value = raw / self.p;
-        let summary_variance = self.summary.raw_estimate_variance() / (self.p * self.p);
-        let sampling_variance = bernoulli_frequency_variance_plugin(self.p, value);
-        Estimate {
-            value,
-            variance: summary_variance + sampling_variance,
-            basics: Vec::new(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
-    }
-
-    /// A fixed skewed stream: key k (0..10) appears 2^(9−k) · 64 times,
-    /// shuffled deterministically.
-    fn skewed_stream() -> Vec<u64> {
-        let mut keys = Vec::new();
-        for k in 0..10u64 {
-            for _ in 0..(1u64 << (9 - k)) * 64 {
-                keys.push(k);
-            }
-        }
-        // LCG shuffle for a deterministic interleaving.
-        let mut state = 0x9e3779b97f4a7c15u64;
-        for i in (1..keys.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            keys.swap(i, j);
-        }
-        keys
-    }
-
-    #[test]
-    fn p_one_is_the_raw_summary() {
-        let mut r = rng(1);
-        let mut t = SampledTopK::misra_gries(16, 1.0, &mut r).unwrap();
-        let keys = skewed_stream();
-        for &k in &keys {
-            assert!(t.observe(k));
-        }
-        assert_eq!(t.kept(), keys.len() as u64);
-        let top = t.top_k(3);
-        let raw = t.summary().raw_top_k(3);
-        for ((k, e), (rk, rv)) in top.iter().zip(raw.iter()) {
-            assert_eq!(k, rk);
-            assert_eq!(e.value.to_bits(), rv.to_bits());
-        }
-        // No sampling at p = 1 and MG is exact at this capacity: the top
-        // key's variance is exactly zero.
-        assert_eq!(top[0].1.variance, 0.0);
-    }
-
-    #[test]
-    fn invalid_probability_rejected() {
-        let mut r = rng(2);
-        assert!(SampledTopK::misra_gries(16, 0.0, &mut r).is_err());
-        assert!(SampledTopK::misra_gries(16, 1.5, &mut r).is_err());
-        assert!(SampledTopK::misra_gries(0, 0.5, &mut r).is_err());
-    }
-
-    #[test]
-    fn sampled_estimates_recover_the_heavy_keys() {
-        let mut r = rng(3);
-        let mut t = SampledTopK::misra_gries(16, 0.25, &mut r).unwrap();
-        let keys = skewed_stream();
-        t.feed_batch(&keys);
-        assert!(t.kept() < keys.len() as u64 / 2, "kept {}", t.kept());
-        let top = t.top_k(3);
-        assert_eq!(top[0].0, 0, "heaviest key is 0");
-        // Key 0 appears 2^9·64 = 32768 times; the 1/p-corrected estimate
-        // should land within a few sampling standard deviations.
-        let truth = 32768.0;
-        let e = &top[0].1;
-        let sd = e.variance.sqrt();
-        assert!(
-            (e.value - truth).abs() < 5.0 * sd.max(1.0),
-            "est {} truth {truth} sd {sd}",
-            e.value
-        );
-        assert!(e.chebyshev(0.99).unwrap().half_width() > 0.0);
-    }
-
-    #[test]
-    fn count_sketch_variant_agrees_with_truth() {
-        let mut r = rng(4);
-        let schema = FagmsSchema::new(5, 1024, &mut r);
-        let mut t = SampledTopK::count_sketch(&schema, 16, 0.5, &mut r).unwrap();
-        let keys = skewed_stream();
-        t.feed_batch(&keys);
-        let top = t.top_k(2);
-        assert_eq!(top[0].0, 0);
-        assert_eq!(top[1].0, 1);
-        let truth = 32768.0;
-        let e = &top[0].1;
-        assert!(
-            (e.value - truth).abs() / truth < 0.2,
-            "est {} truth {truth}",
-            e.value
-        );
-        assert!(e.variance > 0.0);
-        // Point estimates answer for any key, not just the candidates.
-        let p9 = t.point_estimate(9);
-        assert!((p9.value - 64.0).abs() < 5.0 * p9.variance.sqrt().max(1.0));
-    }
-
-    /// The batched path must replay the scalar path exactly, as for the
-    /// join shedders.
-    #[test]
-    fn feed_batch_is_bit_identical_to_observe() {
-        for p in [0.03, 0.5, 1.0] {
-            let mut seed_a = rng(11);
-            let mut seed_b = rng(11);
-            let mut scalar = SampledTopK::misra_gries(8, p, &mut seed_a).unwrap();
-            let mut batched = SampledTopK::misra_gries(8, p, &mut seed_b).unwrap();
-            let keys: Vec<u64> = (0..30_000u64).map(|i| (i * 2_654_435_761) % 50).collect();
-            for &k in &keys {
-                scalar.observe(k);
-            }
-            batched.feed_batch(&[]);
-            let mut rest = keys.as_slice();
-            for size in [1usize, 7, 255, 256, 257, 1000].iter().cycle() {
-                if rest.is_empty() {
-                    break;
-                }
-                let take = (*size).min(rest.len());
-                batched.feed_batch(&rest[..take]);
-                rest = &rest[take..];
-            }
-            assert_eq!(scalar.seen(), batched.seen(), "p = {p}");
-            assert_eq!(scalar.kept(), batched.kept(), "p = {p}");
-            assert_eq!(
-                scalar.summary().raw_top_k(8),
-                batched.summary().raw_top_k(8),
-                "p = {p}"
-            );
-        }
-    }
-
-    /// Monte-Carlo unbiasedness of the 1/p correction: the mean estimate
-    /// of a fixed key's frequency over many independent samples matches
-    /// the true frequency.
-    #[test]
-    fn sampled_frequency_is_unbiased() {
-        let mut r = rng(7);
-        let truth = 400.0;
-        let reps = 300;
-        let mut acc = 0.0;
-        for _ in 0..reps {
-            let mut t = SampledTopK::misra_gries(4, 0.3, &mut r).unwrap();
-            for _ in 0..400u64 {
-                t.observe(42);
-            }
-            acc += t.point_estimate(42).value;
-        }
-        let mean = acc / reps as f64;
-        assert!(
-            (mean - truth).abs() / truth < 0.05,
-            "mean = {mean}, truth = {truth}"
-        );
-    }
-}
+/// Deprecated alias for [`Sampled`] — the Bernoulli front end is now
+/// generic over any summary capability, not just heavy hitters.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `sss_core::Sampled`, which is generic over any `Summary`"
+)]
+pub type SampledTopK<H> = Sampled<H>;

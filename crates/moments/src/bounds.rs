@@ -29,6 +29,21 @@ impl ConfidenceInterval {
     pub fn contains(&self, value: f64) -> bool {
         self.low <= value && value <= self.high
     }
+
+    /// Render `center ± half_width` honestly when the error state is
+    /// unknown: an estimator with infinite (or NaN) variance yields an
+    /// unbounded interval, and `"1234.00 ± ∞ (no error state)"` says so,
+    /// where a naive `{:.2}` format would print a bare `inf`/`NaN` that
+    /// reads like a number. Callers pass the point estimate, which the
+    /// interval endpoints alone cannot recover once they are infinite.
+    pub fn describe(&self, center: f64) -> String {
+        let hw = self.half_width();
+        if hw.is_finite() {
+            format!("{center:.2} ± {hw:.2}")
+        } else {
+            format!("{center:.2} ± ∞ (no error state)")
+        }
+    }
 }
 
 /// Distribution-independent interval via Chebyshev's inequality:
@@ -231,6 +246,30 @@ mod tests {
         assert_eq!(ci.half_width(), 2.0);
         assert!(ci.contains(2.0) && ci.contains(6.0) && ci.contains(4.0));
         assert!(!ci.contains(1.999) && !ci.contains(6.001));
+    }
+
+    #[test]
+    fn describe_is_honest_about_unknown_error() {
+        let ci = ConfidenceInterval {
+            low: 2.0,
+            high: 6.0,
+            confidence: 0.9,
+        };
+        assert_eq!(ci.describe(4.0), "4.00 ± 2.00");
+        // Infinite variance (Estimate::point) → unbounded endpoints.
+        let unbounded = ConfidenceInterval {
+            low: f64::NEG_INFINITY,
+            high: f64::INFINITY,
+            confidence: 0.95,
+        };
+        assert_eq!(unbounded.describe(1234.0), "1234.00 ± ∞ (no error state)");
+        // A NaN half-width is equally "no error state", not a number.
+        let poisoned = ConfidenceInterval {
+            low: f64::NAN,
+            high: f64::NAN,
+            confidence: 0.95,
+        };
+        assert_eq!(poisoned.describe(7.0), "7.00 ± ∞ (no error state)");
     }
 
     #[test]

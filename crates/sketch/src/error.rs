@@ -14,6 +14,12 @@ pub enum Error {
     /// A confidence level outside the open interval `(0, 1)` (or NaN) was
     /// passed to an interval query.
     InvalidConfidence(f64),
+    /// A normalized rank outside `[0, 1]` (or NaN) was passed to a
+    /// quantile query.
+    InvalidQuantile(f64),
+    /// A value query (quantile, …) was asked of a summary that has
+    /// observed no data — there is no value to report.
+    EmptySummary,
 }
 
 impl fmt::Display for Error {
@@ -25,6 +31,15 @@ impl fmt::Display for Error {
             Error::InvalidDimensions => write!(f, "sketch dimensions must be non-zero"),
             Error::InvalidConfidence(level) => {
                 write!(f, "confidence level {level} is outside (0, 1)")
+            }
+            Error::InvalidQuantile(q) => {
+                write!(f, "quantile rank {q} is outside [0, 1]")
+            }
+            Error::EmptySummary => {
+                write!(
+                    f,
+                    "summary has observed no data, value queries are undefined"
+                )
             }
         }
     }

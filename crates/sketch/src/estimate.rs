@@ -29,17 +29,59 @@ pub fn mean(values: &[f64]) -> f64 {
 /// Median of the basic estimates (average of the two middles for even
 /// lengths). Empty input returns 0.
 pub fn median(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
     let mut v = values.to_vec();
-    // Total order on f64: estimates are finite by construction.
-    v.sort_by(|a, b| a.partial_cmp(b).expect("sketch estimates must not be NaN"));
-    let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
-    } else {
-        (v[mid - 1] + v[mid]) / 2.0
+    median_in_place(&mut v)
+}
+
+/// Allocation-free variant of [`median`]: reorders `values` in place. Hot
+/// query paths (per-tuple point queries) use this on a stack buffer, so
+/// the common small depths take comparison networks instead of a sort;
+/// the returned value (the multiset middle) is identical either way.
+pub(crate) fn median_in_place(values: &mut [f64]) -> f64 {
+    #[inline]
+    fn order(v: &mut [f64], i: usize, j: usize) {
+        if v[i] > v[j] {
+            v.swap(i, j);
+        }
+    }
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        3 => {
+            order(values, 0, 1);
+            order(values, 1, 2);
+            order(values, 0, 1);
+            values[1]
+        }
+        5 => {
+            // Sort the first four, then slot the fifth into the middle:
+            // the median of five is max(v1, min(v2, v4)).
+            order(values, 0, 1);
+            order(values, 2, 3);
+            order(values, 0, 2);
+            order(values, 1, 3);
+            order(values, 1, 2);
+            let low = values[1];
+            let high = values[2];
+            let e = values[4];
+            if e <= low {
+                low
+            } else if e >= high {
+                high
+            } else {
+                e
+            }
+        }
+        len => {
+            // Total order on f64: estimates are finite by construction.
+            values.sort_by(|a, b| a.partial_cmp(b).expect("sketch estimates must not be NaN"));
+            let mid = len / 2;
+            if len % 2 == 1 {
+                values[mid]
+            } else {
+                (values[mid - 1] + values[mid]) / 2.0
+            }
+        }
     }
 }
 

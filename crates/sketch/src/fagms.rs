@@ -344,6 +344,33 @@ impl<S: SignFamily, B: BucketFamily> FagmsSketch<S, B> {
             .collect();
         estimate::median(&per_row)
     }
+
+    /// Fused [`update`](Sketch::update) + [`point_query`](Self::point_query):
+    /// applies the update and returns the *post-update* point estimate,
+    /// computing each row's bucket and sign hashes once instead of twice.
+    /// Counter state and returned value are bit-identical to calling the
+    /// two operations in sequence; the per-tuple heavy-hitter path
+    /// ([`CountSketchTopK`](crate::CountSketchTopK)) lives on this.
+    pub fn update_and_query(&mut self, key: u64, count: i64) -> f64 {
+        const STACK_ROWS: usize = 16;
+        let w = self.schema.width;
+        let depth = self.schema.rows.len();
+        let mut stack = [0.0f64; STACK_ROWS];
+        let mut heap = Vec::new();
+        let per_row: &mut [f64] = if depth <= STACK_ROWS {
+            &mut stack[..depth]
+        } else {
+            heap.resize(depth, 0.0);
+            &mut heap
+        };
+        for (r, row) in self.schema.rows.iter().enumerate() {
+            let sign = row.sign.sign(key);
+            let counter = &mut self.counters[r * w + row.bucket.bucket(key, w)];
+            *counter += count * sign;
+            per_row[r] = (sign * *counter) as f64;
+        }
+        estimate::median_in_place(per_row)
+    }
 }
 
 impl<S: SignFamily, B: BucketFamily> Sketch for FagmsSketch<S, B> {

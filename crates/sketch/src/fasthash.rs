@@ -1,0 +1,79 @@
+//! A minimal multiply–xor hasher for `u64` keys in hot per-tuple maps.
+//!
+//! The heavy-hitter summaries probe a `HashMap<u64, _>` once per offered
+//! tuple; SipHash (std's default, keyed for HashDoS resistance) costs more
+//! than the sketch update itself on that path. Summary keys are not
+//! attacker-controlled hash-flooding vectors — they are already being fed
+//! to the sketches — so a fixed Fibonacci-multiply hash with an xor-shift
+//! finisher is enough: the multiply avalanches into the high bits and the
+//! shift folds them back down where the table's bucket index is taken.
+//!
+//! Only the map's *speed* changes. Every observable answer of the summaries
+//! using this (top-k order, merge results, counters) is defined with
+//! explicit value/key tie-breaks, never by map iteration order.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by `u64` summary keys with the fast fixed hasher.
+pub(crate) type KeyHashMap<V> = HashMap<u64, V, BuildHasherDefault<KeyHasher>>;
+
+/// Fibonacci-multiply hasher for integer keys; see the module docs.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Byte-stream fallback (FNV-1a) — integer keys never take this path,
+    /// but `Hasher` requires totality.
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, key: u64) {
+        let h = (self.0 ^ key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_spread_and_lookups_round_trip() {
+        let mut map: KeyHashMap<u64> = KeyHashMap::default();
+        for k in 0..10_000u64 {
+            map.insert(k, k * 3);
+        }
+        assert_eq!(map.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(map.get(&k), Some(&(k * 3)));
+        }
+        assert_eq!(map.get(&10_001), None);
+    }
+
+    #[test]
+    fn hash_is_a_pure_function_of_the_key() {
+        let hash = |k: u64| {
+            let mut h = KeyHasher::default();
+            h.write_u64(k);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43), "adjacent keys must not collide");
+    }
+}

@@ -53,6 +53,9 @@ pub mod countmin;
 pub mod error;
 pub mod estimate;
 pub mod fagms;
+mod fasthash;
+pub mod hll;
+pub mod kll;
 pub mod multiway;
 pub(crate) mod rowkernel;
 pub mod topk;
@@ -67,6 +70,8 @@ pub use countmin::{CountMinSchema, CountMinSketch};
 pub use error::{Error, Result};
 pub use estimate::{Bound, Estimate};
 pub use fagms::{FagmsSchema, FagmsSketch};
+pub use hll::HyperLogLog;
+pub use kll::KllSketch;
 pub use multiway::{chain_join, BinarySketch, MultiwaySchema, UnarySketch};
 pub use topk::{CountSketchTopK, HeavyHitters, MisraGries};
 

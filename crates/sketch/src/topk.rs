@@ -34,9 +34,9 @@
 
 use crate::error::{Error, Result};
 use crate::fagms::{FagmsSchema, FagmsSketch};
+use crate::fasthash::KeyHashMap;
 use crate::Sketch;
 use sss_xi::{BucketFamily, DefaultBucket, DefaultSign, SignFamily};
-use std::collections::HashMap;
 
 /// A mergeable summary answering approximate frequent-item queries over
 /// the stream it has seen (its *sample universe* — corrections for
@@ -124,7 +124,7 @@ pub trait HeavyHitters: Clone {
 /// (deletions would break the deterministic guarantee).
 #[derive(Debug, Clone)]
 pub struct MisraGries {
-    counters: HashMap<u64, u64>,
+    counters: KeyHashMap<u64>,
     capacity: usize,
     /// Cumulative amount subtracted by compactions and merges — the
     /// deterministic per-key undercount bound.
@@ -143,7 +143,7 @@ impl MisraGries {
             return Err(Error::InvalidDimensions);
         }
         Ok(Self {
-            counters: HashMap::with_capacity(capacity + 1),
+            counters: KeyHashMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             capacity,
             offset: 0,
             offered: 0,
@@ -249,7 +249,7 @@ pub struct CountSketchTopK<S = DefaultSign, B = DefaultBucket> {
     sketch: FagmsSketch<S, B>,
     /// Candidate → running estimate (cheap bump on re-offer; refreshed
     /// from the sketch on admission and at query time).
-    candidates: HashMap<u64, f64>,
+    candidates: KeyHashMap<f64>,
     capacity: usize,
     /// Cached weakest candidate, rebuilt lazily when stale.
     min_key: u64,
@@ -287,7 +287,7 @@ impl<S: SignFamily, B: BucketFamily> CountSketchTopK<S, B> {
         }
         Ok(Self {
             sketch: schema.sketch(),
-            candidates: HashMap::with_capacity(capacity),
+            candidates: KeyHashMap::with_capacity_and_hasher(capacity, Default::default()),
             capacity,
             min_key: 0,
             min_est: f64::INFINITY,
@@ -324,15 +324,16 @@ impl<S: SignFamily, B: BucketFamily> CountSketchTopK<S, B> {
 
 impl<S: SignFamily, B: BucketFamily> HeavyHitters for CountSketchTopK<S, B> {
     fn offer(&mut self, key: u64, count: i64) {
-        self.sketch.update(key, count);
         if count <= 0 {
-            // The sketch absorbed the deletion; candidates are re-scored
+            // The sketch absorbs the deletion; candidates are re-scored
             // at query time, so no bookkeeping is needed here.
+            self.sketch.update(key, count);
             return;
         }
         self.offered += count as u64;
         if let Some(est) = self.candidates.get_mut(&key) {
             *est += count as f64;
+            self.sketch.update(key, count);
             if key == self.min_key {
                 // The cached min grew; another candidate may now be
                 // weakest. Rebuild lazily on the next admission test.
@@ -340,13 +341,15 @@ impl<S: SignFamily, B: BucketFamily> HeavyHitters for CountSketchTopK<S, B> {
             }
             return;
         }
+        // Non-candidate: the admission test needs the post-update point
+        // estimate anyway, so the fused sketch op computes each row's
+        // hashes once (state identical to update-then-query).
+        let est = self.sketch.update_and_query(key, count);
         if self.candidates.len() < self.capacity {
-            let est = self.sketch.point_query(key);
             self.candidates.insert(key, est);
             self.min_dirty = true;
             return;
         }
-        let est = self.sketch.point_query(key);
         if self.min_dirty {
             self.recompute_min();
         }

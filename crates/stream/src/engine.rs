@@ -41,8 +41,8 @@ use crate::runtime::{Partition, RuntimeConfig, ShardedRuntime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_core::sketch::{JoinSchema, JoinSketch};
-use sss_core::{EpochShedder, Estimate, JoinEstimator, Result, SampledTopK};
-use sss_sketch::{CountSketchTopK, FagmsSchema};
+use sss_core::{DistinctQuery, EpochShedder, Estimate, QuantileQuery, Result, Sampled, Summary};
+use sss_sketch::{CountSketchTopK, FagmsSchema, HyperLogLog, KllSketch};
 
 /// A stateless per-tuple transform (function pointers keep the engine
 /// `Debug` and the stages trivially serializable in spirit).
@@ -76,12 +76,16 @@ struct ShedPath {
 
 /// Fluent configuration of a [`StreamEngine`].
 ///
-/// Generic over the estimator: call
-/// [`estimator`](EngineBuilder::estimator) with any prototype
-/// [`JoinEstimator`], or — for the backend-erased default `JoinSketch` —
-/// [`schema`](EngineBuilder::schema), which additionally unlocks
-/// [`shedding`](EngineBuilder::shedding) (the shedder mathematics lives on
-/// `JoinSketch`).
+/// Generic over the summary: call [`summary`](EngineBuilder::summary)
+/// with any prototype [`Summary`] (a join sketch, a
+/// [`MultiSummary`](sss_core::MultiSummary), a
+/// [`sss_core::Sampled`] front end…), or — for the
+/// backend-erased default `JoinSketch` — [`schema`](EngineBuilder::schema),
+/// which additionally unlocks [`shedding`](EngineBuilder::shedding) (the
+/// shedder mathematics lives on `JoinSketch`). Side summaries for other
+/// query families ride along via [`top_k`](EngineBuilder::top_k),
+/// [`distinct`](EngineBuilder::distinct), and
+/// [`quantiles`](EngineBuilder::quantiles).
 ///
 /// ```
 /// use rand::SeedableRng;
@@ -102,17 +106,19 @@ struct ShedPath {
 /// assert!(est > 0.0);
 /// ```
 #[derive(Debug)]
-pub struct EngineBuilder<E: JoinEstimator = JoinSketch> {
+pub struct EngineBuilder<E: Summary = JoinSketch> {
     transforms: Vec<(String, Transform)>,
     config: RuntimeConfig,
     prototype: Option<E>,
     schema: Option<JoinSchema>,
     shedding: Option<ControllerConfig>,
     top_k: Option<usize>,
+    distinct: Option<u8>,
+    quantiles: Option<usize>,
     seed: u64,
 }
 
-impl<E: JoinEstimator> EngineBuilder<E> {
+impl<E: Summary> EngineBuilder<E> {
     /// Start an empty engine description (1 shard, queue depth 64, no
     /// shedding).
     pub fn new() -> Self {
@@ -123,6 +129,8 @@ impl<E: JoinEstimator> EngineBuilder<E> {
             schema: None,
             shedding: None,
             top_k: None,
+            distinct: None,
+            quantiles: None,
             seed: 0x5353_5f73_6861_7264, // arbitrary fixed default
         }
     }
@@ -165,10 +173,17 @@ impl<E: JoinEstimator> EngineBuilder<E> {
         self
     }
 
-    /// Provide the prototype estimator every shard starts from.
-    pub fn estimator(mut self, prototype: E) -> Self {
+    /// Provide the prototype summary every shard starts from.
+    pub fn summary(mut self, prototype: E) -> Self {
         self.prototype = Some(prototype);
         self
+    }
+
+    /// Deprecated name for [`summary`](Self::summary) from when the
+    /// engine was join-only.
+    #[deprecated(since = "0.1.0", note = "renamed to `EngineBuilder::summary`")]
+    pub fn estimator(self, prototype: E) -> Self {
+        self.summary(prototype)
     }
 
     /// Maintain a Count-Sketch heavy-hitter summary alongside the join
@@ -183,6 +198,30 @@ impl<E: JoinEstimator> EngineBuilder<E> {
     /// (memory stays O(k + sketch), independent of the stream).
     pub fn top_k(mut self, k: usize) -> Self {
         self.top_k = Some(k);
+        self
+    }
+
+    /// Maintain a HyperLogLog cardinality summary alongside the main
+    /// summary, unlocking [`StreamEngine::distinct`]. `precision` is the
+    /// log₂ register count (4..=18); the relative standard error is
+    /// `1.04 / √2^precision` (precision 12 → ±1.6% in 4 KiB).
+    ///
+    /// Like the top-k side, the counter sees the full post-transform
+    /// stream — including tuples the overflow shedder down-samples for
+    /// the join estimate — so distinct counts are exact-stream summaries.
+    pub fn distinct(mut self, precision: u8) -> Self {
+        self.distinct = Some(precision);
+        self
+    }
+
+    /// Maintain a KLL rank summary alongside the main summary, unlocking
+    /// [`StreamEngine::quantile`]. `k` is the accuracy parameter (≥ 8);
+    /// the uniform rank error is ≈ `2.296 / k^0.9433` (k = 200 → ±1.6%).
+    ///
+    /// Sees the full post-transform stream, like the other side
+    /// summaries.
+    pub fn quantiles(mut self, k: usize) -> Self {
+        self.quantiles = Some(k);
         self
     }
 
@@ -253,9 +292,25 @@ impl<E: JoinEstimator> EngineBuilder<E> {
                 let summary = CountSketchTopK::new(&schema, (4 * k).max(64))
                     .map_err(|e| StreamError::Estimator(e.into()))?;
                 // p = 1: the engine feeds every post-transform tuple; the
-                // SampledTopK wrapper only supplies the typed query path.
-                Some(SampledTopK::new(summary, 1.0, &mut rng).map_err(StreamError::Estimator)?)
+                // Sampled wrapper only supplies the typed query path.
+                Some(Sampled::new(summary, 1.0, &mut rng).map_err(StreamError::Estimator)?)
             }
+        };
+        let distinct = match self.distinct {
+            None => None,
+            // Seeds derive from the engine seed so runs reproduce; the
+            // xor tags keep the side summaries independent of each other.
+            Some(precision) => Some(
+                HyperLogLog::with_seed(precision, self.seed ^ 0x6466_3066_4630)
+                    .map_err(|e| StreamError::Estimator(e.into()))?,
+            ),
+        };
+        let quantiles = match self.quantiles {
+            None => None,
+            Some(k) => Some(
+                KllSketch::with_seed(k, self.seed ^ 0x6b6c_6c71)
+                    .map_err(|e| StreamError::Estimator(e.into()))?,
+            ),
         };
         let runtime = ShardedRuntime::new(self.config, &prototype)?;
         Ok(StreamEngine {
@@ -264,6 +319,8 @@ impl<E: JoinEstimator> EngineBuilder<E> {
             runtime,
             shed,
             topk,
+            distinct,
+            quantiles,
             scratch: Vec::new(),
             overflow: Vec::new(),
         })
@@ -290,26 +347,28 @@ impl EngineBuilder<JoinSketch> {
     }
 }
 
-impl<E: JoinEstimator> Default for EngineBuilder<E> {
+impl<E: Summary> Default for EngineBuilder<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
 /// The running engine: transform chain, sharded runtime, optional
-/// overflow shedder. Built by [`EngineBuilder`].
+/// overflow shedder and side summaries. Built by [`EngineBuilder`].
 #[derive(Debug)]
-pub struct StreamEngine<E: JoinEstimator = JoinSketch> {
+pub struct StreamEngine<E: Summary = JoinSketch> {
     transforms: Vec<(String, Transform)>,
     stats: Vec<StageStats>,
     runtime: ShardedRuntime<E>,
     shed: Option<ShedPath>,
-    topk: Option<SampledTopK<CountSketchTopK>>,
+    topk: Option<Sampled<CountSketchTopK>>,
+    distinct: Option<HyperLogLog>,
+    quantiles: Option<KllSketch>,
     scratch: Vec<u64>,
     overflow: Vec<u64>,
 }
 
-impl<E: JoinEstimator> StreamEngine<E> {
+impl<E: Summary> StreamEngine<E> {
     /// Feed one batch that arrived over `seconds` of wall-clock time.
     ///
     /// Without a shedding path the push **blocks** on full queues
@@ -338,11 +397,17 @@ impl<E: JoinEstimator> StreamEngine<E> {
             self.stats[i].tuples_out += self.scratch.len() as u64;
         }
         let n = self.scratch.len() as u64;
-        // The heavy-hitter summary sees the whole post-transform stream —
-        // both the tuples the runtime accepts and any overflow the
-        // shedder will down-sample for the join estimate.
+        // The side summaries see the whole post-transform stream — both
+        // the tuples the runtime accepts and any overflow the shedder
+        // will down-sample for the join estimate.
         if let Some(topk) = &mut self.topk {
             topk.feed_batch(&self.scratch);
+        }
+        if let Some(distinct) = &mut self.distinct {
+            distinct.insert_batch(&self.scratch);
+        }
+        if let Some(quantiles) = &mut self.quantiles {
+            quantiles.insert_batch(&self.scratch);
         }
         let runtime_stage = self.transforms.len();
         self.stats[runtime_stage].tuples_in += n;
@@ -457,6 +522,82 @@ impl<E: JoinEstimator> StreamEngine<E> {
             .as_ref()
             .map(|t| t.point_estimate(key))
             .ok_or(StreamError::TopKDisabled)
+    }
+
+    /// The number of distinct post-transform keys seen so far (point
+    /// estimate; the engine feeds the counter at full rate).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::DistinctDisabled`] if the engine was built without
+    /// [`EngineBuilder::distinct`].
+    pub fn distinct(&self) -> StreamResult<f64> {
+        self.distinct
+            .as_ref()
+            .map(DistinctQuery::distinct)
+            .ok_or(StreamError::DistinctDisabled)
+    }
+
+    /// Typed counterpart of [`StreamEngine::distinct`]: the same value
+    /// with the HyperLogLog standard-error model as variance, so
+    /// [`Estimate::interval`] works.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::DistinctDisabled`] if the engine was built without
+    /// [`EngineBuilder::distinct`].
+    pub fn distinct_estimate(&self) -> StreamResult<Estimate> {
+        self.distinct
+            .as_ref()
+            .map(DistinctQuery::distinct_estimate)
+            .ok_or(StreamError::DistinctDisabled)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` of the post-transform key
+    /// stream (`q = 0.5` is the median).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::QuantilesDisabled`] if the engine was built without
+    /// [`EngineBuilder::quantiles`]; an estimator error for `q` outside
+    /// `[0, 1]` or an empty stream.
+    pub fn quantile(&self, q: f64) -> StreamResult<f64> {
+        let kll = self
+            .quantiles
+            .as_ref()
+            .ok_or(StreamError::QuantilesDisabled)?;
+        QuantileQuery::quantile(kll, q).map_err(StreamError::Estimator)
+    }
+
+    /// Values at the rank band `q ∓ rank_error` — deterministic envelope
+    /// bounds for [`StreamEngine::quantile`] (the KLL guarantee is on
+    /// ranks, so the honest error statement is a value interval, not a
+    /// variance).
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamEngine::quantile`].
+    pub fn quantile_bounds(&self, q: f64) -> StreamResult<(f64, f64)> {
+        let kll = self
+            .quantiles
+            .as_ref()
+            .ok_or(StreamError::QuantilesDisabled)?;
+        QuantileQuery::quantile_bounds(kll, q).map_err(StreamError::Estimator)
+    }
+
+    /// The fraction of post-transform keys strictly below `value` (the
+    /// inverse query of [`StreamEngine::quantile`]), accurate to the
+    /// summary's uniform rank error.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::QuantilesDisabled`] if the engine was built without
+    /// [`EngineBuilder::quantiles`].
+    pub fn rank(&self, value: u64) -> StreamResult<f64> {
+        self.quantiles
+            .as_ref()
+            .map(|kll| QuantileQuery::rank(kll, value))
+            .ok_or(StreamError::QuantilesDisabled)
     }
 
     /// Shut down the workers and return the merged runtime estimator
@@ -782,7 +923,7 @@ mod tests {
         let schema: sss_sketch::FagmsSchema = sss_sketch::FagmsSchema::new(1, 256, &mut rng);
         let mut e = EngineBuilder::new()
             .shards(2)
-            .estimator(schema.sketch())
+            .summary(schema.sketch())
             .build()
             .unwrap();
         let keys: Vec<u64> = (0..5_000u64).map(|i| i % 50).collect();
@@ -808,7 +949,7 @@ mod tests {
         // Shedding without a schema has no sketch to shed into.
         assert!(matches!(
             EngineBuilder::new()
-                .estimator(schema.sketch())
+                .summary(schema.sketch())
                 .shedding(ControllerConfig::default())
                 .build(),
             Err(StreamError::InvalidConfig {
@@ -1030,6 +1171,110 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    /// The distinct / quantile side summaries ride the engine next to
+    /// the join path: full-rate answers near truth, typed errors when
+    /// the sides were not requested, bad geometry rejected at build.
+    #[test]
+    fn distinct_and_quantile_side_summaries() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let schema = JoinSchema::fagms(1, 1024, &mut rng);
+        let mut e = EngineBuilder::new()
+            .filter("evens", is_even)
+            .map("halve", halve)
+            .shards(2)
+            .schema(&schema)
+            .distinct(12)
+            .quantiles(200)
+            .build()
+            .unwrap();
+        // Post-transform stream: 0..3000, 10 times each.
+        for _ in 0..10 {
+            let batch: Vec<u64> = (0..6000u64).collect();
+            e.push_batch(&batch, 1.0).unwrap();
+        }
+        let d = e.distinct().unwrap();
+        assert!((d - 3000.0).abs() / 3000.0 < 0.05, "distinct = {d}");
+        let de = e.distinct_estimate().unwrap();
+        assert_eq!(de.value.to_bits(), d.to_bits());
+        assert!(de.chebyshev(0.99).unwrap().contains(3000.0));
+        let med = e.quantile(0.5).unwrap();
+        assert!((med - 1500.0).abs() < 100.0, "median = {med}");
+        let (lo, hi) = e.quantile_bounds(0.5).unwrap();
+        assert!(lo <= med && med <= hi);
+        let r = e.rank(1500).unwrap();
+        assert!((r - 0.5).abs() < 0.05, "rank = {r}");
+        // Engines built without the sides answer with typed errors.
+        let plain = EngineBuilder::new().schema(&schema).build().unwrap();
+        assert!(matches!(
+            plain.distinct(),
+            Err(StreamError::DistinctDisabled)
+        ));
+        assert!(matches!(
+            plain.distinct_estimate(),
+            Err(StreamError::DistinctDisabled)
+        ));
+        assert!(matches!(
+            plain.quantile(0.5),
+            Err(StreamError::QuantilesDisabled)
+        ));
+        assert!(matches!(
+            plain.quantile_bounds(0.5),
+            Err(StreamError::QuantilesDisabled)
+        ));
+        assert!(matches!(plain.rank(0), Err(StreamError::QuantilesDisabled)));
+        // Bad geometry is a build-time estimator error.
+        assert!(EngineBuilder::new()
+            .schema(&schema)
+            .distinct(3)
+            .build()
+            .is_err());
+        assert!(EngineBuilder::new()
+            .schema(&schema)
+            .quantiles(1)
+            .build()
+            .is_err());
+    }
+
+    /// The engine is generic over the whole summary hierarchy: a
+    /// `MultiSummary` prototype makes one sharded pass answer F₂,
+    /// distinct, quantiles, and top-k at once from `merged()`.
+    #[test]
+    fn multi_summary_engine_answers_every_family_in_one_pass() {
+        use sss_core::{
+            DistinctQuery as _, JoinQuery as _, MultiSpec, QuantileQuery as _, TopKQuery as _,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let spec = MultiSpec::new(JoinSchema::fagms(3, 2048, &mut rng), &mut rng);
+        let mut e = EngineBuilder::new()
+            .shards(2)
+            .summary(spec.summary().unwrap())
+            .build()
+            .unwrap();
+        // 2000 keys × 50 occurrences, plus a 5000-copy heavy hitter.
+        for _ in 0..50 {
+            e.push_batch(&(0..2000u64).collect::<Vec<_>>(), 1.0)
+                .unwrap();
+        }
+        e.push_batch(&vec![7u64; 5000], 1.0).unwrap();
+        let m = e.into_merged().unwrap();
+        let f2 = m.self_join();
+        let truth = 1999.0 * 50.0 * 50.0 + 5050.0 * 5050.0;
+        assert!((f2 - truth).abs() / truth < 0.15, "f2 = {f2}");
+        let d = m.distinct();
+        assert!((d - 2000.0).abs() / 2000.0 < 0.05, "distinct = {d}");
+        let med = m.quantile(0.5).unwrap();
+        assert!((med - 1000.0).abs() < 100.0, "median = {med}");
+        assert_eq!(m.stream_len(), 105_000);
+        let top = m.top_k(5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].0, 7, "the heavy hitter leads");
+        assert!(
+            (top[0].1 - 5050.0).abs() / 5050.0 < 0.1,
+            "top freq {}",
+            top[0].1
+        );
     }
 
     /// The typed estimates carry the scalar values bit for bit — with and

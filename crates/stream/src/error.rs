@@ -16,8 +16,8 @@ pub enum StreamError {
     /// An estimator-layer failure (schema mismatch, invalid probability…)
     /// surfaced through the runtime.
     Estimator(sss_core::Error),
-    /// The builder was finished without an estimator (neither
-    /// `.schema(…)` nor `.estimator(…)` was called).
+    /// The builder was finished without a summary prototype (neither
+    /// `.schema(…)` nor `.summary(…)` was called).
     MissingEstimator,
     /// A runtime configuration parameter is out of range.
     InvalidConfig {
@@ -37,6 +37,12 @@ pub enum StreamError {
     /// A top-k query was issued but the engine was built without
     /// `.top_k(…)`, so no heavy-hitter summary was maintained.
     TopKDisabled,
+    /// A distinct-count query was issued but the engine was built without
+    /// `.distinct(…)`, so no cardinality summary was maintained.
+    DistinctDisabled,
+    /// A quantile query was issued but the engine was built without
+    /// `.quantiles(…)`, so no rank summary was maintained.
+    QuantilesDisabled,
 }
 
 impl fmt::Display for StreamError {
@@ -44,7 +50,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Estimator(e) => write!(f, "estimator error: {e}"),
             StreamError::MissingEstimator => {
-                write!(f, "engine builder needs .schema(…) or .estimator(…)")
+                write!(f, "engine builder needs .schema(…) or .summary(…)")
             }
             StreamError::InvalidConfig {
                 parameter,
@@ -62,6 +68,20 @@ impl fmt::Display for StreamError {
                     f,
                     "top-k query on an engine built without .top_k(…) — no \
                      heavy-hitter summary was maintained"
+                )
+            }
+            StreamError::DistinctDisabled => {
+                write!(
+                    f,
+                    "distinct-count query on an engine built without \
+                     .distinct(…) — no cardinality summary was maintained"
+                )
+            }
+            StreamError::QuantilesDisabled => {
+                write!(
+                    f,
+                    "quantile query on an engine built without .quantiles(…) \
+                     — no rank summary was maintained"
                 )
             }
         }

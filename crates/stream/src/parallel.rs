@@ -18,8 +18,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_core::sketch::{JoinSchema, JoinSketch};
 use sss_core::{
-    bernoulli_self_join, bernoulli_self_join_estimate, Estimate, JoinEstimator,
-    LoadSheddingSketcher, Result,
+    bernoulli_self_join, bernoulli_self_join_estimate, Estimate, JoinQuery, LoadSheddingSketcher,
+    Result,
 };
 
 /// Sketch `stream` with `threads` workers and merge the partial sketches.
@@ -50,9 +50,9 @@ pub fn parallel_sketch(
     parallel_sketch_with(&schema.sketch(), stream, threads)
 }
 
-/// [`parallel_sketch`] for any [`JoinEstimator`]: sketch `stream` across
+/// [`parallel_sketch`] for any [`JoinQuery`]: sketch `stream` across
 /// `threads` shard workers cloned from `prototype` and merge the shards.
-pub fn parallel_sketch_with<E: JoinEstimator>(
+pub fn parallel_sketch_with<E: JoinQuery>(
     prototype: &E,
     stream: &[u64],
     threads: usize,

@@ -57,14 +57,14 @@
 //!   (arXiv 1701.04148) argues for, with Huang–Tai–Yi (arXiv 1412.1763)
 //!   continuous-tracking polling as the motivating workload.
 //!
-//! The runtime is generic over any [`StreamSummary`] — join sketches and
+//! The runtime is generic over any [`Summary`] — join sketches and
 //! heavy-hitter summaries alike, not just the backend-erased `JoinSketch`;
-//! the join-query conveniences additionally require a [`JoinEstimator`].
+//! the join-query conveniences additionally require a [`JoinQuery`].
 
 use crate::error::{Result, StreamError};
 use crate::ring::{self, Backoff, ControlQueue, PushError};
 use crate::snapshot::{CacheStats, SnapshotCache};
-use sss_core::{Estimate, JoinEstimator, StreamSummary};
+use sss_core::{Estimate, JoinQuery, Summary};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -154,9 +154,13 @@ struct ShardState<E> {
     /// Batches successfully enqueued on this shard's data ring
     /// (producer-bumped, immediately after the ring push).
     accepted: AtomicU64,
-    /// Batches the worker has applied to its sketch — the shard's **dirty
-    /// epoch**: a cached snapshot stamped with an equal-or-newer value
-    /// needs no refresh.
+    /// Batches the worker has claimed off the data ring. The occupancy
+    /// gauges read `accepted − applied` as "batches still queued", so the
+    /// worker bumps this as buffers *leave the ring* (a coalesced run
+    /// claims each buffer on pop), keeping the structural
+    /// `≤ depth + 1` high-water bound. Snapshot floors never read this:
+    /// they use the worker-local counter, which only advances after
+    /// `update_batch` lands.
     applied: AtomicU64,
     /// Tuples the worker has applied (bumped after `update_batch`, so the
     /// gauge counts work done rather than work promised).
@@ -187,7 +191,7 @@ struct RuntimeShared<E> {
     started: Instant,
 }
 
-impl<E: StreamSummary> RuntimeShared<E> {
+impl<E: Summary> RuntimeShared<E> {
     /// Lock the snapshot cache, recovering from poison. A querier thread
     /// can panic while holding this lock (estimator `Clone`/`merge_from`
     /// run user code), possibly leaving a half-refreshed cache behind.
@@ -369,7 +373,7 @@ pub struct PoolStats {
 /// for k in 0..10_000u64 { seq.update(k, 1); }
 /// assert_eq!(merged.raw_self_join(), seq.raw_self_join());
 /// ```
-pub struct ShardedRuntime<E: StreamSummary> {
+pub struct ShardedRuntime<E: Summary> {
     shared: Arc<RuntimeShared<E>>,
     lanes: Vec<IngestLane>,
     handles: Vec<JoinHandle<E>>,
@@ -382,11 +386,35 @@ pub struct ShardedRuntime<E: StreamSummary> {
     pool: PoolStats,
 }
 
-impl<E: StreamSummary> ShardedRuntime<E> {
+impl<E: Summary> ShardedRuntime<E> {
     /// Spawn the worker pool. `prototype` must be a fresh estimator; each
     /// shard starts from a clone of it.
     pub fn new(config: RuntimeConfig, prototype: &E) -> Result<Self> {
         config.validate()?;
+        Self::new_per_shard(config, vec![prototype.clone(); config.shards])
+    }
+
+    /// Spawn the worker pool with a *distinct* prototype per shard
+    /// (`prototypes.len()` must equal `config.shards`; all must be
+    /// mutually mergeable).
+    ///
+    /// [`new`](Self::new) clones one prototype everywhere, which is
+    /// correct for deterministic summaries but **wrong for summaries
+    /// carrying private sampling randomness**: cloning a
+    /// [`Sampled`](sss_core::Sampled) front end duplicates its skip RNG,
+    /// so every shard would make *correlated* inclusion decisions and the
+    /// cross-shard estimator would no longer be unbiased. Build one
+    /// prototype, then [`Sampled::reseed`](sss_core::Sampled::reseed)
+    /// per-shard clones before passing them here.
+    pub fn new_per_shard(config: RuntimeConfig, prototypes: Vec<E>) -> Result<Self> {
+        config.validate()?;
+        if prototypes.len() != config.shards {
+            return Err(StreamError::InvalidConfig {
+                parameter: "prototypes",
+                value: prototypes.len(),
+                reason: "must supply exactly one prototype per shard",
+            });
+        }
         let mut lanes = Vec::with_capacity(config.shards);
         let mut consumers = Vec::with_capacity(config.shards);
         let mut states = Vec::with_capacity(config.shards);
@@ -415,15 +443,19 @@ impl<E: StreamSummary> ShardedRuntime<E> {
         }
         let shared = Arc::new(RuntimeShared {
             config,
-            prototype: Mutex::new(prototype.clone()),
+            // The merge zero: a fresh clone of shard 0's prototype. All
+            // prototypes are mutually mergeable by contract, so any one
+            // serves as the identity the shard snapshots merge into.
+            prototype: Mutex::new(prototypes[0].clone()),
             shards: states,
             cache: Mutex::new(SnapshotCache::new(config.shards)),
             high_water: AtomicUsize::new(0),
             started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(config.shards);
-        for (shard, (data_rx, recycle_tx)) in consumers.into_iter().enumerate() {
-            let worker_est = prototype.clone();
+        for ((shard, (data_rx, recycle_tx)), worker_est) in
+            consumers.into_iter().enumerate().zip(prototypes)
+        {
             let worker_shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("sss-shard-{shard}"))
@@ -707,7 +739,7 @@ impl<E: StreamSummary> ShardedRuntime<E> {
     }
 }
 
-impl<E: JoinEstimator> ShardedRuntime<E> {
+impl<E: JoinQuery> ShardedRuntime<E> {
     /// Typed at-all-times self-join query: merge the shards as of now and
     /// return the merged estimator's [`Estimate`]. The error bar is
     /// computed on the *combined* sketch — by linearity the merge is
@@ -737,7 +769,7 @@ impl<E: JoinEstimator> ShardedRuntime<E> {
     }
 }
 
-impl<E: StreamSummary> Drop for ShardedRuntime<E> {
+impl<E: Summary> Drop for ShardedRuntime<E> {
     fn drop(&mut self) {
         // Hang up, then wait: workers drain their rings and exit.
         self.lanes.clear();
@@ -747,7 +779,7 @@ impl<E: StreamSummary> Drop for ShardedRuntime<E> {
     }
 }
 
-impl<E: StreamSummary> std::fmt::Debug for ShardedRuntime<E> {
+impl<E: Summary> std::fmt::Debug for ShardedRuntime<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedRuntime")
             .field("config", &self.shared.config)
@@ -768,11 +800,11 @@ impl<E: StreamSummary> std::fmt::Debug for ShardedRuntime<E> {
 /// queries whose cached snapshot is current, and reports
 /// [`StreamError::ShardDisconnected`] when a fresh shard clone would be
 /// needed.
-pub struct QueryHandle<E: StreamSummary> {
+pub struct QueryHandle<E: Summary> {
     shared: Arc<RuntimeShared<E>>,
 }
 
-impl<E: StreamSummary> QueryHandle<E> {
+impl<E: Summary> QueryHandle<E> {
     /// The at-all-times query — see [`ShardedRuntime::merged`].
     ///
     /// # Errors
@@ -803,9 +835,17 @@ impl<E: StreamSummary> QueryHandle<E> {
     pub fn queue_occupancy(&self) -> usize {
         self.shared.queue_occupancy()
     }
+
+    /// High-water occupancy mark — see
+    /// [`ShardedRuntime::queue_high_water`]. Useful after
+    /// [`into_merged`](ShardedRuntime::into_merged), which consumes the
+    /// runtime but leaves the shared gauges readable through the handle.
+    pub fn queue_high_water(&self) -> usize {
+        self.shared.high_water.load(Ordering::Acquire)
+    }
 }
 
-impl<E: JoinEstimator> QueryHandle<E> {
+impl<E: JoinQuery> QueryHandle<E> {
     /// Typed self-join query — see
     /// [`ShardedRuntime::self_join_estimate`].
     ///
@@ -817,7 +857,7 @@ impl<E: JoinEstimator> QueryHandle<E> {
     }
 }
 
-impl<E: StreamSummary> Clone for QueryHandle<E> {
+impl<E: Summary> Clone for QueryHandle<E> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
@@ -825,7 +865,7 @@ impl<E: StreamSummary> Clone for QueryHandle<E> {
     }
 }
 
-impl<E: StreamSummary> std::fmt::Debug for QueryHandle<E> {
+impl<E: Summary> std::fmt::Debug for QueryHandle<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryHandle")
             .field("tuples_ingested", &self.tuples_ingested())
@@ -838,7 +878,7 @@ impl<E: StreamSummary> std::fmt::Debug for QueryHandle<E> {
 /// their buffers), answer control-queue snapshot requests once the
 /// requested floor is reached, and return the final estimator when the
 /// producer hangs up.
-fn shard_worker<E: StreamSummary>(
+fn shard_worker<E: Summary>(
     shard: usize,
     mut est: E,
     mut data: ring::Consumer<Vec<u64>>,
@@ -857,7 +897,7 @@ fn shard_worker<E: StreamSummary>(
     /// Answer every pending request whose floor is reached. Requests are
     /// served in arrival order but never block one another: a request
     /// with a lower floor is not stuck behind an unsatisfiable one.
-    fn serve<E: StreamSummary>(pending: &mut Vec<SnapshotReq<E>>, applied: u64, est: &E) {
+    fn serve<E: Summary>(pending: &mut Vec<SnapshotReq<E>>, applied: u64, est: &E) {
         let mut i = 0;
         while i < pending.len() {
             if pending[i].min <= applied {
@@ -877,15 +917,43 @@ fn shard_worker<E: StreamSummary>(
     let mut applied = 0u64;
     let mut backoff = Backoff::new();
 
-    let mut apply = |est: &mut E, mut buf: Vec<u64>, applied: &mut u64| {
-        est.update_batch(&buf);
-        *applied += 1;
-        state.ingested.fetch_add(buf.len() as u64, Ordering::AcqRel);
+    // Apply everything already queued as ONE batched update: `first` grows
+    // by the contents of every ring buffer waiting behind it, then a single
+    // `update_batch` spans the coalesced run. Update order is exactly ring
+    // order, so summary state is bit-identical to batch-at-a-time applies;
+    // what changes is kernel amortization (the sketch row kernels and the
+    // skip-sampler scan cost per *call*, and a backlogged worker would
+    // otherwise pay that per 512-tuple producer batch). Snapshot floors are
+    // unaffected: the local `applied` advances past a floor in one jump
+    // after the update lands, and a floor is a minimum, never an
+    // exact-prefix request. Coalescing is bounded by the ring capacity, so
+    // requests arriving mid-drain wait at most one queue depth of work.
+    // The atomic gauge counter is bumped per *pop* (not per apply): the
+    // producer refills slots the drain frees, and counting claimed buffers
+    // as still-queued would let `accepted − applied` read up to twice the
+    // ring depth, breaking the documented `≤ depth + 1` high-water bound.
+    let mut apply_run = |est: &mut E,
+                         mut first: Vec<u64>,
+                         applied: &mut u64,
+                         data: &mut ring::Consumer<Vec<u64>>| {
+        let mut batches = 1u64;
+        state.applied.store(*applied + batches, Ordering::Release);
+        while let Some(mut next) = data.try_pop() {
+            first.append(&mut next);
+            batches += 1;
+            state.applied.store(*applied + batches, Ordering::Release);
+            // A full recycle ring (only possible if the producer stopped
+            // taking buffers back) just drops the buffer.
+            let _ = recycle.try_push(next);
+        }
+        est.update_batch(&first);
+        *applied += batches;
+        state
+            .ingested
+            .fetch_add(first.len() as u64, Ordering::AcqRel);
         state.applied.store(*applied, Ordering::Release);
-        buf.clear();
-        // A full recycle ring (only possible if the producer stopped
-        // taking buffers back) just drops the buffer.
-        let _ = recycle.try_push(buf);
+        first.clear();
+        let _ = recycle.try_push(first);
     };
 
     loop {
@@ -895,7 +963,7 @@ fn shard_worker<E: StreamSummary>(
         serve(&mut pending, applied, &est);
         match data.try_pop() {
             Some(buf) => {
-                apply(&mut est, buf, &mut applied);
+                apply_run(&mut est, buf, &mut applied, &mut data);
                 backoff.reset();
             }
             None if data.is_closed() => {
@@ -903,7 +971,7 @@ fn shard_worker<E: StreamSummary>(
                 // closing, then answer any last requests (every floor is
                 // reachable now — nothing more can be accepted).
                 while let Some(buf) = data.try_pop() {
-                    apply(&mut est, buf, &mut applied);
+                    apply_run(&mut est, buf, &mut applied, &mut data);
                 }
                 while let Some(req) = state.ctrl.try_recv() {
                     pending.push(req);
@@ -1159,7 +1227,7 @@ mod tests {
         }
     }
 
-    /// The runtime works for any `JoinEstimator`, not just `JoinSketch` —
+    /// The runtime works for any `JoinQuery`, not just `JoinSketch` —
     /// here a concrete typed F-AGMS sketch.
     #[test]
     fn generic_over_any_estimator() {
@@ -1180,6 +1248,52 @@ mod tests {
         assert_eq!(merged.self_join().to_bits(), seq.self_join().to_bits());
     }
 
+    /// Per-shard prototypes: a `Sampled` front end must NOT share its
+    /// skip RNG across shards (correlated inclusions would bias the
+    /// cross-shard estimator), so each shard gets a reseeded clone and
+    /// the merged correction still lands on the truth.
+    #[test]
+    fn per_shard_prototypes_decorrelate_sampling() {
+        use sss_core::Sampled;
+        let mut rng = StdRng::seed_from_u64(21);
+        let schema = JoinSchema::fagms(1, 4096, &mut rng);
+        let proto = Sampled::new(schema.sketch(), 0.1, &mut rng).unwrap();
+        let shards = 4usize;
+        let prototypes: Vec<_> = (0..shards)
+            .map(|_| {
+                let mut p = proto.clone();
+                p.reseed(&mut rng).unwrap();
+                p
+            })
+            .collect();
+        let config = RuntimeConfig {
+            shards,
+            ..Default::default()
+        };
+        let mut rt = ShardedRuntime::new_per_shard(config, prototypes).unwrap();
+        // 2000 keys × 100: F₂ = 2000 · 100² = 2·10⁷.
+        let s: Vec<u64> = (0..200_000u64).map(|i| i % 2000).collect();
+        for chunk in s.chunks(512) {
+            rt.push(chunk).unwrap();
+        }
+        let merged = rt.into_merged().unwrap();
+        assert!(merged.kept() < 30_000, "only ~10% sketched");
+        let est = merged.self_join();
+        assert!((est - 2e7).abs() / 2e7 < 0.15, "est = {est}");
+        // A prototype-count mismatch is a typed config error.
+        let config = RuntimeConfig {
+            shards: 2,
+            ..Default::default()
+        };
+        assert!(matches!(
+            ShardedRuntime::new_per_shard(config, vec![proto.clone()]),
+            Err(StreamError::InvalidConfig {
+                parameter: "prototypes",
+                ..
+            })
+        ));
+    }
+
     /// An estimator that sleeps per batch and opts out of retraction:
     /// deterministically saturates tiny rings, and exercises the snapshot
     /// cache's full-rebuild fallback inside the real runtime.
@@ -1189,7 +1303,7 @@ mod tests {
         delay: Duration,
     }
 
-    impl StreamSummary for SlowSketch {
+    impl Summary for SlowSketch {
         fn update(&mut self, key: u64, count: i64) {
             self.inner.update(key, count);
         }
@@ -1202,7 +1316,7 @@ mod tests {
         }
     }
 
-    impl JoinEstimator for SlowSketch {
+    impl JoinQuery for SlowSketch {
         fn self_join(&self) -> f64 {
             self.inner.raw_self_join()
         }
@@ -1391,7 +1505,7 @@ mod tests {
     }
 
     /// The runtime hosts heavy-hitter summaries too (any
-    /// [`StreamSummary`], not only join estimators): with candidate
+    /// [`Summary`], not only join estimators): with candidate
     /// capacity ≥ distinct keys the sharded merge is bit-identical to the
     /// sequential summary — same top-k keys, same raw estimates.
     #[test]
@@ -1427,7 +1541,7 @@ mod tests {
     fn dead_worker_yields_typed_errors_not_panics() {
         #[derive(Clone)]
         struct BombSketch(JoinSketch);
-        impl StreamSummary for BombSketch {
+        impl Summary for BombSketch {
             fn update(&mut self, key: u64, count: i64) {
                 assert_ne!(key, u64::MAX, "injected worker panic");
                 self.0.update(key, count);
@@ -1488,7 +1602,7 @@ mod tests {
                 }
             }
         }
-        impl StreamSummary for PanickyClone {
+        impl Summary for PanickyClone {
             fn update(&mut self, key: u64, count: i64) {
                 self.inner.update(key, count);
             }

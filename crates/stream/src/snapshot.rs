@@ -14,7 +14,7 @@
 //!   previous query — its bytes need no work at all.
 //! * The cache keeps the previous **merged** result too. When the
 //!   estimator supports exact retraction
-//!   ([`supports_retract`](sss_core::StreamSummary::supports_retract) —
+//!   ([`supports_retract`](sss_core::Summary::supports_retract) —
 //!   true for every integer-counter sketch in this repo), a dirty shard
 //!   is folded in by `retract_from(stale clone)` + `merge_from(fresh
 //!   clone)`. Counter arithmetic is exact over `i64`, so
@@ -35,7 +35,7 @@
 //! `SnapshotCache::refresh`, so this module is pure bookkeeping and
 //! stays trivially safe code.
 
-use sss_core::StreamSummary;
+use sss_core::Summary;
 
 /// Counters describing how the cache served queries so far — exposed as
 /// [`ShardedRuntime::cache_stats`](crate::ShardedRuntime::cache_stats)
@@ -82,7 +82,7 @@ pub(crate) struct SnapshotCache<E> {
     stats: CacheStats,
 }
 
-impl<E: StreamSummary> SnapshotCache<E> {
+impl<E: Summary> SnapshotCache<E> {
     pub(crate) fn new(shards: usize) -> Self {
         Self {
             shards: (0..shards).map(|_| None).collect(),

@@ -1,7 +1,7 @@
 //! Heavy hitters from a shedded stream: combining the paper's load
 //! shedding with the Count-Sketch top-k tracker.
 //!
-//! A 10% Bernoulli sample of the stream feeds a [`SampledTopK`] — a
+//! A 10% Bernoulli sample of the stream feeds a [`Sampled`] — a
 //! bounded candidate set over a Count-Sketch, O(k + sketch) memory, no
 //! dictionary pass over the domain. Queries return typed [`Estimate`]s:
 //! the `1/p`-corrected full-stream frequency with an error bar combining
@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sketch_sampled_streams::core::SampledTopK;
+use sketch_sampled_streams::core::Sampled;
 use sketch_sampled_streams::datagen::ZipfGenerator;
 use sketch_sampled_streams::moments::FrequencyVector;
 use sketch_sampled_streams::sketch::{FagmsSchema, HeavyHitters};
@@ -30,7 +30,7 @@ fn main() {
     let truth = FrequencyVector::from_keys(stream.iter().copied(), domain);
 
     let schema: FagmsSchema = FagmsSchema::new(5, 4096, &mut rng);
-    let mut tracker = SampledTopK::count_sketch(&schema, 4 * k, p, &mut rng).unwrap();
+    let mut tracker = Sampled::count_sketch(&schema, 4 * k, p, &mut rng).unwrap();
     tracker.feed_batch(&stream);
     println!(
         "sketched {} of {tuples} tuples into {} counters + {} candidates\n",

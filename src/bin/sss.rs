@@ -8,12 +8,23 @@
 //! sss selfjoin <file> [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
 //! sss join <file_f> <file_g> [--p=0.1] [--q=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
 //! sss topk <file> [--k=10] [--p=0.1] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]
+//! sss distinct <file> [--p=0.1] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]
+//! sss quantiles <file> [--p=0.1] [--k=200] [--at=0.5] [--seed=1] [--exact]
+//! sss multi <file> [--k=10] [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
 //! ```
 //!
 //! `topk` reports the `k` heaviest keys from a Count-Sketch heavy-hitter
 //! summary over the (optionally Bernoulli-sampled) stream, each with its
 //! `1/p`-corrected full-stream frequency estimate; memory stays
 //! O(capacity + depth·width) regardless of the file size.
+//!
+//! `distinct` estimates the number of distinct keys with a HyperLogLog
+//! (`2^precision` bytes), `quantiles` reports the median/p95/p99 (or a
+//! single `--at=q`) from a KLL sketch with rank-error envelopes, and
+//! `multi` answers *all four* query families — self-join, distinct,
+//! quantiles, top-k — from **one pass** over one Bernoulli sample via a
+//! `MultiSummary`, with the per-family sampling corrections applied on
+//! the way out.
 //!
 //! With `--exact` the true aggregate is also computed (hash map over the
 //! full data) and the relative error reported — useful for calibrating a
@@ -31,7 +42,7 @@ use std::process::ExitCode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::{LoadSheddingSketcher, SampledTopK};
+use sketch_sampled_streams::core::{LoadSheddingSketcher, MultiSpec, Sampled};
 use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::sketch::FagmsSchema;
 use sketch_sampled_streams::{Error, Result};
@@ -83,28 +94,29 @@ fn exact_join(f: &[u64], g: &[u64]) -> f64 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]"
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]\n  sss distinct <file> [--p=1.0] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]\n  sss quantiles <file> [--p=1.0] [--k=200] [--at=0.5] [--seed=1] [--exact]\n  sss multi <file> [--k=10] [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]"
     );
     ExitCode::from(2)
 }
 
 /// Print the typed estimate's two intervals at `level`, Chebyshev
-/// (distribution-free) first, CLT (normal) second.
+/// (distribution-free) first, CLT (normal) second. Rendering goes
+/// through `ConfidenceInterval::describe`, which says
+/// `± ∞ (no error state)` for estimates with unknown variance instead
+/// of printing a raw `inf`.
 fn print_intervals(est: &sketch_sampled_streams::core::Estimate, level: f64) {
     println!(
-        "interval   {:.2} ± {:.2} [chebyshev {:.0}%]",
-        est.value,
+        "interval   {} [chebyshev {:.0}%]",
         est.chebyshev(level)
             .expect("level validated in (0,1)")
-            .half_width(),
+            .describe(est.value),
         100.0 * level
     );
     println!(
-        "interval   {:.2} ± {:.2} [clt {:.0}%]",
-        est.value,
+        "interval   {} [clt {:.0}%]",
         est.clt(level)
             .expect("level validated in (0,1)")
-            .half_width(),
+            .describe(est.value),
         100.0 * level
     );
 }
@@ -188,23 +200,24 @@ fn run_topk(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Resu
     let capacity: usize = arg_value(args, "capacity", (4 * k).max(64));
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = FagmsSchema::new(depth, width, &mut rng);
-    let mut tracker = SampledTopK::count_sketch(&schema, capacity, p, &mut rng)?;
+    let mut tracker = Sampled::count_sketch(&schema, capacity, p, &mut rng)?;
     tracker.feed_batch(&keys);
     println!("tuples     {}", keys.len());
     println!("sketched   {}", tracker.kept());
     let exact = has_flag(args, "exact").then(|| ExactAggregator::from_keys(keys.iter().copied()));
     let top = tracker.top_k(k);
     for (rank, (key, est)) in top.iter().enumerate() {
-        let mut line = format!("top{:<3}     key {key}: {:.2}", rank + 1, est.value);
-        if let Some(level) = confidence {
-            line.push_str(&format!(
-                " ± {:.2} [clt {:.0}%]",
+        let mut line = match confidence {
+            None => format!("top{:<3}     key {key}: {:.2}", rank + 1, est.value),
+            Some(level) => format!(
+                "top{:<3}     key {key}: {} [clt {:.0}%]",
+                rank + 1,
                 est.clt(level)
                     .expect("level validated in (0,1)")
-                    .half_width(),
+                    .describe(est.value),
                 100.0 * level
-            ));
-        }
+            ),
+        };
         if let Some(truth) = &exact {
             line.push_str(&format!(" (exact {})", truth.get(*key)));
         }
@@ -219,6 +232,110 @@ fn run_topk(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Resu
             hits as f64 / true_top.len().max(1) as f64,
             true_top.len()
         );
+    }
+    Ok(())
+}
+
+fn run_distinct(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Result<()> {
+    let path = &args[1];
+    let keys = read_keys(path)?;
+    let precision: u8 = arg_value(args, "precision", 12);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = Sampled::hyperloglog(precision, p, &mut rng)?;
+    counter.feed_batch(&keys);
+    let est = counter.distinct_estimate();
+    println!("tuples     {}", keys.len());
+    println!("sketched   {}", counter.kept());
+    println!("estimate   {:.2}", est.value);
+    if let Some(level) = confidence {
+        print_intervals(&est, level);
+    }
+    if has_flag(args, "exact") {
+        let truth = ExactAggregator::from_keys(keys.iter().copied()).distinct() as f64;
+        println!("exact      {truth:.2}");
+        println!(
+            "rel_error  {:.4}%",
+            100.0 * (est.value - truth).abs() / truth.max(1.0)
+        );
+    }
+    Ok(())
+}
+
+fn run_quantiles(args: &[String], p: f64, seed: u64) -> Result<()> {
+    let path = &args[1];
+    let keys = read_keys(path)?;
+    let k: usize = arg_value(args, "k", 200);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut summary = Sampled::kll(k, p, &mut rng)?;
+    summary.feed_batch(&keys);
+    println!("tuples     {}", keys.len());
+    println!("sketched   {}", summary.kept());
+    // `--at=q` narrows the report to one quantile; the default covers the
+    // operational trio.
+    let ranks: Vec<f64> = match args.iter().find_map(|a| a.strip_prefix("--at=")) {
+        Some(v) => vec![v.parse().unwrap_or(0.5)],
+        None => vec![0.5, 0.95, 0.99],
+    };
+    let exact = has_flag(args, "exact").then(|| {
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted
+    });
+    for &q in &ranks {
+        let value = summary.quantile(q)?;
+        let (lo, hi) = summary.quantile_bounds(q)?;
+        let mut line = format!(
+            "q{q:<8}  {value:.2} ∈ [{lo:.2}, {hi:.2}] (rank ± {:.4})",
+            summary.rank_error(q)
+        );
+        if let Some(sorted) = &exact {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            line.push_str(&format!(" (exact {})", sorted[idx]));
+        }
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn run_multi(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Result<()> {
+    let path = &args[1];
+    let keys = read_keys(path)?;
+    let k: usize = arg_value(args, "k", 10);
+    let depth: usize = arg_value(args, "depth", 3);
+    let width: usize = arg_value(args, "width", 5000);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = MultiSpec::new(JoinSchema::fagms(depth, width, &mut rng), &mut rng);
+    let mut s = spec.sampled(p, &mut rng)?;
+    // The one pass: every query below is answered from this single
+    // Bernoulli-sampled ingestion.
+    s.feed_batch(&keys);
+    println!("tuples     {}", keys.len());
+    println!("sketched   {}", s.kept());
+    let exact = has_flag(args, "exact").then(|| ExactAggregator::from_keys(keys.iter().copied()));
+    let sj = s.self_join_estimate();
+    println!("self_join  {:.2}", sj.value);
+    if let Some(level) = confidence {
+        print_intervals(&sj, level);
+    }
+    if let Some(truth) = &exact {
+        println!("           (exact {:.2})", truth.self_join());
+    }
+    let d = s.distinct_estimate();
+    println!("distinct   {:.2}", d.value);
+    if let Some(truth) = &exact {
+        println!("           (exact {})", truth.distinct());
+    }
+    for (label, q) in [("median", 0.5), ("p99", 0.99)] {
+        let (lo, hi) = s.quantile_bounds(q)?;
+        println!("{label:<10} {:.2} ∈ [{lo:.2}, {hi:.2}]", s.quantile(q)?);
+    }
+    let top = s.top_k(k);
+    for (rank, (key, est)) in top.iter().enumerate() {
+        let mut line = format!("top{:<3}     key {key}: {:.2}", rank + 1, est.value);
+        if let Some(truth) = &exact {
+            line.push_str(&format!(" (exact {})", truth.get(*key)));
+        }
+        println!("{line}");
     }
     Ok(())
 }
@@ -253,6 +370,9 @@ fn main() -> ExitCode {
         "selfjoin" if args.len() >= 2 => run_selfjoin(&args, &schema, p, confidence, &mut rng),
         "join" if args.len() >= 3 => run_join(&args, &schema, p, confidence, &mut rng),
         "topk" if args.len() >= 2 => run_topk(&args, p, seed, confidence),
+        "distinct" if args.len() >= 2 => run_distinct(&args, p, seed, confidence),
+        "quantiles" if args.len() >= 2 => run_quantiles(&args, p, seed),
+        "multi" if args.len() >= 2 => run_multi(&args, p, seed, confidence),
         _ => return usage(),
     };
     match result {

@@ -1,0 +1,201 @@
+//! Static assertions over the redesigned `Summary` hierarchy — the
+//! API-surface contract of the one-pass multi-summary engine.
+//!
+//! These tests mostly "run" at compile time: each `fn bound<T: Trait>()`
+//! instantiation proves a trait bound holds, so a refactor that silently
+//! drops a capability (say, `HyperLogLog: DistinctQuery`) breaks the
+//! build here rather than in downstream code. The runtime bodies pin the
+//! parts of the contract the type system cannot see: default-method
+//! honesty (`supports_retract`, `retract_from`), and that the deprecated
+//! shims still resolve to the new hierarchy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::sketch::{JoinSchema, JoinSketch};
+use sketch_sampled_streams::core::{
+    DistinctQuery, JoinQuery, MultiSpec, MultiSummary, QuantileQuery, Sampled, SampledMultiSummary,
+    Summary, TopKQuery,
+};
+use sketch_sampled_streams::sketch::{CountSketchTopK, HyperLogLog, KllSketch, MisraGries};
+use sketch_sampled_streams::stream::{EngineBuilder, ShardedRuntime, StreamEngine};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// The bound probes. Instantiating `summary::<T>()` is a compile-time
+// proof that `T: Summary`; ditto for each capability.
+fn summary<T: Summary>() {}
+fn join_query<T: JoinQuery>() {}
+fn topk_query<T: TopKQuery>() {}
+fn distinct_query<T: DistinctQuery>() {}
+fn quantile_query<T: QuantileQuery>() {}
+fn clone_send_static<T: Clone + Send + 'static>() {}
+
+/// Every backend satisfies the base ingestion contract, and `Sampled<S>`
+/// preserves it (the sampling lens must ride the sharded runtime exactly
+/// like the summary it wraps).
+#[test]
+fn every_backend_is_a_summary() {
+    summary::<JoinSketch>();
+    summary::<MisraGries>();
+    summary::<CountSketchTopK>();
+    summary::<HyperLogLog>();
+    summary::<KllSketch>();
+    summary::<MultiSummary>();
+    summary::<Sampled<JoinSketch>>();
+    summary::<Sampled<CountSketchTopK>>();
+    summary::<Sampled<HyperLogLog>>();
+    summary::<Sampled<KllSketch>>();
+    summary::<SampledMultiSummary>();
+}
+
+/// Each capability trait is held by exactly the backends that can answer
+/// it — and by `MultiSummary`, which holds all four at once (that is the
+/// tentpole: one pass, every query family).
+#[test]
+fn capabilities_land_on_the_right_backends() {
+    join_query::<JoinSketch>();
+    join_query::<sketch_sampled_streams::sketch::AgmsSketch>();
+    join_query::<sketch_sampled_streams::sketch::FagmsSketch>();
+    join_query::<sketch_sampled_streams::sketch::CountMinSketch>();
+    join_query::<MultiSummary>();
+
+    topk_query::<MisraGries>();
+    topk_query::<CountSketchTopK>();
+    topk_query::<MultiSummary>();
+
+    distinct_query::<HyperLogLog>();
+    distinct_query::<MultiSummary>();
+
+    quantile_query::<KllSketch>();
+    quantile_query::<MultiSummary>();
+}
+
+/// The capability traits are subtraits of `Summary`, and `Summary`
+/// requires `Clone + Send + 'static` — the properties the sharded
+/// runtime's worker threads and snapshot cache rely on. By design this
+/// supertrait stack (notably `Clone`, which returns `Self`) makes the
+/// hierarchy non-object-safe: summaries are meant to be monomorphized
+/// into the runtime, never boxed behind `dyn`.
+#[test]
+fn hierarchy_supertraits_hold() {
+    fn join_is_summary<T: JoinQuery>() {
+        summary::<T>();
+    }
+    fn topk_is_summary<T: TopKQuery>() {
+        summary::<T>();
+    }
+    fn distinct_is_summary<T: DistinctQuery>() {
+        summary::<T>();
+    }
+    fn quantile_is_summary<T: QuantileQuery>() {
+        summary::<T>();
+    }
+    fn summary_is_clone_send_static<T: Summary>() {
+        clone_send_static::<T>();
+    }
+    join_is_summary::<JoinSketch>();
+    topk_is_summary::<CountSketchTopK>();
+    distinct_is_summary::<HyperLogLog>();
+    quantile_is_summary::<KllSketch>();
+    summary_is_clone_send_static::<MultiSummary>();
+}
+
+/// The streaming layer is generic over the hierarchy: the runtime accepts
+/// any `Summary`, the engine builder/engine pair carries the summary type
+/// through, and the join-specific query surface only demands `JoinQuery`.
+#[test]
+fn streaming_layer_is_generic_over_the_hierarchy() {
+    // Pure type-level instantiations — never constructed.
+    fn runtime_accepts<E: Summary>() {
+        let _ = std::marker::PhantomData::<ShardedRuntime<E>>;
+    }
+    fn engine_accepts<E: Summary>() {
+        let _ = std::marker::PhantomData::<EngineBuilder<E>>;
+        let _ = std::marker::PhantomData::<StreamEngine<E>>;
+    }
+    runtime_accepts::<HyperLogLog>();
+    runtime_accepts::<KllSketch>();
+    runtime_accepts::<SampledMultiSummary>();
+    engine_accepts::<JoinSketch>();
+    engine_accepts::<SampledMultiSummary>();
+}
+
+/// The renamed pre-redesign surface still resolves, as deprecated shims:
+/// `StreamSummary`/`JoinEstimator` as trait bounds, `SampledTopK` as a
+/// type alias of `Sampled`. Migrated code compiles warning-free; holdout
+/// code compiles with a deprecation warning — not an error.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_resolve() {
+    fn old_stream_summary<T: sketch_sampled_streams::core::StreamSummary>() {}
+    fn old_join_estimator<T: sketch_sampled_streams::core::JoinEstimator>() {}
+    old_stream_summary::<JoinSketch>();
+    old_stream_summary::<MultiSummary>();
+    old_join_estimator::<JoinSketch>();
+
+    // The alias is the same type, not a lookalike: a value built through
+    // the new name is assignable to the old one.
+    let mut r = rng(1);
+    let sampled: sketch_sampled_streams::core::SampledTopK<MisraGries> =
+        Sampled::misra_gries(8, 0.5, &mut r).unwrap();
+    assert_eq!(sampled.probability(), 0.5);
+}
+
+/// Default-method honesty: a summary that does not override retraction
+/// reports `supports_retract() == false` and errors on `retract_from`,
+/// while the linear join sketch overrides both. The snapshot cache keys
+/// its delta-rebuild path off exactly this pair.
+#[test]
+fn retraction_contract_defaults_are_honest() {
+    let mut r = rng(2);
+    let mut hll = HyperLogLog::new(10, &mut r).unwrap();
+    let hll2 = hll.clone();
+    assert!(!hll.supports_retract());
+    assert!(matches!(
+        hll.retract_from(&hll2),
+        Err(sketch_sampled_streams::core::Error::RetractUnsupported)
+    ));
+
+    let mut kll = KllSketch::new(64, &mut r).unwrap();
+    let kll2 = kll.clone();
+    assert!(!kll.supports_retract());
+    assert!(kll.retract_from(&kll2).is_err());
+
+    let spec = MultiSpec::new(JoinSchema::fagms(3, 256, &mut r), &mut r);
+    let mut multi = spec.summary().unwrap();
+    let multi2 = multi.clone();
+    assert!(!multi.supports_retract());
+    assert!(multi.retract_from(&multi2).is_err());
+
+    // The linear sketch is the positive control: retraction is exact.
+    let schema = JoinSchema::fagms(3, 256, &mut r);
+    let mut sk = schema.sketch();
+    assert!(sk.supports_retract());
+    let mut other = schema.sketch();
+    other.update_batch(&[1, 2, 3]);
+    sk.merge_from(&other).unwrap();
+    sk.retract_from(&other).unwrap();
+    let fresh = schema.sketch();
+    assert_eq!(sk.self_join().to_bits(), fresh.self_join().to_bits());
+}
+
+/// `Estimate`-returning capability queries agree with their scalar
+/// counterparts — the typed surface is a superset, not a fork.
+#[test]
+fn typed_queries_wrap_the_scalar_ones() {
+    let mut r = rng(3);
+    let spec = MultiSpec::new(JoinSchema::fagms(3, 512, &mut r), &mut r);
+    let mut multi = spec.summary().unwrap();
+    let keys: Vec<u64> = (0..500u64).map(|i| i % 40).collect();
+    multi.update_batch(&keys);
+
+    assert_eq!(multi.self_join_estimate().value, multi.self_join());
+    assert_eq!(multi.distinct_estimate().value, multi.distinct());
+    assert_eq!(multi.frequency_estimate(7).value, multi.frequency(7));
+    let median = multi.quantile(0.5).unwrap();
+    let rank_of_median = multi.rank(median as u64);
+    assert!((0.0..=1.0).contains(&rank_of_median));
+    assert_eq!(multi.stream_len(), keys.len() as u64);
+}

@@ -204,6 +204,128 @@ fn topk_reports_heavy_keys_with_recall() {
 }
 
 #[test]
+fn distinct_estimates_cardinality() {
+    let dir = std::env::temp_dir().join("sss-cli-test-distinct");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    // 5000 distinct keys, four occurrences each.
+    write_keys(&file, (0..20_000u64).map(|i| i % 5000));
+    let out = sss()
+        .args([
+            "distinct",
+            file.to_str().unwrap(),
+            "--exact",
+            "--confidence=0.95",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exact      5000.00"), "stdout: {stdout}");
+    assert!(stdout.contains("[chebyshev 95%]"), "stdout: {stdout}");
+    let err_line = stdout.lines().find(|l| l.starts_with("rel_error")).unwrap();
+    let pct: f64 = err_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    // Precision 12 → ±1.6% standard error; 10% is many sigmas out.
+    assert!(pct < 10.0, "reported error {pct}%");
+}
+
+#[test]
+fn quantiles_report_rank_envelopes() {
+    let dir = std::env::temp_dir().join("sss-cli-test-quantiles");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    write_keys(&file, 0..100_000u64);
+    let out = sss()
+        .args(["quantiles", file.to_str().unwrap(), "--exact", "--seed=5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One line per default quantile, each with an envelope and the truth.
+    for q in ["q0.5", "q0.95", "q0.99"] {
+        let line = stdout.lines().find(|l| l.starts_with(q)).unwrap();
+        assert!(line.contains('∈') && line.contains("(exact "), "{line}");
+    }
+    // The median of 0..100_000 is ~50_000; rank error 2.296/200^0.9433
+    // ≈ 1.6% → the estimate must land within a few thousand.
+    let median: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("q0.5"))
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((median - 50_000.0).abs() < 5_000.0, "median {median}");
+    // `--at=` narrows the report to the one requested rank.
+    let out = sss()
+        .args(["quantiles", file.to_str().unwrap(), "--at=0.25"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("q0.25"), "stdout: {stdout}");
+    assert!(!stdout.contains("q0.95"), "stdout: {stdout}");
+}
+
+#[test]
+fn multi_answers_all_families_in_one_pass() {
+    let dir = std::env::temp_dir().join("sss-cli-test-multi");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("keys.txt");
+    // 1000 background keys × 20, plus key 7 another 20_000 times.
+    write_keys(
+        &file,
+        (0..20_000u64)
+            .map(|i| i % 1000)
+            .chain(std::iter::repeat(7).take(20_000)),
+    );
+    let out = sss()
+        .args([
+            "multi",
+            file.to_str().unwrap(),
+            "--p=0.5",
+            "--k=1",
+            "--seed=3",
+            "--exact",
+            "--confidence=0.95",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Roughly half the stream was sketched, yet every family answers.
+    for prefix in ["self_join", "distinct", "median", "p99", "top1"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(prefix)),
+            "missing {prefix}: {stdout}"
+        );
+    }
+    assert!(stdout.contains("[chebyshev 95%]"), "stdout: {stdout}");
+    let top1 = stdout.lines().find(|l| l.starts_with("top1")).unwrap();
+    assert!(top1.contains("key 7:"), "stdout: {stdout}");
+    assert!(top1.contains("(exact 20020)"), "stdout: {stdout}");
+}
+
+#[test]
 fn topk_rejects_p_zero_loudly() {
     let dir = std::env::temp_dir().join("sss-cli-test-topk-p0");
     std::fs::create_dir_all(&dir).unwrap();

@@ -16,7 +16,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::LoadSheddingSketcher;
+use sketch_sampled_streams::core::{LoadSheddingSketcher, Sampled};
+use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::moments::engine::{sampling_sjs, sketch_sample_sjs, sketch_sjs};
 use sketch_sampled_streams::moments::scheme::Bernoulli;
 use sketch_sampled_streams::moments::FrequencyVector;
@@ -172,6 +173,87 @@ fn bernoulli_shedder_intervals_cover_at_nominal_rate() {
         .collect();
     let t = tally(&estimates, truth);
     assert_covers("bernoulli-shedder", &t, exact.variance, 0.6, 5.0);
+}
+
+/// F₀ under Bernoulli sampling: `Sampled<HyperLogLog>` at p = 0.3 against
+/// the exact distinct count from `sss-exact`. Two frequency regimes:
+///
+/// * **High frequency** (every key appears 20×): almost every key survives
+///   the sample, the homogeneous plug-in correction is near-exact, and the
+///   interval is driven by HyperLogLog's `1.04/√m` error — coverage must
+///   sit at the nominal rate.
+/// * **Low frequency** (every key appears 3×): the correction is large and
+///   its magnitude is priced into the variance as model error, making the
+///   interval deliberately conservative — coverage must not drop below the
+///   floor (and in practice exceeds nominal).
+///
+/// Both streams are exactly homogeneous, the one histogram the plug-in
+/// models without error, so any coverage miss here indicts the variance
+/// accounting rather than the (documented, unavoidable) model bias.
+#[test]
+fn sampled_distinct_intervals_cover_at_nominal_rate() {
+    let p = 0.3;
+    for (name, copies, seed_base) in [("f0-high-freq", 20u64, 4000u64), ("f0-low-freq", 3, 5000)] {
+        let distinct_keys = 2_000u64;
+        let stream: Vec<u64> = (0..distinct_keys)
+            .flat_map(|k| std::iter::repeat(k).take(copies as usize))
+            .collect();
+        let mut exact = ExactAggregator::new();
+        for &k in &stream {
+            exact.update(k, 1);
+        }
+        let truth = exact.distinct() as f64;
+        assert_eq!(truth, distinct_keys as f64, "exact ground truth sanity");
+
+        let estimates: Vec<Estimate> = (0..RUNS)
+            .map(|run| {
+                let mut rng = StdRng::seed_from_u64(seed_base + run as u64);
+                let mut sampled = Sampled::hyperloglog(12, p, &mut rng).unwrap();
+                sampled.feed_batch(&stream);
+                sampled.distinct_estimate()
+            })
+            .collect();
+        let clt = estimates
+            .iter()
+            .filter(|e| e.clt(LEVEL).unwrap().contains(truth))
+            .count() as f64
+            / RUNS as f64;
+        let cheb = estimates
+            .iter()
+            .filter(|e| e.chebyshev(LEVEL).unwrap().contains(truth))
+            .count() as f64
+            / RUNS as f64;
+        assert!(
+            clt >= floor(),
+            "{name}: CLT coverage {clt:.3} below floor {:.3}",
+            floor()
+        );
+        assert!(
+            cheb >= clt,
+            "{name}: Chebyshev coverage {cheb:.3} below CLT coverage {clt:.3}"
+        );
+        // The point estimate must be honest about where it stands. In the
+        // high-frequency regime the plug-in is near-exact, so the mean
+        // must land within 10% of the truth. In the low-frequency regime
+        // the homogeneous model is *biased* (f̄ = N/D′ overstates the mean
+        // frequency because D′ < D, understating the correction) — the
+        // contract is that the model-error term in the variance covers
+        // that bias, i.e. the truth sits within one reported σ.
+        let mean_value = estimates.iter().map(|e| e.value).sum::<f64>() / RUNS as f64;
+        let mean_sd = estimates.iter().map(|e| e.variance.sqrt()).sum::<f64>() / RUNS as f64;
+        if copies >= 20 {
+            assert!(
+                (mean_value - truth).abs() / truth < 0.10,
+                "{name}: mean corrected F₀ {mean_value:.0} more than 10% from {truth}"
+            );
+        } else {
+            assert!(
+                (mean_value - truth).abs() <= mean_sd,
+                "{name}: residual bias |{mean_value:.0} − {truth}| exceeds the \
+                 reported σ {mean_sd:.0} — the model-error pricing is dishonest"
+            );
+        }
+    }
 }
 
 /// The closed-form sampling variance used by the plug-ins agrees with the

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::{EpochShedder, JoinEstimator, LoadSheddingSketcher};
+use sketch_sampled_streams::core::{EpochShedder, JoinQuery, LoadSheddingSketcher};
 use sketch_sampled_streams::sketch::{AgmsSchema, CountMinSchema, Estimate, FagmsSchema};
 use sketch_sampled_streams::stream::{parallel_shed, EngineBuilder, RuntimeConfig, ShardedRuntime};
 
@@ -86,12 +86,12 @@ proptest! {
 
         // Trait methods agree with the inherent ones.
         prop_assert_eq!(
-            JoinEstimator::self_join_estimate(&af).value.to_bits(),
-            JoinEstimator::self_join(&af).to_bits()
+            JoinQuery::self_join_estimate(&af).value.to_bits(),
+            JoinQuery::self_join(&af).to_bits()
         );
         prop_assert_eq!(
-            JoinEstimator::self_join_estimate(&cf).value.to_bits(),
-            JoinEstimator::self_join(&cf).to_bits()
+            JoinQuery::self_join_estimate(&cf).value.to_bits(),
+            JoinQuery::self_join(&cf).to_bits()
         );
 
         assert_coherent(&af.self_join_estimate());

@@ -1,0 +1,221 @@
+//! Merge and retraction properties of the new F₀/quantile backends
+//! (`HyperLogLog`, `KllSketch`) under the `Summary` contract.
+//!
+//! The sharded runtime partitions tuples arbitrarily across shards and
+//! re-merges on query, so the whole one-pass design rests on merges being
+//! order-insensitive: commutative bit-for-bit for the monotone register
+//! maximum (HLL), and guarantee-preserving in either order for the lossy
+//! compactor (KLL). Retraction is the opposite contract — both backends
+//! must *refuse* it honestly, and the snapshot cache must notice and fall
+//! back to full re-merges instead of serving a corrupt delta rebuild.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketch_sampled_streams::core::{DistinctQuery, Error, QuantileQuery, Sampled, Summary};
+use sketch_sampled_streams::sketch::{HyperLogLog, KllSketch};
+use sketch_sampled_streams::stream::{RuntimeConfig, ShardedRuntime};
+
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..10_000u64, 1..300)
+}
+
+/// Normalized exact rank of `value` in `all` (fraction strictly below).
+fn exact_rank(all: &[u64], value: f64) -> f64 {
+    let below = all.iter().filter(|&&x| (x as f64) < value).count();
+    below as f64 / all.len() as f64
+}
+
+proptest! {
+    /// HLL merging is the register-wise maximum: commutative and
+    /// idempotent *bit-for-bit*, and identical to summarizing the
+    /// concatenated stream directly — the property that makes arbitrary
+    /// shard partitioning invisible to F₀ queries.
+    #[test]
+    fn hll_merge_is_commutative_idempotent_and_union_exact(
+        a in stream(),
+        b in stream(),
+    ) {
+        let empty = HyperLogLog::with_seed(10, 0xF0F0).unwrap();
+        let mut ha = empty.clone();
+        ha.insert_batch(&a);
+        let mut hb = empty.clone();
+        hb.insert_batch(&b);
+
+        let mut ab = ha.clone();
+        ab.merge_from(&hb).unwrap();
+        let mut ba = hb.clone();
+        ba.merge_from(&ha).unwrap();
+        prop_assert_eq!(ab.distinct().to_bits(), ba.distinct().to_bits());
+
+        // Merge ≡ concatenation.
+        let mut direct = empty.clone();
+        direct.insert_batch(&a);
+        direct.insert_batch(&b);
+        prop_assert_eq!(ab.distinct().to_bits(), direct.distinct().to_bits());
+
+        // Idempotent: max(x, x) = x.
+        let before = ab.distinct().to_bits();
+        let twin = ab.clone();
+        ab.merge_from(&twin).unwrap();
+        prop_assert_eq!(ab.distinct().to_bits(), before);
+    }
+
+    /// KLL merging is lossy (compaction discards items), so the two merge
+    /// orders need not be bit-identical — but both must summarize the
+    /// same union: identical total weight, and every reported quantile's
+    /// exact rank within the advertised ε of the request (with slack for
+    /// the discrete grid).
+    #[test]
+    fn kll_merge_order_preserves_the_rank_guarantee(
+        a in stream(),
+        b in stream(),
+    ) {
+        let empty = KllSketch::with_seed(200, 0x6B6C).unwrap();
+        let mut ka = empty.clone();
+        ka.insert_batch(&a);
+        let mut kb = empty.clone();
+        kb.insert_batch(&b);
+
+        let mut ab = ka.clone();
+        ab.merge_from(&kb).unwrap();
+        let mut ba = kb.clone();
+        ba.merge_from(&ka).unwrap();
+
+        let n = (a.len() + b.len()) as u64;
+        prop_assert_eq!(ab.stream_len(), n);
+        prop_assert_eq!(ba.stream_len(), n);
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        // ε plus one grid step: the exact rank of a discrete order
+        // statistic can sit a full 1/n from the requested q even for an
+        // exact summary.
+        let tol = ab.rank_error() + 1.0 / all.len() as f64 + 1e-9;
+        for merged in [&ab, &ba] {
+            for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let v = merged.quantile(q).unwrap();
+                let r = exact_rank(&all, v);
+                prop_assert!(
+                    (r - q).abs() <= tol,
+                    "q = {}, reported value {} has exact rank {} (tol {})",
+                    q, v, r, tol
+                );
+            }
+        }
+    }
+
+    /// Both backends — bare and behind the `Sampled` lens — honestly
+    /// refuse retraction: `supports_retract()` is false and
+    /// `retract_from` is a typed error, never a silent corruption.
+    #[test]
+    fn monotone_summaries_refuse_retraction(a in stream()) {
+        let mut hll = HyperLogLog::with_seed(10, 1).unwrap();
+        hll.insert_batch(&a);
+        let hll_twin = hll.clone();
+        prop_assert!(!hll.supports_retract());
+        prop_assert!(matches!(
+            hll.retract_from(&hll_twin),
+            Err(Error::RetractUnsupported)
+        ));
+
+        let mut kll = KllSketch::with_seed(64, 2).unwrap();
+        kll.insert_batch(&a);
+        let kll_twin = kll.clone();
+        prop_assert!(!kll.supports_retract());
+        prop_assert!(matches!(
+            kll.retract_from(&kll_twin),
+            Err(Error::RetractUnsupported)
+        ));
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampled = Sampled::hyperloglog(10, 0.5, &mut rng).unwrap();
+        sampled.feed_batch(&a);
+        let sampled_twin = sampled.clone();
+        prop_assert!(!sampled.supports_retract());
+        prop_assert!(sampled.retract_from(&sampled_twin).is_err());
+    }
+}
+
+/// The snapshot cache keys its delta-rebuild path off
+/// `supports_retract()`: with a HyperLogLog prototype every post-ingest
+/// query is a *full* rebuild (never a partial one — partial requires
+/// retracting the stale shard), while quiet queries still hit the cache.
+#[test]
+fn snapshot_cache_falls_back_to_full_rebuilds_for_hll() {
+    let proto = HyperLogLog::with_seed(12, 0xCAFE).unwrap();
+    let config = RuntimeConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut rt = ShardedRuntime::new(config, &proto).unwrap();
+
+    let first: Vec<u64> = (0..5_000u64).collect();
+    rt.push(&first).unwrap();
+    let merged = rt.merged().unwrap();
+    let d = merged.distinct();
+    assert!(
+        (d - 5_000.0).abs() / 5_000.0 < 0.05,
+        "merged F₀ {d} not within 5% of 5000"
+    );
+    let stats = rt.cache_stats();
+    assert_eq!(stats.full_rebuilds, 1, "first query is a full rebuild");
+    assert_eq!(stats.partial_rebuilds, 0);
+
+    // New ingest dirties shards; HLL cannot retract, so the refresh is
+    // another full re-merge — and stays exact: the union now spans 6000
+    // distinct keys.
+    let second: Vec<u64> = (5_000..6_000u64).collect();
+    rt.push(&second).unwrap();
+    let merged = rt.merged().unwrap();
+    let d = merged.distinct();
+    assert!(
+        (d - 6_000.0).abs() / 6_000.0 < 0.05,
+        "post-refresh F₀ {d} not within 5% of 6000"
+    );
+    let stats = rt.cache_stats();
+    assert_eq!(
+        stats.full_rebuilds, 2,
+        "dirty query fell back to full rebuild"
+    );
+    assert_eq!(
+        stats.partial_rebuilds, 0,
+        "no partial path without retraction"
+    );
+
+    // No intervening ingest: pure cache hit, bit-identical answer.
+    let again = rt.merged().unwrap();
+    assert_eq!(again.distinct().to_bits(), merged.distinct().to_bits());
+    assert!(rt.cache_stats().hits >= 1);
+}
+
+/// Same fallback contract for the KLL prototype, checked through the
+/// quantile surface: the re-merged summary covers both ingest waves.
+#[test]
+fn snapshot_cache_falls_back_to_full_rebuilds_for_kll() {
+    let proto = KllSketch::with_seed(200, 0xBEEF).unwrap();
+    let config = RuntimeConfig {
+        shards: 2,
+        ..Default::default()
+    };
+    let mut rt = ShardedRuntime::new(config, &proto).unwrap();
+
+    let first: Vec<u64> = (0..10_000u64).collect();
+    rt.push(&first).unwrap();
+    let merged = rt.merged().unwrap();
+    assert_eq!(merged.stream_len(), 10_000);
+    assert_eq!(rt.cache_stats().full_rebuilds, 1);
+
+    let second: Vec<u64> = (10_000..20_000u64).collect();
+    rt.push(&second).unwrap();
+    let merged = rt.merged().unwrap();
+    assert_eq!(merged.stream_len(), 20_000);
+    let median = merged.quantile(0.5).unwrap();
+    assert!(
+        (median - 10_000.0).abs() / 20_000.0 <= merged.rank_error() + 0.01,
+        "median {median} outside rank envelope around 10000"
+    );
+    let stats = rt.cache_stats();
+    assert_eq!(stats.full_rebuilds, 2);
+    assert_eq!(stats.partial_rebuilds, 0);
+}

@@ -22,7 +22,7 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sketch_sampled_streams::core::SampledTopK;
+use sketch_sampled_streams::core::Sampled;
 use sketch_sampled_streams::datagen::ZipfGenerator;
 use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::sketch::{CountSketchTopK, FagmsSchema, HeavyHitters, MisraGries};
@@ -49,7 +49,7 @@ fn partition() -> impl Strategy<Value = Partition> {
 
 /// Feed `keys` through a sharded runtime over `proto` and return the
 /// merged summary, exercising the snapshot path with a mid-stream query.
-fn sharded<H: HeavyHitters + sketch_sampled_streams::core::StreamSummary>(
+fn sharded<H: HeavyHitters + sketch_sampled_streams::core::Summary>(
     proto: &H,
     keys: &[u64],
     shards: usize,
@@ -137,7 +137,7 @@ fn zipf_top50_recall_at_ten_percent_sample() {
     let true_top: HashSet<u64> = exact.top_k(k).into_iter().map(|(key, _)| key).collect();
 
     let schema: FagmsSchema = FagmsSchema::new(5, 4096, &mut rng);
-    let mut tracker = SampledTopK::count_sketch(&schema, 4 * k, 0.1, &mut rng).unwrap();
+    let mut tracker = Sampled::count_sketch(&schema, 4 * k, 0.1, &mut rng).unwrap();
     tracker.feed_batch(&stream);
 
     // Memory gate: O(k + sketch) — the counter total is the fixed sketch
@@ -180,12 +180,12 @@ fn sampled_frequency_correction_is_unbiased() {
     let mut cs_sum = 0.0;
     for rep in 0..reps {
         let mut rng = StdRng::seed_from_u64(1000 + rep);
-        let mut mg = SampledTopK::misra_gries(256, p, &mut rng).unwrap();
+        let mut mg = Sampled::misra_gries(256, p, &mut rng).unwrap();
         mg.feed_batch(&stream);
         mg_sum += mg.point_estimate(7).value;
 
         let schema: FagmsSchema = FagmsSchema::new(5, 1024, &mut rng);
-        let mut cs = SampledTopK::count_sketch(&schema, 64, p, &mut rng).unwrap();
+        let mut cs = Sampled::count_sketch(&schema, 64, p, &mut rng).unwrap();
         cs.feed_batch(&stream);
         cs_sum += cs.point_estimate(7).value;
     }
