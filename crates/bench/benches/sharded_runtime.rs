@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_bench::experiments::PacedSketch;
 use sss_core::sketch::JoinSchema;
-use sss_core::JoinQuery;
+use sss_core::{JoinQuery, Summary};
 use sss_stream::{Partition, RuntimeConfig, ShardedRuntime};
 use std::hint::black_box;
 use std::time::Duration;
@@ -23,7 +23,7 @@ const TUPLES: usize = 200_000;
 const BATCH: usize = 4_096;
 const PAUSE_US: u64 = 50;
 
-fn ingest<E: JoinQuery>(prototype: &E, shards: usize, stream: &[u64]) -> E {
+fn ingest<E: Summary + JoinQuery>(prototype: &E, shards: usize, stream: &[u64]) -> E {
     let config = RuntimeConfig {
         shards,
         queue_depth: 8,

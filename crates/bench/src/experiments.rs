@@ -438,7 +438,7 @@ struct RuntimeGauges {
 /// Push `stream` through a fresh sharded runtime and merge at the end,
 /// returning the merged estimator, the wall-clock measurement, and the
 /// runtime's own gauges as of just before the merge.
-fn sharded_run<E: JoinQuery>(
+fn sharded_run<E: Summary + JoinQuery>(
     prototype: &E,
     config: RuntimeConfig,
     stream: &[u64],

@@ -46,8 +46,12 @@
 
 use crate::compaction::QueryCache;
 use crate::error::{Error, Result};
+use crate::portable::{TAG_AGMS, TAG_EPOCHS, TAG_FAGMS};
 use crate::shedding::{bernoulli_self_join, skip_sample_batch};
 use crate::sketch::{JoinSchema, JoinSketch};
+use crate::slim::SlimJoin;
+use crate::summary::Portable;
+use crate::wire;
 use rand::rngs::StdRng;
 use rand::Rng;
 use sss_sampling::bernoulli::GeometricSkip;
@@ -471,6 +475,144 @@ impl EpochShedder {
         }
         Ok((merged, p, kept))
     }
+
+    /// Project the shedder to a [`SlimJoin`] read replica: the combined
+    /// [`EpochShedder::self_join_estimate`] (value, per-lane basics,
+    /// stacked sketch + sampling variance) plus this shedder's
+    /// configuration fingerprint. The replica answers `self_join()`
+    /// bit-identically to the fat shedder at projection time in O(lanes)
+    /// bytes, however many epochs the fat side holds.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EpochShedder::self_join_estimate`].
+    pub fn slim(&self) -> Result<SlimJoin> {
+        Ok(SlimJoin::project(
+            Portable::fingerprint(self),
+            self.self_join_estimate()?,
+        ))
+    }
+}
+
+/// The wire body of an [`EpochShedder`]: the schema plus every epoch in
+/// parallel columns (the vendored serde backend has no tuple impls).
+/// Sampling probabilities travel as IEEE-754 bit patterns per the
+/// [`crate::wire`] determinism invariant.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EpochShedderRepr {
+    schema: JoinSchema,
+    epoch_p_bits: Vec<u64>,
+    epoch_sketches: Vec<JoinSketch>,
+    epoch_kept: Vec<u64>,
+    epoch_seen: Vec<u64>,
+    epoch_versions: Vec<u64>,
+    current: u64,
+    gap: u64,
+}
+
+/// Wire encoding for epoch-shedded state.
+///
+/// The geometric-skip RNG is **not** serialized — `StdRng` has no stable
+/// wire representation. [`Portable::decode`] reconstructs the sampler at
+/// the current epoch's rate from a seed derived deterministically from the
+/// serialized state, and carries the pending `gap` over, so a decoded
+/// shedder (a) is deterministic given the bytes and (b) keeps drawing
+/// exact `Bernoulli(p)` inclusion decisions — every estimate stays
+/// unbiased. What is *not* preserved is the source's private coin
+/// sequence: a decoded shedder and its live source diverge on which
+/// individual future tuples they keep. All query state (epochs, sketches,
+/// counts) round-trips exactly, so estimates at decode time are
+/// bit-identical.
+impl Portable for EpochShedder {
+    const KIND: &'static str = "epochs";
+    const FORMAT: u32 = 1;
+
+    /// Fingerprint of the shared sketch schema (all epochs use it), tagged
+    /// so it can never collide with a bare [`JoinSketch`] payload of the
+    /// same schema.
+    fn fingerprint(&self) -> u64 {
+        let schema_words = match &self.schema {
+            JoinSchema::Agms(s) => vec![TAG_AGMS, s.id(), s.len() as u64],
+            JoinSchema::Fagms(s) => {
+                vec![TAG_FAGMS, s.id(), s.depth() as u64, s.width() as u64]
+            }
+        };
+        let mut words = vec![TAG_EPOCHS];
+        words.extend(schema_words);
+        wire::fingerprint(&words)
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        let repr = EpochShedderRepr {
+            schema: self.schema.clone(),
+            epoch_p_bits: self.epochs.iter().map(|e| wire::bits_of(e.p)).collect(),
+            epoch_sketches: self.epochs.iter().map(|e| e.sketch.clone()).collect(),
+            epoch_kept: self.epochs.iter().map(|e| e.kept).collect(),
+            epoch_seen: self.epochs.iter().map(|e| e.seen).collect(),
+            epoch_versions: self.epochs.iter().map(|e| e.version).collect(),
+            current: self.current as u64,
+            gap: self.gap,
+        };
+        wire::encode_envelope(Self::KIND, Self::FORMAT, Portable::fingerprint(self), repr)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let repr: EpochShedderRepr = wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)?;
+        let n = repr.epoch_sketches.len();
+        if n == 0
+            || repr.epoch_p_bits.len() != n
+            || repr.epoch_kept.len() != n
+            || repr.epoch_seen.len() != n
+            || repr.epoch_versions.len() != n
+        {
+            return Err(Error::Wire {
+                detail: "epochs payload has mismatched or empty columns".into(),
+            });
+        }
+        let current = repr.current as usize;
+        if current >= n {
+            return Err(Error::Wire {
+                detail: format!("current epoch {current} out of range (have {n})"),
+            });
+        }
+        let mut epochs = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = wire::f64_of(repr.epoch_p_bits[i]);
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(Error::Wire {
+                    detail: format!("epoch {i} carries invalid probability {p}"),
+                });
+            }
+            epochs.push(Epoch {
+                p,
+                sketch: repr.epoch_sketches[i].clone(),
+                kept: repr.epoch_kept[i],
+                seen: repr.epoch_seen[i],
+                version: repr.epoch_versions[i],
+            });
+        }
+        // Deterministic reseed (see the impl docs): the coin stream is a
+        // pure function of the serialized state, seeded off the counts so
+        // distinct snapshots draw distinct streams.
+        let seed = wire::fingerprint(&[
+            TAG_EPOCHS,
+            repr.gap,
+            repr.current,
+            epochs.iter().map(|e| e.seen).sum::<u64>(),
+            epochs.iter().map(|e| e.kept).sum::<u64>(),
+        ]);
+        use rand::SeedableRng;
+        let mut seed_rng = StdRng::seed_from_u64(seed);
+        let skip = GeometricSkip::<StdRng>::new(epochs[current].p, &mut seed_rng)?;
+        Ok(Self {
+            schema: repr.schema,
+            epochs,
+            current,
+            skip,
+            gap: repr.gap,
+            cache: RefCell::new(QueryCache::default()),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -827,6 +969,94 @@ mod tests {
         let g = schema.sketch();
         assert!(f.size_of_join_sketch(&g, 0.0).is_err());
         assert!(f.size_of_join_sketch(&g, 1.5).is_err());
+    }
+
+    /// Wire round-trip: all query state (epochs, sketches, counts, the
+    /// pending gap) is preserved exactly, so every estimate at decode time
+    /// is bit-identical; the reseeded coin stream only affects *future*
+    /// inclusion draws.
+    #[test]
+    fn wire_round_trip_preserves_every_estimate() {
+        use crate::summary::Portable;
+        let mut r = rng(60);
+        let schema = JoinSchema::fagms(3, 128, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.8, &mut r).unwrap();
+        for k in 0..12_000u64 {
+            shed.observe(k % 200);
+            if k == 4_000 {
+                shed.set_probability(0.3, &mut r).unwrap();
+            }
+            if k == 8_000 {
+                shed.set_probability(0.6, &mut r).unwrap();
+            }
+        }
+        let bytes = shed.encode().unwrap();
+        let back = EpochShedder::decode(&bytes).unwrap();
+        assert_eq!(back.epoch_count(), shed.epoch_count());
+        assert_eq!(back.seen(), shed.seen());
+        assert_eq!(back.kept(), shed.kept());
+        assert_eq!(back.probability(), shed.probability());
+        assert_eq!(
+            back.self_join().unwrap().to_bits(),
+            shed.self_join().unwrap().to_bits()
+        );
+        let a = shed.self_join_estimate().unwrap();
+        let b = back.self_join_estimate().unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        // Determinism: decoding twice yields identical future behavior.
+        let mut c = EpochShedder::decode(&bytes).unwrap();
+        let mut d = EpochShedder::decode(&bytes).unwrap();
+        for k in 0..5_000u64 {
+            assert_eq!(c.observe(k), d.observe(k));
+        }
+        // Fingerprint pins the schema: a different schema refuses.
+        assert_eq!(Portable::fingerprint(&back), Portable::fingerprint(&shed));
+        let other = EpochShedder::new(&JoinSchema::fagms(3, 128, &mut r), 0.8, &mut r).unwrap();
+        assert_ne!(Portable::fingerprint(&other), Portable::fingerprint(&shed));
+    }
+
+    /// The slim projection answers `self_join()` bit-identically to the
+    /// fat shedder and survives its own wire round trip.
+    #[test]
+    fn slim_projection_is_bit_identical() {
+        use crate::summary::{JoinQuery, Portable};
+        let mut r = rng(61);
+        let schema = JoinSchema::agms(16, &mut r);
+        let mut shed = EpochShedder::new(&schema, 0.7, &mut r).unwrap();
+        for k in 0..6_000u64 {
+            shed.observe(k % 90);
+            if k == 3_000 {
+                shed.set_probability(0.35, &mut r).unwrap();
+            }
+        }
+        let slim = shed.slim().unwrap();
+        assert_eq!(
+            slim.self_join().to_bits(),
+            shed.self_join().unwrap().to_bits()
+        );
+        assert_eq!(slim.fingerprint(), Portable::fingerprint(&shed));
+        let back = SlimJoin::decode(&slim.encode().unwrap()).unwrap();
+        assert_eq!(back.self_join().to_bits(), slim.self_join().to_bits());
+        assert!(slim.encode().unwrap().len() < shed.encode().unwrap().len() / 5);
+    }
+
+    /// Corrupted payloads are typed errors, not panics.
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        use crate::summary::Portable;
+        let mut r = rng(62);
+        let schema = JoinSchema::agms(4, &mut r);
+        let shed = EpochShedder::new(&schema, 0.5, &mut r).unwrap();
+        let bytes = shed.encode().unwrap();
+        // Foreign kind.
+        assert!(matches!(
+            EpochShedder::decode(&JoinSketch::encode(&schema.sketch()).unwrap()),
+            Err(Error::WireMismatch { .. })
+        ));
+        // Truncated body.
+        assert!(EpochShedder::decode(&bytes[..bytes.len() / 2]).is_err());
+        assert!(EpochShedder::decode(b"{}").is_err());
     }
 
     #[test]

@@ -39,6 +39,37 @@ pub enum Error {
     /// re-merge (see
     /// [`Summary::supports_retract`](crate::Summary::supports_retract)).
     RetractUnsupported,
+    /// A wire payload could not be encoded or decoded
+    /// ([`Portable`](crate::Portable)): malformed bytes, an unsupported
+    /// format version, or a serializer refusal.
+    Wire {
+        /// What went wrong, for diagnostics.
+        detail: String,
+    },
+    /// A wire payload decoded cleanly but carries a different summary kind
+    /// or format than the receiver expected.
+    WireMismatch {
+        /// The kind/format the receiver expected.
+        expected: String,
+        /// The kind/format found in the payload head.
+        found: String,
+    },
+    /// Two portable summaries have incompatible configuration fingerprints
+    /// (different seeds, width/depth, precision, …) and must not merge.
+    FingerprintMismatch {
+        /// The receiver's fingerprint.
+        expected: u64,
+        /// The payload's fingerprint.
+        found: u64,
+    },
+    /// A slim replica was asked a query its projection cannot answer; the
+    /// fat update-side summary must be consulted instead.
+    UnsupportedQuery {
+        /// The query that was attempted.
+        query: &'static str,
+        /// The summary that rejected it.
+        summary: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -75,6 +106,25 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "estimator does not support exact retraction (supports_retract() is false)"
+                )
+            }
+            Error::Wire { detail } => {
+                write!(f, "wire codec: {detail}")
+            }
+            Error::WireMismatch { expected, found } => {
+                write!(f, "wire payload is {found}, expected {expected}")
+            }
+            Error::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "configuration fingerprint {found:#018x} does not match {expected:#018x}: \
+                     only like-configured summaries merge"
+                )
+            }
+            Error::UnsupportedQuery { query, summary } => {
+                write!(
+                    f,
+                    "{summary} cannot answer {query}: query the fat update-side summary instead"
                 )
             }
         }

@@ -62,30 +62,33 @@ pub mod coordinated;
 pub mod cross;
 pub mod epochs;
 pub mod error;
-pub mod estimator;
 pub mod iid;
 pub mod multi;
+pub mod portable;
 pub mod sampled;
 pub mod scan;
 pub mod shedding;
 pub mod sketch;
+pub mod slim;
 pub mod summary;
 pub mod topk;
+pub mod wire;
 
 pub use compaction::{RateGrid, ReferenceEpochShedder};
 pub use coordinated::CoordinatedShedder;
 pub use cross::RatedSketch;
 pub use epochs::EpochShedder;
 pub use error::{Error, Result};
-#[allow(deprecated)]
-pub use estimator::{JoinEstimator, StreamSummary};
 pub use iid::IidStreamSketcher;
 pub use multi::{MultiSpec, MultiSummary, SampledMultiSummary};
 pub use sampled::{bernoulli_distinct_estimate, Sampled};
 pub use scan::ScanSketcher;
 pub use shedding::{bernoulli_self_join, bernoulli_self_join_estimate, LoadSheddingSketcher};
 pub use sketch::{JoinSchema, JoinSketch};
+pub use slim::{SlimJoin, SlimMultiSummary, SlimTopK};
 pub use sss_sketch::{Bound, Estimate};
-pub use summary::{DistinctQuery, JoinQuery, QuantileQuery, Summary, TopKQuery};
+pub use summary::{
+    DistinctQuery, JoinQuery, Portable, QuantileQuery, SlimQuery, Summary, TopKQuery,
+};
 #[allow(deprecated)]
 pub use topk::SampledTopK;

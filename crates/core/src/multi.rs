@@ -111,7 +111,7 @@ impl MultiSpec {
 
 /// The composite summary: F₂ + top-k + F₀ + quantiles from one ingestion
 /// pass. See the module docs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MultiSummary {
     join: JoinSketch,
     topk: CountSketchTopK,

@@ -1,0 +1,384 @@
+//! [`Portable`] implementations for every serializable summary backend.
+//!
+//! Each impl pairs the backend's existing serde representation with a
+//! [`crate::wire`] envelope: the kind tag names the concrete shape, the
+//! format version pins the body layout, and the fingerprint hashes exactly
+//! the configuration its `merge`/`merge_from` compatibility check depends
+//! on — schema identities (which stand in for the random seeds they were
+//! drawn with), dimensions, precision, capacities. Two summaries merge
+//! through the wire iff they would merge in memory.
+//!
+//! Not here, deliberately:
+//!
+//! * [`crate::Sampled`] — carries a live `StdRng` skip-sampler whose
+//!   state is not serializable; snapshot the *inner* summary (or use
+//!   [`crate::EpochShedder`], which documents its RNG reseeding rule).
+//! * [`crate::EpochShedder`] — implemented in [`crate::epochs`], next to
+//!   the private state it serializes.
+
+use crate::error::Result;
+use crate::multi::MultiSummary;
+use crate::sketch::JoinSketch;
+use crate::summary::Portable;
+use crate::wire;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use sss_sketch::{
+    AgmsSketch, CountMinSketch, CountSketchTopK, FagmsSketch, HyperLogLog, KllSketch, MisraGries,
+};
+use sss_xi::{BucketFamily, SignFamily};
+
+// Kind discriminant words folded into each fingerprint so that two
+// backends whose remaining configuration words collide (e.g. equal
+// depth/width) still fingerprint apart.
+pub(crate) const TAG_AGMS: u64 = 0x01;
+pub(crate) const TAG_FAGMS: u64 = 0x02;
+pub(crate) const TAG_COUNTMIN: u64 = 0x03;
+pub(crate) const TAG_MISRA_GRIES: u64 = 0x04;
+pub(crate) const TAG_CS_TOPK: u64 = 0x05;
+pub(crate) const TAG_HLL: u64 = 0x06;
+pub(crate) const TAG_KLL: u64 = 0x07;
+pub(crate) const TAG_EPOCHS: u64 = 0x08;
+
+impl<F> Portable for AgmsSketch<F>
+where
+    F: SignFamily + Serialize + DeserializeOwned,
+{
+    const KIND: &'static str = "agms";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        let schema = self.schema();
+        wire::fingerprint(&[TAG_AGMS, schema.id(), schema.len() as u64])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+impl<S, B> Portable for FagmsSketch<S, B>
+where
+    S: SignFamily + Serialize + DeserializeOwned,
+    B: BucketFamily + Serialize + DeserializeOwned,
+{
+    const KIND: &'static str = "fagms";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        let schema = self.schema();
+        wire::fingerprint(&[
+            TAG_FAGMS,
+            schema.id(),
+            schema.depth() as u64,
+            schema.width() as u64,
+        ])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+impl<B> Portable for CountMinSketch<B>
+where
+    B: BucketFamily + Serialize + DeserializeOwned,
+{
+    const KIND: &'static str = "countmin";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        let schema = self.schema();
+        wire::fingerprint(&[
+            TAG_COUNTMIN,
+            schema.id(),
+            schema.depth() as u64,
+            schema.width() as u64,
+        ])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// The backend enum fingerprints like its active variant (plus the
+/// variant's tag), so an AGMS-backed and an F-AGMS-backed [`JoinSketch`]
+/// of coincidentally equal dimensions never claim compatibility.
+impl Portable for JoinSketch {
+    const KIND: &'static str = "join";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            JoinSketch::Agms(s) => {
+                wire::fingerprint(&[TAG_AGMS, s.schema().id(), s.schema().len() as u64])
+            }
+            JoinSketch::Fagms(s) => wire::fingerprint(&[
+                TAG_FAGMS,
+                s.schema().id(),
+                s.schema().depth() as u64,
+                s.schema().width() as u64,
+            ]),
+        }
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// Misra–Gries summaries merge whenever their capacities agree — there is
+/// no randomness to pin — so the fingerprint covers exactly that.
+impl Portable for MisraGries {
+    const KIND: &'static str = "misra-gries";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        wire::fingerprint(&[TAG_MISRA_GRIES, self.capacity() as u64])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+impl<S, B> Portable for CountSketchTopK<S, B>
+where
+    S: SignFamily + Serialize + DeserializeOwned,
+    B: BucketFamily + Serialize + DeserializeOwned,
+{
+    const KIND: &'static str = "cs-topk";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        let schema = self.sketch().schema();
+        wire::fingerprint(&[
+            TAG_CS_TOPK,
+            schema.id(),
+            schema.depth() as u64,
+            schema.width() as u64,
+            self.capacity() as u64,
+        ])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// HyperLogLog merges iff precision *and* hash seed agree (the module
+/// docs' schema identity), so both enter the fingerprint.
+impl Portable for HyperLogLog {
+    const KIND: &'static str = "hll";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        wire::fingerprint(&[TAG_HLL, self.precision() as u64, self.seed()])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// KLL merges on equal accuracy parameter `k` alone — the coin seed is
+/// private randomness, not shared structure — so only `k` fingerprints.
+impl Portable for KllSketch {
+    const KIND: &'static str = "kll";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        wire::fingerprint(&[TAG_KLL, self.k() as u64])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// The composite fingerprints as the chain of its constituents'
+/// fingerprints — two `MultiSummary`s are wire-compatible iff every part
+/// is, which mirrors `merge_from`'s part-by-part checks exactly.
+impl Portable for MultiSummary {
+    const KIND: &'static str = "multi";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        wire::fingerprint(&[
+            self.join().fingerprint(),
+            self.topk().fingerprint(),
+            self.hll().fingerprint(),
+            self.kll().fingerprint(),
+        ])
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint(), self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::sketch::JoinSchema;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_sketch::topk::HeavyHitters;
+    use sss_sketch::FagmsSchema;
+
+    #[test]
+    fn join_sketch_round_trips_through_the_wire() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = JoinSchema::fagms(3, 64, &mut rng);
+        let mut s = schema.sketch();
+        for k in 0..500u64 {
+            s.update(k, (k % 3 + 1) as i64);
+        }
+        let bytes = s.encode().unwrap();
+        let head = wire::peek(&bytes).unwrap();
+        assert_eq!(head.kind, "join");
+        assert_eq!(head.fingerprint, s.fingerprint());
+        let back = JoinSketch::decode(&bytes).unwrap();
+        assert_eq!(
+            back.raw_self_join().to_bits(),
+            s.raw_self_join().to_bits(),
+            "decode must reproduce the estimate exactly"
+        );
+    }
+
+    #[test]
+    fn merge_encoded_equals_in_memory_merge() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let schema = JoinSchema::agms(32, &mut rng);
+        let mut a = schema.sketch();
+        let mut b = schema.sketch();
+        a.update_batch(&[1, 2, 3, 4, 5]);
+        b.update_batch(&[3, 4, 5, 6, 7]);
+        let mut in_memory = a.clone();
+        in_memory.merge_from(&b).unwrap();
+        let mut through_wire = a.clone();
+        through_wire.merge_encoded(&b.encode().unwrap()).unwrap();
+        assert_eq!(
+            through_wire.raw_self_join().to_bits(),
+            in_memory.raw_self_join().to_bits()
+        );
+    }
+
+    #[test]
+    fn mismatched_fingerprints_refuse_to_merge() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut a = JoinSchema::fagms(2, 32, &mut rng).sketch();
+        let b = JoinSchema::fagms(2, 32, &mut rng).sketch();
+        let err = a.merge_encoded(&b.encode().unwrap()).unwrap_err();
+        assert!(matches!(err, Error::FingerprintMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn foreign_kind_is_a_wire_mismatch() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let hll = HyperLogLog::with_seed(12, 5).unwrap();
+        let bytes = hll.encode().unwrap();
+        assert!(matches!(
+            KllSketch::decode(&bytes),
+            Err(Error::WireMismatch { .. })
+        ));
+        let tk: CountSketchTopK =
+            CountSketchTopK::new(&FagmsSchema::new(2, 16, &mut rng), 4).unwrap();
+        assert!(matches!(
+            MisraGries::decode(&tk.encode().unwrap()),
+            Err(Error::WireMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn topk_summaries_round_trip_with_candidates() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let schema: FagmsSchema = FagmsSchema::new(3, 128, &mut rng);
+        let mut tk: CountSketchTopK = CountSketchTopK::new(&schema, 8).unwrap();
+        let mut mg = MisraGries::new(8).unwrap();
+        let keys: Vec<u64> = (0..3_000u64).map(|i| i % 37).collect();
+        tk.offer_batch(&keys);
+        mg.offer_batch(&keys);
+        let tk2: CountSketchTopK = CountSketchTopK::decode(&tk.encode().unwrap()).unwrap();
+        assert_eq!(tk.raw_top_k(8), tk2.raw_top_k(8));
+        assert_eq!(tk.items_offered(), tk2.items_offered());
+        let mg2 = MisraGries::decode(&mg.encode().unwrap()).unwrap();
+        assert_eq!(mg.raw_top_k(8), mg2.raw_top_k(8));
+        assert_eq!(mg.error_bound(), mg2.error_bound());
+    }
+
+    #[test]
+    fn multi_summary_round_trips_and_fingerprints_all_parts() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let spec = crate::MultiSpec::new(JoinSchema::fagms(2, 64, &mut rng), &mut rng);
+        let mut m = spec.summary().unwrap();
+        m.update_batch(&(0..2_000u64).map(|i| i % 99).collect::<Vec<_>>());
+        let back = MultiSummary::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(back.fingerprint(), m.fingerprint());
+        assert_eq!(
+            crate::JoinQuery::self_join(&back).to_bits(),
+            crate::JoinQuery::self_join(&m).to_bits()
+        );
+        assert_eq!(
+            crate::DistinctQuery::distinct(&back).to_bits(),
+            crate::DistinctQuery::distinct(&m).to_bits()
+        );
+        // A spec with different seeds fingerprints apart.
+        let mut rng2 = StdRng::seed_from_u64(17);
+        let other = crate::MultiSpec::new(JoinSchema::fagms(2, 64, &mut rng2), &mut rng2)
+            .summary()
+            .unwrap();
+        assert_ne!(other.fingerprint(), m.fingerprint());
+    }
+
+    /// Encoding is deterministic: the same state always yields the same
+    /// bytes (hash-map-backed summaries serialize in sorted key order).
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut mg = MisraGries::new(16).unwrap();
+        mg.offer_batch(&(0..500u64).map(|i| i % 23).collect::<Vec<_>>());
+        assert_eq!(mg.encode().unwrap(), mg.encode().unwrap());
+        let mut mg2 = mg.clone();
+        mg2.offer(999, 1);
+        assert_ne!(mg.encode().unwrap(), mg2.encode().unwrap());
+    }
+}

@@ -76,6 +76,12 @@ use sss_sketch::{CountSketchTopK, Estimate, FagmsSchema, HyperLogLog, KllSketch,
 /// Bernoulli load shedder in front of any mergeable summary; query
 /// corrections are unlocked by the capabilities of `S` (see the module
 /// docs).
+///
+/// Deliberately **not** [`crate::Portable`]: the live `StdRng` behind the
+/// geometric skip has no stable wire representation, and a reseeded
+/// decode would silently decorrelate a snapshot from its source sampler.
+/// Ship the inner summary (plus `p`/`seen`/`kept`, which the typed
+/// estimates already carry) instead.
 #[derive(Debug, Clone)]
 pub struct Sampled<S: Summary> {
     summary: S,
@@ -260,7 +266,7 @@ impl<S: Summary> Summary for Sampled<S> {
     }
 }
 
-impl<S: JoinQuery> Sampled<S> {
+impl<S: Summary + JoinQuery> Sampled<S> {
     /// Bernoulli-corrected self-join (F₂) estimate of the full offered
     /// stream (paper Proposition 14): `X = S²/p² − (1−p)/p² · |F′|`.
     pub fn self_join(&self) -> f64 {
@@ -326,7 +332,7 @@ impl<S: JoinQuery> Sampled<S> {
     }
 }
 
-impl<S: TopKQuery> Sampled<S> {
+impl<S: Summary + TopKQuery> Sampled<S> {
     /// Typed full-stream frequency estimate for one key: the summary's raw
     /// sample-frequency estimate scaled by `1/p`, with the summary noise
     /// (`/p²`) and the binomial thinning plug-in stacked into the variance.
@@ -360,7 +366,7 @@ impl<S: TopKQuery> Sampled<S> {
     }
 }
 
-impl<S: DistinctQuery> Sampled<S> {
+impl<S: Summary + DistinctQuery> Sampled<S> {
     /// Corrected full-stream distinct-count (F₀) estimate — the point
     /// value of [`distinct_estimate`](Sampled::distinct_estimate).
     pub fn distinct(&self) -> f64 {
@@ -375,7 +381,7 @@ impl<S: DistinctQuery> Sampled<S> {
     }
 }
 
-impl<S: QuantileQuery> Sampled<S> {
+impl<S: Summary + QuantileQuery> Sampled<S> {
     /// The full-stream `q`-quantile estimate: the sample's `q`-quantile,
     /// unchanged — Bernoulli sampling is rank-invariant (module docs).
     ///

@@ -1,0 +1,636 @@
+//! The slim read-side stage: compact projections of fat update-side
+//! summaries (the SF-sketch fat/slim split, arXiv 1701.04148).
+//!
+//! A fat summary spends its space on *ingestion* — the full counter
+//! matrix every update touches. Answering a query needs far less: the
+//! join estimate is a function of `depth`-or-`n` per-lane
+//! medians-of-means aggregates, a top-k answer is its ranked candidate
+//! list, and HLL/KLL state is already compact. [`SlimQuery::slim`]
+//! projects the fat state down to exactly that query-sufficient core:
+//!
+//! | fat summary | slim form | kept state |
+//! |---|---|---|
+//! | AGMS / F-AGMS / Count-Min / [`JoinSketch`] | [`SlimJoin`] | per-lane self-join basics + combined [`Estimate`] |
+//! | [`MisraGries`] / [`CountSketchTopK`] | [`SlimTopK`] | ranked candidate list + variance plug-in |
+//! | [`HyperLogLog`] | itself | registers *are* the compact state (documented pass-through) |
+//! | [`KllSketch`] | itself | compactors *are* the compact state (documented pass-through) |
+//! | [`MultiSummary`] | [`SlimMultiSummary`] | all of the above |
+//!
+//! **Answer contract.** Every query a slim form answers is bit-identical
+//! to the fat summary's answer at projection time. Queries that
+//! structurally need the full counters return
+//! [`Error::UnsupportedQuery`] instead of lying:
+//!
+//! * [`SlimJoin`] answers `self_join`/`self_join_estimate` exactly, but
+//!   `size_of_join` against another summary needs both counter matrices —
+//!   typed error.
+//! * [`SlimTopK`] answers `top_k`/`frequency` for tracked candidates
+//!   exactly; frequencies of *untracked* keys report `0.0` (for
+//!   Misra–Gries that equals the fat answer; for Count-Sketch top-k the
+//!   fat summary can point-query any key — the slim one honestly
+//!   cannot).
+//!
+//! **Slim states do not merge.** `(a+b)² ≠ a² + b²`: a lane aggregate of
+//! a union cannot be recovered from the unions' lane aggregates. The
+//! two-stage read path therefore always merges *fat* state first and
+//! projects after — see `sss-stream`'s replica hub.
+
+use crate::error::{Error, Result};
+use crate::multi::MultiSummary;
+use crate::sketch::JoinSketch;
+use crate::summary::{DistinctQuery, JoinQuery, Portable, QuantileQuery, SlimQuery, TopKQuery};
+use crate::wire;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use sss_sketch::{
+    AgmsSketch, CountMinSketch, CountSketchTopK, Estimate, FagmsSketch, HyperLogLog, KllSketch,
+    MisraGries,
+};
+use sss_xi::{BucketFamily, SignFamily};
+
+/// The slim join stage: the fat sketch's typed self-join estimate — value,
+/// variance, and the per-lane medians-of-means basics it was combined
+/// from — plus the fat configuration fingerprint. Tens of lanes instead
+/// of `depth × width` counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlimJoin {
+    estimate: Estimate,
+    fingerprint: u64,
+}
+
+impl SlimJoin {
+    /// Package a fat summary's self-join estimate as its slim stage.
+    /// `fingerprint` must be the fat summary's, so replicas built from
+    /// snapshots of differently-seeded runtimes compare unequal.
+    pub fn project(fingerprint: u64, estimate: Estimate) -> Self {
+        Self {
+            estimate,
+            fingerprint,
+        }
+    }
+
+    /// The projected estimate (value bit-identical to the fat summary's
+    /// `self_join()` at projection time).
+    pub fn estimate(&self) -> &Estimate {
+        &self.estimate
+    }
+
+    /// Number of per-lane basics carried (the slim state's size driver).
+    pub fn lanes(&self) -> usize {
+        self.estimate.basics.len()
+    }
+}
+
+impl JoinQuery for SlimJoin {
+    fn self_join(&self) -> f64 {
+        self.estimate.value
+    }
+
+    /// Slim stages carry lane aggregates, not counters; a cross-summary
+    /// inner product is unanswerable.
+    ///
+    /// # Errors
+    ///
+    /// Always [`Error::UnsupportedQuery`].
+    fn size_of_join(&self, _other: &Self) -> Result<f64> {
+        Err(Error::UnsupportedQuery {
+            query: "size_of_join",
+            summary: "SlimJoin",
+        })
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        self.estimate.clone()
+    }
+
+    fn size_of_join_estimate(&self, _other: &Self) -> Result<Estimate> {
+        Err(Error::UnsupportedQuery {
+            query: "size_of_join_estimate",
+            summary: "SlimJoin",
+        })
+    }
+}
+
+// Wire form: all floats as IEEE-754 bits (the variance may legitimately
+// be +∞ for estimators without an error model).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SlimJoinRepr {
+    value_bits: u64,
+    variance_bits: u64,
+    basics_bits: Vec<u64>,
+    fingerprint: u64,
+}
+
+impl serde::Serialize for SlimJoin {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        SlimJoinRepr {
+            value_bits: wire::bits_of(self.estimate.value),
+            variance_bits: wire::bits_of(self.estimate.variance),
+            basics_bits: self
+                .estimate
+                .basics
+                .iter()
+                .map(|&b| wire::bits_of(b))
+                .collect(),
+            fingerprint: self.fingerprint,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SlimJoin {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let repr = SlimJoinRepr::deserialize(deserializer)?;
+        Ok(Self {
+            estimate: Estimate {
+                value: wire::f64_of(repr.value_bits),
+                variance: wire::f64_of(repr.variance_bits),
+                basics: repr.basics_bits.into_iter().map(wire::f64_of).collect(),
+            },
+            fingerprint: repr.fingerprint,
+        })
+    }
+}
+
+impl Portable for SlimJoin {
+    const KIND: &'static str = "slim-join";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint, self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// The slim top-k stage: the fat summary's full ranked candidate list
+/// (estimate-descending, key-ascending tie-break — the crate-wide top-k
+/// order) plus its frequency-variance plug-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlimTopK {
+    ranked: Vec<(u64, f64)>,
+    variance: f64,
+    fingerprint: u64,
+}
+
+impl SlimTopK {
+    /// Package a fat summary's ranked candidates as its slim stage.
+    pub fn project(fingerprint: u64, ranked: Vec<(u64, f64)>, variance: f64) -> Self {
+        Self {
+            ranked,
+            variance,
+            fingerprint,
+        }
+    }
+
+    /// Number of ranked candidates carried.
+    pub fn tracked(&self) -> usize {
+        self.ranked.len()
+    }
+}
+
+impl TopKQuery for SlimTopK {
+    /// The tracked estimate, or `0.0` for untracked keys (exact for
+    /// Misra–Gries projections; honest refusal-by-zero for Count-Sketch
+    /// ones, whose fat form could point-query any key).
+    fn frequency(&self, key: u64) -> f64 {
+        self.ranked
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map_or(0.0, |&(_, est)| est)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.ranked.iter().take(k).copied().collect()
+    }
+
+    fn frequency_variance(&self) -> f64 {
+        self.variance
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SlimTopKRepr {
+    keys: Vec<u64>,
+    est_bits: Vec<u64>,
+    variance_bits: u64,
+    fingerprint: u64,
+}
+
+impl serde::Serialize for SlimTopK {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        SlimTopKRepr {
+            keys: self.ranked.iter().map(|&(k, _)| k).collect(),
+            est_bits: self.ranked.iter().map(|&(_, e)| wire::bits_of(e)).collect(),
+            variance_bits: wire::bits_of(self.variance),
+            fingerprint: self.fingerprint,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SlimTopK {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let repr = SlimTopKRepr::deserialize(deserializer)?;
+        if repr.keys.len() != repr.est_bits.len() {
+            return Err(serde::de::Error::invalid_length(
+                repr.keys.len(),
+                &"matching key/estimate columns",
+            ));
+        }
+        Ok(Self {
+            ranked: repr
+                .keys
+                .into_iter()
+                .zip(repr.est_bits.into_iter().map(wire::f64_of))
+                .collect(),
+            variance: wire::f64_of(repr.variance_bits),
+            fingerprint: repr.fingerprint,
+        })
+    }
+}
+
+impl Portable for SlimTopK {
+    const KIND: &'static str = "slim-topk";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint, self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+/// The slim composite: one slim stage per constituent capability. The
+/// HLL and KLL constituents ride along whole (they are their own compact
+/// state), so the composite's space win comes from the join and top-k
+/// stages — which is where the fat space went.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SlimMultiSummary {
+    join: SlimJoin,
+    topk: SlimTopK,
+    distinct: HyperLogLog,
+    quantiles: KllSketch,
+    fingerprint: u64,
+}
+
+impl SlimMultiSummary {
+    /// The slim join stage.
+    pub fn join(&self) -> &SlimJoin {
+        &self.join
+    }
+
+    /// The slim top-k stage.
+    pub fn topk(&self) -> &SlimTopK {
+        &self.topk
+    }
+}
+
+impl JoinQuery for SlimMultiSummary {
+    fn self_join(&self) -> f64 {
+        self.join.self_join()
+    }
+
+    fn size_of_join(&self, other: &Self) -> Result<f64> {
+        self.join.size_of_join(&other.join)
+    }
+
+    fn self_join_estimate(&self) -> Estimate {
+        self.join.self_join_estimate()
+    }
+
+    fn size_of_join_estimate(&self, other: &Self) -> Result<Estimate> {
+        self.join.size_of_join_estimate(&other.join)
+    }
+}
+
+impl TopKQuery for SlimMultiSummary {
+    fn frequency(&self, key: u64) -> f64 {
+        self.topk.frequency(key)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.topk.top_k(k)
+    }
+
+    fn frequency_variance(&self) -> f64 {
+        self.topk.frequency_variance()
+    }
+}
+
+impl DistinctQuery for SlimMultiSummary {
+    fn distinct(&self) -> f64 {
+        DistinctQuery::distinct(&self.distinct)
+    }
+
+    fn distinct_estimate(&self) -> Estimate {
+        DistinctQuery::distinct_estimate(&self.distinct)
+    }
+}
+
+impl QuantileQuery for SlimMultiSummary {
+    fn quantile(&self, q: f64) -> Result<f64> {
+        QuantileQuery::quantile(&self.quantiles, q)
+    }
+
+    fn rank(&self, value: u64) -> f64 {
+        QuantileQuery::rank(&self.quantiles, value)
+    }
+
+    fn rank_error(&self) -> f64 {
+        QuantileQuery::rank_error(&self.quantiles)
+    }
+
+    fn stream_len(&self) -> u64 {
+        QuantileQuery::stream_len(&self.quantiles)
+    }
+}
+
+impl Portable for SlimMultiSummary {
+    const KIND: &'static str = "slim-multi";
+    const FORMAT: u32 = 1;
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn encode(&self) -> Result<Vec<u8>> {
+        wire::encode_envelope(Self::KIND, Self::FORMAT, self.fingerprint, self)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        wire::decode_envelope(bytes, Self::KIND, Self::FORMAT)
+    }
+}
+
+impl<F> SlimQuery for AgmsSketch<F>
+where
+    F: SignFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+{
+    type Slim = SlimJoin;
+
+    fn slim(&self) -> SlimJoin {
+        SlimJoin::project(
+            Portable::fingerprint(self),
+            AgmsSketch::self_join_estimate(self),
+        )
+    }
+}
+
+impl<S, B> SlimQuery for FagmsSketch<S, B>
+where
+    S: SignFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+    B: BucketFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+{
+    type Slim = SlimJoin;
+
+    fn slim(&self) -> SlimJoin {
+        SlimJoin::project(
+            Portable::fingerprint(self),
+            FagmsSketch::self_join_estimate(self),
+        )
+    }
+}
+
+impl<B> SlimQuery for CountMinSketch<B>
+where
+    B: BucketFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+{
+    type Slim = SlimJoin;
+
+    fn slim(&self) -> SlimJoin {
+        SlimJoin::project(
+            Portable::fingerprint(self),
+            CountMinSketch::self_join_estimate(self),
+        )
+    }
+}
+
+impl SlimQuery for JoinSketch {
+    type Slim = SlimJoin;
+
+    fn slim(&self) -> SlimJoin {
+        SlimJoin::project(Portable::fingerprint(self), self.raw_self_join_estimate())
+    }
+}
+
+/// Projects the full tracked counter list (`capacity` entries), so every
+/// candidate query the fat summary answers, the slim one answers
+/// identically; untracked keys are 0 on both sides.
+impl SlimQuery for MisraGries {
+    type Slim = SlimTopK;
+
+    fn slim(&self) -> SlimTopK {
+        SlimTopK::project(
+            Portable::fingerprint(self),
+            TopKQuery::top_k(self, self.capacity()),
+            TopKQuery::frequency_variance(self),
+        )
+    }
+}
+
+/// Projects the ranked candidate list re-scored from the sketch at
+/// projection time; untracked keys honestly report 0 (the fat form can
+/// point-query them, the slim one cannot — documented pass-through gap).
+impl<S, B> SlimQuery for CountSketchTopK<S, B>
+where
+    S: SignFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+    B: BucketFamily + Send + Sync + 'static + Serialize + DeserializeOwned,
+{
+    type Slim = SlimTopK;
+
+    fn slim(&self) -> SlimTopK {
+        SlimTopK::project(
+            Portable::fingerprint(self),
+            TopKQuery::top_k(self, self.capacity()),
+            TopKQuery::frequency_variance(self),
+        )
+    }
+}
+
+/// Documented pass-through: the register array is already the minimal
+/// query state, so the slim form *is* the summary.
+impl SlimQuery for HyperLogLog {
+    type Slim = HyperLogLog;
+
+    fn slim(&self) -> HyperLogLog {
+        self.clone()
+    }
+}
+
+/// Documented pass-through: the compactor contents are already the
+/// minimal query state, so the slim form *is* the summary.
+impl SlimQuery for KllSketch {
+    type Slim = KllSketch;
+
+    fn slim(&self) -> KllSketch {
+        self.clone()
+    }
+}
+
+impl SlimQuery for MultiSummary {
+    type Slim = SlimMultiSummary;
+
+    fn slim(&self) -> SlimMultiSummary {
+        SlimMultiSummary {
+            join: self.join().slim(),
+            topk: self.topk().slim(),
+            distinct: self.hll().slim(),
+            quantiles: self.kll().slim(),
+            fingerprint: Portable::fingerprint(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::JoinSchema;
+    use crate::summary::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sss_sketch::FagmsSchema;
+
+    fn fed_join_sketch(seed: u64) -> JoinSketch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = JoinSchema::fagms(5, 256, &mut rng).sketch();
+        for k in 0..2_000u64 {
+            s.update(k % 113, 1);
+        }
+        s
+    }
+
+    #[test]
+    fn slim_join_answers_bit_identically_and_shrinks() {
+        let fat = fed_join_sketch(1);
+        let slim = fat.slim();
+        assert_eq!(slim.self_join().to_bits(), fat.raw_self_join().to_bits());
+        let fe = fat.raw_self_join_estimate();
+        let se = slim.self_join_estimate();
+        assert_eq!(se.value.to_bits(), fe.value.to_bits());
+        assert_eq!(se.variance.to_bits(), fe.variance.to_bits());
+        assert_eq!(slim.lanes(), 5, "one lane per F-AGMS row");
+        let fat_bytes = fat.encode().unwrap().len();
+        let slim_bytes = slim.encode().unwrap().len();
+        assert!(
+            slim_bytes * 5 < fat_bytes,
+            "slim {slim_bytes}B should be well under 20% of fat {fat_bytes}B"
+        );
+    }
+
+    #[test]
+    fn slim_join_refuses_cross_joins_and_round_trips() {
+        let slim = fed_join_sketch(2).slim();
+        assert!(matches!(
+            slim.size_of_join(&slim),
+            Err(Error::UnsupportedQuery { .. })
+        ));
+        let back = SlimJoin::decode(&slim.encode().unwrap()).unwrap();
+        assert_eq!(back, slim);
+        assert_eq!(back.fingerprint(), slim.fingerprint());
+    }
+
+    #[test]
+    fn slim_topk_matches_fat_answers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema: FagmsSchema = FagmsSchema::new(4, 256, &mut rng);
+        let mut fat = CountSketchTopK::new(&schema, 16).unwrap();
+        let keys: Vec<u64> = (0..5_000u64).map(|i| (i * i) % 61).collect();
+        Summary::update_batch(&mut fat, &keys);
+        let slim = fat.slim();
+        assert_eq!(slim.top_k(5), TopKQuery::top_k(&fat, 5));
+        for &(k, est) in &slim.top_k(16) {
+            assert_eq!(slim.frequency(k).to_bits(), est.to_bits());
+            assert_eq!(
+                slim.frequency(k).to_bits(),
+                TopKQuery::frequency(&fat, k).to_bits()
+            );
+        }
+        assert_eq!(
+            slim.frequency_variance().to_bits(),
+            TopKQuery::frequency_variance(&fat).to_bits()
+        );
+        // Untracked key: honest zero.
+        assert_eq!(slim.frequency(10_000), 0.0);
+        let back = SlimTopK::decode(&slim.encode().unwrap()).unwrap();
+        assert_eq!(back, slim);
+    }
+
+    #[test]
+    fn misra_gries_slim_is_exact_for_all_keys() {
+        let mut fat = MisraGries::new(32).unwrap();
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i % 20).collect();
+        Summary::update_batch(&mut fat, &keys);
+        let slim = fat.slim();
+        for key in 0..40u64 {
+            assert_eq!(
+                slim.frequency(key).to_bits(),
+                TopKQuery::frequency(&fat, key).to_bits(),
+                "key {key}: MG slim must answer every key exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_multi_serves_all_four_capabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = crate::MultiSpec::new(JoinSchema::fagms(3, 128, &mut rng), &mut rng);
+        let mut fat = spec.summary().unwrap();
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i % 777).collect();
+        Summary::update_batch(&mut fat, &keys);
+        let slim = fat.slim();
+        assert_eq!(
+            slim.self_join().to_bits(),
+            JoinQuery::self_join(&fat).to_bits()
+        );
+        assert_eq!(slim.top_k(10), TopKQuery::top_k(&fat, 10));
+        assert_eq!(
+            slim.distinct().to_bits(),
+            DistinctQuery::distinct(&fat).to_bits()
+        );
+        assert_eq!(
+            slim.quantile(0.5).unwrap().to_bits(),
+            QuantileQuery::quantile(&fat, 0.5).unwrap().to_bits()
+        );
+        assert_eq!(slim.stream_len(), keys.len() as u64);
+        let back = SlimMultiSummary::decode(&slim.encode().unwrap()).unwrap();
+        assert_eq!(back.self_join().to_bits(), slim.self_join().to_bits());
+        assert_eq!(back.fingerprint(), Portable::fingerprint(&fat));
+        let fat_bytes = fat.encode().unwrap().len();
+        let slim_bytes = slim.encode().unwrap().len();
+        assert!(
+            slim_bytes < fat_bytes / 2,
+            "slim multi {slim_bytes}B vs fat {fat_bytes}B"
+        );
+    }
+
+    #[test]
+    fn infinite_variance_survives_the_wire() {
+        let slim = SlimJoin::project(9, Estimate::point(42.0));
+        let back = SlimJoin::decode(&slim.encode().unwrap()).unwrap();
+        assert!(back.estimate().variance.is_infinite());
+        assert_eq!(back.estimate().value.to_bits(), 42.0f64.to_bits());
+    }
+}

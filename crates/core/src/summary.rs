@@ -6,19 +6,49 @@
 //! `JoinSketch::raw_self_join`, …), the streaming layer was hard-coded to
 //! [`JoinSketch`], and the only query capability beyond joins (top-k) was
 //! bolted on through `sss_sketch::topk::HeavyHitters`. The redesign splits
-//! the contract into one base trait and capability subtraits:
+//! the contract into one base trait and standalone capability traits:
 //!
 //! * [`Summary`] is the *ingestion* contract the sharded runtime and the
 //!   snapshot cache are generic over: anything that can absorb keyed
 //!   updates and merge with a peer built from the same seeds.
 //! * [`JoinQuery`] adds the paper's two join-size queries (F₂ /
-//!   size-of-join) — the former `JoinEstimator`.
+//!   size-of-join).
 //! * [`TopKQuery`] adds heavy-hitter point and top-k queries, absorbing
 //!   the `HeavyHitters` plumbing behind a typed surface.
 //! * [`DistinctQuery`] adds distinct-count (F₀) queries, served by
 //!   [`HyperLogLog`].
 //! * [`QuantileQuery`] adds rank/quantile queries, served by
 //!   [`KllSketch`].
+//!
+//! The capability traits are deliberately **not** subtraits of
+//! [`Summary`]: a query capability describes *answering*, not ingesting,
+//! and the two-stage read path (DESIGN.md §4k) relies on the split. A fat
+//! update-side summary implements `Summary` plus its capabilities; its
+//! [`SlimQuery::slim`] projection is a compact read replica that
+//! implements the same capability traits — answering queries
+//! bit-identically at a fraction of the state — without pretending it can
+//! absorb updates. Generic ingest paths bound `E: Summary + JoinQuery`
+//! (etc.); pure query paths bound the capability alone.
+//!
+//! Two further capabilities make summaries portable across processes:
+//!
+//! * [`Portable`] — versioned, self-describing wire encode/decode with a
+//!   configuration fingerprint, so snapshots can be saved, shipped, and
+//!   merged only against like-configured peers.
+//! * [`SlimQuery`] — project a fat update-side summary to its compact
+//!   read-replica form (the SF-sketch fat/slim split of arXiv
+//!   1701.04148).
+//!
+//! The PR-8 migration shims `StreamSummary` and `JoinEstimator` are gone;
+//! code still naming them no longer compiles:
+//!
+//! ```compile_fail
+//! use sss_core::StreamSummary; // removed: use `sss_core::Summary`
+//! ```
+//!
+//! ```compile_fail
+//! use sss_core::JoinEstimator; // removed: use `sss_core::JoinQuery`
+//! ```
 //!
 //! A summary implements whichever capabilities it can actually answer;
 //! [`crate::MultiSummary`] implements all four by fanning one
@@ -119,11 +149,12 @@ pub trait Summary: Clone + Send + 'static {
     }
 }
 
-/// A [`Summary`] that can answer the paper's join-size queries.
+/// The capability of answering the paper's join-size queries.
 ///
-/// (The pre-redesign name `JoinEstimator` remains available as a
-/// deprecated alias.)
-pub trait JoinQuery: Summary {
+/// Standalone rather than a [`Summary`] subtrait so read-only slim
+/// replicas ([`SlimQuery::Slim`]) can answer joins without carrying the
+/// ingestion contract; ingest-capable callers bound `Summary + JoinQuery`.
+pub trait JoinQuery {
     /// Raw self-join (second frequency moment) estimate of the summarized
     /// stream.
     fn self_join(&self) -> f64;
@@ -163,9 +194,10 @@ pub trait JoinQuery: Summary {
     }
 }
 
-/// A [`Summary`] that can answer heavy-hitter queries: per-key frequency
+/// The capability of answering heavy-hitter queries: per-key frequency
 /// point estimates and a top-k ranking over tracked candidates.
-pub trait TopKQuery: Summary {
+/// Standalone, like [`JoinQuery`], so slim replicas qualify.
+pub trait TopKQuery {
     /// Raw frequency estimate for one key in the summarized stream.
     fn frequency(&self, key: u64) -> f64;
 
@@ -192,9 +224,10 @@ pub trait TopKQuery: Summary {
     }
 }
 
-/// A [`Summary`] that can estimate the number of distinct keys (F₀) in the
-/// summarized stream.
-pub trait DistinctQuery: Summary {
+/// The capability of estimating the number of distinct keys (F₀) in the
+/// summarized stream. Standalone, like [`JoinQuery`], so slim replicas
+/// qualify.
+pub trait DistinctQuery {
     /// Raw distinct-count estimate of the summarized stream.
     fn distinct(&self) -> f64;
 
@@ -206,12 +239,13 @@ pub trait DistinctQuery: Summary {
     }
 }
 
-/// A [`Summary`] that can answer rank/quantile queries over the key
-/// *values* of the summarized stream.
+/// The capability of answering rank/quantile queries over the key
+/// *values* of the summarized stream. Standalone, like [`JoinQuery`], so
+/// slim replicas qualify.
 ///
 /// Values are reported as `f64` (exact for keys below 2⁵³) so they can
 /// ride the typed [`Estimate`] path next to every other query.
-pub trait QuantileQuery: Summary {
+pub trait QuantileQuery {
     /// The value at normalized rank `q ∈ [0, 1]` (`0` = minimum,
     /// `1` = maximum).
     ///
@@ -248,6 +282,97 @@ pub trait QuantileQuery: Summary {
             self.quantile((q + eps).min(1.0))?,
         ))
     }
+}
+
+/// A summary with a versioned, self-describing wire form.
+///
+/// The encoding is a JSON envelope (`crate::wire`) carrying a kind tag, a
+/// format version, and a **configuration fingerprint** hashing everything
+/// merge compatibility depends on — random seeds (via schema identities),
+/// width/depth, precision — ahead of the body. Receivers can
+/// [`peek`](crate::wire::peek) the head without decoding the body, and
+/// [`merge_encoded`](Portable::merge_encoded) refuses payloads whose
+/// fingerprint differs, so only like-configured summaries ever merge.
+///
+/// Versioning rules (DESIGN.md §4k): a field *added* to a body bumps
+/// [`FORMAT`](Portable::FORMAT) only if old decoders would misread the
+/// payload — the deserializer ignores unknown fields, so purely additive
+/// optional state keeps the version; renames, removals, and semantic
+/// changes bump it, and decoders reject any version other than their own.
+///
+/// `Portable` deliberately does not require [`Summary`]: read-only
+/// projections and non-`Clone` drivers (e.g. `EpochShedder`) serialize
+/// too. Merging through the wire *does* require `Summary`, hence the
+/// bound on [`merge_encoded`](Portable::merge_encoded) alone.
+pub trait Portable: Sized {
+    /// Wire kind tag — distinct per concrete summary shape (e.g.
+    /// `"fagms"`, `"slim-join"`).
+    const KIND: &'static str;
+
+    /// Wire format version for this kind; decoders accept exactly this
+    /// version.
+    const FORMAT: u32;
+
+    /// The configuration fingerprint: equal exactly when two summaries of
+    /// this kind are merge-compatible (same seeds/width/depth/precision).
+    fn fingerprint(&self) -> u64;
+
+    /// Serialize to the self-describing wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Wire`] if the serializer refuses the state.
+    fn encode(&self) -> Result<Vec<u8>>;
+
+    /// Deserialize from the wire form, validating kind and format.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Wire`] on malformed bytes, [`Error::WireMismatch`] on a
+    /// foreign kind or format version.
+    fn decode(bytes: &[u8]) -> Result<Self>;
+
+    /// Decode a payload and merge it in, after checking that its
+    /// fingerprint matches — the one-call primitive multi-process
+    /// aggregation is built on (`sss merge-snapshots`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::FingerprintMismatch`] when the payload was built from
+    /// different seeds/dimensions; decode and merge errors pass through.
+    fn merge_encoded(&mut self, bytes: &[u8]) -> Result<()>
+    where
+        Self: Summary,
+    {
+        let head = crate::wire::peek(bytes)?;
+        let expected = self.fingerprint();
+        if head.fingerprint != expected {
+            return Err(Error::FingerprintMismatch {
+                expected,
+                found: head.fingerprint,
+            });
+        }
+        let other = Self::decode(bytes)?;
+        self.merge_from(&other)
+    }
+}
+
+/// A fat update-side summary that can project itself to a compact
+/// read-side replica — the SF-sketch fat/slim split (arXiv 1701.04148).
+///
+/// The slim form answers the fat summary's query capabilities (each slim
+/// type documents which, and how honestly) from per-lane aggregate state
+/// — medians-of-means lanes for the join sketches, the candidate scores
+/// for top-k — instead of the full counter matrix. Slim states are *not*
+/// mergeable (lane aggregates don't add: `(a+b)² ≠ a² + b²`), so
+/// projection always happens **after** fat merging; the read path ships
+/// `encode()`d slim bytes to replicas, never the reverse.
+pub trait SlimQuery: Summary + Portable {
+    /// The compact read-replica form.
+    type Slim: Portable + Clone + Send + 'static;
+
+    /// Project the current state to its read-replica form.
+    fn slim(&self) -> Self::Slim;
 }
 
 impl<F> Summary for AgmsSketch<F>
@@ -582,7 +707,7 @@ mod tests {
 
     /// Exercise one implementation generically: batch vs scalar identity,
     /// merge-equals-union, and a self-join in the right ballpark.
-    fn exercise<E: JoinQuery>(make: impl Fn() -> E, tolerance: f64) {
+    fn exercise<E: Summary + JoinQuery>(make: impl Fn() -> E, tolerance: f64) {
         let keys: Vec<u64> = (0..4_000u64).map(|i| i % 100).collect();
         let mut scalar = make();
         for &k in &keys {

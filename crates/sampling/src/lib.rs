@@ -64,6 +64,7 @@ pub use variance::{
     bernoulli_frequency_variance, bernoulli_frequency_variance_plugin,
     bernoulli_self_join_variance, bernoulli_self_join_variance_plugin,
     bernoulli_size_of_join_variance, bernoulli_size_of_join_variance_plugin,
+    staleness_variance_plugin,
 };
 pub use with_replacement::{sample_with_replacement, MultinomialFrequencies};
 pub use without_replacement::{

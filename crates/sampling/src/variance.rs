@@ -125,6 +125,35 @@ pub fn bernoulli_size_of_join_variance_plugin(
     bernoulli_size_of_join_variance(pf, pg, sum_f2g, sum_fg2, fg_hat.max(0.0)).max(0.0)
 }
 
+/// Heuristic variance inflation for a *stale* slim read replica: the extra
+/// uncertainty in an F₂-style estimate `value` that was projected when
+/// `applied` tuples had been absorbed, queried after `pending` more tuples
+/// have arrived but not yet been reflected in the replica.
+///
+/// Model: frequencies scale roughly linearly with stream length, so F₂
+/// scales quadratically — by the time the pending tuples are absorbed the
+/// true answer has drifted to `≈ value·(1 + pending/applied)²`. The drift
+///
+/// ```text
+/// value · ((1 + pending/applied)² − 1)
+/// ```
+///
+/// is treated as one standard deviation of staleness error and returned as
+/// a variance (its square). This is an honest *model* term, not a
+/// closed-form moment: real streams drift slower (repeated keys) or faster
+/// (novel keys) than homogeneous scaling, and the replica cannot tell
+/// which without the data it does not have. Zero when nothing is pending
+/// or nothing was applied (an empty replica has infinite-variance
+/// estimates anyway).
+pub fn staleness_variance_plugin(value: f64, applied: u64, pending: u64) -> f64 {
+    if pending == 0 || applied == 0 {
+        return 0.0;
+    }
+    let growth = 1.0 + pending as f64 / applied as f64;
+    let drift = value.abs() * (growth * growth - 1.0);
+    drift * drift
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +318,26 @@ mod tests {
         let exact = bernoulli_size_of_join_variance(0.4, 0.6, 50.0, 70.0, 30.0);
         let plug = bernoulli_size_of_join_variance_plugin(0.4, 0.6, 100.0, 90.0, 30.0);
         assert!(plug >= exact);
+    }
+
+    #[test]
+    fn staleness_plugin_scales_with_the_pending_backlog() {
+        // Nothing pending (or an empty replica): no staleness term.
+        assert_eq!(staleness_variance_plugin(1e6, 10_000, 0), 0.0);
+        assert_eq!(staleness_variance_plugin(1e6, 0, 10_000), 0.0);
+        // 10% backlog on an F₂ estimate: drift ≈ value·(1.1² − 1) = 21%.
+        let v = staleness_variance_plugin(1e6, 100_000, 10_000);
+        let sd = v.sqrt();
+        assert!((sd - 0.21 * 1e6).abs() < 1e-6 * 1e6, "sd = {sd}");
+        // Monotone in the backlog, and symmetric in sign of the value.
+        assert!(
+            staleness_variance_plugin(1e6, 100_000, 20_000)
+                > staleness_variance_plugin(1e6, 100_000, 10_000)
+        );
+        assert_eq!(
+            staleness_variance_plugin(-1e6, 100_000, 10_000),
+            staleness_variance_plugin(1e6, 100_000, 10_000)
+        );
     }
 
     #[test]

@@ -165,6 +165,12 @@ impl<F: SignFamily> AgmsSchema<F> {
         self.families.len()
     }
 
+    /// The schema identity: random at construction, preserved by
+    /// serialization, equal only for sketches that may merge/join.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Whether the schema is empty (never true for a constructed schema).
     pub fn is_empty(&self) -> bool {
         self.families.is_empty()

@@ -197,6 +197,12 @@ impl<S: SignFamily, B: BucketFamily> FagmsSchema<S, B> {
         self.width
     }
 
+    /// The schema identity: random at construction, preserved by
+    /// serialization, equal only for sketches that may merge/join.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// A zeroed sketch bound to this schema.
     pub fn sketch(&self) -> FagmsSketch<S, B> {
         FagmsSketch {

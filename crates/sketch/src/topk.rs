@@ -132,6 +132,66 @@ pub struct MisraGries {
     offered: u64,
 }
 
+// Persistence: capacity + error offset + offered weight + the tracked
+// counters as parallel key/count columns in ascending key order, so the
+// encoding of a given summary state is deterministic regardless of hash-map
+// iteration order (snapshot proptests pin byte-for-byte stability on this).
+impl serde::Serialize for MisraGries {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut entries: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        let counts: Vec<u64> = entries.iter().map(|&(_, v)| v).collect();
+        let mut st = serializer.serialize_struct("MisraGries", 5)?;
+        st.serialize_field("capacity", &self.capacity)?;
+        st.serialize_field("offset", &self.offset)?;
+        st.serialize_field("offered", &self.offered)?;
+        st.serialize_field("keys", &keys)?;
+        st.serialize_field("counts", &counts)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for MisraGries {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Repr {
+            capacity: usize,
+            offset: u64,
+            offered: u64,
+            keys: Vec<u64>,
+            counts: Vec<u64>,
+        }
+        let repr = Repr::deserialize(deserializer)?;
+        if repr.capacity == 0 {
+            return Err(serde::de::Error::custom(
+                "Misra-Gries capacity must be non-zero",
+            ));
+        }
+        if repr.keys.len() != repr.counts.len() || repr.keys.len() > repr.capacity {
+            return Err(serde::de::Error::invalid_length(
+                repr.keys.len(),
+                &"matching key/count columns within capacity",
+            ));
+        }
+        let mut counters =
+            KeyHashMap::with_capacity_and_hasher(repr.capacity + 1, Default::default());
+        counters.extend(repr.keys.into_iter().zip(repr.counts));
+        Ok(Self {
+            counters,
+            capacity: repr.capacity,
+            offset: repr.offset,
+            offered: repr.offered,
+        })
+    }
+}
+
 impl MisraGries {
     /// Create a summary with `capacity` counters.
     ///
@@ -271,6 +331,82 @@ impl<S, B> Clone for CountSketchTopK<S, B> {
             min_dirty: self.min_dirty,
             offered: self.offered,
         }
+    }
+}
+
+// Persistence: the backing sketch plus the candidate set as parallel
+// key/estimate columns in ascending key order (estimates carried as IEEE-754
+// bit patterns — the vendored JSON writer rejects non-finite floats, and bits
+// round-trip exactly). The lazy min-cache is deliberately *not* serialized:
+// decode marks it dirty and the next admission test rebuilds it, so a decoded
+// summary behaves identically to the in-memory original.
+impl<S: serde::Serialize, B: serde::Serialize> serde::Serialize for CountSketchTopK<S, B> {
+    fn serialize<Z: serde::Serializer>(
+        &self,
+        serializer: Z,
+    ) -> std::result::Result<Z::Ok, Z::Error> {
+        use serde::ser::SerializeStruct;
+        let mut entries: Vec<(u64, u64)> = self
+            .candidates
+            .iter()
+            .map(|(&k, &est)| (k, est.to_bits()))
+            .collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        let est_bits: Vec<u64> = entries.iter().map(|&(_, b)| b).collect();
+        let mut st = serializer.serialize_struct("CountSketchTopK", 5)?;
+        st.serialize_field("sketch", &self.sketch)?;
+        st.serialize_field("capacity", &self.capacity)?;
+        st.serialize_field("offered", &self.offered)?;
+        st.serialize_field("keys", &keys)?;
+        st.serialize_field("est_bits", &est_bits)?;
+        st.end()
+    }
+}
+
+impl<'de, S, B> serde::Deserialize<'de> for CountSketchTopK<S, B>
+where
+    S: serde::Deserialize<'de>,
+    B: serde::Deserialize<'de>,
+{
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        #[serde(bound = "S: serde::Deserialize<'de>, B: serde::Deserialize<'de>")]
+        struct Repr<S, B> {
+            sketch: FagmsSketch<S, B>,
+            capacity: usize,
+            offered: u64,
+            keys: Vec<u64>,
+            est_bits: Vec<u64>,
+        }
+        let repr = Repr::<S, B>::deserialize(deserializer)?;
+        if repr.capacity == 0 {
+            return Err(serde::de::Error::custom("top-k capacity must be non-zero"));
+        }
+        if repr.keys.len() != repr.est_bits.len() || repr.keys.len() > repr.capacity {
+            return Err(serde::de::Error::invalid_length(
+                repr.keys.len(),
+                &"matching key/estimate columns within capacity",
+            ));
+        }
+        let mut candidates =
+            KeyHashMap::with_capacity_and_hasher(repr.capacity, Default::default());
+        candidates.extend(
+            repr.keys
+                .into_iter()
+                .zip(repr.est_bits.into_iter().map(f64::from_bits)),
+        );
+        Ok(Self {
+            sketch: repr.sketch,
+            candidates,
+            capacity: repr.capacity,
+            min_key: 0,
+            min_est: f64::INFINITY,
+            min_dirty: true,
+            offered: repr.offered,
+        })
     }
 }
 

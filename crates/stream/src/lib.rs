@@ -51,7 +51,7 @@ pub use engine::{EngineBuilder, StageStats, StreamEngine, Transform};
 pub use error::{Result, StreamError};
 pub use online::{OnlineAggregation, OnlineJoinAggregation, Snapshot};
 pub use parallel::{parallel_shed, parallel_sketch, parallel_sketch_with, ParallelShedResult};
-pub use runtime::{Partition, PoolStats, QueryHandle, RuntimeConfig, ShardedRuntime};
+pub use runtime::{Partition, PoolStats, QueryHandle, ReadReplica, RuntimeConfig, ShardedRuntime};
 pub use shedder::{ShedderComparison, ShedderReport};
 pub use snapshot::CacheStats;
 pub use throughput::Throughput;

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use sss_core::sketch::{JoinSchema, JoinSketch};
 use sss_core::{
     bernoulli_self_join, bernoulli_self_join_estimate, Estimate, JoinQuery, LoadSheddingSketcher,
-    Result,
+    Result, Summary,
 };
 
 /// Sketch `stream` with `threads` workers and merge the partial sketches.
@@ -52,7 +52,7 @@ pub fn parallel_sketch(
 
 /// [`parallel_sketch`] for any [`JoinQuery`]: sketch `stream` across
 /// `threads` shard workers cloned from `prototype` and merge the shards.
-pub fn parallel_sketch_with<E: JoinQuery>(
+pub fn parallel_sketch_with<E: Summary + JoinQuery>(
     prototype: &E,
     stream: &[u64],
     threads: usize,

@@ -63,8 +63,9 @@
 
 use crate::error::{Result, StreamError};
 use crate::ring::{self, Backoff, ControlQueue, PushError};
-use crate::snapshot::{CacheStats, SnapshotCache};
-use sss_core::{Estimate, JoinQuery, Summary};
+use crate::snapshot::{CacheStats, ReplicaFrame, ReplicaHub, SnapshotCache};
+use sss_core::{Estimate, JoinQuery, Portable, SlimQuery, Summary};
+use sss_sampling::staleness_variance_plugin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -184,6 +185,9 @@ struct RuntimeShared<E> {
     /// The incremental snapshot cache; its mutex also serializes
     /// concurrent queries from multiple handles.
     cache: Mutex<SnapshotCache<E>>,
+    /// The slim read-replica exchange point: one refresher projects the
+    /// merged fat state, N [`ReadReplica`]s decode the published bytes.
+    replica: ReplicaHub,
     /// Highest `accepted − applied` any shard ever reached (≤ depth + 1).
     high_water: AtomicUsize,
     /// Monotonic construction timestamp — the denominator of
@@ -326,6 +330,53 @@ impl<E: Summary> RuntimeShared<E> {
     fn cache_stats(&self) -> CacheStats {
         self.lock_cache().stats()
     }
+
+    /// Sum of every shard's accepted-batch counter — the staleness
+    /// yardstick of the replica frames (monotone; each shard's counter is
+    /// bumped by the producer at enqueue time).
+    fn accepted_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.accepted.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+impl<E: Summary + SlimQuery> RuntimeShared<E> {
+    /// Ensure the hub carries a frame reflecting at least `min_version`
+    /// accepted batches, projecting a fresh one if not. Single-flight:
+    /// concurrent stale readers elect one refresher (the `begin_refresh`
+    /// guard) and everyone else decodes the frame that refresher
+    /// published.
+    fn ensure_replica(&self, min_version: u64) -> Result<ReplicaFrame> {
+        if let Some(frame) = self.replica.frame() {
+            if frame.version >= min_version {
+                return Ok(frame);
+            }
+        }
+        let _refresh = self.replica.begin_refresh();
+        // Double-check under the refresh lock: the previous holder may
+        // have published exactly what we need.
+        if let Some(frame) = self.replica.frame() {
+            if frame.version >= min_version {
+                return Ok(frame);
+            }
+        }
+        // Stamp the version *before* merging: `merged()` reflects at
+        // least every batch accepted before the call, so the projection
+        // covers ≥ `version` batches and staleness is never understated.
+        let version = self.accepted_total();
+        let fat = self.merged()?;
+        let applied = self.tuples_ingested();
+        let bytes = fat.slim().encode().map_err(StreamError::Estimator)?;
+        let frame = ReplicaFrame {
+            version,
+            applied,
+            bytes: Arc::new(bytes),
+        };
+        self.replica.publish(frame.clone());
+        Ok(frame)
+    }
 }
 
 /// The producer side of one shard lane: the data ring in, the recycle
@@ -449,6 +500,7 @@ impl<E: Summary> ShardedRuntime<E> {
             prototype: Mutex::new(prototypes[0].clone()),
             shards: states,
             cache: Mutex::new(SnapshotCache::new(config.shards)),
+            replica: ReplicaHub::new(),
             high_water: AtomicUsize::new(0),
             started: Instant::now(),
         });
@@ -739,7 +791,7 @@ impl<E: Summary> ShardedRuntime<E> {
     }
 }
 
-impl<E: JoinQuery> ShardedRuntime<E> {
+impl<E: Summary + JoinQuery> ShardedRuntime<E> {
     /// Typed at-all-times self-join query: merge the shards as of now and
     /// return the merged estimator's [`Estimate`]. The error bar is
     /// computed on the *combined* sketch — by linearity the merge is
@@ -845,7 +897,7 @@ impl<E: Summary> QueryHandle<E> {
     }
 }
 
-impl<E: JoinQuery> QueryHandle<E> {
+impl<E: Summary + JoinQuery> QueryHandle<E> {
     /// Typed self-join query — see
     /// [`ShardedRuntime::self_join_estimate`].
     ///
@@ -870,6 +922,155 @@ impl<E: Summary> std::fmt::Debug for QueryHandle<E> {
         f.debug_struct("QueryHandle")
             .field("tuples_ingested", &self.tuples_ingested())
             .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl<E: Summary + SlimQuery> ShardedRuntime<E> {
+    /// Open a slim read replica on this runtime — the two-stage read
+    /// path. See [`ReadReplica`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if the initial projection needs
+    /// a shard whose worker died; estimator errors from slim encoding.
+    pub fn read_replica(&self, max_pending: u64) -> Result<ReadReplica<E>> {
+        ReadReplica::open(Arc::clone(&self.shared), max_pending)
+    }
+}
+
+impl<E: Summary + SlimQuery> QueryHandle<E> {
+    /// Open a slim read replica — see [`ShardedRuntime::read_replica`].
+    /// Every clone of the handle can open its own replica; they all share
+    /// the runtime's single frame hub, so N readers trigger at most one
+    /// fat projection per version.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::read_replica`].
+    pub fn read_replica(&self, max_pending: u64) -> Result<ReadReplica<E>> {
+        ReadReplica::open(Arc::clone(&self.shared), max_pending)
+    }
+}
+
+/// A slim read replica on a [`ShardedRuntime`] — stage two of the
+/// two-stage read path.
+///
+/// Instead of cloning and merging the fat shard estimators on every
+/// query (the [`merged`](ShardedRuntime::merged) path), a replica keeps a
+/// decoded [`SlimQuery::Slim`] projection and refreshes it from the
+/// runtime's shared frame hub only when the accepted-batch counter has
+/// advanced past `max_pending`. N replicas across N query threads share
+/// one hub: per version, exactly one of them (single-flight) pays the
+/// fat merge + slim projection + encode, and everyone else pays a
+/// pointer bump plus a slim decode of the shared byte buffer.
+///
+/// `*_estimate()` answers carry the slim projection's sketch variance
+/// **plus** a staleness term
+/// ([`sss_sampling::staleness_variance_plugin`]) grown from the tuples
+/// accepted since the frame was projected, so a replica lagging behind
+/// ingest reports honestly wider error bars rather than a silently stale
+/// point value.
+pub struct ReadReplica<E: Summary + SlimQuery> {
+    shared: Arc<RuntimeShared<E>>,
+    /// Accepted-batch staleness tolerated before a refresh is forced.
+    max_pending: u64,
+    /// Accepted-batch floor of the adopted frame.
+    version: u64,
+    /// Tuples applied when the adopted frame was projected.
+    applied: u64,
+    slim: E::Slim,
+}
+
+impl<E: Summary + SlimQuery> ReadReplica<E> {
+    fn open(shared: Arc<RuntimeShared<E>>, max_pending: u64) -> Result<Self> {
+        let floor = shared.accepted_total().saturating_sub(max_pending);
+        let frame = shared.ensure_replica(floor)?;
+        let slim = E::Slim::decode(&frame.bytes).map_err(StreamError::Estimator)?;
+        Ok(Self {
+            shared,
+            max_pending,
+            version: frame.version,
+            applied: frame.applied,
+            slim,
+        })
+    }
+
+    /// Bring the local slim state within `max_pending` accepted batches
+    /// of the ingest frontier. Returns `true` if a newer frame was
+    /// adopted. At most one caller per version pays the fat projection;
+    /// the rest decode its published bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a refresh needs a shard
+    /// whose worker died; estimator errors from slim encode/decode.
+    pub fn refresh(&mut self) -> Result<bool> {
+        let target = self.shared.accepted_total();
+        if target.saturating_sub(self.version) <= self.max_pending {
+            return Ok(false);
+        }
+        let frame = self
+            .shared
+            .ensure_replica(target.saturating_sub(self.max_pending))?;
+        if frame.version <= self.version {
+            return Ok(false);
+        }
+        self.slim = E::Slim::decode(&frame.bytes).map_err(StreamError::Estimator)?;
+        self.version = frame.version;
+        self.applied = frame.applied;
+        Ok(true)
+    }
+
+    /// The current slim projection (as of the last [`refresh`]).
+    ///
+    /// [`refresh`]: ReadReplica::refresh
+    pub fn slim(&self) -> &E::Slim {
+        &self.slim
+    }
+
+    /// Accepted-batch floor of the adopted frame.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Accepted batches past this replica's frame right now.
+    pub fn pending(&self) -> u64 {
+        self.shared.accepted_total().saturating_sub(self.version)
+    }
+}
+
+impl<E> ReadReplica<E>
+where
+    E: Summary + SlimQuery,
+    E::Slim: JoinQuery,
+{
+    /// Staleness-aware self-join query from the slim replica: refresh if
+    /// past `max_pending`, answer from local slim state, and widen the
+    /// error bar by the staleness plug-in for the tuples that arrived
+    /// since the frame was projected. When the replica is fresh the value
+    /// is bit-identical to
+    /// [`ShardedRuntime::self_join_estimate`] on the same state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`refresh`](ReadReplica::refresh).
+    pub fn self_join_estimate(&mut self) -> Result<Estimate> {
+        self.refresh()?;
+        let est = self.slim.self_join_estimate();
+        let pending = self.shared.tuples_ingested().saturating_sub(self.applied);
+        let extra = staleness_variance_plugin(est.value, self.applied, pending);
+        Ok(est.plus_variance(extra))
+    }
+}
+
+impl<E: Summary + SlimQuery> std::fmt::Debug for ReadReplica<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadReplica")
+            .field("version", &self.version)
+            .field("applied", &self.applied)
+            .field("max_pending", &self.max_pending)
+            .field("pending", &self.pending())
             .finish()
     }
 }
@@ -1702,6 +1903,90 @@ mod tests {
                 expect.raw_self_join().to_bits(),
                 "{partition:?}"
             );
+        }
+    }
+    #[test]
+    fn read_replica_matches_merged_when_fresh() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = JoinSchema::fagms(5, 512, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 3,
+            queue_depth: 8,
+            partition: Partition::Hash,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        for chunk in s.chunks(997) {
+            rt.push(chunk).unwrap();
+        }
+        let fat = rt.self_join_estimate().unwrap();
+        // max_pending = 0: the replica refuses any staleness, so its
+        // first answer reflects every accepted batch and the staleness
+        // plug-in term is zero — the value AND variance are bit-identical
+        // to the fat query on the same state.
+        let mut replica = rt.read_replica(0).unwrap();
+        let slim_est = replica.self_join_estimate().unwrap();
+        assert_eq!(slim_est.value.to_bits(), fat.value.to_bits());
+        assert_eq!(slim_est.variance.to_bits(), fat.variance.to_bits());
+        assert_eq!(replica.pending(), 0);
+    }
+
+    #[test]
+    fn read_replica_refreshes_only_past_max_pending() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let schema = JoinSchema::fagms(3, 256, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 2,
+            queue_depth: 8,
+            partition: Partition::RoundRobin,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        rt.push(&s[..1024]).unwrap();
+        let mut replica = rt.read_replica(1_000_000).unwrap();
+        let v0 = replica.version();
+        // More ingest, but far below the staleness budget: no refresh.
+        rt.push(&s[1024..2048]).unwrap();
+        assert!(!replica.refresh().unwrap(), "within budget: no refresh");
+        assert_eq!(replica.version(), v0);
+        // A tight replica on the same runtime must refresh and see it.
+        let mut tight = rt.read_replica(0).unwrap();
+        assert!(tight.version() > v0);
+        // The wide replica's answer is still served, with the staleness
+        // term widening the error bar instead of a silent stale value.
+        let est = replica.self_join_estimate().unwrap();
+        assert!(est.variance.is_finite());
+        let fresh = tight.self_join_estimate().unwrap();
+        assert!(est.variance >= fresh.variance);
+    }
+
+    #[test]
+    fn read_replicas_share_one_projection_per_version() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let schema = JoinSchema::fagms(3, 256, &mut rng);
+        let s = stream();
+        let config = RuntimeConfig {
+            shards: 2,
+            queue_depth: 8,
+            partition: Partition::Hash,
+        };
+        let mut rt = ShardedRuntime::new(config, &schema.sketch()).unwrap();
+        rt.push(&s[..4096]).unwrap();
+        let handle = rt.query_handle();
+        // Open N replicas through cloned handles on N threads; every
+        // answer must be the current self-join value (no torn frames).
+        let expect = rt.self_join_estimate().unwrap().value;
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    let mut r = h.read_replica(0).unwrap();
+                    r.self_join_estimate().unwrap().value
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap().to_bits(), expect.to_bits());
         }
     }
 }

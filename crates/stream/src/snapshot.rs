@@ -36,6 +36,7 @@
 //! stays trivially safe code.
 
 use sss_core::Summary;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Counters describing how the cache served queries so far — exposed as
 /// [`ShardedRuntime::cache_stats`](crate::ShardedRuntime::cache_stats)
@@ -51,6 +52,14 @@ pub struct CacheStats {
     /// Queries that re-merged every shard (first query, or the estimator
     /// does not support retraction).
     pub full_rebuilds: u64,
+    /// The subset of [`full_rebuilds`](Self::full_rebuilds) that were
+    /// *fallbacks*: a warm cache had dirty shards to fold in but the
+    /// estimator does not support retraction, so the incremental path was
+    /// unavailable and the whole merge was redone. A growing
+    /// `rebuild_count` under a polling workload means the estimator's
+    /// `RetractUnsupported` is costing `O(shards)` per query — logged once
+    /// per cache (see the module docs) so it cannot pass silently.
+    pub rebuild_count: u64,
     /// Total shard clones folded in across all partial rebuilds — the
     /// work actually paid, to compare against `queries × shards` the old
     /// barrier would have paid.
@@ -80,6 +89,9 @@ pub(crate) struct SnapshotCache<E> {
     /// The merged result as of the versions recorded in `shards`.
     merged: Option<E>,
     stats: CacheStats,
+    /// Whether the `RetractUnsupported` fallback has been logged yet —
+    /// once per cache, so a polling loop cannot flood stderr.
+    logged_fallback: bool,
 }
 
 impl<E: Summary> SnapshotCache<E> {
@@ -88,6 +100,7 @@ impl<E: Summary> SnapshotCache<E> {
             shards: (0..shards).map(|_| None).collect(),
             merged: None,
             stats: CacheStats::default(),
+            logged_fallback: false,
         }
     }
 
@@ -136,7 +149,23 @@ impl<E: Summary> SnapshotCache<E> {
             // clones into the per-shard cache, then re-merge everything
             // in shard order (deterministic walk; merge order cannot
             // matter — integer adds commute).
-            _ => {
+            other => {
+                // A warm cache with dirty shards and no retraction is the
+                // *fallback* case: the incremental path wanted to run and
+                // could not. Count it, and say so once — silently paying
+                // O(shards) per poll is how perf regressions hide.
+                if matches!(other, (Some(_), false)) {
+                    self.stats.rebuild_count += 1;
+                    if !self.logged_fallback {
+                        self.logged_fallback = true;
+                        eprintln!(
+                            "sss-stream: estimator does not support retraction \
+                             (RetractUnsupported); snapshot cache falls back to full \
+                             re-merges — every dirty query pays O(shards) \
+                             (rebuild_count in cache_stats() tracks this)"
+                        );
+                    }
+                }
                 self.stats.full_rebuilds += 1;
                 self.stats.shards_refreshed += fresh.len() as u64;
                 for (shard, version, clone) in fresh {
@@ -154,6 +183,77 @@ impl<E: Summary> SnapshotCache<E> {
 
     pub(crate) fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+/// One published slim snapshot: the encoded bytes of the merged summary's
+/// slim projection, stamped with the accepted-batch total it reflects.
+///
+/// The bytes are behind an [`Arc`] so N concurrent readers share one
+/// buffer — distributing a refresh costs pointer bumps, not copies; each
+/// reader then decodes *slim* bytes (tens of lanes) instead of cloning the
+/// fat merged state.
+#[derive(Clone)]
+pub(crate) struct ReplicaFrame {
+    /// Sum of every shard's accepted-batch counter when the frame was
+    /// projected — the staleness yardstick readers compare against.
+    pub(crate) version: u64,
+    /// Tuples applied across all shards at projection time — the
+    /// denominator of the staleness variance plug-in.
+    pub(crate) applied: u64,
+    /// The encoded slim projection ([`sss_core::Portable::encode`]).
+    pub(crate) bytes: Arc<Vec<u8>>,
+}
+
+/// The slim-replica exchange point between the (single) refresher that
+/// projects the merged fat state and the N readers serving `*_estimate()`
+/// queries — the second stage of the two-stage read path (DESIGN.md §4k).
+///
+/// Slim states deliberately cannot merge (`(a+b)² ≠ a² + b²`), so deltas
+/// are *whole frames*: a refresh merges fat state through the
+/// [`SnapshotCache`], projects once, encodes once, and publishes the
+/// bytes; every reader whose local version lags decodes the shared buffer.
+/// The `refreshing` mutex makes the expensive projection single-flight —
+/// concurrent stale readers elect one refresher and the rest pick up the
+/// frame it publishes.
+pub(crate) struct ReplicaHub {
+    frame: Mutex<Option<ReplicaFrame>>,
+    /// Held for the duration of a fat merge + projection; see above.
+    refreshing: Mutex<()>,
+}
+
+impl ReplicaHub {
+    pub(crate) fn new() -> Self {
+        Self {
+            frame: Mutex::new(None),
+            refreshing: Mutex::new(()),
+        }
+    }
+
+    /// The latest published frame, if any. Lock-poisoning on either mutex
+    /// is survivable: frames are immutable once published, so a poisoned
+    /// guard still reads a consistent frame.
+    pub(crate) fn frame(&self) -> Option<ReplicaFrame> {
+        self.frame
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publish a frame, keeping whichever reflects more accepted batches
+    /// (two racing refreshers can finish out of order).
+    pub(crate) fn publish(&self, frame: ReplicaFrame) {
+        let mut slot = self.frame.lock().unwrap_or_else(PoisonError::into_inner);
+        if !slot.as_ref().is_some_and(|f| f.version > frame.version) {
+            *slot = Some(frame);
+        }
+    }
+
+    /// Serialize refreshers; the guard's lifetime brackets the fat merge.
+    pub(crate) fn begin_refresh(&self) -> MutexGuard<'_, ()> {
+        self.refreshing
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -222,11 +322,94 @@ mod tests {
                 hits: 1,
                 partial_rebuilds: 1,
                 full_rebuilds: 1,
+                rebuild_count: 0,
                 shards_refreshed: 4,
             }
         );
         assert_eq!(cache.shard_version(0), Some(1));
         assert_eq!(cache.shard_version(1), Some(2));
+    }
+
+    /// A warm cache without retraction support: every dirty query is a
+    /// counted fallback rebuild (`rebuild_count`), while the first build
+    /// and pure hits are not.
+    #[test]
+    fn fallback_rebuilds_are_counted_separately() {
+        #[derive(Clone)]
+        struct NoRetract(JoinSketch);
+        impl Summary for NoRetract {
+            fn update(&mut self, key: u64, count: i64) {
+                self.0.update(key, count);
+            }
+            fn update_batch(&mut self, keys: &[u64]) {
+                self.0.update_batch(keys);
+            }
+            fn merge_from(&mut self, other: &Self) -> sss_core::Result<()> {
+                self.0.merge_from(&other.0)
+            }
+            // supports_retract() stays the default: false.
+        }
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let schema = JoinSchema::agms(8, &mut rng);
+        let proto = NoRetract(schema.sketch());
+        let mut cache = SnapshotCache::new(2);
+        let shard = |keys: &[u64]| NoRetract(shard_sketch(&schema, keys));
+
+        // Cold first build: a full rebuild, but not a *fallback*.
+        cache
+            .refresh(&proto, vec![(0, 1, shard(&[1])), (1, 1, shard(&[2]))])
+            .unwrap();
+        assert_eq!(cache.stats().full_rebuilds, 1);
+        assert_eq!(cache.stats().rebuild_count, 0);
+
+        // Pure hit: nothing dirty.
+        cache.refresh(&proto, vec![]).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().rebuild_count, 0);
+
+        // Warm cache + dirty shard + no retraction: counted fallback.
+        let m = cache.refresh(&proto, vec![(0, 2, shard(&[1, 3]))]).unwrap();
+        assert_eq!(cache.stats().full_rebuilds, 2);
+        assert_eq!(cache.stats().rebuild_count, 1);
+        // Still exact.
+        let mut expect = proto.clone();
+        expect.merge_from(&shard(&[1, 3])).unwrap();
+        expect.merge_from(&shard(&[2])).unwrap();
+        assert_eq!(
+            m.0.raw_self_join().to_bits(),
+            expect.0.raw_self_join().to_bits()
+        );
+    }
+
+    /// The replica hub: publish is monotone in the version, frames are
+    /// shared (not copied), and racing refreshers single-flight through
+    /// `begin_refresh`.
+    #[test]
+    fn replica_hub_publishes_monotonically() {
+        let hub = ReplicaHub::new();
+        assert!(hub.frame().is_none());
+        hub.publish(ReplicaFrame {
+            version: 5,
+            applied: 100,
+            bytes: Arc::new(vec![1, 2, 3]),
+        });
+        // An older frame from a slow racer does not regress the slot.
+        hub.publish(ReplicaFrame {
+            version: 3,
+            applied: 60,
+            bytes: Arc::new(vec![9]),
+        });
+        let f = hub.frame().unwrap();
+        assert_eq!(f.version, 5);
+        assert_eq!(f.applied, 100);
+        assert_eq!(*f.bytes, vec![1, 2, 3]);
+        // Two readers share one buffer.
+        let g = hub.frame().unwrap();
+        assert!(Arc::ptr_eq(&f.bytes, &g.bytes));
+        // The refresh guard is just a mutex — hold and release.
+        drop(hub.begin_refresh());
+        let _second = hub.begin_refresh();
     }
 
     /// Many rounds of random dirtying: the incremental path never drifts

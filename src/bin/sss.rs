@@ -11,6 +11,9 @@
 //! sss distinct <file> [--p=0.1] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]
 //! sss quantiles <file> [--p=0.1] [--k=200] [--at=0.5] [--seed=1] [--exact]
 //! sss multi <file> [--k=10] [--p=0.1] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]
+//! sss save <file> <out.sss> [--depth=3] [--width=5000] [--seed=1]
+//! sss load <snapshot.sss> [--confidence=0.95]
+//! sss merge-snapshots <in1.sss> <in2.sss> [more...] [--out=merged.sss] [--confidence=0.95]
 //! ```
 //!
 //! `topk` reports the `k` heaviest keys from a Count-Sketch heavy-hitter
@@ -35,14 +38,25 @@
 //! estimate's error bars are printed as `value ± half_width` at that
 //! level — the distribution-free Chebyshev interval and the tighter CLT
 //! interval, both centered on the same bit-identical point estimate.
+//!
+//! `save` sketches a key file into a **portable snapshot**: the F-AGMS
+//! join sketch's versioned wire envelope (kind + format + configuration
+//! fingerprint + state). `load` reads one back and answers the self-join
+//! query; `merge-snapshots` combines snapshots produced by *different
+//! processes* — the fingerprint check refuses payloads built from
+//! different seeds/dimensions, so only like-configured sketches merge —
+//! and by sketch linearity the merged estimate is bit-identical to
+//! sketching the concatenated streams in one process.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sketch_sampled_streams::core::sketch::JoinSchema;
-use sketch_sampled_streams::core::{LoadSheddingSketcher, MultiSpec, Sampled};
+use sketch_sampled_streams::core::sketch::{JoinSchema, JoinSketch};
+use sketch_sampled_streams::core::{
+    wire, JoinQuery, LoadSheddingSketcher, MultiSpec, Portable, Sampled, SlimQuery,
+};
 use sketch_sampled_streams::exact::ExactAggregator;
 use sketch_sampled_streams::sketch::FagmsSchema;
 use sketch_sampled_streams::{Error, Result};
@@ -94,7 +108,7 @@ fn exact_join(f: &[u64], g: &[u64]) -> f64 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]\n  sss distinct <file> [--p=1.0] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]\n  sss quantiles <file> [--p=1.0] [--k=200] [--at=0.5] [--seed=1] [--exact]\n  sss multi <file> [--k=10] [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]"
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]\n  sss distinct <file> [--p=1.0] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]\n  sss quantiles <file> [--p=1.0] [--k=200] [--at=0.5] [--seed=1] [--exact]\n  sss multi <file> [--k=10] [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss save <file> <out.sss> [--depth=3] [--width=5000] [--seed=1]\n  sss load <snapshot.sss> [--confidence=0.95]\n  sss merge-snapshots <in1.sss> <in2.sss> [more...] [--out=merged.sss] [--confidence=0.95]"
     );
     ExitCode::from(2)
 }
@@ -340,6 +354,95 @@ fn run_multi(args: &[String], p: f64, seed: u64, confidence: Option<f64>) -> Res
     Ok(())
 }
 
+fn read_snapshot(path: &str) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|source| Error::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+fn write_snapshot(path: &str, bytes: &[u8]) -> Result<()> {
+    std::fs::write(path, bytes).map_err(|source| Error::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// `sss save <file> <out.sss>`: sketch the key file and write the
+/// sketch's portable wire envelope. Processes that agree on
+/// `--depth/--width/--seed` produce fingerprint-compatible snapshots
+/// that `merge-snapshots` will combine.
+fn run_save(args: &[String], schema: &JoinSchema) -> Result<()> {
+    let (path, out) = (&args[1], &args[2]);
+    let keys = read_keys(path)?;
+    let mut sketch = schema.sketch();
+    sketch.update_batch(&keys);
+    let bytes = sketch.encode()?;
+    write_snapshot(out, &bytes)?;
+    println!("tuples      {}", keys.len());
+    println!("kind        {}", JoinSketch::KIND);
+    println!("format      {}", JoinSketch::FORMAT);
+    println!("fingerprint {:#018x}", Portable::fingerprint(&sketch));
+    println!("bytes       {}", bytes.len());
+    println!("saved       {out}");
+    Ok(())
+}
+
+/// `sss load <snapshot.sss>`: peek the envelope head, decode the
+/// sketch, and answer the self-join query — plus the slim projection's
+/// size, to show what a read replica of this snapshot would ship.
+fn run_load(args: &[String], confidence: Option<f64>) -> Result<()> {
+    let path = &args[1];
+    let bytes = read_snapshot(path)?;
+    let head = wire::peek(&bytes)?;
+    println!("kind        {}", head.kind);
+    println!("format      {}", head.format);
+    println!("fingerprint {:#018x}", head.fingerprint);
+    println!("bytes       {}", bytes.len());
+    let sketch = JoinSketch::decode(&bytes)?;
+    let est = sketch.self_join_estimate();
+    println!("self_join   {:.2}", est.value);
+    if let Some(level) = confidence {
+        print_intervals(&est, level);
+    }
+    let slim_bytes = sketch.slim().encode()?;
+    println!(
+        "slim        {} bytes ({:.1}% of fat)",
+        slim_bytes.len(),
+        100.0 * slim_bytes.len() as f64 / bytes.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `sss merge-snapshots <in1> <in2> [more...]`: combine snapshots from
+/// separate processes through the fingerprint-checked wire merge and
+/// answer the self-join query over the union stream. With `--out=` the
+/// merged snapshot is written back out (itself a valid `load`/merge
+/// input).
+fn run_merge_snapshots(args: &[String], confidence: Option<f64>) -> Result<()> {
+    let inputs: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let first = read_snapshot(inputs[0])?;
+    let mut merged = JoinSketch::decode(&first)?;
+    println!("loaded      {} ({} bytes)", inputs[0], first.len());
+    for path in &inputs[1..] {
+        let bytes = read_snapshot(path)?;
+        merged.merge_encoded(&bytes)?;
+        println!("merged      {path} ({} bytes)", bytes.len());
+    }
+    println!("fingerprint {:#018x}", Portable::fingerprint(&merged));
+    let est = merged.self_join_estimate();
+    println!("self_join   {:.2}", est.value);
+    if let Some(level) = confidence {
+        print_intervals(&est, level);
+    }
+    if let Some(out) = args.iter().find_map(|a| a.strip_prefix("--out=")) {
+        let bytes = merged.encode()?;
+        write_snapshot(out, &bytes)?;
+        println!("saved       {out} ({} bytes)", bytes.len());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -373,6 +476,11 @@ fn main() -> ExitCode {
         "distinct" if args.len() >= 2 => run_distinct(&args, p, seed, confidence),
         "quantiles" if args.len() >= 2 => run_quantiles(&args, p, seed),
         "multi" if args.len() >= 2 => run_multi(&args, p, seed, confidence),
+        "save" if args.len() >= 3 && !args[2].starts_with("--") => run_save(&args, &schema),
+        "load" if args.len() >= 2 => run_load(&args, confidence),
+        "merge-snapshots" if args[1..].iter().filter(|a| !a.starts_with("--")).count() >= 2 => {
+            run_merge_snapshots(&args, confidence)
+        }
         _ => return usage(),
     };
     match result {

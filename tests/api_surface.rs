@@ -1,23 +1,24 @@
 //! Static assertions over the redesigned `Summary` hierarchy — the
-//! API-surface contract of the one-pass multi-summary engine.
+//! API-surface contract of the one-pass multi-summary engine and of the
+//! two-stage slim-query read path.
 //!
 //! These tests mostly "run" at compile time: each `fn bound<T: Trait>()`
 //! instantiation proves a trait bound holds, so a refactor that silently
 //! drops a capability (say, `HyperLogLog: DistinctQuery`) breaks the
 //! build here rather than in downstream code. The runtime bodies pin the
 //! parts of the contract the type system cannot see: default-method
-//! honesty (`supports_retract`, `retract_from`), and that the deprecated
-//! shims still resolve to the new hierarchy.
+//! honesty (`supports_retract`, `retract_from`), and that the removed
+//! pre-redesign shims stay removed.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sketch_sampled_streams::core::sketch::{JoinSchema, JoinSketch};
 use sketch_sampled_streams::core::{
-    DistinctQuery, JoinQuery, MultiSpec, MultiSummary, QuantileQuery, Sampled, SampledMultiSummary,
-    Summary, TopKQuery,
+    DistinctQuery, JoinQuery, MultiSpec, MultiSummary, Portable, QuantileQuery, Sampled,
+    SampledMultiSummary, SlimJoin, SlimMultiSummary, SlimQuery, SlimTopK, Summary, TopKQuery,
 };
 use sketch_sampled_streams::sketch::{CountSketchTopK, HyperLogLog, KllSketch, MisraGries};
-use sketch_sampled_streams::stream::{EngineBuilder, ShardedRuntime, StreamEngine};
+use sketch_sampled_streams::stream::{EngineBuilder, ReadReplica, ShardedRuntime, StreamEngine};
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
@@ -30,6 +31,8 @@ fn join_query<T: JoinQuery>() {}
 fn topk_query<T: TopKQuery>() {}
 fn distinct_query<T: DistinctQuery>() {}
 fn quantile_query<T: QuantileQuery>() {}
+fn portable<T: Portable>() {}
+fn slim_query<T: SlimQuery>() {}
 fn clone_send_static<T: Clone + Send + 'static>() {}
 
 /// Every backend satisfies the base ingestion contract, and `Sampled<S>`
@@ -72,39 +75,61 @@ fn capabilities_land_on_the_right_backends() {
     quantile_query::<MultiSummary>();
 }
 
-/// The capability traits are subtraits of `Summary`, and `Summary`
-/// requires `Clone + Send + 'static` — the properties the sharded
-/// runtime's worker threads and snapshot cache rely on. By design this
-/// supertrait stack (notably `Clone`, which returns `Self`) makes the
-/// hierarchy non-object-safe: summaries are meant to be monomorphized
-/// into the runtime, never boxed behind `dyn`.
+/// The capability traits are *standalone* — deliberately not subtraits
+/// of `Summary` — so read-only slim replicas can answer queries without
+/// carrying the ingestion contract. The compile-time proof: `SlimJoin`,
+/// `SlimTopK` and `SlimMultiSummary` hold capabilities although none of
+/// them is a `Summary` (they have no `update`, and slim lane aggregates
+/// cannot merge: `(a+b)² ≠ a² + b²`). `Summary` itself still requires
+/// `Clone + Send + 'static` — the properties the sharded runtime's
+/// worker threads and snapshot cache rely on.
 #[test]
-fn hierarchy_supertraits_hold() {
-    fn join_is_summary<T: JoinQuery>() {
-        summary::<T>();
-    }
-    fn topk_is_summary<T: TopKQuery>() {
-        summary::<T>();
-    }
-    fn distinct_is_summary<T: DistinctQuery>() {
-        summary::<T>();
-    }
-    fn quantile_is_summary<T: QuantileQuery>() {
-        summary::<T>();
-    }
+fn capabilities_are_standalone_and_slim_replicas_hold_them() {
+    // Capabilities without `Summary`: these instantiations would not
+    // compile if the supertrait bound came back.
+    join_query::<SlimJoin>();
+    topk_query::<SlimTopK>();
+    join_query::<SlimMultiSummary>();
+    topk_query::<SlimMultiSummary>();
+    distinct_query::<SlimMultiSummary>();
+    quantile_query::<SlimMultiSummary>();
+
+    // Slim replicas still cross threads and the wire.
+    clone_send_static::<SlimJoin>();
+    portable::<SlimJoin>();
+    portable::<SlimTopK>();
+    portable::<SlimMultiSummary>();
+
+    // The ingestion contract keeps its runtime-facing supertraits.
     fn summary_is_clone_send_static<T: Summary>() {
         clone_send_static::<T>();
     }
-    join_is_summary::<JoinSketch>();
-    topk_is_summary::<CountSketchTopK>();
-    distinct_is_summary::<HyperLogLog>();
-    quantile_is_summary::<KllSketch>();
     summary_is_clone_send_static::<MultiSummary>();
+}
+
+/// Every fat update-side summary projects to a slim read replica, and
+/// every summary (fat or slim) has a versioned portable wire form.
+#[test]
+fn fat_summaries_are_portable_and_project_slim() {
+    slim_query::<JoinSketch>();
+    slim_query::<MisraGries>();
+    slim_query::<CountSketchTopK>();
+    slim_query::<HyperLogLog>();
+    slim_query::<KllSketch>();
+    slim_query::<MultiSummary>();
+
+    portable::<JoinSketch>();
+    portable::<MisraGries>();
+    portable::<CountSketchTopK>();
+    portable::<HyperLogLog>();
+    portable::<KllSketch>();
+    portable::<MultiSummary>();
 }
 
 /// The streaming layer is generic over the hierarchy: the runtime accepts
 /// any `Summary`, the engine builder/engine pair carries the summary type
-/// through, and the join-specific query surface only demands `JoinQuery`.
+/// through, the join-specific query surface demands `Summary + JoinQuery`,
+/// and the slim read path demands `Summary + SlimQuery`.
 #[test]
 fn streaming_layer_is_generic_over_the_hierarchy() {
     // Pure type-level instantiations — never constructed.
@@ -115,26 +140,28 @@ fn streaming_layer_is_generic_over_the_hierarchy() {
         let _ = std::marker::PhantomData::<EngineBuilder<E>>;
         let _ = std::marker::PhantomData::<StreamEngine<E>>;
     }
+    fn replica_accepts<E: Summary + SlimQuery>() {
+        let _ = std::marker::PhantomData::<ReadReplica<E>>;
+    }
     runtime_accepts::<HyperLogLog>();
     runtime_accepts::<KllSketch>();
     runtime_accepts::<SampledMultiSummary>();
     engine_accepts::<JoinSketch>();
     engine_accepts::<SampledMultiSummary>();
+    replica_accepts::<JoinSketch>();
+    replica_accepts::<MultiSummary>();
 }
 
-/// The renamed pre-redesign surface still resolves, as deprecated shims:
-/// `StreamSummary`/`JoinEstimator` as trait bounds, `SampledTopK` as a
-/// type alias of `Sampled`. Migrated code compiles warning-free; holdout
-/// code compiles with a deprecation warning — not an error.
+/// The pre-redesign `StreamSummary`/`JoinEstimator` shims are **gone**,
+/// not deprecated: `sss_core::summary` carries `compile_fail` doctests
+/// proving that `core::StreamSummary` and `core::JoinEstimator` no
+/// longer resolve (the assertion lives there because a missing name can
+/// only be proven at compile time). What survives is the `SampledTopK`
+/// type alias — same type as `Sampled`, behind a deprecation warning —
+/// which this body pins at runtime.
 #[test]
 #[allow(deprecated)]
-fn deprecated_shims_still_resolve() {
-    fn old_stream_summary<T: sketch_sampled_streams::core::StreamSummary>() {}
-    fn old_join_estimator<T: sketch_sampled_streams::core::JoinEstimator>() {}
-    old_stream_summary::<JoinSketch>();
-    old_stream_summary::<MultiSummary>();
-    old_join_estimator::<JoinSketch>();
-
+fn removed_shims_stay_removed() {
     // The alias is the same type, not a lookalike: a value built through
     // the new name is assignable to the old one.
     let mut r = rng(1);
@@ -198,4 +225,29 @@ fn typed_queries_wrap_the_scalar_ones() {
     let rank_of_median = multi.rank(median as u64);
     assert!((0.0..=1.0).contains(&rank_of_median));
     assert_eq!(multi.stream_len(), keys.len() as u64);
+}
+
+/// The slim projection answers the fat summary's query bit-for-bit at
+/// projection time: the two-stage read path trades staleness (bounded,
+/// and priced into the variance) for bytes, never accuracy at the
+/// instant of projection.
+#[test]
+fn slim_projection_is_bit_identical_at_projection_time() {
+    let mut r = rng(4);
+    let schema = JoinSchema::fagms(5, 512, &mut r);
+    let mut fat = schema.sketch();
+    let keys: Vec<u64> = (0..20_000u64).map(|i| (i * 2654435761) % 700).collect();
+    fat.update_batch(&keys);
+    let slim = fat.slim();
+    let fat_est = fat.self_join_estimate();
+    let slim_est = slim.self_join_estimate();
+    assert_eq!(slim_est.value.to_bits(), fat_est.value.to_bits());
+    assert_eq!(slim_est.variance.to_bits(), fat_est.variance.to_bits());
+    // And it is the cheaper wire object by construction.
+    let fat_bytes = fat.encode().unwrap().len();
+    let slim_bytes = slim.encode().unwrap().len();
+    assert!(
+        slim_bytes * 5 < fat_bytes,
+        "slim {slim_bytes} bytes vs fat {fat_bytes} bytes"
+    );
 }
