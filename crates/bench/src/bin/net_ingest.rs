@@ -1,0 +1,317 @@
+//! Acceptance measurement for the network ingest service: wire ingest
+//! throughput vs connection count, with query latency under ingest.
+//!
+//! Two replica modes are measured (the `mode` CSV column):
+//!
+//! * `at_all_times` — `max_pending = 0`: every query quiesces the shard
+//!   rings before answering, so each under-ingest query pays the full
+//!   snapshot barrier. Maximum freshness, worst-case latency.
+//! * `budget` — `max_pending = --budget` accepted batches: queries are
+//!   served from the cached slim frame (with honestly widened error
+//!   bars) until the staleness budget is exceeded, so under-ingest
+//!   latency stays within a small factor of the idle baseline.
+//!
+//! For each (mode, connection count) point a **fresh server** is
+//! started on ephemeral loopback ports and driven with the same fixed
+//! total workload, split evenly across connections, twice:
+//!
+//! 1. a warm-up wave that populates the shard recycle rings (and pins
+//!    down the pool's steady-state allocation count), then
+//! 2. a measured wave, during which a query thread hammers the query
+//!    plane with `self_join` requests to sample the
+//!    queries-under-ingest latency distribution.
+//!
+//! After the measured wave the **zero-allocation invariant** is
+//! asserted: in `at_all_times` mode the pool's allocation count must
+//! not have moved at all between the waves; in `budget` mode (where no
+//! query barrier periodically drains the rings, so the instantaneous
+//! buffer demand wanders) growth must stay under the pool's in-flight
+//! capacity `shards × (queue_depth + 4)` — either way, allocations are
+//! bounded by the pool geometry, never by the number of wire batches.
+//! A post-ingest query burst then gives the no-ingest latency baseline,
+//! and the server's merged result is checked against the exact
+//! self-join of the (deterministic) generated streams.
+//!
+//! ```text
+//! cargo run --release -p sss-bench --bin net_ingest \
+//!     [--total-tuples=2000000] [--batch=512] [--domain=10000] \
+//!     [--shards=2] [--queue=64] [--seed=7] [--budget=64]
+//! ```
+//!
+//! Prints CSV (`mode,connections,tuples_per_sec,min_conn_tps,
+//! max_conn_tps,pool_allocations,pool_alloc_growth,pool_reuses,
+//! q_ingest_p50_us,q_ingest_p99_us,q_idle_p50_us,q_idle_p99_us,
+//! queries_under_ingest`). The recorded numbers live in
+//! BENCH_net_ingest.json.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_bench::{arg, banner};
+use sss_core::sketch::JoinSchema;
+use sss_core::{JoinQuery, MultiSpec};
+use sss_net::{self as net, QueryClient, RunningServer, ServerConfig};
+use sss_stream::runtime::RuntimeConfig;
+use sss_stream::Partition;
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct Point {
+    mode: &'static str,
+    connections: usize,
+    tuples_per_sec: f64,
+    min_conn_tps: f64,
+    max_conn_tps: f64,
+    pool_allocations: u64,
+    pool_alloc_growth: u64,
+    pool_reuses: u64,
+    q_ingest_p50_us: f64,
+    q_ingest_p99_us: f64,
+    q_idle_p50_us: f64,
+    q_idle_p99_us: f64,
+    queries_under_ingest: usize,
+}
+
+struct PointConfig {
+    mode: &'static str,
+    max_pending: u64,
+    connections: usize,
+    total_tuples: u64,
+    batch: usize,
+    domain: u64,
+    shards: usize,
+    queue_depth: usize,
+    seed: u64,
+    idle_queries: usize,
+}
+
+fn measure(cfg: &PointConfig) -> Point {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let spec = MultiSpec::new(JoinSchema::fagms(3, 5000, &mut rng), &mut rng);
+    let srv = RunningServer::start(
+        ServerConfig {
+            runtime: RuntimeConfig {
+                shards: cfg.shards,
+                queue_depth: cfg.queue_depth,
+                partition: Partition::RoundRobin,
+            },
+            max_pending: cfg.max_pending,
+            ..ServerConfig::default()
+        },
+        &spec,
+    )
+    .expect("server starts");
+
+    let load = net::LoadConfig {
+        connections: cfg.connections,
+        tuples_per_connection: cfg.total_tuples / cfg.connections as u64,
+        batch: cfg.batch,
+        domain: cfg.domain,
+        seed: cfg.seed,
+    };
+
+    // Warm-up wave: fill the recycle rings to steady state. Every
+    // buffer the wire path should ever need is allocated here.
+    net::run_load(srv.ingest_addr(), &load).expect("warm-up wave");
+    let allocations_after_warmup = srv.stats().pool_stats().allocations;
+
+    // Measured wave, with a query thread sampling latency under ingest
+    // on its own replica connection.
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_addr = srv.query_addr();
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> Vec<f64> {
+            let mut client = QueryClient::connect(query_addr).expect("query connect");
+            let mut lat = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t = Instant::now();
+                client
+                    .request("{\"cmd\":\"self_join\"}")
+                    .expect("query under ingest");
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            lat
+        })
+    };
+    let report = net::run_load(srv.ingest_addr(), &load).expect("measured wave");
+    stop.store(true, Ordering::Relaxed);
+    let mut under_ingest = sampler.join().expect("sampler thread");
+
+    // The allocation invariant: the measured wave's buffer demand is
+    // bounded by the pool geometry, never by the number of batches.
+    let pool = srv.stats().pool_stats();
+    let growth = pool.allocations - allocations_after_warmup;
+    let capacity_bound = (cfg.shards * (cfg.queue_depth + 4)) as u64;
+    assert!(
+        growth <= capacity_bound,
+        "pool grew by {growth} buffers over a {}-batch wave (capacity bound {capacity_bound})",
+        cfg.total_tuples / cfg.batch as u64
+    );
+    if cfg.max_pending == 0 {
+        assert_eq!(
+            growth, 0,
+            "at-all-times mode must not allocate batch buffers past warm-up \
+             ({} connections: {} allocations after warm-up, {} after measured wave)",
+            cfg.connections, allocations_after_warmup, pool.allocations
+        );
+    }
+
+    // No-ingest baseline on the same (now idle) server.
+    let mut client = QueryClient::connect(query_addr).expect("query connect");
+    let mut idle = Vec::new();
+    for _ in 0..cfg.idle_queries {
+        let t = Instant::now();
+        client
+            .request("{\"cmd\":\"self_join\"}")
+            .expect("idle query");
+        idle.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // Correctness gate: the merged result covers the exact self-join of
+    // the generated streams (both waves sent the same keys, hence the
+    // count of 2 per occurrence).
+    let mut exact = sss_exact::ExactAggregator::new();
+    for conn in 0..cfg.connections as u64 {
+        for index in 0..load.tuples_per_connection {
+            exact.update(net::synth_key(cfg.seed, conn, index, cfg.domain), 2);
+        }
+    }
+    let truth = exact.self_join();
+    let merged = srv.shutdown_and_wait().expect("shutdown");
+    let est = merged.self_join_estimate();
+    let half_width = est.chebyshev(0.99).expect("valid level").half_width();
+    assert!(
+        (est.value - truth).abs() <= half_width,
+        "merged estimate {} ± {half_width} excludes exact {truth}",
+        est.value
+    );
+
+    under_ingest.sort_by(f64::total_cmp);
+    idle.sort_by(f64::total_cmp);
+    let min_conn_tps = report
+        .per_connection_tps
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max_conn_tps = report
+        .per_connection_tps
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
+    Point {
+        mode: cfg.mode,
+        connections: cfg.connections,
+        tuples_per_sec: report.tuples_per_sec,
+        min_conn_tps,
+        max_conn_tps,
+        pool_allocations: pool.allocations,
+        pool_alloc_growth: growth,
+        pool_reuses: pool.reuses,
+        q_ingest_p50_us: percentile_us(&under_ingest, 0.50),
+        q_ingest_p99_us: percentile_us(&under_ingest, 0.99),
+        q_idle_p50_us: percentile_us(&idle, 0.50),
+        q_idle_p99_us: percentile_us(&idle, 0.99),
+        queries_under_ingest: under_ingest.len(),
+    }
+}
+
+fn main() {
+    let total_tuples: u64 = arg("total-tuples", 2_000_000);
+    let batch: usize = arg("batch", 512);
+    let domain: u64 = arg("domain", 10_000);
+    let shards: usize = arg("shards", 2);
+    let queue_depth: usize = arg("queue", 64);
+    let seed: u64 = arg("seed", 7);
+    // Default staleness budget: one full wave of batches, i.e. "serve
+    // from the slim frame for the whole burst" — the configuration the
+    // query-latency acceptance criterion is stated for.
+    let budget: u64 = arg("budget", total_tuples / batch as u64);
+    let idle_queries: usize = arg("idle-queries", 200);
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    banner(
+        "net_ingest",
+        "wire ingest throughput vs connection count (pool allocation bound asserted)",
+        &[
+            ("total-tuples", total_tuples.to_string()),
+            ("batch", batch.to_string()),
+            ("domain", domain.to_string()),
+            ("shards", shards.to_string()),
+            ("queue", queue_depth.to_string()),
+            ("seed", seed.to_string()),
+            ("budget", budget.to_string()),
+            ("host_parallelism", parallelism.to_string()),
+        ],
+    );
+
+    let mut points = Vec::new();
+    for (mode, max_pending) in [("at_all_times", 0), ("budget", budget)] {
+        for connections in [1usize, 2, 4, 8, 16] {
+            points.push(measure(&PointConfig {
+                mode,
+                max_pending,
+                connections,
+                total_tuples,
+                batch,
+                domain,
+                shards,
+                queue_depth,
+                seed,
+                idle_queries,
+            }));
+        }
+    }
+
+    println!(
+        "mode,connections,tuples_per_sec,min_conn_tps,max_conn_tps,pool_allocations,\
+         pool_alloc_growth,pool_reuses,q_ingest_p50_us,q_ingest_p99_us,q_idle_p50_us,\
+         q_idle_p99_us,queries_under_ingest"
+    );
+    for pt in &points {
+        println!(
+            "{},{},{:.0},{:.0},{:.0},{},{},{},{:.1},{:.1},{:.1},{:.1},{}",
+            pt.mode,
+            pt.connections,
+            pt.tuples_per_sec,
+            pt.min_conn_tps,
+            pt.max_conn_tps,
+            pt.pool_allocations,
+            pt.pool_alloc_growth,
+            pt.pool_reuses,
+            pt.q_ingest_p50_us,
+            pt.q_ingest_p99_us,
+            pt.q_idle_p50_us,
+            pt.q_idle_p99_us,
+            pt.queries_under_ingest
+        );
+    }
+    for mode in ["at_all_times", "budget"] {
+        let series: Vec<&Point> = points.iter().filter(|pt| pt.mode == mode).collect();
+        let best = series
+            .iter()
+            .max_by(|a, b| a.tuples_per_sec.total_cmp(&b.tuples_per_sec))
+            .expect("series is non-empty");
+        let worst_ratio = series
+            .iter()
+            .map(|pt| pt.q_ingest_p99_us / pt.q_idle_p99_us.max(1e-9))
+            .fold(0.0f64, f64::max);
+        eprintln!(
+            "# {mode}: best {:.2}Mtps at {} connections ({:.2}x vs 1 connection); \
+             worst under-ingest/idle p99 ratio {worst_ratio:.1}x",
+            best.tuples_per_sec / 1e6,
+            best.connections,
+            best.tuples_per_sec / series[0].tuples_per_sec
+        );
+    }
+}

@@ -70,6 +70,9 @@ pub enum Error {
         /// The summary that rejected it.
         summary: &'static str,
     },
+    /// A network peer violated the length-prefixed ingest framing
+    /// ([`crate::wire::FrameError`] carries the precise violation).
+    Frame(crate::wire::FrameError),
 }
 
 impl fmt::Display for Error {
@@ -127,6 +130,7 @@ impl fmt::Display for Error {
                     "{summary} cannot answer {query}: query the fat update-side summary instead"
                 )
             }
+            Error::Frame(e) => write!(f, "ingest protocol: {e}"),
         }
     }
 }
@@ -157,6 +161,12 @@ impl From<sss_sketch::Error> for Error {
 impl From<sss_moments::Error> for Error {
     fn from(e: sss_moments::Error) -> Self {
         Error::Moments(e)
+    }
+}
+
+impl From<crate::wire::FrameError> for Error {
+    fn from(e: crate::wire::FrameError) -> Self {
+        Error::Frame(e)
     }
 }
 

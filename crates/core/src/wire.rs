@@ -11,7 +11,7 @@
 //! The head fields come first so a receiver can [`peek`] them — route,
 //! version-check, and fingerprint-check a payload — without deserializing
 //! the body (the deserializer ignores unknown fields, so `Head` reads the
-//! same bytes an [`Envelope`] does). JSON was chosen over a binary format
+//! same bytes the private `Envelope` does). JSON was chosen over a binary format
 //! deliberately: the vendored serde backend supports it natively, payloads
 //! are debuggable with standard tooling, and snapshot exchange is not a
 //! hot path — the hot read path ships *slim* payloads whose size is tens
@@ -33,7 +33,11 @@ use serde::{Deserialize, Serialize};
 
 /// The envelope head: everything a receiver needs before committing to a
 /// body decode.
-#[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
+///
+/// Also serializable on its own (see [`encode_head`]): the network ingest
+/// handshake ships a body-less head so two processes can agree on
+/// kind/format/fingerprint before any tuple crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Head {
     /// The summary kind tag ([`Portable::KIND`](crate::Portable::KIND)).
     pub kind: String,
@@ -52,6 +56,30 @@ struct Envelope<T> {
     format: u32,
     fingerprint: u64,
     body: T,
+}
+
+/// Serialize a body-less [`Head`] — the network handshake payload.
+///
+/// The bytes parse back through [`peek`] (the deserializer never looks
+/// for a body), so a handshake receiver routes and fingerprint-checks a
+/// connection with exactly the machinery it already uses on snapshot
+/// files: one head codec, two transports.
+///
+/// # Errors
+///
+/// [`Error::Wire`] if the serializer refuses the head (it cannot — kept
+/// for signature symmetry with [`encode_envelope`]).
+pub fn encode_head(kind: &str, format: u32, fingerprint: u64) -> Result<Vec<u8>> {
+    let head = Head {
+        kind: kind.to_string(),
+        format,
+        fingerprint,
+    };
+    serde_json::to_string(&head)
+        .map(String::into_bytes)
+        .map_err(|e| Error::Wire {
+            detail: format!("handshake head failed to serialize: {e}"),
+        })
 }
 
 /// Read the head of a payload without decoding its body.
@@ -153,9 +181,136 @@ pub fn fingerprint(words: &[u64]) -> u64 {
     acc
 }
 
+/// A violation of the length-prefixed binary ingest framing — the typed
+/// protocol errors the network plane reports instead of panicking or
+/// silently dropping bytes.
+///
+/// Frames on the ingest plane are `[u32 LE length][u8 type][payload]`,
+/// where `length` counts the type byte plus the payload. Every way a
+/// byte stream can fail to be a frame sequence maps to exactly one
+/// variant here, so the server can close *one* offending connection with
+/// a precise diagnosis while every other connection keeps streaming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix declares an empty frame — there is no room for
+    /// even the type byte.
+    Undersized,
+    /// The length prefix exceeds the protocol's frame-size ceiling (a
+    /// corrupt prefix, or a non-protocol client such as HTTP reads as a
+    /// gigantic length).
+    Oversized {
+        /// The declared length.
+        len: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// The frame type byte names no known frame.
+    UnknownType {
+        /// The unrecognized type byte.
+        tag: u8,
+    },
+    /// The payload's internal structure contradicts the frame length
+    /// (e.g. a batch frame whose key count disagrees with the bytes
+    /// present).
+    LengthMismatch {
+        /// Payload bytes the internal structure requires.
+        declared: u32,
+        /// Payload bytes the frame actually carries.
+        payload: usize,
+    },
+    /// A data frame arrived before the handshake completed.
+    HandshakeRequired,
+    /// The peer hung up in the middle of a frame — `buffered` bytes of an
+    /// incomplete frame were pending when the stream ended.
+    TruncatedStream {
+        /// Bytes of the incomplete frame that had arrived.
+        buffered: usize,
+    },
+    /// The peer reported a protocol error and closed the lane (the
+    /// client-side mirror of a server-sent error frame).
+    Rejected {
+        /// The machine-readable error code from the error frame.
+        code: u16,
+        /// The human-readable detail from the error frame.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Undersized => {
+                write!(f, "frame length prefix is 0 (no room for a type byte)")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte ceiling")
+            }
+            FrameError::UnknownType { tag } => {
+                write!(f, "unknown frame type {tag:#04x}")
+            }
+            FrameError::LengthMismatch { declared, payload } => {
+                write!(
+                    f,
+                    "frame payload structure needs {declared} bytes but the frame carries {payload}"
+                )
+            }
+            FrameError::HandshakeRequired => {
+                write!(f, "data frame before the handshake completed")
+            }
+            FrameError::TruncatedStream { buffered } => {
+                write!(
+                    f,
+                    "stream ended mid-frame with {buffered} bytes of an incomplete frame buffered"
+                )
+            }
+            FrameError::Rejected { code, detail } => {
+                write!(f, "peer rejected the connection (code {code}): {detail}")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn head_encodes_and_peeks_without_a_body() {
+        let bytes = encode_head("fagms", 2, 0xfeed_f00d).unwrap();
+        let head = peek(&bytes).unwrap();
+        assert_eq!(head.kind, "fagms");
+        assert_eq!(head.format, 2);
+        assert_eq!(head.fingerprint, 0xfeed_f00d);
+    }
+
+    #[test]
+    fn frame_errors_display_their_evidence() {
+        let cases: Vec<(FrameError, &str)> = vec![
+            (FrameError::Undersized, "length prefix is 0"),
+            (FrameError::Oversized { len: 9, max: 4 }, "9"),
+            (FrameError::UnknownType { tag: 0xab }, "0xab"),
+            (
+                FrameError::LengthMismatch {
+                    declared: 12,
+                    payload: 7,
+                },
+                "12",
+            ),
+            (FrameError::HandshakeRequired, "handshake"),
+            (FrameError::TruncatedStream { buffered: 3 }, "3 bytes"),
+            (
+                FrameError::Rejected {
+                    code: 4,
+                    detail: "nope".into(),
+                },
+                "code 4",
+            ),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
 
     #[test]
     fn envelope_round_trips_and_peeks() {

@@ -1,0 +1,399 @@
+//! End-to-end tests of the ingest service: wire-ingested runs must be
+//! bit-identical to in-process `push`, protocol violations must be
+//! typed and single-connection, and the service gauges must be
+//! monotonic across connection churn.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_core::wire::{FrameError, Head};
+use sss_core::{JoinSchema, MultiSpec, MultiSummary, Portable, Summary};
+use sss_net::protocol;
+use sss_net::{IngestClient, NetError, QueryClient, RunningServer, ServerConfig};
+use sss_stream::runtime::RuntimeConfig;
+use sss_stream::{Partition, ShardedRuntime};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A small spec every test agrees on (seeded, so fingerprints match
+/// across independently constructed copies).
+fn spec(seed: u64) -> MultiSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiSpec::new(JoinSchema::fagms(2, 64, &mut rng), &mut rng)
+        .distinct_precision(6)
+        .quantile_k(64)
+}
+
+fn server(seed: u64, shards: usize, partition: Partition) -> RunningServer {
+    let config = ServerConfig {
+        runtime: RuntimeConfig {
+            shards,
+            queue_depth: 8,
+            partition,
+        },
+        ..ServerConfig::default()
+    };
+    RunningServer::start(config, &spec(seed)).expect("server starts")
+}
+
+/// Read one `[len][type][payload]` frame from a raw socket.
+fn read_raw_frame(stream: &mut TcpStream) -> Option<(u8, Vec<u8>)> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).ok()?;
+    let len = u32::from_le_bytes(len) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    Some((body[0], body[1..].to_vec()))
+}
+
+/// Complete the banner handshake on a raw socket (echoing the head),
+/// for tests that then violate the protocol deliberately.
+fn raw_handshake(stream: &mut TcpStream) -> Vec<u8> {
+    let (tag, banner) = read_raw_frame(stream).expect("banner");
+    assert_eq!(tag, protocol::FRAME_HELLO_OK);
+    let mut hello = Vec::new();
+    protocol::write_frame(&mut hello, protocol::FRAME_HELLO, &banner);
+    stream.write_all(&hello).unwrap();
+    let (tag, _) = read_raw_frame(stream).expect("handshake ack");
+    assert_eq!(tag, protocol::FRAME_HELLO_OK);
+    banner
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance-criteria pin: a stream ingested over the wire by
+    /// one connection produces a merged summary **bit-identical** to
+    /// in-process `push` of the same batches into an identically
+    /// configured runtime (same spec, same shard count, same batch
+    /// boundaries — KLL is insertion-order-dependent, so the guarantee
+    /// is stated for an identical delivery schedule, exactly as the
+    /// in-process linearity tests state it).
+    #[test]
+    fn wire_ingest_is_bit_identical_to_in_process_push(
+        keys in prop::collection::vec(any::<u64>(), 1..600),
+        chunk in 1usize..97,
+        shards in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let config = RuntimeConfig {
+            shards,
+            queue_depth: 8,
+            partition: Partition::RoundRobin,
+        };
+
+        // In-process reference.
+        let prototype = spec(seed).summary().unwrap();
+        let mut reference = ShardedRuntime::new(config, &prototype).unwrap();
+        for batch in keys.chunks(chunk) {
+            reference.push(batch).unwrap();
+        }
+        let expect = reference.into_merged().unwrap();
+
+        // Same batches over the wire.
+        let srv = RunningServer::start(
+            ServerConfig { runtime: config, ..ServerConfig::default() },
+            &spec(seed),
+        ).unwrap();
+        let mut client = IngestClient::connect(srv.ingest_addr()).unwrap();
+        for batch in keys.chunks(chunk) {
+            client.send_batch(batch).unwrap();
+        }
+        client.sync().unwrap();
+        client.finish().unwrap();
+        let got = srv.shutdown_and_wait().unwrap();
+
+        prop_assert_eq!(got.encode().unwrap(), expect.encode().unwrap());
+    }
+}
+
+#[test]
+fn handshake_rejects_wrong_fingerprint_and_kind_with_typed_codes() {
+    let srv = server(42, 1, Partition::RoundRobin);
+
+    // Wrong fingerprint: same kind/format, different configuration.
+    let bad = Head {
+        kind: MultiSummary::KIND.to_string(),
+        format: MultiSummary::FORMAT,
+        fingerprint: 0xdead_beef,
+    };
+    match IngestClient::connect_checked(srv.ingest_addr(), &bad) {
+        Err(NetError::Core(sss_core::Error::Frame(FrameError::Rejected { code, .. }))) => {
+            assert_eq!(code, protocol::ERR_FINGERPRINT);
+        }
+        other => panic!("expected a fingerprint rejection, got {other:?}"),
+    }
+
+    // Wrong kind entirely.
+    let alien = Head {
+        kind: "join".to_string(),
+        format: 1,
+        fingerprint: 1,
+    };
+    match IngestClient::connect_checked(srv.ingest_addr(), &alien) {
+        Err(NetError::Core(sss_core::Error::Frame(FrameError::Rejected { code, .. }))) => {
+            assert_eq!(code, protocol::ERR_WIRE_MISMATCH);
+        }
+        other => panic!("expected a wire-mismatch rejection, got {other:?}"),
+    }
+
+    // The rejections closed only their own connections: a correct
+    // client still gets through and ingests.
+    let mut good = IngestClient::connect(srv.ingest_addr()).unwrap();
+    good.send_batch(&[1, 2, 3]).unwrap();
+    good.sync().unwrap();
+    assert_eq!(srv.stats().tuples_ingested(), 3);
+    assert_eq!(srv.stats().protocol_errors(), 2);
+    srv.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn malformed_frames_close_one_connection_and_spare_the_rest() {
+    let srv = server(7, 2, Partition::Hash);
+    let mut good = IngestClient::connect(srv.ingest_addr()).unwrap();
+    good.send_batch(&[10, 20, 30, 40]).unwrap();
+    good.sync().unwrap();
+
+    // An HTTP client wanders in: its request line reads as an absurd
+    // length prefix. The server must answer with a typed ERROR frame
+    // and close that connection only.
+    let mut http = TcpStream::connect(srv.ingest_addr()).unwrap();
+    let _banner = read_raw_frame(&mut http).expect("banner");
+    http.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (tag, payload) = read_raw_frame(&mut http).expect("error frame");
+    assert_eq!(tag, protocol::FRAME_ERROR);
+    assert!(matches!(
+        protocol::decode_error(&payload),
+        FrameError::Rejected {
+            code: protocol::ERR_PROTOCOL,
+            ..
+        }
+    ));
+    let mut rest = Vec::new();
+    http.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closes after the error frame");
+
+    // A batch before the handshake is its own typed violation.
+    let mut eager = TcpStream::connect(srv.ingest_addr()).unwrap();
+    let _banner = read_raw_frame(&mut eager).expect("banner");
+    let mut frame = Vec::new();
+    protocol::write_batch(&mut frame, &[1, 2, 3]);
+    eager.write_all(&frame).unwrap();
+    let (tag, payload) = read_raw_frame(&mut eager).expect("error frame");
+    assert_eq!(tag, protocol::FRAME_ERROR);
+    let detail = protocol::decode_error(&payload).to_string();
+    assert!(detail.contains("handshake"), "got: {detail}");
+
+    // A batch whose key count contradicts its length, on a completed
+    // handshake.
+    let mut liar = TcpStream::connect(srv.ingest_addr()).unwrap();
+    raw_handshake(&mut liar);
+    let mut bad_batch = Vec::new();
+    // Claims 7 keys, carries 1.
+    let payload: Vec<u8> = 7u32
+        .to_le_bytes()
+        .iter()
+        .chain(42u64.to_le_bytes().iter())
+        .copied()
+        .collect();
+    protocol::write_frame(&mut bad_batch, protocol::FRAME_BATCH, &payload);
+    liar.write_all(&bad_batch).unwrap();
+    let (tag, _) = read_raw_frame(&mut liar).expect("error frame");
+    assert_eq!(tag, protocol::FRAME_ERROR);
+
+    // Through all three failures the good connection kept streaming,
+    // and no partial batch leaked into the gauges.
+    good.send_batch(&[50, 60]).unwrap();
+    good.sync().unwrap();
+    let stats = srv.stats();
+    assert_eq!(stats.tuples_ingested(), 6);
+    assert_eq!(stats.protocol_errors(), 3);
+    let merged = srv.shutdown_and_wait().unwrap();
+    // Exactly the good client's six tuples were sketched: an
+    // identically configured in-process runtime fed the same batches
+    // (same delivery schedule — KLL is insertion-order-dependent)
+    // produces the same bytes.
+    let mut reference = ShardedRuntime::new(
+        RuntimeConfig {
+            shards: 2,
+            queue_depth: 8,
+            partition: Partition::Hash,
+        },
+        &spec(7).summary().unwrap(),
+    )
+    .unwrap();
+    reference.push(&[10, 20, 30, 40]).unwrap();
+    reference.push(&[50, 60]).unwrap();
+    let expect = reference.into_merged().unwrap();
+    assert_eq!(merged.encode().unwrap(), expect.encode().unwrap());
+}
+
+#[test]
+fn gauges_are_monotonic_across_reconnects_and_mid_batch_disconnects() {
+    let srv = server(9, 1, Partition::RoundRobin);
+    let stats = srv.stats();
+
+    // First client: 5 tuples, then a clean disconnect.
+    let mut first = IngestClient::connect(srv.ingest_addr()).unwrap();
+    first.send_batch(&[1, 2, 3, 4, 5]).unwrap();
+    first.sync().unwrap();
+    first.finish().unwrap();
+    assert_eq!(stats.tuples_ingested(), 5);
+    assert_eq!(stats.batches_ingested(), 1);
+
+    // Reconnect: the gauge continues, it does not reset with the
+    // connection.
+    let mut second = IngestClient::connect(srv.ingest_addr()).unwrap();
+    second.send_batch(&[6, 7]).unwrap();
+    second.sync().unwrap();
+    assert_eq!(stats.tuples_ingested(), 7);
+
+    // A third client dies mid-frame: the truncated batch must count as
+    // a protocol error, never as ingested tuples.
+    let mut dying = TcpStream::connect(srv.ingest_addr()).unwrap();
+    raw_handshake(&mut dying);
+    let mut frame = Vec::new();
+    protocol::write_batch(&mut frame, &[100, 200, 300]);
+    dying.write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(dying);
+
+    // The disconnect lands asynchronously; the still-open connection
+    // keeps working while we wait for it to register.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while stats.protocol_errors() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(stats.protocol_errors(), 1, "truncated stream is typed");
+    assert_eq!(stats.tuples_ingested(), 7, "partial batch never counted");
+
+    second.send_batch(&[8]).unwrap();
+    second.sync().unwrap();
+    assert_eq!(stats.tuples_ingested(), 8);
+    assert!(stats.tuples_per_sec() > 0.0);
+    assert_eq!(stats.connections_accepted(), 3);
+    srv.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn query_plane_answers_all_four_families_and_shutdown_snapshots() {
+    let dir = std::env::temp_dir().join(format!("sss-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("final.sss");
+
+    let config = ServerConfig {
+        runtime: RuntimeConfig {
+            shards: 2,
+            queue_depth: 8,
+            partition: Partition::RoundRobin,
+        },
+        snapshot_path: Some(snapshot.clone()),
+        ..ServerConfig::default()
+    };
+    let srv = RunningServer::start(config, &spec(3)).unwrap();
+
+    let keys: Vec<u64> = (0..500u64).map(|i| i % 50).collect();
+    let mut client = IngestClient::connect(srv.ingest_addr()).unwrap();
+    for batch in keys.chunks(64) {
+        client.send_batch(batch).unwrap();
+    }
+    client.sync().unwrap();
+
+    let mut queries = QueryClient::connect(srv.query_addr()).unwrap();
+
+    // All four query families answer ok, with interval fields when a
+    // confidence level rides along.
+    let sj = queries
+        .request("{\"cmd\":\"self_join\",\"confidence\":0.95}")
+        .unwrap();
+    assert!(sj.contains("\"ok\":true"), "{sj}");
+    assert!(sj.contains("half_width_chebyshev"), "{sj}");
+    let distinct = queries.request("{\"cmd\":\"distinct\"}").unwrap();
+    assert!(distinct.contains("\"ok\":true"), "{distinct}");
+    let quantile = queries.request("{\"cmd\":\"quantile\",\"q\":0.5}").unwrap();
+    assert!(quantile.contains("\"lo\""), "{quantile}");
+    let topk = queries.request("{\"cmd\":\"topk\",\"k\":5}").unwrap();
+    assert!(topk.contains("\"top\":["), "{topk}");
+    let stats_line = queries.stats_line().unwrap();
+    assert!(stats_line.contains("\"tuples\":500"), "{stats_line}");
+
+    // A malformed query line is an error *response*, not a dropped
+    // connection.
+    let bad = queries.request("{\"q\":0.5}").unwrap();
+    assert!(bad.contains("\"ok\":false"), "{bad}");
+    let still = queries.request("{\"cmd\":\"distinct\"}").unwrap();
+    assert!(still.contains("\"ok\":true"), "{still}");
+
+    // The wire answer matches the in-process oracle bit for bit.
+    let server_value = queries.self_join_bits().unwrap();
+    let mut oracle = spec(3).summary().unwrap();
+    oracle.update_batch(&keys);
+    use sss_core::JoinQuery;
+    assert_eq!(
+        server_value.to_bits(),
+        oracle.self_join_estimate().value.to_bits(),
+        "slim replica answer must be bit-identical to the sequential oracle"
+    );
+
+    // Client-driven shutdown: drains, snapshots, exits. The merged
+    // state is bit-identical to an identically sharded in-process run
+    // of the same batches (the flat `oracle` above only pins the
+    // linear self-join value — KLL bytes depend on the shard split).
+    queries.shutdown().unwrap();
+    let merged = srv.wait().unwrap();
+    let mut reference = ShardedRuntime::new(
+        RuntimeConfig {
+            shards: 2,
+            queue_depth: 8,
+            partition: Partition::RoundRobin,
+        },
+        &spec(3).summary().unwrap(),
+    )
+    .unwrap();
+    for batch in keys.chunks(64) {
+        reference.push(batch).unwrap();
+    }
+    let expect = reference.into_merged().unwrap();
+    assert_eq!(merged.encode().unwrap(), expect.encode().unwrap());
+
+    // The final snapshot is a loadable Portable payload of the same
+    // state.
+    let bytes = std::fs::read(&snapshot).unwrap();
+    let decoded = MultiSummary::decode(&bytes).unwrap();
+    assert_eq!(decoded.encode().unwrap(), merged.encode().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frame reader survives arbitrary corruption: any byte soup,
+    /// delivered in any chunking, yields frames or one typed error —
+    /// never a panic, never an untyped failure.
+    #[test]
+    fn frame_reader_never_panics_on_corrupt_streams(
+        bytes in prop::collection::vec(any::<u8>(), 0..2000),
+        chunk in 1usize..64,
+    ) {
+        let mut reader = protocol::FrameReader::new();
+        'outer: for piece in bytes.chunks(chunk) {
+            reader.extend(piece);
+            loop {
+                match reader.next_frame() {
+                    Ok(Some((_tag, payload))) => {
+                        // Decoders on arbitrary payloads must also be
+                        // typed-total.
+                        let mut sink = Vec::new();
+                        let _ = protocol::decode_batch_into(payload, &mut sink);
+                        let _ = protocol::decode_sync(payload);
+                        let _ = protocol::decode_error(payload);
+                    }
+                    Ok(None) => break,
+                    Err(_typed) => break 'outer,
+                }
+            }
+        }
+        // finish() is equally total.
+        let _ = reader.finish();
+    }
+}

@@ -665,6 +665,68 @@ impl<E: Summary> ShardedRuntime<E> {
         }
     }
 
+    /// Borrow a cleared batch buffer from the pool — the **loan half** of
+    /// the zero-copy ingest pair ([`push_loaned`](Self::push_loaned) is
+    /// the other half).
+    ///
+    /// The buffer is drawn from the recycle ring of the shard the next
+    /// `push_loaned` will target (falling back to a fresh allocation only
+    /// during warm-up — [`pool_stats`](Self::pool_stats) accounts for
+    /// both), so a caller that *fills* the loan in place — say, a network
+    /// server decoding a wire frame's keys straight into it — extends the
+    /// zero-allocations-per-batch invariant across the socket boundary:
+    /// socket bytes → loaned buffer → data ring → worker → recycle ring,
+    /// with no copy and no allocation in steady state.
+    ///
+    /// A loaned buffer must go back via `push_loaned` (possibly empty);
+    /// dropping it instead is safe but shrinks the pool by one buffer.
+    pub fn loan_batch_buf(&mut self, hint: usize) -> Vec<u64> {
+        let shard = self.cursor;
+        self.take_buf(shard, hint)
+    }
+
+    /// Enqueue a buffer obtained from
+    /// [`loan_batch_buf`](Self::loan_batch_buf), **blocking** while the
+    /// target ring is full.
+    ///
+    /// Under [`Partition::RoundRobin`] the buffer itself is shipped to
+    /// the worker — the keys are never copied after the caller wrote
+    /// them. Under [`Partition::Hash`] the keys are scattered into the
+    /// per-shard buffers (one copy, same as [`push`](Self::push)) and the
+    /// loan returns to the pool. An empty loan just returns to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::ShardDisconnected`] if a worker thread has died.
+    pub fn push_loaned(&mut self, mut batch: Vec<u64>) -> Result<()> {
+        if batch.is_empty() {
+            self.lanes[self.cursor].spare.push(batch);
+            return Ok(());
+        }
+        match self.shared.config.partition {
+            Partition::RoundRobin => {
+                let shard = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards();
+                self.send_blocking(shard, batch)
+            }
+            Partition::Hash => {
+                self.scatter_keys(&batch);
+                let hint = batch.len();
+                for shard in 0..self.shards() {
+                    if self.scatter[shard].is_empty() {
+                        continue;
+                    }
+                    let scattered = std::mem::take(&mut self.scatter[shard]);
+                    self.send_blocking(shard, scattered)?;
+                    self.scatter[shard] = self.take_buf(shard, hint);
+                }
+                batch.clear();
+                self.lanes[self.cursor].spare.push(batch);
+                Ok(())
+            }
+        }
+    }
+
     /// Feed one batch, **blocking** while any target shard's ring is
     /// full. Backpressure propagates to the caller; nothing is dropped.
     ///
@@ -1061,6 +1123,81 @@ where
         let pending = self.shared.tuples_ingested().saturating_sub(self.applied);
         let extra = staleness_variance_plugin(est.value, self.applied, pending);
         Ok(est.plus_variance(extra))
+    }
+}
+
+impl<E> ReadReplica<E>
+where
+    E: Summary + SlimQuery,
+    E::Slim: sss_core::DistinctQuery,
+{
+    /// Distinct-count query from the slim replica: refresh if past
+    /// `max_pending`, then answer from local slim state. The estimate
+    /// carries the slim projection's own variance; unlike
+    /// [`self_join_estimate`](ReadReplica::self_join_estimate) no
+    /// staleness term is added (there is no F₀ drift bound analogous to
+    /// the F2 one), so treat the bar as "as of the adopted frame".
+    ///
+    /// # Errors
+    ///
+    /// As for [`refresh`](ReadReplica::refresh).
+    pub fn distinct_estimate(&mut self) -> Result<Estimate> {
+        self.refresh()?;
+        Ok(sss_core::DistinctQuery::distinct_estimate(&self.slim))
+    }
+}
+
+impl<E> ReadReplica<E>
+where
+    E: Summary + SlimQuery,
+    E::Slim: sss_core::QuantileQuery,
+{
+    /// Quantile query from the slim replica (refreshes first).
+    ///
+    /// # Errors
+    ///
+    /// As for [`refresh`](ReadReplica::refresh), or an estimator error
+    /// for `q ∉ [0, 1]` / an empty summary.
+    pub fn quantile(&mut self, q: f64) -> Result<f64> {
+        self.refresh()?;
+        sss_core::QuantileQuery::quantile(&self.slim, q).map_err(StreamError::Estimator)
+    }
+
+    /// Quantile query with the KLL rank-error envelope (refreshes
+    /// first) — `(lo, hi)` bracket the true `q`-quantile with the
+    /// sketch's deterministic rank guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As for [`quantile`](ReadReplica::quantile).
+    pub fn quantile_bounds(&mut self, q: f64) -> Result<(f64, f64)> {
+        self.refresh()?;
+        sss_core::QuantileQuery::quantile_bounds(&self.slim, q).map_err(StreamError::Estimator)
+    }
+}
+
+impl<E> ReadReplica<E>
+where
+    E: Summary + SlimQuery,
+    E::Slim: sss_core::TopKQuery,
+{
+    /// Top-k query from the slim replica (refreshes first): the `k`
+    /// heaviest tracked keys, each with its typed frequency estimate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`refresh`](ReadReplica::refresh).
+    pub fn top_k(&mut self, k: usize) -> Result<Vec<(u64, Estimate)>> {
+        self.refresh()?;
+        Ok(sss_core::TopKQuery::top_k(&self.slim, k)
+            .into_iter()
+            .map(|(key, _)| {
+                (
+                    key,
+                    sss_core::TopKQuery::frequency_estimate(&self.slim, key),
+                )
+            })
+            .collect())
     }
 }
 

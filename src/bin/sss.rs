@@ -14,6 +14,8 @@
 //! sss save <file> <out.sss> [--depth=3] [--width=5000] [--seed=1]
 //! sss load <snapshot.sss> [--confidence=0.95]
 //! sss merge-snapshots <in1.sss> <in2.sss> [more...] [--out=merged.sss] [--confidence=0.95]
+//! sss serve [--ingest=127.0.0.1:0] [--query=127.0.0.1:0] [--shards=2] [--snapshot=final.sss]
+//! sss bench-client <host:port> [--connections=4] [--tuples=100000] [--check] [--shutdown]
 //! ```
 //!
 //! `topk` reports the `k` heaviest keys from a Count-Sketch heavy-hitter
@@ -47,6 +49,12 @@
 //! different seeds/dimensions, so only like-configured sketches merge —
 //! and by sketch linearity the merged estimate is bit-identical to
 //! sketching the concatenated streams in one process.
+//!
+//! `serve` runs the network ingest service (binary batch protocol on the
+//! ingest plane, line-delimited JSON on the query plane) until a query
+//! client sends `{"cmd":"shutdown"}`; `bench-client` drives it with
+//! concurrent deterministic load and can verify the served self-join
+//! estimate against a locally recomputed exact answer (`--check`).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -58,7 +66,10 @@ use sketch_sampled_streams::core::{
     wire, JoinQuery, LoadSheddingSketcher, MultiSpec, Portable, Sampled, SlimQuery,
 };
 use sketch_sampled_streams::exact::ExactAggregator;
+use sketch_sampled_streams::net::{self, QueryClient, RunningServer, ServerConfig};
 use sketch_sampled_streams::sketch::FagmsSchema;
+use sketch_sampled_streams::stream::runtime::RuntimeConfig;
+use sketch_sampled_streams::stream::Partition;
 use sketch_sampled_streams::{Error, Result};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -108,7 +119,7 @@ fn exact_join(f: &[u64], g: &[u64]) -> f64 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]\n  sss distinct <file> [--p=1.0] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]\n  sss quantiles <file> [--p=1.0] [--k=200] [--at=0.5] [--seed=1] [--exact]\n  sss multi <file> [--k=10] [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss save <file> <out.sss> [--depth=3] [--width=5000] [--seed=1]\n  sss load <snapshot.sss> [--confidence=0.95]\n  sss merge-snapshots <in1.sss> <in2.sss> [more...] [--out=merged.sss] [--confidence=0.95]"
+        "usage:\n  sss selfjoin <file> [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss join <file_f> <file_g> [--p=1.0] [--q=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss topk <file> [--k=10] [--p=1.0] [--capacity=4k] [--depth=5] [--width=2048] [--seed=1] [--exact] [--confidence=0.95]\n  sss distinct <file> [--p=1.0] [--precision=12] [--seed=1] [--exact] [--confidence=0.95]\n  sss quantiles <file> [--p=1.0] [--k=200] [--at=0.5] [--seed=1] [--exact]\n  sss multi <file> [--k=10] [--p=1.0] [--depth=3] [--width=5000] [--seed=1] [--exact] [--confidence=0.95]\n  sss save <file> <out.sss> [--depth=3] [--width=5000] [--seed=1]\n  sss load <snapshot.sss> [--confidence=0.95]\n  sss merge-snapshots <in1.sss> <in2.sss> [more...] [--out=merged.sss] [--confidence=0.95]\n  sss serve [--ingest=127.0.0.1:0] [--query=127.0.0.1:0] [--shards=2] [--queue-depth=64] [--partition=rr|hash] [--depth=3] [--width=5000] [--seed=1] [--max-pending=0] [--snapshot=final.sss]\n  sss bench-client <host:port> [--connections=1] [--tuples=100000] [--batch=512] [--domain=10000] [--seed=7] [--query-addr=host:port] [--check] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -390,7 +401,10 @@ fn run_save(args: &[String], schema: &JoinSchema) -> Result<()> {
 
 /// `sss load <snapshot.sss>`: peek the envelope head, decode the
 /// sketch, and answer the self-join query — plus the slim projection's
-/// size, to show what a read replica of this snapshot would ship.
+/// size, to show what a read replica of this snapshot would ship. The
+/// envelope kind picks the decoder: `join` snapshots come from `save` /
+/// `merge-snapshots`, `multi` snapshots from `serve --snapshot=` (and
+/// answer all four query families).
 fn run_load(args: &[String], confidence: Option<f64>) -> Result<()> {
     let path = &args[1];
     let bytes = read_snapshot(path)?;
@@ -399,6 +413,21 @@ fn run_load(args: &[String], confidence: Option<f64>) -> Result<()> {
     println!("format      {}", head.format);
     println!("fingerprint {:#018x}", head.fingerprint);
     println!("bytes       {}", bytes.len());
+    if head.kind == sketch_sampled_streams::core::MultiSummary::KIND {
+        use sketch_sampled_streams::core::{DistinctQuery as _, MultiSummary, TopKQuery as _};
+        let summary = MultiSummary::decode(&bytes)?;
+        let est = summary.self_join_estimate();
+        println!("self_join   {:.2}", est.value);
+        if let Some(level) = confidence {
+            print_intervals(&est, level);
+        }
+        println!("distinct    {:.2}", summary.distinct_estimate().value);
+        for (rank, (key, _)) in summary.top_k(5).iter().enumerate() {
+            let est = summary.frequency_estimate(*key);
+            println!("top{:<3}     key {key}: {:.2}", rank + 1, est.value);
+        }
+        return Ok(());
+    }
     let sketch = JoinSketch::decode(&bytes)?;
     let est = sketch.self_join_estimate();
     println!("self_join   {:.2}", est.value);
@@ -443,6 +472,161 @@ fn run_merge_snapshots(args: &[String], confidence: Option<f64>) -> Result<()> {
     Ok(())
 }
 
+/// `sss serve`: run the network ingest service until a query-plane
+/// `shutdown` command arrives. Binds the ingest and query planes (port 0
+/// picks ephemeral ports), prints the bound addresses and the summary
+/// fingerprint as machine-parseable `key value` lines, then blocks on
+/// the ingest loop. On shutdown the shard rings drain, the final merged
+/// summary is (optionally) snapshotted, and its headline estimates are
+/// printed.
+fn run_serve(args: &[String]) -> Result<()> {
+    let depth: usize = arg_value(args, "depth", 3);
+    let width: usize = arg_value(args, "width", 5000);
+    let seed: u64 = arg_value(args, "seed", 1);
+    let shards: usize = arg_value(args, "shards", 2);
+    let queue_depth: usize = arg_value(args, "queue-depth", 64);
+    let max_pending: u64 = arg_value(args, "max-pending", 0);
+    let partition = match args
+        .iter()
+        .find_map(|a| a.strip_prefix("--partition="))
+        .unwrap_or("rr")
+    {
+        "hash" => Partition::Hash,
+        _ => Partition::RoundRobin,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = MultiSpec::new(JoinSchema::fagms(depth, width, &mut rng), &mut rng);
+    let fingerprint = Portable::fingerprint(&spec.summary()?);
+
+    let config = ServerConfig {
+        ingest_addr: arg_value(args, "ingest", "127.0.0.1:0".to_string()),
+        query_addr: arg_value(args, "query", "127.0.0.1:0".to_string()),
+        runtime: RuntimeConfig {
+            shards,
+            queue_depth,
+            partition,
+        },
+        max_pending,
+        snapshot_path: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--snapshot="))
+            .map(std::path::PathBuf::from),
+    };
+    let snapshot = config.snapshot_path.clone();
+    let srv = RunningServer::start(config, &spec)?;
+    // Machine-parseable banner: scripts (and the CI smoke test) scrape
+    // the ephemeral ports from these lines, so flush before blocking.
+    println!("ingest      {}", srv.ingest_addr());
+    println!("query       {}", srv.query_addr());
+    println!("fingerprint {fingerprint:#018x}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let stats = srv.stats();
+    let merged = srv.wait()?;
+    println!("tuples      {}", stats.tuples_ingested());
+    println!("batches     {}", stats.batches_ingested());
+    let pool = stats.pool_stats();
+    println!(
+        "pool        {} allocations, {} reuses",
+        pool.allocations, pool.reuses
+    );
+    println!("self_join   {:.2}", merged.self_join_estimate().value);
+    use sketch_sampled_streams::core::DistinctQuery as _;
+    println!("distinct    {:.2}", merged.distinct_estimate().value);
+    if let Some(path) = snapshot {
+        println!("snapshot    {}", path.display());
+    }
+    Ok(())
+}
+
+/// `sss bench-client`: drive a running ingest plane with `--connections`
+/// concurrent clients, each sending its deterministic `synth_key` stream
+/// in batched pipelined writes ending with a `SYNC` barrier. With
+/// `--check` the exact self-join of the generated keys is recomputed
+/// locally and the server's estimate must cover it within its Chebyshev
+/// interval (a failed check is a typed error and a nonzero exit). With
+/// `--shutdown` the server is asked to drain and exit afterwards.
+fn run_bench_client(args: &[String]) -> Result<()> {
+    let addr = &args[1];
+    let cfg = net::LoadConfig {
+        connections: arg_value(args, "connections", 1),
+        tuples_per_connection: arg_value(args, "tuples", 100_000),
+        batch: arg_value(args, "batch", 512),
+        domain: arg_value(args, "domain", 10_000),
+        seed: arg_value(args, "seed", 7),
+    };
+    let report = net::run_load(addr.as_str(), &cfg)?;
+    println!("connections {}", cfg.connections);
+    println!("tuples      {}", report.tuples);
+    println!("elapsed     {:.3}s", report.elapsed.as_secs_f64());
+    println!("tuples/s    {:.0}", report.tuples_per_sec);
+    for (i, tps) in report.per_connection_tps.iter().enumerate() {
+        println!("conn{i:<3}     {tps:.0} tuples/s");
+    }
+
+    let query_addr = args.iter().find_map(|a| a.strip_prefix("--query-addr="));
+    if has_flag(args, "check") {
+        let Some(query_addr) = query_addr else {
+            eprintln!("error: --check needs --query-addr=<host:port>");
+            return Err(Error::CheckFailed {
+                what: "bench-client",
+                estimate: f64::NAN,
+                half_width: f64::NAN,
+                exact: f64::NAN,
+            });
+        };
+        // The oracle regenerates the exact tuple streams the load
+        // generator sent (synth_key is deterministic in seed /
+        // connection / index) and the server's answer must cover the
+        // exact self-join within its own stated error bars.
+        let mut exact = ExactAggregator::new();
+        for conn in 0..cfg.connections as u64 {
+            for index in 0..cfg.tuples_per_connection {
+                exact.update(net::synth_key(cfg.seed, conn, index, cfg.domain), 1);
+            }
+        }
+        let truth = exact.self_join();
+        let mut queries = QueryClient::connect(query_addr)?;
+        let line = queries.request("{\"cmd\":\"self_join\",\"confidence\":0.99}")?;
+        let estimate = net::protocol::response_f64(&line, "value");
+        let half_width = net::protocol::response_f64(&line, "half_width_chebyshev");
+        let (Some(estimate), Some(half_width)) = (estimate, half_width) else {
+            return Err(Error::CheckFailed {
+                what: "self_join response",
+                estimate: f64::NAN,
+                half_width: f64::NAN,
+                exact: truth,
+            });
+        };
+        println!("check       estimate {estimate:.2} ± {half_width:.2}, exact {truth:.2}");
+        if (estimate - truth).abs() > half_width {
+            return Err(Error::CheckFailed {
+                what: "self_join",
+                estimate,
+                half_width,
+                exact: truth,
+            });
+        }
+        println!("check       ok (within chebyshev 99%)");
+    }
+    if has_flag(args, "shutdown") {
+        let Some(query_addr) = query_addr else {
+            eprintln!("error: --shutdown needs --query-addr=<host:port>");
+            return Err(Error::CheckFailed {
+                what: "bench-client",
+                estimate: f64::NAN,
+                half_width: f64::NAN,
+                exact: f64::NAN,
+            });
+        };
+        let mut queries = QueryClient::connect(query_addr)?;
+        queries.shutdown()?;
+        println!("shutdown    requested");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -481,6 +665,8 @@ fn main() -> ExitCode {
         "merge-snapshots" if args[1..].iter().filter(|a| !a.starts_with("--")).count() >= 2 => {
             run_merge_snapshots(&args, confidence)
         }
+        "serve" => run_serve(&args),
+        "bench-client" if args.len() >= 2 && !args[1].starts_with("--") => run_bench_client(&args),
         _ => return usage(),
     };
     match result {

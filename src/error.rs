@@ -18,6 +18,21 @@ pub enum Error {
     Core(sss_core::Error),
     /// A streaming-runtime failure (dead shard, bad configuration, …).
     Stream(sss_stream::StreamError),
+    /// A network ingest/query-plane failure (transport, protocol
+    /// violation, handshake rejection, …).
+    Net(sss_net::NetError),
+    /// An acceptance check failed: an estimate's typed interval
+    /// excluded the exact answer.
+    CheckFailed {
+        /// What was being checked.
+        what: &'static str,
+        /// The estimate under test.
+        estimate: f64,
+        /// The interval half-width the estimate promised.
+        half_width: f64,
+        /// The exact value the interval was required to cover.
+        exact: f64,
+    },
     /// An input file could not be read.
     Io {
         /// The offending path.
@@ -46,6 +61,16 @@ impl fmt::Display for Error {
         match self {
             Error::Core(e) => write!(f, "{e}"),
             Error::Stream(e) => write!(f, "{e}"),
+            Error::Net(e) => write!(f, "{e}"),
+            Error::CheckFailed {
+                what,
+                estimate,
+                half_width,
+                exact,
+            } => write!(
+                f,
+                "{what} check failed: {estimate:.2} ± {half_width:.2} excludes exact {exact:.2}"
+            ),
             Error::Io { path, source } => write!(f, "cannot read {path}: {source}"),
             Error::Parse {
                 path,
@@ -62,6 +87,7 @@ impl std::error::Error for Error {
         match self {
             Error::Core(e) => Some(e),
             Error::Stream(e) => Some(e),
+            Error::Net(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             _ => None,
         }
@@ -77,6 +103,12 @@ impl From<sss_core::Error> for Error {
 impl From<sss_stream::StreamError> for Error {
     fn from(e: sss_stream::StreamError) -> Self {
         Error::Stream(e)
+    }
+}
+
+impl From<sss_net::NetError> for Error {
+    fn from(e: sss_net::NetError) -> Self {
+        Error::Net(e)
     }
 }
 

@@ -19,6 +19,10 @@
 //!   workload generators.
 //! * [`stream`] — streaming pipeline substrate: adaptive controllers,
 //!   DSMS operator chains, parallel sketching, sliding windows.
+//! * [`net`] — the network ingest service: a non-blocking event-loop
+//!   TCP front-end decoding length-prefixed batches straight into the
+//!   sharded runtime's pooled buffers, plus a line-delimited JSON query
+//!   plane served from slim read replicas.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -44,6 +48,7 @@ pub use sss_core as core;
 pub use sss_datagen as datagen;
 pub use sss_exact as exact;
 pub use sss_moments as moments;
+pub use sss_net as net;
 pub use sss_sampling as sampling;
 pub use sss_sketch as sketch;
 pub use sss_stream as stream;
